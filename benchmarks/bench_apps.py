@@ -1,0 +1,50 @@
+"""Downstream-application benches: the intro's motivating BFS consumers
+running on the simulated GCD (components, SCC, diameter probes)."""
+
+import numpy as np
+from conftest import run_once
+
+from repro.apps import (
+    connected_components,
+    double_sweep_diameter,
+    strongly_connected_components,
+)
+from repro.experiments.common import cached_rmat, scaled_device
+from repro.graph.generators import rmat
+from repro.metrics.tables import render_table
+
+
+def test_connected_components(benchmark, scale):
+    graph = cached_rmat(scale.rmat_scale, 16, scale.seed)
+    device = scaled_device(graph)
+    result = run_once(benchmark, lambda: connected_components(graph, device=device))
+    print(f"\n{result.num_components:,} components "
+          f"(giant {result.giant_fraction*100:.1f}%), "
+          f"{result.bfs_runs} BFS runs, {result.elapsed_ms:.2f} modelled ms")
+    assert result.num_components >= 1
+    assert np.all(result.labels >= 0)
+
+
+def test_strongly_connected_components(benchmark, scale):
+    graph = rmat(max(10, scale.rmat_scale - 4), 4, seed=scale.seed, symmetrize=False)
+    device = scaled_device(graph)
+    result = run_once(
+        benchmark, lambda: strongly_connected_components(graph, device=device)
+    )
+    top = np.sort(result.sizes)[::-1][:3]
+    print(f"\n{result.num_sccs:,} SCCs (largest {top.tolist()}), "
+          f"{result.bfs_runs} directional BFS runs, "
+          f"{result.elapsed_ms:.2f} modelled ms")
+    assert result.sizes.sum() == graph.num_vertices
+
+
+def test_double_sweep_diameter(benchmark, scale):
+    graph = cached_rmat(scale.rmat_scale, 16, scale.seed)
+    device = scaled_device(graph)
+    hub = int(np.argmax(graph.degrees))
+    est = run_once(
+        benchmark, lambda: double_sweep_diameter(graph, hub, device=device)
+    )
+    print(f"\ndiameter lower bound: {est.lower_bound} "
+          f"({est.elapsed_ms:.3f} modelled ms for two sweeps)")
+    assert est.lower_bound >= 1

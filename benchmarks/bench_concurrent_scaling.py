@@ -1,0 +1,40 @@
+"""Concurrent (iBFS-style) batch scaling: sharing factor and aggregate
+throughput as the batch grows from 1 to 64 sources."""
+
+from conftest import run_once
+
+from repro.experiments.common import cached_rmat, scaled_device
+from repro.graph.stats import pick_sources
+from repro.metrics.tables import render_table
+from repro.xbfs.concurrent import ConcurrentBFS
+
+
+def test_concurrent_scaling(benchmark, scale):
+    graph = cached_rmat(scale.rmat_scale, 16, scale.seed)
+    device = scaled_device(graph)
+    sources = pick_sources(graph, 64, seed=30)
+
+    def run():
+        rows = []
+        engine = ConcurrentBFS(graph, device=device)
+        engine.run(sources[:1])  # warm-up
+        for k in (1, 4, 16, 64):
+            result = engine.run(sources[:k])
+            rows.append(
+                (k, result.sharing_factor, result.elapsed_ms, result.gteps)
+            )
+        return rows
+
+    rows = run_once(benchmark, run)
+    print()
+    print(
+        render_table(
+            ["batch k", "sharing", "ms", "aggregate GTEPS"],
+            [[k, f"{s:.2f}x", f"{ms:.3f}", f"{g:.2f}"] for k, s, ms, g in rows],
+            title="iBFS-style concurrent batch scaling",
+        )
+    )
+    sharing = [s for _, s, _, _ in rows]
+    gteps = [g for _, _, _, g in rows]
+    assert all(b >= a * 0.99 for a, b in zip(sharing, sharing[1:]))
+    assert gteps[-1] > gteps[0]

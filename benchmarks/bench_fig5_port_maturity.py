@@ -1,0 +1,14 @@
+"""Fig 5 — per-kernel runtime breakdown across the three port-maturity
+configurations (CUDA original, naive hipify, AMD-optimised)."""
+
+from conftest import run_once
+
+from repro.experiments import fig5
+
+
+def test_fig5_port_maturity(benchmark, scale):
+    result = run_once(benchmark, fig5.run, scale)
+    print()
+    print(result.render())
+    assert result.end_to_end_ms["optimized"] < result.end_to_end_ms["naive_port"]
+    assert result.sync_ms["naive_port"] > result.sync_ms["optimized"]

@@ -1,0 +1,15 @@
+"""Fig 6 — per-level edge-expansion ratio (log2) across datasets and
+source seeds."""
+
+from conftest import run_once
+
+from repro.experiments import fig6
+
+
+def test_fig6_ratio_levels(benchmark, scale):
+    result = run_once(benchmark, fig6.run, scale)
+    print()
+    print(result.render())
+    # USpatent needs by far the most levels; R-MATs the fewest.
+    assert result.depths["UP"] == max(result.depths.values())
+    assert result.depths["UP"] > 4 * min(result.depths["R23"], result.depths["R25"])

@@ -1,0 +1,17 @@
+"""Fig 7 — runtime of each forced strategy per level up to the ratio
+peak, and the implied switch-over alpha."""
+
+from conftest import run_once
+
+from repro.experiments import fig7
+from repro.xbfs.classifier import BOTTOM_UP, SCAN_FREE
+
+
+def test_fig7_alpha_sweep(benchmark, scale):
+    result = run_once(benchmark, fig7.run, scale)
+    print()
+    print(result.render())
+    head, peak = result.levels()[0], result.levels()[-1]
+    assert result.runtime(SCAN_FREE, head) < result.runtime(BOTTOM_UP, head)
+    assert result.runtime(BOTTOM_UP, peak) < result.runtime(SCAN_FREE, peak)
+    assert 0.0 < result.inferred_alpha <= 1.0

@@ -1,0 +1,17 @@
+"""Fig 8 — end-to-end GTEPS per dataset: XBFS (plain and re-arranged)
+vs the Gunrock-style baseline, plus the Section V-F efficiency."""
+
+from conftest import run_once
+
+from repro.experiments import fig8
+
+
+def test_fig8_gteps(benchmark, scale):
+    result = run_once(benchmark, fig8.run, scale)
+    print()
+    print(result.render())
+    for row in result.rows:
+        assert row.speedup_over_gunrock > 0.9, row
+    dense = max(result.row(k).xbfs_rearranged_gteps for k in ("OR", "R25"))
+    sparse = min(result.row(k).xbfs_rearranged_gteps for k in ("UP", "DB"))
+    assert dense > 5 * sparse

@@ -1,0 +1,15 @@
+"""Table I — degree-aware re-arrangement: per-level FetchSize/runtime of
+the adaptive run with and without the neighbour re-ordering."""
+
+from conftest import run_once
+
+from repro.experiments import table1
+
+
+def test_table1_rearrangement(benchmark, scale):
+    result = run_once(benchmark, table1.run, scale)
+    print()
+    print(result.render())
+    # Shape assertions (the paper's observations).
+    assert result.total_fetch_rearranged <= result.total_fetch_plain * 1.02
+    assert result.total_runtime_rearranged <= result.total_runtime_plain * 1.02

@@ -1,0 +1,12 @@
+"""Table II — dataset inventory: paper sizes vs built stand-ins."""
+
+from conftest import run_once
+
+from repro.experiments import table2
+
+
+def test_table2_datasets(benchmark, scale):
+    result = run_once(benchmark, table2.run, scale)
+    print()
+    print(result.render())
+    assert len(result.rows) == 6

@@ -1,0 +1,18 @@
+"""Table III — rocprofiler counters of the scan-free strategy (forced
+at every level) on the R-MAT study graph."""
+
+from conftest import run_once
+
+from repro.experiments import profiles
+
+
+def test_table3_scanfree_profile(benchmark, scale):
+    result = run_once(benchmark, profiles.run_table3, scale)
+    print()
+    print(result.render())
+    # One kernel per level; FetchSize tracks the ratio curve.
+    for level in range(result.depth):
+        assert len(result.records_at(level)) == 1
+    fetch = [r.fetch_kb for r in result.records]
+    ratios = [r.ratio for r in result.records]
+    assert fetch.index(max(fetch)) == ratios.index(max(ratios))

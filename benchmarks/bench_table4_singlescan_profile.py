@@ -1,0 +1,17 @@
+"""Table IV — rocprofiler counters of the single-scan strategy (two
+kernels per level; the queue-generation kernel fetches a constant 4|V|
+bytes)."""
+
+from conftest import run_once
+
+from repro.experiments import profiles
+
+
+def test_table4_singlescan_profile(benchmark, scale):
+    result = run_once(benchmark, profiles.run_table4, scale)
+    print()
+    print(result.render())
+    for level in range(result.depth):
+        assert len(result.records_at(level)) == 2
+    gens = [r.fetch_kb for r in result.records if r.name == "ss_queue_gen"]
+    assert max(gens) - min(gens) < 0.02 * max(gens)

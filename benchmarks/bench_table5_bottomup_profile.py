@@ -1,0 +1,19 @@
+"""Table V — rocprofiler counters of the bottom-up strategy (five
+kernels per level; the expand kernel dominates early levels and
+collapses after the ratio peak)."""
+
+from conftest import run_once
+
+from repro.experiments import profiles
+
+
+def test_table5_bottomup_profile(benchmark, scale):
+    result = run_once(benchmark, profiles.run_table5, scale)
+    print()
+    print(result.render())
+    for level in range(result.depth):
+        assert len(result.records_at(level)) == 5
+    expands = [r for r in result.records if r.name == "bu_expand"]
+    # Early termination: the expand fetch collapses once most vertices
+    # are visited.
+    assert expands[-1].fetch_kb < 0.2 * expands[0].fetch_kb

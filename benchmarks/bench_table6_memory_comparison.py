@@ -1,0 +1,20 @@
+"""Table VI — total memory read and runtime per level for all three
+strategies; the per-level winner pattern is the justification for the
+adaptive classifier."""
+
+from conftest import run_once
+
+from repro.experiments import table6
+from repro.xbfs.classifier import BOTTOM_UP, SCAN_FREE
+
+
+def test_table6_memory_comparison(benchmark, scale):
+    result = run_once(benchmark, table6.run, scale)
+    print()
+    print(result.render())
+    assert result.winner_at(0) == SCAN_FREE
+    assert result.winner_at(result.depth - 1) == SCAN_FREE
+    peak_next = min(result.peak_level + 1, result.depth - 1)
+    assert result.fetch_at(peak_next, BOTTOM_UP) < result.fetch_at(
+        peak_next, SCAN_FREE
+    )

@@ -1,0 +1,43 @@
+"""Shared configuration for the benchmark harness.
+
+Each ``bench_*`` file regenerates one table or figure of the paper: it
+runs the matching :mod:`repro.experiments` driver under
+pytest-benchmark (timing the simulation itself) and prints the
+paper-layout rows the driver produced (the modelled counters).
+
+Scale is selected with ``REPRO_BENCH_SCALE``:
+
+* ``bench``   (default) — R-MAT scale 17, datasets at 1/128: every
+  bench finishes in seconds.
+* ``default`` — R-MAT scale 18, datasets at 1/64: the EXPERIMENTS.md
+  operating point.
+* ``fast``    — the tiny CI scale.
+"""
+
+import os
+
+import pytest
+
+from repro.experiments.common import DEFAULT, FAST, ExperimentScale
+
+#: Intermediate scale used by default for the benchmark harness.
+BENCH = ExperimentScale(dataset_scale_factor=128, rmat_scale=17, num_sources=4)
+
+_SCALES = {"fast": FAST, "bench": BENCH, "default": DEFAULT}
+
+
+@pytest.fixture(scope="session")
+def scale() -> ExperimentScale:
+    name = os.environ.get("REPRO_BENCH_SCALE", "bench").lower()
+    try:
+        return _SCALES[name]
+    except KeyError:
+        raise RuntimeError(
+            f"REPRO_BENCH_SCALE must be one of {sorted(_SCALES)}, got {name!r}"
+        ) from None
+
+
+def run_once(benchmark, fn, *args):
+    """Time one full regeneration (the drivers are deterministic, so a
+    single round is meaningful; warm-up happens inside the driver)."""
+    return benchmark.pedantic(fn, args=args, rounds=1, iterations=1)

@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Engine showdown: XBFS against the related-work baselines.
+
+Runs every engine in the library — XBFS (plain / re-arranged), the
+Gunrock-style edge-frontier engine, the Enterprise-style scan engine,
+the hierarchical-queue engine and the SSSP/async engine — on a
+LiveJournal-like social graph and an R-MAT graph, and reports steady
+n-to-n GTEPS plus each baseline's characteristic overhead counter.
+
+Run:  python examples/baseline_showdown.py
+"""
+
+from repro import (
+    XBFS,
+    EnterpriseBFS,
+    GunrockBFS,
+    HierarchicalBFS,
+    LinAlgBFS,
+    SsspBFS,
+    load,
+    rmat,
+)
+from repro.experiments.common import scaled_device
+from repro.graph import pick_sources
+from repro.metrics.tables import render_table
+
+
+def run_all(graph, sources):
+    device = scaled_device(graph)
+    rows = []
+    engines = [
+        ("XBFS (adaptive)", XBFS(graph, device=device)),
+        ("XBFS + rearrange", XBFS(graph, device=device, rearrange=True)),
+        ("Gunrock-style", GunrockBFS(graph, device=device)),
+        ("Enterprise-style", EnterpriseBFS(graph, device=device)),
+        ("Hierarchical queue", HierarchicalBFS(graph, device=device)),
+        ("SSSP / async", SsspBFS(graph, device=device)),
+        ("Linear algebra", LinAlgBFS(graph, device=device)),
+    ]
+    for name, engine in engines:
+        batch = engine.run_many(sources)
+        redundant = getattr(batch.runs[-1], "redundant_work", 0)
+        rows.append([name, f"{batch.steady_gteps:.3f}", f"{redundant:,}"])
+    return rows
+
+
+def main() -> None:
+    for label, graph in [
+        ("LiveJournal-like (1/128 scale)", load("LJ", 128, seed=0)),
+        ("R-MAT scale 16", rmat(16, 16, seed=0)),
+    ]:
+        sources = pick_sources(graph, 4, seed=2)
+        print(f"\n{label}: {graph}")
+        print(
+            render_table(
+                ["Engine", "steady GTEPS", "redundant work"],
+                run_all(graph, sources),
+            )
+        )
+    print(
+        "\n'redundant work' is engine-specific: duplicated frontier entries"
+        "\nfor Gunrock, wasted relaxations for SSSP, zero for exact engines."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Section IV-A as a runnable demo: the CUDA→HIP porting hazards.
+
+Three pitfalls the paper had to fix by hand after hipify, each shown
+live against the lane-accurate interpreter:
+
+1. the warp mask type (`unsigned int` → `unsigned long`): a full
+   64-lane ballot does not fit in 32 bits;
+2. `__popc` → `__popcll`: keeping the 32-bit popcount silently drops
+   winners in lanes 32–63 — and the BFS result is *wrong*, not slow;
+3. wavefront width 32 → 64: the same workload wastes more idle
+   lane-time in ragged wavefronts and divergent bottom-up scans.
+
+Run:  python examples/porting_pitfalls.py
+"""
+
+import numpy as np
+
+from repro.gcd.lane_interpreter import LaneInterpreter
+from repro.gcd.wavefront import ballot, lane_mask_dtype, popc, popcll
+from repro.graph import bfs_levels_reference, rmat
+from repro.xbfs.common import wavefront_serialized_steps
+
+
+def pitfall_1_mask_type() -> None:
+    print("=== Pitfall 1: the warp-mask type ===")
+    full = ballot(np.ones(64, dtype=bool), 64)
+    print(f"  64-lane ballot mask: {full:#x}")
+    print(f"  fits in unsigned int (32-bit)?  {full <= 0xFFFFFFFF}")
+    print(f"  required C type per width: 32 -> {lane_mask_dtype(32).__name__}, "
+          f"64 -> {lane_mask_dtype(64).__name__}")
+
+
+def pitfall_2_popc() -> None:
+    print("\n=== Pitfall 2: __popc vs __popcll ===")
+    mask = ballot(np.ones(64, dtype=bool), 64)
+    print(f"  popc(mask)   = {popc(mask):2d}   <- undercounts (32-bit)")
+    print(f"  popcll(mask) = {popcll(mask):2d}   <- correct")
+
+    graph = rmat(8, 8, seed=2)
+    source = int(np.argmax(graph.degrees))
+    reference = bfs_levels_reference(graph, source)
+    buggy = LaneInterpreter(graph, width=64, popcount=popc).bfs(source)
+    fixed = LaneInterpreter(graph, width=64, popcount=popcll).bfs(source)
+    wrong = int(np.count_nonzero(buggy != reference))
+    print(f"  scan-free BFS with popc on 64-wide wavefronts: "
+          f"{wrong} of {graph.num_vertices} levels WRONG")
+    print(f"  with popcll: "
+          f"{int(np.count_nonzero(fixed != reference))} wrong (exact)")
+    print("  (on 32-wide warps popc is harmless — the bug only exists "
+          "after the port, which is why hipify can't flag it)")
+
+
+def pitfall_3_width() -> None:
+    print("\n=== Pitfall 3: wavefront width 32 -> 64 ===")
+    rng = np.random.default_rng(0)
+    # Early-terminated bottom-up scan lengths: mostly 1-3 probes.
+    scan_lens = rng.geometric(0.5, size=10_000)
+    for width in (32, 64):
+        steps = wavefront_serialized_steps(scan_lens, width)
+        lane_time = steps * width
+        useful = int(scan_lens.sum())
+        print(f"  width {width}: {steps:6d} lock-step iterations, "
+              f"{lane_time:7d} lane-slots for {useful} useful probes "
+              f"({useful / lane_time * 100:5.1f}% utilisation)")
+    print("  -> the idle-lane waste the paper blames for warp-centric "
+          "workload balancing backfiring in bottom-up on AMD.")
+
+
+def main() -> None:
+    pitfall_1_mask_type()
+    pitfall_2_popc()
+    pitfall_3_width()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""rocprofiler tour: reading the simulated per-kernel counters.
+
+The paper's optimisation loop was profile-driven ("Utilizing
+rocProfiler ... we meticulously examined the code's behavior"). This
+example shows the same workflow against the simulated GCD: force each
+strategy, pull its per-kernel counter rows (Runtime / L2CacheHit /
+MemUnitBusy / FetchSize), and read off why the adaptive schedule is
+what it is.
+
+Run:  python examples/profiling_tour.py
+"""
+
+from repro import XBFS, rmat
+from repro.experiments.common import scaled_device
+from repro.gcd.profiler import Profiler
+from repro.graph import pick_sources
+from repro.metrics.tables import level_totals_table, rocprof_table
+
+
+def main() -> None:
+    graph = rmat(16, 16, seed=0)
+    device = scaled_device(graph)
+    source = int(pick_sources(graph, 1, seed=0)[0])
+    print(f"Graph: {graph}   device: {device.name} "
+          f"(L2 scaled to {device.l2_bytes // 1024} KiB)\n")
+
+    summaries = {}
+    for strategy in ("scan_free", "single_scan", "bottom_up"):
+        engine = XBFS(graph, device=device)
+        engine.run(source, force_strategy=strategy)   # warm-up
+        result = engine.run(source, force_strategy=strategy)
+        records = [r for r in result.records if r.strategy == strategy]
+        print(rocprof_table(
+            records,
+            title=f"--- {strategy}: per-kernel counters ---",
+        ))
+        print()
+        prof = Profiler()
+        prof.extend(records)
+        summaries[strategy] = prof.per_level_totals()
+
+    print(level_totals_table(
+        summaries,
+        title="Per-level totals, fetch MB / runtime ms (* = fastest) — "
+        "the Table VI view the classifier is tuned from",
+    ))
+
+    print(
+        "\nHow to read it: scan-free rows stay tiny while the frontier is\n"
+        "small (no status sweep at all); single-scan's first kernel is a\n"
+        "constant 4|V|-byte sweep; bottom-up burns an O(|E|) probe storm\n"
+        "at the early levels but collapses to almost nothing after the\n"
+        "ratio peak thanks to early termination."
+    )
+
+
+if __name__ == "__main__":
+    main()

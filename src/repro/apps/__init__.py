@@ -1,0 +1,17 @@
+"""Downstream applications built on the public BFS API — the
+introduction's motivation made concrete: component labelling, FW-BW
+strongly connected components, k-hop balls and diameter probes."""
+
+from repro.apps.components import ComponentsResult, connected_components
+from repro.apps.probes import DiameterEstimate, double_sweep_diameter, k_hop_neighborhood
+from repro.apps.scc import SccResult, strongly_connected_components
+
+__all__ = [
+    "ComponentsResult",
+    "connected_components",
+    "SccResult",
+    "strongly_connected_components",
+    "k_hop_neighborhood",
+    "DiameterEstimate",
+    "double_sweep_diameter",
+]

@@ -1,0 +1,82 @@
+"""Traversal probes: k-hop neighbourhoods and diameter estimation.
+
+Small BFS consumers of the kind the introduction gestures at
+(peer-to-peer routing, reachability queries): k-hop neighbourhood
+extraction and the classic double-sweep diameter lower bound (two BFS
+runs: the second starts from the deepest vertex the first found).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import TraversalError
+from repro.gcd.device import DeviceProfile, MI250X_GCD
+from repro.graph.csr import CSRGraph
+from repro.xbfs.driver import XBFS
+
+__all__ = ["k_hop_neighborhood", "DiameterEstimate", "double_sweep_diameter"]
+
+
+def k_hop_neighborhood(
+    graph: CSRGraph,
+    source: int,
+    k: int,
+    *,
+    device: DeviceProfile = MI250X_GCD,
+) -> np.ndarray:
+    """Vertices within ``k`` hops of ``source`` (inclusive), sorted.
+
+    Runs a depth-capped XBFS (``max_levels=k``); the truncated status
+    array is exactly the k-hop ball.
+    """
+    if k < 0:
+        raise TraversalError(f"k must be >= 0, got {k}")
+    if k == 0:
+        if not 0 <= source < graph.num_vertices:
+            raise TraversalError(f"source {source} out of range")
+        return np.array([source], dtype=np.int64)
+    result = XBFS(graph, device=device).run(source, max_levels=k)
+    return np.flatnonzero((result.levels >= 0) & (result.levels <= k)).astype(
+        np.int64
+    )
+
+
+@dataclass(frozen=True)
+class DiameterEstimate:
+    """Double-sweep output: a certified lower bound on the diameter."""
+
+    lower_bound: int
+    first_sweep_source: int
+    second_sweep_source: int
+    elapsed_ms: float
+
+
+def double_sweep_diameter(
+    graph: CSRGraph,
+    source: int,
+    *,
+    device: DeviceProfile = MI250X_GCD,
+) -> DiameterEstimate:
+    """Two-BFS diameter lower bound.
+
+    Sweep 1 from ``source`` finds an eccentric vertex ``u``; sweep 2
+    from ``u`` returns ``ecc(u)``, which lower-bounds the diameter of
+    ``source``'s component (and is exact on trees).
+    """
+    engine = XBFS(graph, device=device)
+    first = engine.run(source)
+    reached = first.levels >= 0
+    if not reached.any():
+        raise TraversalError("source reaches nothing")
+    u = int(np.argmax(np.where(reached, first.levels, -1)))
+    second = engine.run(u)
+    bound = int(second.levels.max())
+    return DiameterEstimate(
+        lower_bound=bound,
+        first_sweep_source=source,
+        second_sweep_source=u,
+        elapsed_ms=first.elapsed_ms + second.elapsed_ms,
+    )

@@ -1,0 +1,67 @@
+"""Shared result type and helpers for the baseline BFS engines.
+
+Every baseline runs on the same simulated GCD substrate as XBFS — same
+cache model, same launch/sync costs, same atomic accounting — so the
+Fig 8 comparison isolates *algorithmic* differences (frontier
+generation style, duplicate work, redundant relaxations), not
+differences in how generously each engine is modelled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.gcd.kernel import KernelRecord
+
+__all__ = ["BaselineResult", "BaselineBatch"]
+
+
+@dataclass
+class BaselineResult:
+    """Outcome of one baseline BFS run."""
+
+    engine: str
+    source: int
+    levels: np.ndarray
+    elapsed_ms: float
+    traversed_edges: int
+    records: list[KernelRecord] = field(default_factory=list)
+    paid_warmup: bool = False
+    #: Engine-specific work counter (duplicate frontier entries for
+    #: Gunrock, redundant relaxations for SSSP, ...).
+    redundant_work: int = 0
+
+    @property
+    def gteps(self) -> float:
+        if self.elapsed_ms <= 0:
+            return 0.0
+        return self.traversed_edges / (self.elapsed_ms * 1e-3) / 1e9
+
+    @property
+    def depth(self) -> int:
+        lv = self.levels[self.levels >= 0]
+        return int(lv.max()) + 1 if lv.size else 0
+
+
+@dataclass
+class BaselineBatch:
+    """n-to-n aggregate over several sources."""
+
+    runs: list[BaselineResult] = field(default_factory=list)
+
+    @property
+    def gteps(self) -> float:
+        total_ms = sum(r.elapsed_ms for r in self.runs)
+        if total_ms <= 0:
+            return 0.0
+        return sum(r.traversed_edges for r in self.runs) / (total_ms * 1e-3) / 1e9
+
+    @property
+    def steady_gteps(self) -> float:
+        runs = [r for r in self.runs if not r.paid_warmup] or self.runs
+        total_ms = sum(r.elapsed_ms for r in runs)
+        if total_ms <= 0:
+            return 0.0
+        return sum(r.traversed_edges for r in runs) / (total_ms * 1e-3) / 1e9

@@ -1,0 +1,91 @@
+"""Serial CPU BFS — the correctness oracle.
+
+A deliberately boring queue-based implementation with no NumPy batching
+tricks, kept structurally independent from both the vectorised oracle
+in :mod:`repro.graph.stats` and the engines, so tests can triangulate
+all three.
+
+Also provides :func:`parent_tree`, the Graph500-style BFS parent array,
+plus :func:`validate_parents` implementing the Graph500 output checks
+(tree edges exist, levels differ by one) — used by integration tests.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.errors import TraversalError
+from repro.graph.csr import CSRGraph
+
+__all__ = ["serial_bfs", "parent_tree", "validate_parents"]
+
+
+def serial_bfs(graph: CSRGraph, source: int) -> np.ndarray:
+    """Textbook queue BFS; returns int32 levels, -1 for unreachable."""
+    n = graph.num_vertices
+    if not 0 <= source < n:
+        raise TraversalError(f"source {source} out of range [0, {n})")
+    levels = np.full(n, -1, dtype=np.int32)
+    levels[source] = 0
+    q: deque[int] = deque([source])
+    offsets = graph.row_offsets
+    cols = graph.col_indices
+    while q:
+        v = q.popleft()
+        lv = levels[v] + 1
+        for w in cols[offsets[v] : offsets[v + 1]]:
+            if levels[w] < 0:
+                levels[w] = lv
+                q.append(int(w))
+    return levels
+
+
+def parent_tree(graph: CSRGraph, source: int) -> np.ndarray:
+    """BFS parent array: ``parent[source] == source``, -1 unreachable."""
+    n = graph.num_vertices
+    if not 0 <= source < n:
+        raise TraversalError(f"source {source} out of range [0, {n})")
+    parent = np.full(n, -1, dtype=np.int64)
+    parent[source] = source
+    q: deque[int] = deque([source])
+    offsets = graph.row_offsets
+    cols = graph.col_indices
+    while q:
+        v = q.popleft()
+        for w in cols[offsets[v] : offsets[v + 1]]:
+            if parent[w] < 0:
+                parent[w] = v
+                q.append(int(w))
+    return parent
+
+
+def validate_parents(
+    graph: CSRGraph, source: int, parent: np.ndarray, levels: np.ndarray
+) -> None:
+    """Graph500-style output validation.
+
+    Checks: the source is its own parent; every reached vertex's parent
+    is reached one level shallower; every (child, parent) pair is an
+    actual graph edge. Raises :class:`TraversalError` on violation.
+    """
+    parent = np.asarray(parent)
+    levels = np.asarray(levels)
+    if parent[source] != source or levels[source] != 0:
+        raise TraversalError("source must be its own parent at level 0")
+    reached = np.flatnonzero(parent >= 0)
+    child = reached[reached != source]
+    par = parent[child]
+    if np.any(levels[par] < 0):
+        raise TraversalError("a parent is marked unreachable")
+    if np.any(levels[child] != levels[par] + 1):
+        raise TraversalError("tree edge does not span exactly one level")
+    # Edge existence: (parent -> child) must appear in CSR.
+    for c, p in zip(child.tolist(), par.tolist()):
+        row = graph.col_indices[graph.row_offsets[p] : graph.row_offsets[p + 1]]
+        if not np.any(row == c):
+            raise TraversalError(f"tree edge ({p} -> {c}) not in graph")
+    unreached = parent < 0
+    if np.any(levels[unreached] >= 0):
+        raise TraversalError("vertex has a level but no parent")

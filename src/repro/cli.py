@@ -1,0 +1,216 @@
+"""Command-line interface.
+
+Four subcommands cover the common workflows without writing Python:
+
+* ``repro run``        — BFS on a graph spec, print the strategy trace
+  and modelled GTEPS.
+* ``repro datasets``   — the Table II inventory at a chosen scale.
+* ``repro experiment`` — regenerate any paper table/figure.
+* ``repro generate``   — materialise a graph spec into a ``.csrbin``.
+
+Graph specs (the ``--graph`` argument):
+
+* ``rmat:S[:EF]``   — R-MAT at scale ``S`` (edge factor ``EF``, default 16),
+* ``LJ`` / ``UP`` / ``OR`` / ``DB`` / ``R23`` / ``R25`` — Table II
+  stand-ins (``--scale-factor`` selects the down-scale),
+* ``file:PATH``     — a ``.csrbin`` written by ``repro generate``.
+
+Exposed as ``python -m repro`` and the ``repro`` console script.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.errors import ReproError
+from repro.graph.csr import CSRGraph
+from repro.graph.datasets import PAPER_DATASETS
+from repro.graph.generators import rmat
+from repro.graph.io import load_csr_binary, save_csr_binary
+from repro.graph.stats import pick_sources
+
+__all__ = ["main", "parse_graph_spec"]
+
+
+def parse_graph_spec(spec: str, *, scale_factor: int = 64, seed: int = 0) -> CSRGraph:
+    """Resolve a ``--graph`` spec string into a graph."""
+    if spec.startswith("rmat:"):
+        parts = spec.split(":")
+        if len(parts) not in (2, 3):
+            raise ReproError(f"bad rmat spec {spec!r}; expected rmat:S[:EF]")
+        scale = int(parts[1])
+        edge_factor = int(parts[2]) if len(parts) == 3 else 16
+        return rmat(scale, edge_factor, seed=seed)
+    if spec.startswith("file:"):
+        return load_csr_binary(spec[len("file:"):])
+    if spec in PAPER_DATASETS:
+        return PAPER_DATASETS[spec].build(scale_factor, seed)
+    raise ReproError(
+        f"unknown graph spec {spec!r}; use rmat:S[:EF], file:PATH or one of "
+        f"{sorted(PAPER_DATASETS)}"
+    )
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.experiments.common import scaled_device
+    from repro.metrics.tables import format_ratio
+    from repro.xbfs.classifier import AdaptiveClassifier
+    from repro.xbfs.driver import XBFS
+
+    graph = parse_graph_spec(
+        args.graph, scale_factor=args.scale_factor, seed=args.seed
+    )
+    print(f"graph: {graph}")
+    device = scaled_device(graph) if args.scaled_cache else None
+    engine = XBFS(
+        graph,
+        rearrange=args.rearrange,
+        classifier=AdaptiveClassifier(alpha=args.alpha),
+        **({"device": device} if device is not None else {}),
+    )
+    sources = pick_sources(graph, args.sources, seed=args.seed + 1)
+    batch = engine.run_many(sources, force_strategy=args.force)
+    run = batch.steady_runs[0]
+    if args.trace:
+        print(f"{'level':>5}  {'strategy':<12} {'ratio':>10}  {'ms':>10}")
+        for lr in run.level_results:
+            ratio = lr.records[-1].ratio if lr.records else 0.0
+            print(
+                f"{lr.level:>5}  {lr.strategy:<12} "
+                f"{format_ratio(ratio):>10}  {lr.runtime_ms:>10.4f}"
+            )
+    print(
+        f"sources: {sources.size}  depth: {run.depth}  "
+        f"reached: {run.reached:,}/{graph.num_vertices:,}"
+    )
+    print(f"steady n-to-n: {batch.steady_gteps:.3f} GTEPS (modelled)")
+    if args.profile_csv:
+        engine._gcd.profiler.to_csv(args.profile_csv)
+        print(f"wrote kernel counters to {args.profile_csv}")
+    return 0
+
+
+def _cmd_datasets(args: argparse.Namespace) -> int:
+    from repro.experiments import table2
+    from repro.experiments.common import ExperimentScale
+
+    result = table2.run(
+        ExperimentScale(dataset_scale_factor=args.scale_factor, seed=args.seed)
+    )
+    print(result.render())
+    return 0
+
+
+_EXPERIMENTS = {
+    "table1": "table1",
+    "table2": "table2",
+    "table3": ("profiles", "run_table3"),
+    "table4": ("profiles", "run_table4"),
+    "table5": ("profiles", "run_table5"),
+    "table6": "table6",
+    "fig5": "fig5",
+    "fig6": "fig6",
+    "fig7": "fig7",
+    "fig8": "fig8",
+}
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    import repro.experiments as experiments
+    from repro.experiments.common import DEFAULT, FAST, ExperimentScale
+
+    scales = {
+        "fast": FAST,
+        "bench": ExperimentScale(
+            dataset_scale_factor=128, rmat_scale=17, num_sources=4
+        ),
+        "default": DEFAULT,
+    }
+    scale = scales[args.scale]
+    target = _EXPERIMENTS[args.name]
+    if isinstance(target, tuple):
+        module_name, func_name = target
+        runner = getattr(getattr(experiments, module_name), func_name)
+    else:
+        runner = getattr(experiments, target).run
+    print(runner(scale).render())
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    graph = parse_graph_spec(
+        args.graph, scale_factor=args.scale_factor, seed=args.seed
+    )
+    save_csr_binary(graph, args.out)
+    print(f"wrote {graph} to {args.out}")
+    return 0
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="XBFS-on-AMD-GPUs reproduction: BFS engines on a "
+        "simulated MI250X GCD.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run BFS and report modelled GTEPS")
+    run.add_argument("--graph", required=True, help="graph spec (see module docs)")
+    run.add_argument("--sources", type=int, default=8, help="n-to-n source count")
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--scale-factor", type=int, default=64,
+                     help="down-scale for dataset specs")
+    run.add_argument("--alpha", type=float, default=0.1,
+                     help="bottom-up switch ratio")
+    run.add_argument("--force", choices=["scan_free", "single_scan", "bottom_up"],
+                     default=None, help="pin one strategy for every level")
+    run.add_argument("--rearrange", action="store_true",
+                     help="degree-aware neighbour re-arrangement")
+    run.add_argument("--trace", action="store_true",
+                     help="print the per-level strategy trace")
+    run.add_argument("--no-scaled-cache", dest="scaled_cache",
+                     action="store_false",
+                     help="keep the full 8 MiB L2 instead of scaling it "
+                     "with the graph")
+    run.add_argument("--profile-csv", default=None, metavar="PATH",
+                     help="dump the per-kernel rocprofiler-style counters "
+                     "of the last run to CSV")
+    run.set_defaults(func=_cmd_run)
+
+    datasets = sub.add_parser("datasets", help="print the Table II inventory")
+    datasets.add_argument("--scale-factor", type=int, default=64)
+    datasets.add_argument("--seed", type=int, default=0)
+    datasets.set_defaults(func=_cmd_datasets)
+
+    experiment = sub.add_parser(
+        "experiment", help="regenerate a paper table/figure"
+    )
+    experiment.add_argument("name", choices=sorted(_EXPERIMENTS))
+    experiment.add_argument("--scale", choices=["fast", "bench", "default"],
+                            default="bench")
+    experiment.set_defaults(func=_cmd_experiment)
+
+    generate = sub.add_parser("generate", help="write a graph to .csrbin")
+    generate.add_argument("--graph", required=True)
+    generate.add_argument("--out", required=True)
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--scale-factor", type=int, default=64)
+    generate.set_defaults(func=_cmd_generate)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,52 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers
+can catch one base type. Substrate-specific errors subclass it to keep
+failure provenance obvious (graph construction vs. device simulation vs.
+experiment harness).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "GraphFormatError",
+    "DeviceModelError",
+    "KernelLaunchError",
+    "TraversalError",
+    "ExperimentError",
+    "PartitionError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by :mod:`repro`."""
+
+
+class GraphFormatError(ReproError, ValueError):
+    """A graph container or file is structurally invalid (bad offsets,
+    out-of-range column indices, non-monotone row pointers, ...)."""
+
+
+class DeviceModelError(ReproError, ValueError):
+    """A device profile or cost-model parameter is inconsistent
+    (zero bandwidth, non-power-of-two cache geometry, ...)."""
+
+
+class KernelLaunchError(ReproError, RuntimeError):
+    """A simulated kernel was launched with an invalid configuration
+    (empty grid, mismatched stream, launch after device teardown)."""
+
+
+class TraversalError(ReproError, RuntimeError):
+    """A BFS engine detected an internal inconsistency (frontier overflow,
+    status/queue disagreement, source out of range)."""
+
+
+class ExperimentError(ReproError, RuntimeError):
+    """An experiment driver was given parameters it cannot honour."""
+
+
+class PartitionError(ReproError, ValueError):
+    """A multi-GCD partitioning request is invalid (more parts than
+    vertices, non-contiguous ownership map, ...)."""

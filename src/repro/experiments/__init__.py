@@ -1,0 +1,34 @@
+"""Experiment drivers — one module per paper table/figure.
+
+========  =============================================  ==============
+artifact  module                                         benchmark
+========  =============================================  ==============
+Table I   :mod:`repro.experiments.table1`                bench_table1_*
+Table II  :mod:`repro.experiments.table2`                bench_table2_*
+Table III :func:`repro.experiments.profiles.run_table3`  bench_table3_*
+Table IV  :func:`repro.experiments.profiles.run_table4`  bench_table4_*
+Table V   :func:`repro.experiments.profiles.run_table5`  bench_table5_*
+Table VI  :mod:`repro.experiments.table6`                bench_table6_*
+Fig 5     :mod:`repro.experiments.fig5`                  bench_fig5_*
+Fig 6     :mod:`repro.experiments.fig6`                  bench_fig6_*
+Fig 7     :mod:`repro.experiments.fig7`                  bench_fig7_*
+Fig 8     :mod:`repro.experiments.fig8`                  bench_fig8_*
+========  =============================================  ==============
+"""
+
+from repro.experiments import fig5, fig6, fig7, fig8, profiles, table1, table2, table6
+from repro.experiments.common import DEFAULT, FAST, ExperimentScale
+
+__all__ = [
+    "ExperimentScale",
+    "DEFAULT",
+    "FAST",
+    "table1",
+    "table2",
+    "profiles",
+    "table6",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+]

@@ -1,0 +1,92 @@
+"""Shared infrastructure for the per-table/figure experiment drivers.
+
+Every driver takes an :class:`ExperimentScale` so the whole harness can
+be dialled between "CI-fast" and "paper-shaped" in one place, and pulls
+graphs through a process-level cache (R-MAT generation dominates
+harness wall time otherwise).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+from repro.gcd.device import DeviceProfile
+from repro.graph.csr import CSRGraph
+from repro.graph.datasets import PAPER_DATASETS
+from repro.graph.generators import rmat
+from repro.graph.stats import pick_sources
+
+__all__ = ["ExperimentScale", "FAST", "DEFAULT", "cached_dataset", "cached_rmat", "sources_for", "scaled_device", "REFERENCE_VERTICES"]
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Knobs shared by all experiment drivers.
+
+    dataset_scale_factor:
+        Down-scale applied to Table II stand-ins (1/N of the vertices).
+    rmat_scale:
+        R-MAT scale used where the paper uses Rmat25 as *the* study
+        graph (Tables I, III–VI; Figs 5, 7).
+    num_sources:
+        Sources per dataset for n-to-n measurements (Fig 8) and ratio
+        spreads (Fig 6).
+    seed:
+        Base RNG seed; drivers derive per-use seeds from it.
+    """
+
+    dataset_scale_factor: int = 64
+    rmat_scale: int = 18
+    num_sources: int = 8
+    seed: int = 0
+
+
+#: Small everything — used by the test suite.
+FAST = ExperimentScale(dataset_scale_factor=512, rmat_scale=14, num_sources=3)
+
+#: The benchmark harness default (documented in EXPERIMENTS.md).
+DEFAULT = ExperimentScale()
+
+
+@lru_cache(maxsize=32)
+def cached_dataset(key: str, scale_factor: int, seed: int) -> CSRGraph:
+    """Memoised Table II stand-in builder."""
+    return PAPER_DATASETS[key].build(scale_factor, seed)
+
+
+@lru_cache(maxsize=16)
+def cached_rmat(scale: int, edge_factor: int, seed: int) -> CSRGraph:
+    """Memoised R-MAT builder."""
+    return rmat(scale, edge_factor, seed=seed)
+
+
+def sources_for(graph: CSRGraph, scale: ExperimentScale, *, offset: int = 0) -> np.ndarray:
+    """Deterministic per-experiment source sample."""
+    return pick_sources(graph, scale.num_sources, seed=scale.seed + offset)
+
+
+#: Vertex count of the paper's study graph (Rmat25), the reference
+#: working set for cache down-scaling.
+REFERENCE_VERTICES = 33_554_432
+
+
+def scaled_device(graph: CSRGraph, base: DeviceProfile | None = None) -> DeviceProfile:
+    """Down-scale the L2 capacity with the graph's working set.
+
+    At 1/64 of Rmat25 the whole status array fits in an unscaled 8 MiB
+    L2 and the top-down strategies stop paying for their random status
+    probes — the very pressure the bottom-up phase exists to relieve.
+    Shrinking the modelled cache in proportion to |V| (the standard
+    cache-ratio preservation trick for scaled-down simulation) keeps
+    the working-set-to-capacity ratio, and therefore every strategy
+    crossover, where the paper has it. Floor: 64 KiB.
+    """
+    from repro.gcd.device import MI250X_GCD
+
+    base = base or MI250X_GCD
+    frac = graph.num_vertices / REFERENCE_VERTICES
+    l2 = max(64 * 1024, int(base.l2_bytes * frac))
+    return base.with_overrides(l2_bytes=l2)

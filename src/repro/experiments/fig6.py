@@ -1,0 +1,106 @@
+"""Figure 6 — per-level edge-expansion ratio across datasets and seeds.
+
+For every Table II dataset: run BFS from several random sources and
+box the per-level ``log2(ratio)`` spread, where ratio is next-level
+frontier edges over total edges. The paper's observations to
+reproduce: USpatent needs by far the most levels, Dblp next; the R-MAT
+graphs need the fewest; every dataset's ratio rises to a single peak
+and collapses.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experiments.common import DEFAULT, ExperimentScale, cached_dataset, sources_for
+from repro.graph.datasets import PAPER_DATASETS
+from repro.graph.stats import level_trace
+from repro.metrics.tables import render_table
+
+__all__ = ["RatioBox", "Fig6Result", "run"]
+
+
+@dataclass(frozen=True)
+class RatioBox:
+    """Ratio spread at one level of one dataset (one Fig 6 box)."""
+
+    dataset: str
+    level: int
+    log2_min: float
+    log2_median: float
+    log2_max: float
+    samples: int
+
+
+@dataclass(frozen=True)
+class Fig6Result:
+    boxes: list[RatioBox]
+    #: dataset -> max BFS depth observed over the sources.
+    depths: dict[str, int]
+
+    def boxes_for(self, dataset: str) -> list[RatioBox]:
+        return [b for b in self.boxes if b.dataset == dataset]
+
+    def peak_level(self, dataset: str) -> int:
+        ds = self.boxes_for(dataset)
+        return max(ds, key=lambda b: b.log2_median).level if ds else -1
+
+    def render(self) -> str:
+        depth_rows = [[k, v] for k, v in self.depths.items()]
+        header = render_table(
+            ["Dataset", "max levels"], depth_rows, title="Fig 6: BFS depth by dataset"
+        )
+        rows = []
+        for dataset in self.depths:
+            ds_boxes = self.boxes_for(dataset)
+            # Thin very deep traces (USpatent) so the table stays readable;
+            # the full data remains in `boxes`.
+            stride = max(1, len(ds_boxes) // 24)
+            shown = [b for i, b in enumerate(ds_boxes) if i % stride == 0]
+            rows.extend(
+                [b.dataset, b.level, f"{b.log2_min:.2f}", f"{b.log2_median:.2f}",
+                 f"{b.log2_max:.2f}", b.samples]
+                for b in shown
+            )
+        body = render_table(
+            ["Dataset", "Level", "log2 min", "log2 med", "log2 max", "n"],
+            rows,
+            title="Fig 6: log2(edge ratio) per level (box ranges over sources)",
+        )
+        return f"{header}\n\n{body}"
+
+
+def run(scale: ExperimentScale = DEFAULT) -> Fig6Result:
+    """Regenerate the Fig 6 ratio boxes."""
+    boxes: list[RatioBox] = []
+    depths: dict[str, int] = {}
+    for key in PAPER_DATASETS:
+        graph = cached_dataset(key, scale.dataset_scale_factor, scale.seed)
+        traces = [
+            level_trace(graph, int(s)) for s in sources_for(graph, scale, offset=6)
+        ]
+        depths[key] = max(t.num_levels for t in traces)
+        max_depth = depths[key]
+        for level in range(max_depth):
+            vals = [
+                t.log2_ratios[level]
+                for t in traces
+                if level < t.num_levels and math.isfinite(t.log2_ratios[level])
+            ]
+            if not vals:
+                continue
+            arr = np.asarray(vals)
+            boxes.append(
+                RatioBox(
+                    dataset=key,
+                    level=level,
+                    log2_min=float(arr.min()),
+                    log2_median=float(np.median(arr)),
+                    log2_max=float(arr.max()),
+                    samples=arr.size,
+                )
+            )
+    return Fig6Result(boxes=boxes, depths=depths)

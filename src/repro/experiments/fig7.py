@@ -1,0 +1,73 @@
+"""Figure 7 — per-level runtime of each forced strategy vs. ratio, and
+the α it implies.
+
+Protocol (Section V-D): on the R-MAT study graph, force each strategy
+and record runtime per level for the levels from the start of BFS up to
+the ratio peak. The shapes to reproduce: scan-free best at tiny ratios;
+bottom-up hopeless there (it scans nearly every edge); above a ratio
+around 0.1 bottom-up wins decisively — which is where α is set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.common import DEFAULT, ExperimentScale, cached_rmat, scaled_device, sources_for
+from repro.metrics.tables import format_ratio, render_table
+from repro.xbfs.classifier import BOTTOM_UP, SCAN_FREE, SINGLE_SCAN
+from repro.xbfs.tuning import (
+    StrategyRuntimePoint,
+    best_alpha,
+    strategy_runtime_vs_ratio_multi,
+)
+
+__all__ = ["Fig7Result", "run"]
+
+
+@dataclass(frozen=True)
+class Fig7Result:
+    points: list[StrategyRuntimePoint]
+    inferred_alpha: float
+
+    def runtime(self, strategy: str, level: int) -> float:
+        for p in self.points:
+            if p.strategy == strategy and p.level == level:
+                return p.runtime_ms
+        return float("nan")
+
+    def levels(self) -> list[int]:
+        return sorted({p.level for p in self.points})
+
+    def render(self) -> str:
+        rows = []
+        for level in self.levels():
+            ratio = next(p.ratio for p in self.points if p.level == level)
+            rows.append(
+                [
+                    level,
+                    format_ratio(ratio),
+                    f"{self.runtime(SCAN_FREE, level):.4f}",
+                    f"{self.runtime(SINGLE_SCAN, level):.4f}",
+                    f"{self.runtime(BOTTOM_UP, level):.4f}",
+                ]
+            )
+        body = render_table(
+            ["Level", "Ratio", "Scan-free (ms)", "Single-scan (ms)", "Bottom-up (ms)"],
+            rows,
+            title="Fig 7: runtime of each strategy vs ratio (levels up to the peak)",
+        )
+        return f"{body}\ninferred alpha (crossover): {self.inferred_alpha:.3f}"
+
+
+def run(scale: ExperimentScale = DEFAULT) -> Fig7Result:
+    """Regenerate the Fig 7 study.
+
+    Uses warm engines so per-level numbers are not polluted by the
+    one-time warm-up (the paper plots per-level kernel time).
+    """
+    graph = cached_rmat(scale.rmat_scale, 16, scale.seed)
+    sources = sources_for(graph, scale)
+    points = strategy_runtime_vs_ratio_multi(
+        graph, sources, device=scaled_device(graph)
+    )
+    return Fig7Result(points=points, inferred_alpha=best_alpha(points))

@@ -1,0 +1,85 @@
+"""Tables III, IV, V — rocprofiler counter studies of the three
+strategies on the R-MAT study graph.
+
+One shared driver: force a strategy for every level of one run and
+return the per-kernel counter rows exactly as the paper's tables lay
+them out. Table III is scan-free (one kernel per level), Table IV is
+single-scan (two kernels), Table V is bottom-up (five kernels).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.common import DEFAULT, ExperimentScale, cached_rmat, scaled_device, sources_for
+from repro.gcd.kernel import KernelRecord
+from repro.metrics.tables import rocprof_table
+from repro.xbfs.classifier import BOTTOM_UP, SCAN_FREE, SINGLE_SCAN
+from repro.xbfs.driver import XBFS
+
+__all__ = [
+    "ProfileResult",
+    "run_strategy_profile",
+    "run_table3",
+    "run_table4",
+    "run_table5",
+    "KERNELS_PER_LEVEL",
+]
+
+#: Kernel count per level each strategy must exhibit (paper structure).
+KERNELS_PER_LEVEL = {SCAN_FREE: 1, SINGLE_SCAN: 2, BOTTOM_UP: 5}
+
+
+@dataclass(frozen=True)
+class ProfileResult:
+    strategy: str
+    records: list[KernelRecord]
+    depth: int
+    title: str
+
+    def records_at(self, level: int) -> list[KernelRecord]:
+        return [r for r in self.records if r.level == level]
+
+    def render(self) -> str:
+        return rocprof_table(self.records, title=self.title)
+
+
+def run_strategy_profile(
+    strategy: str, scale: ExperimentScale = DEFAULT
+) -> ProfileResult:
+    """Force ``strategy`` every level; return its kernel counter rows.
+
+    Matches the paper's protocol of profiling a *cold* run: the level-0
+    rows include the first-launch warm-up, which is why all three
+    tables show ~20 ms at level 0.
+    """
+    graph = cached_rmat(scale.rmat_scale, 16, scale.seed)
+    source = int(sources_for(graph, scale)[0])
+    engine = XBFS(graph, device=scaled_device(graph))
+    result = engine.run(source, force_strategy=strategy)
+    records = [r for r in result.records if r.strategy == strategy]
+    table_no = {SCAN_FREE: "III", SINGLE_SCAN: "IV", BOTTOM_UP: "V"}[strategy]
+    return ProfileResult(
+        strategy=strategy,
+        records=records,
+        depth=result.depth,
+        title=(
+            f"Table {table_no}: rocprofiler counters, {strategy} on "
+            f"Rmat{scale.rmat_scale} (paper: Rmat25)"
+        ),
+    )
+
+
+def run_table3(scale: ExperimentScale = DEFAULT) -> ProfileResult:
+    """Scan-free counter study."""
+    return run_strategy_profile(SCAN_FREE, scale)
+
+
+def run_table4(scale: ExperimentScale = DEFAULT) -> ProfileResult:
+    """Single-scan counter study."""
+    return run_strategy_profile(SINGLE_SCAN, scale)
+
+
+def run_table5(scale: ExperimentScale = DEFAULT) -> ProfileResult:
+    """Bottom-up counter study."""
+    return run_strategy_profile(BOTTOM_UP, scale)

@@ -1,0 +1,142 @@
+"""Atomic-operation semantics and accounting.
+
+The scan-free strategy's entire identity is "atomics in two key phases:
+status updates and frontier enqueueing". To reproduce its behaviour we
+need (a) deterministic GPU-equivalent semantics for batched atomic CAS
+and fetch-add issued by thousands of lanes in one level, and (b) a
+count of how many of those atomics *conflicted* (multiple lanes hitting
+the same address in the same level), because conflicts serialise and
+the cost model charges them extra.
+
+Everything here is vectorised: a whole level's worth of atomics is
+resolved with ``np.unique`` in one call. GPU execution order within a
+level is nondeterministic, but for BFS every racing CAS writes the same
+value, so the "first occurrence wins" rule reproduces exactly the set
+of winners any real interleaving would produce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import TraversalError
+
+__all__ = ["AtomicStats", "atomic_claim", "atomic_append"]
+
+
+@dataclass
+class AtomicStats:
+    """Tally of atomic traffic for one kernel launch.
+
+    ``conflicts`` counts *same-address* collisions within the batch —
+    the only atomics that serialise on hardware; CAS attempts that
+    merely fail (slot already claimed in an earlier level) are plain
+    ``operations``. ``distinct_addresses`` records how many unique slots
+    the batch touched.
+    """
+
+    operations: int = 0
+    conflicts: int = 0
+    distinct_addresses: int = 0
+
+    def merge(self, other: "AtomicStats") -> "AtomicStats":
+        return AtomicStats(
+            self.operations + other.operations,
+            self.conflicts + other.conflicts,
+            self.distinct_addresses + other.distinct_addresses,
+        )
+
+
+def atomic_claim(
+    status: np.ndarray,
+    candidates: np.ndarray,
+    new_value: int,
+    *,
+    expected: int,
+    return_slots: bool = False,
+) -> tuple[np.ndarray, AtomicStats] | tuple[np.ndarray, AtomicStats, np.ndarray]:
+    """Batched ``atomicCAS(status[v], expected, new_value)``.
+
+    Parameters
+    ----------
+    status:
+        The status/level array, modified in place.
+    candidates:
+        Vertex ids the lanes attempt to claim; duplicates model distinct
+        lanes racing on the same vertex.
+    new_value:
+        Value stored by the winning lane.
+    expected:
+        Only slots currently holding this value can be claimed
+        (``UNVISITED`` in BFS).
+    return_slots:
+        Also return, for each winner, the index into ``candidates`` of
+        the winning attempt — the lane that won the race, which is what
+        parent recording needs.
+
+    Returns
+    -------
+    (winners, stats[, slots]):
+        ``winners`` — unique vertex ids whose CAS succeeded, in first-
+        attempt order; ``stats`` — one operation per candidate, one
+        conflict per redundant attempt on an address that was already
+        claimed in this batch or earlier; ``slots`` (when requested) —
+        winning attempt positions, aligned with ``winners``.
+    """
+    candidates = np.asarray(candidates)
+    if candidates.ndim != 1:
+        raise TraversalError("atomic_claim expects a flat candidate array")
+    ops = int(candidates.size)
+    if ops == 0:
+        stats = AtomicStats()
+        if return_slots:
+            return candidates[:0], stats, np.zeros(0, dtype=np.int64)
+        return candidates[:0], stats
+    first_idx = np.unique(candidates, return_index=True)[1]
+    order = np.sort(first_idx)
+    firsts = candidates[order]
+    claimable = status[firsts] == expected
+    winners = firsts[claimable]
+    status[winners] = new_value
+    distinct = int(firsts.size)
+    # Only duplicates within the batch contend on an address; attempts
+    # on already-visited slots fail without serialising.
+    conflicts = ops - distinct
+    stats = AtomicStats(
+        operations=ops, conflicts=conflicts, distinct_addresses=distinct
+    )
+    if return_slots:
+        return winners, stats, order[claimable].astype(np.int64)
+    return winners, stats
+
+
+def atomic_append(
+    queue: np.ndarray,
+    tail: int,
+    items: np.ndarray,
+) -> tuple[int, AtomicStats]:
+    """Batched ``atomicAdd(tail, 1)`` + store, appending ``items``.
+
+    Models the scan-free enqueue: every item costs one atomic on the
+    shared tail counter, and *all* of them conflict with each other by
+    construction (single hot address) — which is exactly why XBFS found
+    atomics cheap only while frontiers are small.
+
+    Returns the new tail. Raises on overflow rather than silently
+    wrapping, mirroring a frontier-queue capacity assert.
+    """
+    items = np.asarray(items)
+    n = int(items.size)
+    if n == 0:
+        return tail, AtomicStats()
+    if tail + n > queue.size:
+        raise TraversalError(
+            f"frontier queue overflow: tail={tail}, appending {n}, capacity={queue.size}"
+        )
+    queue[tail : tail + n] = items
+    # n operations on one counter: n-1 of them collide with an in-flight peer.
+    return tail + n, AtomicStats(
+        operations=n, conflicts=max(0, n - 1), distinct_addresses=1
+    )

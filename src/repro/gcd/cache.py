@@ -1,0 +1,174 @@
+"""L2 cache models.
+
+Two models with one job: turn an :class:`~repro.gcd.memory.AccessStream`
+into (hits, misses, fetched bytes).
+
+* :class:`AnalyticCacheModel` — closed-form expectations, O(1) per
+  stream, used for every experiment. Sequential streams get full
+  spatial locality (one miss per line, the remaining elements of the
+  line hit); random streams get a cold-miss term for the expected
+  number of distinct lines touched plus a capacity term for re-touches
+  of a footprint larger than the cache.
+
+* :class:`SetAssociativeCache` — an exact LRU set-associative trace
+  simulator. Too slow for experiment scale, but tests drive both models
+  with the same synthetic traces and assert the analytic expectations
+  land within tolerance, which is what licenses using the analytic
+  model everywhere else.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import DeviceModelError
+from repro.gcd.device import DeviceProfile
+from repro.gcd.memory import AccessStream, Pattern
+
+__all__ = ["CacheOutcome", "AnalyticCacheModel", "SetAssociativeCache"]
+
+
+@dataclass(frozen=True)
+class CacheOutcome:
+    """Result of pushing one stream through a cache model."""
+
+    hits: float
+    misses: float
+    fetched_bytes: float  # read misses * line size (rocprofiler FetchSize)
+    written_bytes: float  # write traffic to DRAM (not in FetchSize)
+
+    @property
+    def accesses(self) -> float:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.accesses
+        return self.hits / total if total else 0.0
+
+
+class AnalyticCacheModel:
+    """Expected-value cache model parameterised by a device profile."""
+
+    def __init__(self, device: DeviceProfile):
+        self.device = device
+        self.line = device.cache_line_bytes
+        self.capacity_lines = device.l2_lines
+        if self.capacity_lines < 1:
+            raise DeviceModelError("cache must hold at least one line")
+
+    # ------------------------------------------------------------------
+    def run(self, stream: AccessStream) -> CacheOutcome:
+        """Evaluate one stream in isolation (cold cache)."""
+        if stream.num_accesses == 0:
+            return CacheOutcome(0.0, 0.0, 0.0, 0.0)
+        if stream.pattern is Pattern.SEQUENTIAL:
+            outcome = self._sequential(stream)
+        else:
+            outcome = self._random(stream)
+        return outcome
+
+    # ------------------------------------------------------------------
+    def _sequential(self, stream: AccessStream) -> CacheOutcome:
+        per_line = max(1, self.line // stream.element_bytes)
+        if stream.exact_lines is not None:
+            footprint_lines = stream.exact_lines
+        elif stream.distinct_elements:
+            footprint_lines = math.ceil(stream.distinct_elements / per_line)
+        else:
+            footprint_lines = 0
+        accesses = stream.num_accesses
+        # First sweep: one miss per line, the other elements of the line hit.
+        cold_misses = min(footprint_lines, accesses)
+        passes = accesses / max(1, stream.distinct_elements)
+        if passes > 1.0 and footprint_lines > self.capacity_lines:
+            # Re-sweeps of a footprint that does not fit miss again.
+            extra_passes = passes - 1.0
+            cold_misses += extra_passes * footprint_lines
+        misses = min(float(accesses), float(cold_misses))
+        hits = accesses - misses
+        fetched = 0.0 if stream.is_write else misses * self.line
+        written = misses * self.line if stream.is_write else 0.0
+        return CacheOutcome(hits, misses, fetched, written)
+
+    def _random(self, stream: AccessStream) -> CacheOutcome:
+        per_line = max(1, self.line // stream.element_bytes)
+        if stream.exact_lines is not None:
+            footprint_lines = max(1, stream.exact_lines)
+        elif stream.distinct_elements:
+            footprint_lines = max(1, math.ceil(stream.distinct_elements / per_line))
+        else:
+            footprint_lines = 1
+        accesses = stream.num_accesses
+        # Expected distinct lines touched by `accesses` uniform draws
+        # over `footprint_lines` lines (coupon-collector expectation).
+        touched = footprint_lines * (1.0 - math.exp(-accesses / footprint_lines))
+        touched = min(touched, float(accesses), float(footprint_lines))
+        # Residency probability once the footprint competes for capacity.
+        residency = min(1.0, self.capacity_lines / footprint_lines)
+        repeat = max(0.0, accesses - touched)
+        misses = touched + repeat * (1.0 - residency)
+        misses = min(float(accesses), misses)
+        hits = accesses - misses
+        fetched = 0.0 if stream.is_write else misses * self.line
+        written = misses * self.line if stream.is_write else 0.0
+        return CacheOutcome(hits, misses, fetched, written)
+
+
+class SetAssociativeCache:
+    """Exact LRU set-associative cache over explicit byte addresses.
+
+    Used by tests to validate :class:`AnalyticCacheModel`. ``access``
+    takes element addresses (bytes); lines are derived from the device's
+    line size. LRU state is per-set, maintained with plain Python lists
+    — acceptable because validation traces stay small.
+    """
+
+    def __init__(self, device: DeviceProfile, *, num_sets: int | None = None):
+        self.device = device
+        self.line = device.cache_line_bytes
+        self.ways = device.l2_ways
+        total_lines = device.l2_lines
+        self.num_sets = num_sets if num_sets is not None else max(1, total_lines // self.ways)
+        self._sets: list[list[int]] = [[] for _ in range(self.num_sets)]
+        self.hits = 0
+        self.misses = 0
+
+    def reset(self) -> None:
+        """Drop all cached lines and counters."""
+        self._sets = [[] for _ in range(self.num_sets)]
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, addresses: np.ndarray | list[int]) -> None:
+        """Run a trace of byte addresses through the cache, in order."""
+        addresses = np.asarray(addresses, dtype=np.int64)
+        lines = addresses // self.line
+        sets = lines % self.num_sets
+        for line, s in zip(lines.tolist(), sets.tolist()):
+            cached = self._sets[s]
+            try:
+                cached.remove(line)
+                cached.append(line)  # refresh LRU position
+                self.hits += 1
+            except ValueError:
+                cached.append(line)
+                if len(cached) > self.ways:
+                    cached.pop(0)
+                self.misses += 1
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    @property
+    def fetched_bytes(self) -> int:
+        """Bytes brought in from DRAM (misses × line size)."""
+        return self.misses * self.line

@@ -1,0 +1,215 @@
+"""Device profiles for the simulated GPUs.
+
+The paper's porting story is driven by a handful of architectural
+parameters: wavefront width (64 on CDNA2 vs 32 on NVIDIA), L2 capacity,
+HBM bandwidth, the cost of atomics, and — critically for Section IV-B —
+kernel-launch and *device-synchronisation* overheads, which the authors
+found "significantly higher than on NVIDIA GPUs" and which motivated
+consolidating XBFS's three streams into one.
+
+Three profiles are provided:
+
+* ``MI250X_GCD``  — one Graphics Compute Die of an AMD MI250X (Frontier),
+* ``P6000``       — the NVIDIA Quadro P6000 XBFS was originally tuned on,
+* ``V100``        — the Summit GPU used for Fig 5(a)'s CUDA reference.
+
+Numbers are public datasheet values where available (bandwidth, L2,
+CU/SM counts, clocks) and order-of-magnitude calibrations elsewhere
+(probe/atomic latencies, launch/sync costs); DESIGN.md documents the
+calibration targets (the per-level counter tables).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import DeviceModelError
+
+__all__ = ["DeviceProfile", "MI250X_GCD", "P6000", "V100", "profile_by_name"]
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """Immutable bundle of simulator parameters for one GPU/GCD."""
+
+    name: str
+    #: SIMD execution width: 64 (AMD wavefront) or 32 (NVIDIA warp).
+    wavefront_size: int
+    #: Compute units (AMD) / streaming multiprocessors (NVIDIA).
+    compute_units: int
+    clock_ghz: float
+    #: Last-level cache capacity in bytes.
+    l2_bytes: int
+    #: L2 line (fetch granularity) in bytes.
+    cache_line_bytes: int
+    #: L2 associativity used by the exact trace simulator.
+    l2_ways: int
+    #: Peak DRAM bandwidth, bytes/second.
+    hbm_bandwidth: float
+    #: Fraction of peak achievable by long unit-stride streams.
+    sequential_bw_fraction: float
+    #: Fraction of peak achievable by random line-granular fetches.
+    random_bw_fraction: float
+    #: Aggregate cost of one uncontended global atomic, nanoseconds.
+    atomic_ns: float
+    #: Extra serialisation per conflicting atomic to the same address.
+    atomic_conflict_ns: float
+    #: Host-side cost of launching one kernel, microseconds.
+    kernel_launch_us: float
+    #: Cost of a device/stream synchronisation, microseconds. The
+    #: paper's measurement: much larger on HIP/AMD than CUDA/NVIDIA.
+    device_sync_us: float
+    #: One-time cost charged to the first kernel of a run (runtime
+    #: compilation / warm-up — visible as the ~20 ms level-0 rows of
+    #: Tables III-V).
+    first_launch_warmup_ms: float
+    #: Aggregate (whole-device) nanoseconds per *wavefront-serialised*
+    #: divergent probe step — the latency-bound inner loop of the
+    #: bottom-up expand kernel.
+    divergent_probe_ns: float
+    #: Aggregate nanoseconds per simple data-parallel operation beyond
+    #: what the bandwidth model covers (scans, comparisons).
+    flat_op_ns: float
+    #: Device-resident memory capacity in bytes (HBM per GCD / GDDR).
+    memory_bytes: int = 64 * 1024**3
+
+    def __post_init__(self) -> None:
+        if self.wavefront_size not in (32, 64):
+            raise DeviceModelError(
+                f"wavefront_size must be 32 or 64, got {self.wavefront_size}"
+            )
+        for field_name in (
+            "compute_units",
+            "clock_ghz",
+            "l2_bytes",
+            "cache_line_bytes",
+            "l2_ways",
+            "hbm_bandwidth",
+        ):
+            if getattr(self, field_name) <= 0:
+                raise DeviceModelError(f"{field_name} must be positive")
+        if not 0 < self.sequential_bw_fraction <= 1:
+            raise DeviceModelError("sequential_bw_fraction must be in (0, 1]")
+        if not 0 < self.random_bw_fraction <= 1:
+            raise DeviceModelError("random_bw_fraction must be in (0, 1]")
+        if self.cache_line_bytes & (self.cache_line_bytes - 1):
+            raise DeviceModelError("cache_line_bytes must be a power of two")
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def l2_lines(self) -> int:
+        """Number of cache lines the L2 holds."""
+        return self.l2_bytes // self.cache_line_bytes
+
+    @property
+    def flat_throughput_ops(self) -> float:
+        """Data-parallel simple-op throughput, ops/second."""
+        return 1e9 / self.flat_op_ns
+
+    @property
+    def sequential_bandwidth(self) -> float:
+        """Sustained streaming bandwidth, bytes/second."""
+        return self.hbm_bandwidth * self.sequential_bw_fraction
+
+    @property
+    def random_bandwidth(self) -> float:
+        """Sustained random line-fetch bandwidth, bytes/second."""
+        return self.hbm_bandwidth * self.random_bw_fraction
+
+    def with_overrides(self, **kwargs) -> "DeviceProfile":
+        """A copy with selected parameters replaced (used by tuning
+        studies and the port-maturity configurations)."""
+        return replace(self, **kwargs)
+
+    def fits(self, nbytes: int, *, working_factor: float = 3.0) -> bool:
+        """Whether a graph of ``nbytes`` (CSR footprint) fits on-device.
+
+        ``working_factor`` budgets the status array, frontier queues
+        and transpose copy a BFS run keeps alongside the graph; the
+        paper's Rmat25 (4.3 GB) fits one 64 GB GCD comfortably, which
+        is why the single-GCD result is even possible.
+        """
+        return nbytes * working_factor <= self.memory_bytes
+
+
+#: One Graphics Compute Die of the AMD Instinct MI250X: 110 CUs,
+#: 64 GB HBM2E at 1.6 TB/s, 8 MiB L2. High sync cost per the paper.
+MI250X_GCD = DeviceProfile(
+    name="MI250X-GCD",
+    wavefront_size=64,
+    compute_units=110,
+    clock_ghz=1.7,
+    l2_bytes=8 * 1024 * 1024,
+    cache_line_bytes=128,
+    l2_ways=16,
+    hbm_bandwidth=1.6e12,
+    sequential_bw_fraction=0.80,
+    random_bw_fraction=0.22,
+    atomic_ns=0.20,
+    atomic_conflict_ns=0.40,
+    kernel_launch_us=6.0,
+    device_sync_us=16.0,
+    first_launch_warmup_ms=20.0,
+    divergent_probe_ns=3.5,
+    flat_op_ns=0.00045,
+)
+
+#: NVIDIA Quadro P6000 (Pascal) — XBFS's original evaluation platform:
+#: 30 SMs, 432 GB/s GDDR5X, 3 MiB L2, cheap launches and syncs.
+P6000 = DeviceProfile(
+    name="P6000",
+    wavefront_size=32,
+    compute_units=30,
+    clock_ghz=1.5,
+    l2_bytes=3 * 1024 * 1024,
+    cache_line_bytes=128,
+    l2_ways=16,
+    hbm_bandwidth=4.32e11,
+    sequential_bw_fraction=0.85,
+    random_bw_fraction=0.30,
+    atomic_ns=0.80,
+    atomic_conflict_ns=1.60,
+    kernel_launch_us=3.0,
+    device_sync_us=3.5,
+    first_launch_warmup_ms=8.0,
+    divergent_probe_ns=9.0,
+    flat_op_ns=0.0016,
+    memory_bytes=24 * 1024**3,
+)
+
+#: NVIDIA V100 (Summit) — Fig 5(a)'s CUDA reference environment:
+#: 80 SMs, 900 GB/s HBM2, 6 MiB L2.
+V100 = DeviceProfile(
+    name="V100",
+    wavefront_size=32,
+    compute_units=80,
+    clock_ghz=1.53,
+    l2_bytes=6 * 1024 * 1024,
+    cache_line_bytes=128,
+    l2_ways=16,
+    hbm_bandwidth=9.0e11,
+    sequential_bw_fraction=0.83,
+    random_bw_fraction=0.28,
+    atomic_ns=0.35,
+    atomic_conflict_ns=0.70,
+    kernel_launch_us=3.0,
+    device_sync_us=4.0,
+    first_launch_warmup_ms=10.0,
+    divergent_probe_ns=5.5,
+    flat_op_ns=0.0008,
+    memory_bytes=16 * 1024**3,
+)
+
+_PROFILES = {p.name: p for p in (MI250X_GCD, P6000, V100)}
+
+
+def profile_by_name(name: str) -> DeviceProfile:
+    """Look up a built-in profile by its ``name`` attribute."""
+    try:
+        return _PROFILES[name]
+    except KeyError:
+        raise DeviceModelError(
+            f"unknown device profile {name!r}; choose from {sorted(_PROFILES)}"
+        ) from None

@@ -1,0 +1,143 @@
+"""Memory access-stream records.
+
+Every simulated kernel describes its memory behaviour as a list of
+:class:`AccessStream` records — "this kernel read the status array
+randomly, touching A elements out of a footprint of F" — which the
+cache model (:mod:`repro.gcd.cache`) converts into hits, misses and
+fetched bytes. Keeping the description declarative means the same
+kernel implementation drives both the rocprofiler-style counters and
+the runtime model without ever materialising a per-access trace at
+experiment scale.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import DeviceModelError
+
+__all__ = ["Pattern", "AccessStream", "seq_read", "seq_write", "rand_read", "rand_write", "segmented_read"]
+
+
+class Pattern(enum.Enum):
+    """Spatial access pattern of a stream.
+
+    SEQUENTIAL — unit-stride sweeps (status-array scans, queue writes);
+    coalesces perfectly, enjoys full spatial locality within each line.
+
+    RANDOM — data-dependent scatter/gather (status probes indexed by
+    neighbour id, adjacency-list hops); every access may open a new
+    line.
+    """
+
+    SEQUENTIAL = "sequential"
+    RANDOM = "random"
+
+
+@dataclass(frozen=True)
+class AccessStream:
+    """One homogeneous stream of element accesses issued by a kernel.
+
+    Parameters
+    ----------
+    array:
+        Label of the logical array touched (for profiler output).
+    element_bytes:
+        Size of one element (4 for vertex ids/status, 8 for offsets).
+    num_accesses:
+        How many element accesses the kernel issues into this stream.
+    distinct_elements:
+        Size of the unique footprint touched (<= the whole array). For
+        sequential streams this is the swept extent; for random streams
+        it bounds attainable reuse.
+    pattern:
+        :class:`Pattern` of the stream.
+    is_write:
+        Writes consume bandwidth but do not contribute to the
+        rocprofiler ``FetchSize`` (a read counter).
+    exact_lines:
+        When the kernel can count the distinct cache lines it touches
+        exactly (segmented adjacency scans do, via
+        :func:`repro.xbfs.common.segment_lines_touched`), this
+        overrides the cache model's line estimate.
+    """
+
+    array: str
+    element_bytes: int
+    num_accesses: int
+    distinct_elements: int
+    pattern: Pattern
+    is_write: bool = False
+    exact_lines: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.element_bytes <= 0:
+            raise DeviceModelError(f"element_bytes must be positive, got {self.element_bytes}")
+        if self.num_accesses < 0 or self.distinct_elements < 0:
+            raise DeviceModelError("access counts must be non-negative")
+        if (
+            self.pattern is Pattern.SEQUENTIAL
+            and self.distinct_elements > self.num_accesses
+        ):
+            # A sweep cannot cover more elements than it touches. For
+            # RANDOM streams, distinct_elements is the *address range*
+            # the accesses are drawn from and may legitimately exceed
+            # the access count (sparse probes over a big array land one
+            # element per line).
+            object.__setattr__(self, "distinct_elements", self.num_accesses)
+
+    @property
+    def bytes_requested(self) -> int:
+        """Total bytes the lanes asked for (before caching)."""
+        return self.num_accesses * self.element_bytes
+
+    @property
+    def footprint_bytes(self) -> int:
+        """Unique bytes touched."""
+        return self.distinct_elements * self.element_bytes
+
+
+# ---------------------------------------------------------------------------
+# Convenience constructors — the kernel code reads much better with these.
+# ---------------------------------------------------------------------------
+
+def seq_read(array: str, num: int, element_bytes: int = 4, *, distinct: int | None = None) -> AccessStream:
+    """A unit-stride read sweep of ``num`` elements."""
+    return AccessStream(array, element_bytes, num, distinct if distinct is not None else num,
+                        Pattern.SEQUENTIAL, is_write=False)
+
+
+def seq_write(array: str, num: int, element_bytes: int = 4) -> AccessStream:
+    """A unit-stride write sweep (queue append bursts, status init)."""
+    return AccessStream(array, element_bytes, num, num, Pattern.SEQUENTIAL, is_write=True)
+
+
+def rand_read(array: str, num: int, distinct: int, element_bytes: int = 4) -> AccessStream:
+    """``num`` data-dependent reads into a footprint of ``distinct`` elements."""
+    return AccessStream(array, element_bytes, num, distinct, Pattern.RANDOM, is_write=False)
+
+
+def rand_write(array: str, num: int, distinct: int, element_bytes: int = 4) -> AccessStream:
+    """``num`` scattered writes into a footprint of ``distinct`` elements."""
+    return AccessStream(array, element_bytes, num, distinct, Pattern.RANDOM, is_write=True)
+
+
+def segmented_read(
+    array: str,
+    num: int,
+    exact_lines: int,
+    element_bytes: int = 4,
+) -> AccessStream:
+    """A segment-structured read (adjacency gathers): sequential within
+    each segment, so spatial locality applies, but the number of lines
+    actually opened is supplied exactly by the kernel."""
+    return AccessStream(
+        array,
+        element_bytes,
+        num,
+        num,
+        Pattern.SEQUENTIAL,
+        is_write=False,
+        exact_lines=exact_lines,
+    )

@@ -1,0 +1,130 @@
+"""rocprofiler-equivalent: collects per-kernel counter records and
+answers the queries the evaluation tables ask.
+
+Tables III–V are literally ``records_for(strategy)`` rendered; Table VI
+is ``per_level_totals`` across three profilers; Fig 5 is
+``per_kernel_totals`` across three configurations.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.gcd.kernel import KernelRecord
+
+__all__ = ["LevelSummary", "Profiler"]
+
+
+@dataclass(frozen=True)
+class LevelSummary:
+    """Aggregated counters for all kernels of one BFS level."""
+
+    level: int
+    runtime_ms: float
+    fetch_mb: float
+    kernels: int
+    atomic_ops: int
+
+    @property
+    def fetch_kb(self) -> float:
+        return self.fetch_mb * 1024.0
+
+
+class Profiler:
+    """Accumulates :class:`KernelRecord` rows for one simulated run."""
+
+    def __init__(self) -> None:
+        self.records: list[KernelRecord] = []
+
+    # ------------------------------------------------------------------
+    # Collection
+    # ------------------------------------------------------------------
+    def add(self, record: KernelRecord) -> None:
+        self.records.append(record)
+
+    def extend(self, records: list[KernelRecord]) -> None:
+        self.records.extend(records)
+
+    def clear(self) -> None:
+        self.records.clear()
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def total_runtime_ms(self) -> float:
+        """Sum of kernel runtimes (excludes host-side sync gaps, which
+        the simulator tracks separately)."""
+        return sum(r.runtime_ms for r in self.records)
+
+    @property
+    def total_fetch_mb(self) -> float:
+        return sum(r.fetch_kb for r in self.records) / 1024.0
+
+    def records_for(
+        self, *, strategy: str | None = None, level: int | None = None
+    ) -> list[KernelRecord]:
+        """Filter rows by strategy and/or level (Tables III–V)."""
+        out = self.records
+        if strategy is not None:
+            out = [r for r in out if r.strategy == strategy]
+        if level is not None:
+            out = [r for r in out if r.level == level]
+        return list(out)
+
+    def levels(self) -> list[int]:
+        return sorted({r.level for r in self.records})
+
+    def per_level_totals(self, *, strategy: str | None = None) -> list[LevelSummary]:
+        """Per-level totals across kernels — the rows of Table VI."""
+        buckets: "OrderedDict[int, list[KernelRecord]]" = OrderedDict()
+        for r in self.records:
+            if strategy is not None and r.strategy != strategy:
+                continue
+            buckets.setdefault(r.level, []).append(r)
+        return [
+            LevelSummary(
+                level=lvl,
+                runtime_ms=sum(r.runtime_ms for r in rows),
+                fetch_mb=sum(r.fetch_kb for r in rows) / 1024.0,
+                kernels=len(rows),
+                atomic_ops=sum(r.atomic_ops for r in rows),
+            )
+            for lvl, rows in sorted(buckets.items())
+        ]
+
+    def per_kernel_totals(self) -> dict[str, float]:
+        """Total runtime per kernel name — the Fig 5 breakdown."""
+        out: dict[str, float] = {}
+        for r in self.records:
+            out[r.name] = out.get(r.name, 0.0) + r.runtime_ms
+        return out
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    FIELDS = (
+        "name", "strategy", "level", "ratio", "runtime_ms", "fetch_kb",
+        "write_kb", "l2_hit_pct", "mem_busy_pct", "compute_ms", "mem_ms",
+        "overhead_ms", "atomic_ops", "atomic_conflicts", "work_items",
+        "stream_id",
+    )
+
+    def to_dicts(self) -> list[dict]:
+        """Records as plain dicts (JSON-ready)."""
+        return [
+            {field: getattr(r, field) for field in self.FIELDS}
+            for r in self.records
+        ]
+
+    def to_csv(self, path) -> None:
+        """Dump the counter rows as CSV — the same workflow as piping
+        rocprofiler output into a spreadsheet."""
+        import csv
+        from pathlib import Path
+
+        with Path(path).open("w", newline="") as fh:
+            writer = csv.DictWriter(fh, fieldnames=list(self.FIELDS))
+            writer.writeheader()
+            writer.writerows(self.to_dicts())

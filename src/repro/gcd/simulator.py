@@ -1,0 +1,178 @@
+"""The GCD runtime: launch kernels, track streams, charge sync costs.
+
+One :class:`GCD` instance models one Graphics Compute Die executing one
+BFS run. It owns a :class:`~repro.gcd.profiler.Profiler`, a wall clock
+(``elapsed_ms``), and the stream bookkeeping that makes the paper's
+"cost of device synchronisation" optimisation visible:
+
+* ``launch``         — serial kernel on one stream; clock += runtime.
+* ``launch_concurrent`` — a group of kernels on distinct streams (the
+  CUDA design's small/medium/large frontier bins); clock += max of the
+  group, because streams overlap.
+* ``sync``           — device synchronisation; clock += sync cost ×
+  number of *active* streams. With three streams this is what the
+  paper's consolidation to one stream eliminates.
+
+The first kernel of a run additionally pays the warm-up charge.
+"""
+
+from __future__ import annotations
+
+from repro.errors import KernelLaunchError
+from repro.gcd.device import DeviceProfile, MI250X_GCD
+from repro.gcd.kernel import ComputeWork, ExecConfig, KernelCostModel, KernelRecord
+from repro.gcd.memory import AccessStream
+from repro.gcd.profiler import Profiler
+
+__all__ = ["GCD", "KernelSpec"]
+
+
+class KernelSpec(dict):
+    """Keyword bundle for one kernel in a concurrent group.
+
+    A thin dict subclass (keys: name, strategy, level, streams, work,
+    work_items, bottom_up, ratio) so call sites stay readable without
+    another dataclass.
+    """
+
+
+class GCD:
+    """One simulated Graphics Compute Die."""
+
+    def __init__(
+        self,
+        device: DeviceProfile = MI250X_GCD,
+        config: ExecConfig | None = None,
+    ) -> None:
+        self.device = device
+        self.config = config or ExecConfig()
+        self.cost_model = KernelCostModel(device)
+        self.profiler = Profiler()
+        self.elapsed_ms = 0.0
+        self.sync_ms = 0.0
+        self.launches = 0
+        self.syncs = 0
+        self._warm = False
+        self._streams_dirty: set[int] = set()
+
+    # ------------------------------------------------------------------
+    def launch(
+        self,
+        name: str,
+        *,
+        strategy: str,
+        level: int,
+        streams: list[AccessStream],
+        work: ComputeWork | None = None,
+        work_items: int = 0,
+        stream_id: int = 0,
+        bottom_up: bool = False,
+        ratio: float = 0.0,
+        setup: bool = False,
+    ) -> KernelRecord:
+        """Run one kernel serially on ``stream_id`` and account it.
+
+        ``setup`` kernels (status initialisation) do not absorb the
+        first-launch warm-up: like the paper's profiles, the charge
+        lands on the first *traversal* kernel, which is why level 0 of
+        Tables III-V carries the ~20 ms row.
+        """
+        if stream_id >= self.config.num_streams:
+            raise KernelLaunchError(
+                f"stream {stream_id} out of range for {self.config.num_streams}-stream config"
+            )
+        record = self.cost_model.evaluate(
+            name,
+            strategy=strategy,
+            level=level,
+            streams=streams,
+            work=work or ComputeWork(),
+            config=self.config,
+            work_items=work_items,
+            stream_id=stream_id,
+            warmup=(not self._warm) and not setup,
+            bottom_up=bottom_up,
+            ratio=ratio,
+        )
+        if not setup:
+            self._warm = True
+        self.launches += 1
+        self._streams_dirty.add(stream_id)
+        self.profiler.add(record)
+        self.elapsed_ms += record.runtime_ms
+        return record
+
+    def launch_concurrent(self, specs: list[KernelSpec]) -> list[KernelRecord]:
+        """Run a group of kernels on distinct streams.
+
+        Streams overlap launch latencies, but the kernels share one
+        memory system and one set of compute units, so their *work*
+        portions serialise: wall time is the largest launch overhead
+        plus the sum of the per-kernel work terms. (Treating concurrent
+        streams as free parallelism would make the CUDA-era 3-stream
+        design look better on AMD than the paper measured.)"""
+        if not specs:
+            return []
+        if len(specs) > self.config.num_streams:
+            raise KernelLaunchError(
+                f"{len(specs)} concurrent kernels need {len(specs)} streams, "
+                f"config has {self.config.num_streams}"
+            )
+        records: list[KernelRecord] = []
+        for sid, spec in enumerate(specs):
+            record = self.cost_model.evaluate(
+                spec["name"],
+                strategy=spec["strategy"],
+                level=spec["level"],
+                streams=spec["streams"],
+                work=spec.get("work") or ComputeWork(),
+                config=self.config,
+                work_items=spec.get("work_items", 0),
+                stream_id=sid,
+                warmup=not self._warm,
+                bottom_up=spec.get("bottom_up", False),
+                ratio=spec.get("ratio", 0.0),
+            )
+            self._warm = True
+            self.launches += 1
+            self._streams_dirty.add(sid)
+            records.append(record)
+            self.profiler.add(record)
+        wall = max(r.overhead_ms for r in records) + sum(
+            max(r.compute_ms, r.mem_ms) for r in records
+        )
+        self.elapsed_ms += wall
+        return records
+
+    def sync(self) -> float:
+        """Device synchronisation: every stream that has work in flight
+        must be waited on. Returns the cost charged (ms)."""
+        active = max(1, len(self._streams_dirty))
+        cost_ms = active * self.device.device_sync_us * 1e-3
+        self.elapsed_ms += cost_ms
+        self.sync_ms += cost_ms
+        self.syncs += 1
+        self._streams_dirty.clear()
+        return cost_ms
+
+    # ------------------------------------------------------------------
+    @property
+    def kernel_ms(self) -> float:
+        """Time spent inside kernels (elapsed minus sync gaps)."""
+        return self.elapsed_ms - self.sync_ms
+
+    def reset(self, *, keep_warm: bool = False) -> None:
+        """Fresh run on the same device: clears clock and profiler.
+
+        ``keep_warm=True`` models back-to-back BFS runs in one process
+        (the n-to-n measurement): only the first run of a device pays
+        the first-launch warm-up.
+        """
+        self.profiler.clear()
+        self.elapsed_ms = 0.0
+        self.sync_ms = 0.0
+        self.launches = 0
+        self.syncs = 0
+        if not keep_warm:
+            self._warm = False
+        self._streams_dirty.clear()

@@ -1,0 +1,185 @@
+"""Wavefront/warp primitive emulation.
+
+Section IV-A's first porting challenge is mechanical but easy to get
+wrong: CUDA's ``__any_sync``/``__shfl_sync`` take a 32-bit warp mask,
+HIP's ``__any``/``__shfl`` take none, the wavefront is 64 lanes wide,
+masks become ``unsigned long`` (64-bit), and ``__popc`` must become
+``__popcll``. This module reproduces those primitives faithfully enough
+that the lane-accurate reference kernels (used to validate the
+vectorised engines on small graphs) exercise the exact porting hazards:
+
+* :func:`ballot` returns a Python int that genuinely needs 64 bits at
+  ``width=64``;
+* :func:`popc` implements the *32-bit* population count — applying it
+  to a 64-lane ballot silently drops the upper lanes, which is the bug
+  hipify does not catch; :func:`popcll` is the correct port.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+import numpy as np
+
+from repro.errors import DeviceModelError
+
+__all__ = [
+    "ballot",
+    "any_",
+    "all_",
+    "popc",
+    "popcll",
+    "shfl",
+    "shfl_down",
+    "shfl_up",
+    "lane_mask_dtype",
+    "WavefrontView",
+    "iter_wavefronts",
+]
+
+
+def _check_width(width: int) -> None:
+    if width not in (32, 64):
+        raise DeviceModelError(f"wavefront width must be 32 or 64, got {width}")
+
+
+def lane_mask_dtype(width: int) -> type:
+    """The C-side mask type the port must use: ``unsigned int`` for 32
+    lanes, ``unsigned long`` for 64 — the paper's mask-type change."""
+    _check_width(width)
+    return np.uint32 if width == 32 else np.uint64
+
+
+def ballot(predicate: np.ndarray, width: int) -> int:
+    """``__ballot``: bit ``i`` of the result is lane ``i``'s predicate.
+
+    ``predicate`` shorter than ``width`` models inactive trailing lanes
+    (they contribute 0), matching a partially filled last wavefront.
+    """
+    _check_width(width)
+    predicate = np.asarray(predicate, dtype=bool)
+    if predicate.size > width:
+        raise DeviceModelError(
+            f"predicate has {predicate.size} lanes but wavefront is {width} wide"
+        )
+    bits = np.flatnonzero(predicate)
+    mask = 0
+    for b in bits.tolist():
+        mask |= 1 << b
+    return mask
+
+
+def any_(predicate: np.ndarray, width: int) -> bool:
+    """``__any``: true iff any active lane's predicate holds."""
+    return ballot(predicate, width) != 0
+
+
+def all_(predicate: np.ndarray, width: int) -> bool:
+    """``__all``: true iff every lane (of those provided) holds."""
+    _check_width(width)
+    predicate = np.asarray(predicate, dtype=bool)
+    return bool(predicate.all()) if predicate.size else True
+
+
+def popc(mask: int) -> int:
+    """CUDA ``__popc``: population count of the *low 32 bits only*.
+
+    Deliberately truncating — using this on a 64-lane ballot is the
+    porting bug the paper warns about; tests assert the undercount.
+    """
+    return int(bin(mask & 0xFFFFFFFF).count("1"))
+
+
+def popcll(mask: int) -> int:
+    """``__popcll``: full 64-bit population count (the correct port)."""
+    return int(bin(mask & 0xFFFFFFFFFFFFFFFF).count("1"))
+
+
+def shfl(values: np.ndarray, src_lane: int, width: int) -> np.ndarray:
+    """``__shfl``: every lane reads ``values[src_lane]`` (broadcast)."""
+    _check_width(width)
+    values = np.asarray(values)
+    if values.size > width:
+        raise DeviceModelError("more lanes than wavefront width")
+    if not 0 <= src_lane < values.size:
+        raise DeviceModelError(f"src_lane {src_lane} out of active range")
+    return np.full_like(values, values[src_lane])
+
+
+def shfl_down(values: np.ndarray, delta: int, width: int) -> np.ndarray:
+    """``__shfl_down``: lane ``i`` reads lane ``i + delta``; lanes that
+    would read past the end keep their own value (hardware behaviour)."""
+    _check_width(width)
+    values = np.asarray(values)
+    n = values.size
+    out = values.copy()
+    if delta <= 0:
+        return out
+    if delta < n:
+        out[: n - delta] = values[delta:]
+    return out
+
+
+def shfl_up(values: np.ndarray, delta: int, width: int) -> np.ndarray:
+    """``__shfl_up``: lane ``i`` reads lane ``i - delta``; low lanes keep
+    their own value."""
+    _check_width(width)
+    values = np.asarray(values)
+    n = values.size
+    out = values.copy()
+    if delta <= 0:
+        return out
+    if delta < n:
+        out[delta:] = values[: n - delta]
+    return out
+
+
+@dataclass(frozen=True)
+class WavefrontView:
+    """One wavefront's slice of a flat work assignment."""
+
+    index: int
+    lanes: np.ndarray  # global work-item ids, length <= width
+    width: int
+
+    @property
+    def active_lanes(self) -> int:
+        return int(self.lanes.size)
+
+    @property
+    def full(self) -> bool:
+        return self.lanes.size == self.width
+
+
+def iter_wavefronts(num_items: int, width: int) -> Iterator[WavefrontView]:
+    """Partition ``num_items`` work items into consecutive wavefronts.
+
+    The last wavefront may be partially filled — the idle-lane waste the
+    paper blames for bottom-up workload balancing degrading at width 64.
+    """
+    _check_width(width)
+    ids = np.arange(num_items, dtype=np.int64)
+    for w, start in enumerate(range(0, num_items, width)):
+        yield WavefrontView(w, ids[start : start + width], width)
+
+
+def wavefront_reduce_max(values: np.ndarray, width: int) -> int:
+    """A shfl_down butterfly max-reduction, lane-level semantics.
+
+    Exists to validate the vectorised divergence computation: the time a
+    wavefront spends in the bottom-up inner loop is the *max* of its
+    lanes' scan lengths, and this is the primitive a HIP kernel would
+    use to account it.
+    """
+    _check_width(width)
+    vals = np.asarray(values).copy()
+    offset = width // 2
+    while offset >= 1:
+        shifted = shfl_down(vals, offset, width)
+        vals = np.maximum(vals, shifted)
+        offset //= 2
+    return int(vals[0]) if vals.size else 0
+
+
+__all__.append("wavefront_reduce_max")

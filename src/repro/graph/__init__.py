@@ -1,0 +1,85 @@
+"""Graph substrate: CSR container, generators, datasets, I/O, statistics,
+and the paper's degree-aware neighbour re-arrangement."""
+
+from repro.graph.csr import CSRGraph, coalesce_edge_list
+from repro.graph.datasets import (
+    DEFAULT_SCALE_FACTOR,
+    PAPER_DATASETS,
+    DatasetSpec,
+    example_graph,
+    load,
+)
+from repro.graph.generators import (
+    chain,
+    chung_lu_power_law,
+    complete,
+    erdos_renyi,
+    grid_2d,
+    ring_lattice,
+    rmat,
+    star,
+)
+from repro.graph.io import (
+    load_csr_binary,
+    load_edge_list,
+    save_csr_binary,
+    save_edge_list,
+)
+from repro.graph.relabel import (
+    relabel,
+    relabel_bfs_order,
+    relabel_by_degree,
+    unrelabel_levels,
+)
+from repro.graph.rearrange import (
+    degree_descending_order,
+    expected_scan_length,
+    rearrange_by_degree,
+    visit_probability,
+)
+from repro.graph.stats import (
+    DegreeSummary,
+    LevelTrace,
+    bfs_levels_reference,
+    degree_summary,
+    level_trace,
+    pick_sources,
+    ratio_trace_over_seeds,
+)
+
+__all__ = [
+    "CSRGraph",
+    "coalesce_edge_list",
+    "DatasetSpec",
+    "PAPER_DATASETS",
+    "DEFAULT_SCALE_FACTOR",
+    "example_graph",
+    "load",
+    "rmat",
+    "erdos_renyi",
+    "chung_lu_power_law",
+    "ring_lattice",
+    "grid_2d",
+    "star",
+    "chain",
+    "complete",
+    "save_edge_list",
+    "load_edge_list",
+    "save_csr_binary",
+    "load_csr_binary",
+    "relabel",
+    "relabel_by_degree",
+    "relabel_bfs_order",
+    "unrelabel_levels",
+    "degree_descending_order",
+    "rearrange_by_degree",
+    "visit_probability",
+    "expected_scan_length",
+    "DegreeSummary",
+    "degree_summary",
+    "bfs_levels_reference",
+    "LevelTrace",
+    "level_trace",
+    "pick_sources",
+    "ratio_trace_over_seeds",
+]

@@ -1,0 +1,203 @@
+"""Dataset registry mirroring Table II of the paper.
+
+The paper evaluates on four SNAP graphs (LiveJournal, USpatent, Orkut,
+Dblp) and two R-MAT graphs (scale 23 and 25). We have no network access
+and pure-Python simulation cannot traverse half-a-billion edges in
+reasonable time, so each dataset maps to a *synthetic stand-in* built by
+:mod:`repro.graph.generators` that preserves the property the paper's
+narrative keys on, at a configurable down-scale:
+
+========  ======================================  ==========================
+dataset   paper-relevant property                 stand-in
+========  ======================================  ==========================
+LJ        social, power-law, avg degree ~17       Chung–Lu, exponent 2.3
+UP        sparse citation, avg degree ~5.5,       low-rewire ring lattice
+          *many BFS levels* (deep traversal)
+OR        dense social, avg degree ~76            Chung–Lu, exponent 2.2
+DB        tiny collaboration graph, avg ~4.9,     Chung–Lu, exponent 2.8,
+          fixed-cost dominated                    very small
+R23/R25   Graph500 Kronecker, extreme skew,       R-MAT (0.57/.19/.19/.05)
+          few levels
+========  ======================================  ==========================
+
+``scale_factor`` divides the vertex count (R-MAT scales drop by
+``log2(scale_factor)``); average degree is preserved so each graph keeps
+its ratio-curve shape (Fig 6) and its strategy-crossover structure.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+import numpy as np
+
+from repro.errors import ExperimentError
+from repro.graph import generators
+from repro.graph.csr import CSRGraph
+
+__all__ = [
+    "DatasetSpec",
+    "PAPER_DATASETS",
+    "load",
+    "example_graph",
+    "EXAMPLE_EXPECTED_LEVELS",
+    "DEFAULT_SCALE_FACTOR",
+]
+
+#: Default down-scale applied to every paper dataset (1/64 of the vertices).
+DEFAULT_SCALE_FACTOR = 64
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """One row of Table II plus the recipe for its synthetic stand-in."""
+
+    key: str
+    full_name: str
+    paper_vertices: int
+    paper_edges: int
+    paper_size: str
+    description: str
+    builder: Callable[[int, int], CSRGraph]
+
+    @property
+    def paper_avg_degree(self) -> float:
+        return self.paper_edges / self.paper_vertices
+
+    def build(self, scale_factor: int = DEFAULT_SCALE_FACTOR, seed: int = 0) -> CSRGraph:
+        """Materialise the stand-in at ``1/scale_factor`` of paper size."""
+        if scale_factor < 1:
+            raise ExperimentError(f"scale_factor must be >= 1, got {scale_factor}")
+        return self.builder(scale_factor, seed)
+
+
+def _scaled(n_paper: int, factor: int, *, minimum: int = 64) -> int:
+    return max(minimum, n_paper // factor)
+
+
+def _lj(factor: int, seed: int) -> CSRGraph:
+    spec = PAPER_DATASETS["LJ"]
+    return generators.chung_lu_power_law(
+        _scaled(spec.paper_vertices, factor),
+        spec.paper_avg_degree,
+        exponent=2.3,
+        seed=seed,
+        name="LJ",
+    )
+
+
+def _up(factor: int, seed: int) -> CSRGraph:
+    spec = PAPER_DATASETS["UP"]
+    n = _scaled(spec.paper_vertices, factor)
+    # k = ceil(avg_degree / 2) successors per vertex before symmetrisation;
+    # tiny rewiring keeps the graph connected-ish without collapsing the
+    # diameter — the paper's point about USpatent is that it needs many
+    # more levels than the social graphs.
+    k = max(1, int(round(spec.paper_avg_degree / 2)))
+    return generators.ring_lattice(n, k, rewire_prob=0.002, seed=seed, name="UP")
+
+
+def _or(factor: int, seed: int) -> CSRGraph:
+    spec = PAPER_DATASETS["OR"]
+    return generators.chung_lu_power_law(
+        _scaled(spec.paper_vertices, factor),
+        spec.paper_avg_degree,
+        exponent=2.2,
+        seed=seed,
+        name="OR",
+    )
+
+
+def _db(factor: int, seed: int) -> CSRGraph:
+    spec = PAPER_DATASETS["DB"]
+    return generators.chung_lu_power_law(
+        _scaled(spec.paper_vertices, factor),
+        spec.paper_avg_degree,
+        exponent=2.8,
+        seed=seed,
+        name="DB",
+    )
+
+
+def _rmat(paper_scale: int):
+    def build(factor: int, seed: int) -> CSRGraph:
+        drop = max(0, int(round(math.log2(max(1, factor)))))
+        scale = max(6, paper_scale - drop)
+        return generators.rmat(scale, 16, seed=seed, name=f"Rmat{paper_scale}")
+
+    return build
+
+
+PAPER_DATASETS: Mapping[str, DatasetSpec] = {
+    "LJ": DatasetSpec(
+        "LJ", "LiveJournal", 4_036_538, 69_362_378, "478 MB",
+        "social network, power-law degrees, avg degree ~17", _lj,
+    ),
+    "UP": DatasetSpec(
+        "UP", "USpatent", 6_009_555, 33_037_896, "268 MB",
+        "patent citation graph; sparse and deep (many BFS levels)", _up,
+    ),
+    "OR": DatasetSpec(
+        "OR", "Orkut", 3_072_627, 234_370_166, "1.7 GB",
+        "dense social network, avg degree ~76", _or,
+    ),
+    "DB": DatasetSpec(
+        "DB", "Dblp", 425_957, 2_099_732, "13 MB",
+        "small collaboration graph; fixed costs dominate", _db,
+    ),
+    "R23": DatasetSpec(
+        "R23", "Rmat23", 8_388_608, 134_214_744, "1 GB",
+        "Graph500 Kronecker, scale 23, edge factor 16", _rmat(23),
+    ),
+    "R25": DatasetSpec(
+        "R25", "Rmat25", 33_554_432, 536_866_130, "4.3 GB",
+        "Graph500 Kronecker, scale 25, edge factor 16", _rmat(25),
+    ),
+}
+
+
+def load(
+    key: str, scale_factor: int = DEFAULT_SCALE_FACTOR, seed: int = 0
+) -> CSRGraph:
+    """Build the stand-in for a Table II dataset by key (``"LJ"``, ...)."""
+    try:
+        spec = PAPER_DATASETS[key]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown dataset {key!r}; choose from {sorted(PAPER_DATASETS)}"
+        ) from None
+    return spec.build(scale_factor, seed)
+
+
+# ---------------------------------------------------------------------------
+# The didactic 9-vertex example of Figures 1-4
+# ---------------------------------------------------------------------------
+
+#: BFS levels from source v0 on :func:`example_graph`, as traced by the
+#: paper's Figures 2-4 walk-through.
+EXAMPLE_EXPECTED_LEVELS = np.array([0, 1, 2, 2, 3, 3, 3, 3, 4], dtype=np.int32)
+
+
+def example_graph() -> CSRGraph:
+    """The example graph of Figure 1.
+
+    Reconstructed from the walk-through text: v0–v1 (Fig 2 visits v1
+    from v0); v1–{v0, v2, v3} (Fig 3); a third tier v4..v7 hanging off
+    v2/v3; and v8 reachable only through v7, so that during the
+    bottom-up pass at level 3 the proactive update can push v8 as well
+    (Fig 4's "since v7 is updated in this phase, v8 ... can be updated
+    in this bottom-up").
+    """
+    edges = [
+        (0, 1),
+        (1, 2), (1, 3),
+        (2, 4), (2, 5),
+        (3, 6), (3, 7),
+        (4, 5), (6, 7),
+        (7, 8),
+    ]
+    src = np.array([e[0] for e in edges])
+    dst = np.array([e[1] for e in edges])
+    return CSRGraph.from_edges(src, dst, 9, name="Fig1Example", symmetrize=True)

@@ -1,0 +1,253 @@
+"""Synthetic graph generators.
+
+The paper evaluates on R-MAT graphs (Graph500 Kronecker parameters) and
+four SNAP graphs. With no network access we generate structural
+stand-ins here; :mod:`repro.graph.datasets` maps each paper dataset to a
+generator call that preserves its salient shape (average degree, degree
+skew, diameter regime).
+
+All generators are deterministic given ``seed`` and fully vectorised —
+no per-edge Python loops, per the HPC guide's vectorisation idiom.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GraphFormatError
+from repro.graph.csr import CSRGraph
+
+__all__ = [
+    "rmat",
+    "erdos_renyi",
+    "chung_lu_power_law",
+    "ring_lattice",
+    "grid_2d",
+    "star",
+    "chain",
+    "complete",
+    "GRAPH500_INITIATOR",
+]
+
+#: Graph500 Kronecker initiator matrix probabilities (a, b, c, d).
+GRAPH500_INITIATOR: tuple[float, float, float, float] = (0.57, 0.19, 0.19, 0.05)
+
+
+def _finish(
+    src: np.ndarray,
+    dst: np.ndarray,
+    num_vertices: int,
+    *,
+    name: str,
+    symmetrize: bool,
+    remove_self_loops: bool = True,
+    deduplicate: bool = True,
+) -> CSRGraph:
+    return CSRGraph.from_edges(
+        src,
+        dst,
+        num_vertices,
+        name=name,
+        symmetrize=symmetrize,
+        remove_self_loops=remove_self_loops,
+        deduplicate=deduplicate,
+    )
+
+
+def rmat(
+    scale: int,
+    edge_factor: int = 16,
+    *,
+    initiator: tuple[float, float, float, float] = GRAPH500_INITIATOR,
+    seed: int = 0,
+    symmetrize: bool = True,
+    name: str | None = None,
+) -> CSRGraph:
+    """Recursive-MATrix (Kronecker) generator, Graph500 flavour.
+
+    ``scale`` gives ``2**scale`` vertices; ``edge_factor`` gives
+    ``edge_factor * 2**scale`` generated edge tuples before
+    symmetrisation/dedup. The Graph500 initiator (0.57, 0.19, 0.19,
+    0.05) produces the heavy power-law skew that makes the bottom-up
+    strategy and the degree-aware re-arrangement matter.
+
+    Each of the ``scale`` bits of the (row, col) coordinates is drawn
+    independently per edge, vectorised across all edges at once.
+    """
+    a, b, c, d = initiator
+    total = a + b + c + d
+    if not np.isclose(total, 1.0, atol=1e-9):
+        raise GraphFormatError(f"initiator probabilities must sum to 1, got {total}")
+    if scale < 1 or scale > 30:
+        raise GraphFormatError(f"scale must be in [1, 30], got {scale}")
+    n = 1 << scale
+    m = edge_factor * n
+    rng = np.random.default_rng(seed)
+
+    src = np.zeros(m, dtype=np.int64)
+    dst = np.zeros(m, dtype=np.int64)
+    # Probability an edge lands in the right half (column bit set) and,
+    # given that, in the bottom half (row bit set) — standard R-MAT
+    # bit-by-bit recursion done as `scale` vectorised rounds.
+    p_right = b + d
+    p_bottom_given_right = d / (b + d)
+    p_bottom_given_left = c / (a + c)
+    for bit in range(scale):
+        right = rng.random(m) < p_right
+        p_bottom = np.where(right, p_bottom_given_right, p_bottom_given_left)
+        bottom = rng.random(m) < p_bottom
+        src = (src << 1) | bottom
+        dst = (dst << 1) | right
+    # Graph500 permutes vertex labels so degree does not correlate with id.
+    perm = rng.permutation(n)
+    src, dst = perm[src], perm[dst]
+    return _finish(
+        src,
+        dst,
+        n,
+        name=name or f"Rmat{scale}",
+        symmetrize=symmetrize,
+    )
+
+
+def erdos_renyi(
+    num_vertices: int,
+    avg_degree: float,
+    *,
+    seed: int = 0,
+    symmetrize: bool = True,
+    name: str | None = None,
+) -> CSRGraph:
+    """G(n, m)-style uniform random graph with ``avg_degree * n / 2``
+    undirected edges (before dedup)."""
+    if num_vertices < 1:
+        raise GraphFormatError("num_vertices must be positive")
+    m = max(1, int(round(avg_degree * num_vertices / 2)))
+    rng = np.random.default_rng(seed)
+    src = rng.integers(0, num_vertices, size=m)
+    dst = rng.integers(0, num_vertices, size=m)
+    return _finish(
+        src, dst, num_vertices, name=name or "ER", symmetrize=symmetrize
+    )
+
+
+def chung_lu_power_law(
+    num_vertices: int,
+    avg_degree: float,
+    exponent: float = 2.3,
+    *,
+    min_degree: float = 1.0,
+    seed: int = 0,
+    symmetrize: bool = True,
+    name: str | None = None,
+) -> CSRGraph:
+    """Chung–Lu graph with a truncated power-law expected-degree sequence.
+
+    Social networks such as LiveJournal and Orkut are well approximated
+    by exponents around 2.1–2.5; we use this as the stand-in family for
+    the paper's SNAP social graphs.
+    """
+    if num_vertices < 2:
+        raise GraphFormatError("need at least two vertices")
+    if exponent <= 1.0:
+        raise GraphFormatError(f"power-law exponent must exceed 1, got {exponent}")
+    rng = np.random.default_rng(seed)
+    # Inverse-CDF sample of a Pareto-like weight, then rescale so the
+    # expected degree matches avg_degree.
+    u = rng.random(num_vertices)
+    weights = min_degree * (1.0 - u) ** (-1.0 / (exponent - 1.0))
+    # Clip the tail so a single vertex cannot swallow the whole edge budget.
+    weights = np.minimum(weights, num_vertices ** 0.5 * min_degree * 8)
+    weights *= (avg_degree * num_vertices) / weights.sum()
+    m = max(1, int(round(avg_degree * num_vertices / 2)))
+    p = weights / weights.sum()
+    src = rng.choice(num_vertices, size=m, p=p)
+    dst = rng.choice(num_vertices, size=m, p=p)
+    return _finish(
+        src, dst, num_vertices, name=name or "ChungLu", symmetrize=symmetrize
+    )
+
+
+def ring_lattice(
+    num_vertices: int,
+    k: int = 2,
+    *,
+    rewire_prob: float = 0.0,
+    seed: int = 0,
+    name: str | None = None,
+) -> CSRGraph:
+    """Watts–Strogatz-style ring: each vertex linked to its ``k`` nearest
+    successors, optionally rewired. High diameter at ``rewire_prob=0``;
+    used as the stand-in regime for sparse, many-level graphs
+    (USpatent-like traversal depth)."""
+    if num_vertices < 3 or k < 1:
+        raise GraphFormatError("ring_lattice needs >=3 vertices and k>=1")
+    rng = np.random.default_rng(seed)
+    base = np.arange(num_vertices, dtype=np.int64)
+    src = np.repeat(base, k)
+    shifts = np.tile(np.arange(1, k + 1, dtype=np.int64), num_vertices)
+    dst = (src + shifts) % num_vertices
+    if rewire_prob > 0.0:
+        rewire = rng.random(src.size) < rewire_prob
+        dst = dst.copy()
+        dst[rewire] = rng.integers(0, num_vertices, size=int(rewire.sum()))
+    return _finish(
+        src, dst, num_vertices, name=name or "Ring", symmetrize=True
+    )
+
+
+def grid_2d(rows: int, cols: int, *, name: str | None = None) -> CSRGraph:
+    """4-connected 2-D grid — a worst case for bottom-up (diameter
+    ``rows + cols``), useful in tests and classifier stress benches."""
+    if rows < 1 or cols < 1:
+        raise GraphFormatError("grid dimensions must be positive")
+    n = rows * cols
+    idx = np.arange(n, dtype=np.int64)
+    r, c = idx // cols, idx % cols
+    horiz_src = idx[c < cols - 1]
+    vert_src = idx[r < rows - 1]
+    src = np.concatenate([horiz_src, vert_src])
+    dst = np.concatenate([horiz_src + 1, vert_src + cols])
+    return _finish(src, dst, n, name=name or f"Grid{rows}x{cols}", symmetrize=True)
+
+
+def star(num_leaves: int, *, name: str | None = None) -> CSRGraph:
+    """Star graph: vertex 0 adjacent to all others. Extreme degree skew
+    in one vertex; exercises the large-degree workload bin."""
+    if num_leaves < 1:
+        raise GraphFormatError("star needs at least one leaf")
+    leaves = np.arange(1, num_leaves + 1, dtype=np.int64)
+    return _finish(
+        np.zeros(num_leaves, dtype=np.int64),
+        leaves,
+        num_leaves + 1,
+        name=name or "Star",
+        symmetrize=True,
+    )
+
+
+def chain(num_vertices: int, *, name: str | None = None) -> CSRGraph:
+    """Path graph — maximum diameter; one-vertex frontiers at every level."""
+    if num_vertices < 2:
+        raise GraphFormatError("chain needs at least two vertices")
+    src = np.arange(num_vertices - 1, dtype=np.int64)
+    return _finish(src, src + 1, num_vertices, name=name or "Chain", symmetrize=True)
+
+
+def complete(num_vertices: int, *, name: str | None = None) -> CSRGraph:
+    """Complete graph — single-level BFS; maximal ratio spike."""
+    if num_vertices < 2:
+        raise GraphFormatError("complete graph needs at least two vertices")
+    src, dst = np.meshgrid(
+        np.arange(num_vertices, dtype=np.int64),
+        np.arange(num_vertices, dtype=np.int64),
+        indexing="ij",
+    )
+    keep = src != dst
+    return _finish(
+        src[keep].ravel(),
+        dst[keep].ravel(),
+        num_vertices,
+        name=name or f"K{num_vertices}",
+        symmetrize=False,
+    )

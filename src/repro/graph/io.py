@@ -1,0 +1,104 @@
+"""Graph serialisation: text edge lists and a binary CSR container.
+
+The binary format mirrors what the XBFS C++ code loads (a ``*_beg_pos``
+offsets file and a ``*_csr`` adjacency file) collapsed into a single
+``.csrbin`` file with a small self-describing header, so experiment
+inputs can be staged once and reloaded cheaply.
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import GraphFormatError
+from repro.graph.csr import CSRGraph, OFFSET_DTYPE, VERTEX_DTYPE
+
+__all__ = [
+    "save_edge_list",
+    "load_edge_list",
+    "save_csr_binary",
+    "load_csr_binary",
+    "MAGIC",
+]
+
+#: 8-byte magic prefix of the binary CSR container.
+MAGIC = b"XBFSCSR1"
+
+
+def save_edge_list(graph: CSRGraph, path: str | Path, *, comment: str | None = None) -> None:
+    """Write a whitespace-separated ``src dst`` text file (SNAP style)."""
+    path = Path(path)
+    src, dst = graph.to_edge_arrays()
+    header = f"# {comment or graph.name}: {graph.num_vertices} vertices, {graph.num_edges} edges\n"
+    with path.open("w", encoding="ascii") as fh:
+        fh.write(header)
+        np.savetxt(fh, np.column_stack([src, dst]), fmt="%d")
+
+
+def load_edge_list(
+    path: str | Path,
+    num_vertices: int | None = None,
+    *,
+    name: str | None = None,
+    symmetrize: bool = False,
+) -> CSRGraph:
+    """Read a SNAP-style edge list (``#`` comments ignored).
+
+    When ``num_vertices`` is omitted it is inferred as ``max id + 1``.
+    """
+    path = Path(path)
+    import warnings
+
+    with warnings.catch_warnings():
+        # An all-comment file is a legal empty edge list, handled below.
+        warnings.simplefilter("ignore", UserWarning)
+        data = np.loadtxt(path, dtype=np.int64, comments="#", ndmin=2)
+    if data.size == 0:
+        if num_vertices is None:
+            raise GraphFormatError(f"{path}: empty edge list and no num_vertices given")
+        return CSRGraph.empty(num_vertices, name=name or path.stem)
+    if data.shape[1] < 2:
+        raise GraphFormatError(f"{path}: expected at least two columns, got {data.shape[1]}")
+    src, dst = data[:, 0], data[:, 1]
+    if num_vertices is None:
+        num_vertices = int(max(src.max(), dst.max())) + 1
+    return CSRGraph.from_edges(
+        src, dst, num_vertices, name=name or path.stem, symmetrize=symmetrize
+    )
+
+
+def save_csr_binary(graph: CSRGraph, path: str | Path) -> None:
+    """Write the binary container: magic, |V|, |M|, name, offsets, columns."""
+    path = Path(path)
+    name_bytes = graph.name.encode("utf-8")[:255]
+    with path.open("wb") as fh:
+        fh.write(MAGIC)
+        fh.write(struct.pack("<qqB", graph.num_vertices, graph.num_edges, len(name_bytes)))
+        fh.write(name_bytes)
+        fh.write(np.ascontiguousarray(graph.row_offsets, dtype=OFFSET_DTYPE).tobytes())
+        fh.write(np.ascontiguousarray(graph.col_indices, dtype=VERTEX_DTYPE).tobytes())
+
+
+def load_csr_binary(path: str | Path) -> CSRGraph:
+    """Read a container written by :func:`save_csr_binary`."""
+    path = Path(path)
+    raw = path.read_bytes()
+    if raw[:8] != MAGIC:
+        raise GraphFormatError(f"{path}: bad magic {raw[:8]!r}, expected {MAGIC!r}")
+    num_vertices, num_edges, name_len = struct.unpack_from("<qqB", raw, 8)
+    pos = 8 + struct.calcsize("<qqB")
+    name = raw[pos : pos + name_len].decode("utf-8")
+    pos += name_len
+    off_bytes = (num_vertices + 1) * OFFSET_DTYPE().itemsize
+    col_bytes = num_edges * VERTEX_DTYPE().itemsize
+    if len(raw) != pos + off_bytes + col_bytes:
+        raise GraphFormatError(
+            f"{path}: truncated container (expected {pos + off_bytes + col_bytes} bytes, "
+            f"got {len(raw)})"
+        )
+    offsets = np.frombuffer(raw, dtype=OFFSET_DTYPE, count=num_vertices + 1, offset=pos)
+    cols = np.frombuffer(raw, dtype=VERTEX_DTYPE, count=num_edges, offset=pos + off_bytes)
+    return CSRGraph(offsets.copy(), cols.copy(), name=name)

@@ -1,0 +1,117 @@
+"""Degree-aware neighbour order re-arrangement (Section IV-B).
+
+The paper's new algorithmic optimisation: within every adjacency list,
+move high-degree neighbours to the front. The bottom-up kernel scans an
+unvisited vertex's list until it finds a neighbour on the current
+frontier and early-terminates; since high-degree vertices are
+statistically visited earlier, fronting them shortens the expected scan,
+cutting both FetchSize and runtime (Table I, 17.9% end-to-end on
+Rmat25).
+
+The supporting probability model is also implemented here:
+
+    P(vertex i visited by the time m_k edges are traversed)
+        = 1 - C(m - d_i, m_k) / C(m, m_k)
+
+computed in log-space with ``gammaln`` so it stays finite at paper-scale
+``m``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.special import gammaln
+
+from repro.errors import GraphFormatError
+from repro.graph.csr import CSRGraph
+
+__all__ = [
+    "degree_descending_order",
+    "rearrange_by_degree",
+    "visit_probability",
+    "expected_scan_length",
+]
+
+
+def degree_descending_order(graph: CSRGraph, *, stable: bool = True) -> np.ndarray:
+    """Permutation of edge slots sorting each adjacency list by
+    neighbour degree, descending.
+
+    Fully vectorised: a single ``lexsort`` keyed by (segment, -degree)
+    reorders all |M| edge slots at once. Ties keep the original
+    (neighbour-id) order when ``stable`` so the transform is
+    deterministic.
+    """
+    if graph.num_edges == 0:
+        return np.zeros(0, dtype=np.int64)
+    seg = np.repeat(
+        np.arange(graph.num_vertices, dtype=np.int64), graph.degrees
+    )
+    neighbor_deg = graph.degrees[graph.col_indices]
+    if stable:
+        # lexsort is stable; last key is primary.
+        order = np.lexsort((np.arange(graph.num_edges), -neighbor_deg, seg))
+    else:
+        order = np.lexsort((-neighbor_deg, seg))
+    return order
+
+
+def rearrange_by_degree(graph: CSRGraph) -> CSRGraph:
+    """Return a copy of ``graph`` with every adjacency list sorted by
+    neighbour degree, descending (the paper's re-arrangement)."""
+    order = degree_descending_order(graph)
+    return graph.with_adjacency_order(order, name=f"{graph.name}+rearranged")
+
+
+def visit_probability(
+    degrees: np.ndarray | float, edges_visited: int, total_edges: int
+) -> np.ndarray:
+    """The paper's model: probability a vertex of degree ``d`` has been
+    touched once ``edges_visited`` of ``total_edges`` edges have been
+    traversed, ``1 - C(m - d, m_k)/C(m, m_k)``.
+
+    Uses the identity ``log C(a, b) = gammaln(a+1) - gammaln(b+1) -
+    gammaln(a-b+1)``; degrees larger than ``m - m_k`` get probability 1
+    exactly (the hypergeometric term vanishes).
+    """
+    d = np.asarray(degrees, dtype=np.float64)
+    m = float(total_edges)
+    mk = float(edges_visited)
+    if mk < 0 or m < 0 or mk > m:
+        raise GraphFormatError(
+            f"need 0 <= edges_visited <= total_edges, got {edges_visited}, {total_edges}"
+        )
+    if mk == 0:
+        return np.zeros_like(d)
+
+    def log_c(a: np.ndarray | float, b: float) -> np.ndarray:
+        a = np.asarray(a, dtype=np.float64)
+        return gammaln(a + 1.0) - gammaln(b + 1.0) - gammaln(a - b + 1.0)
+
+    with np.errstate(invalid="ignore"):
+        log_ratio = log_c(m - d, mk) - log_c(m, mk)
+    prob = 1.0 - np.exp(log_ratio)
+    # d > m - mk ⇒ C(m-d, mk) = 0 ⇒ certainly visited.
+    prob = np.where(d > m - mk, 1.0, prob)
+    return np.clip(prob, 0.0, 1.0)
+
+
+def expected_scan_length(
+    neighbor_degrees: np.ndarray, edges_visited: int, total_edges: int
+) -> float:
+    """Expected number of adjacency slots a bottom-up probe inspects
+    before early-terminating, for one vertex whose neighbours (in
+    storage order) have the given degrees.
+
+    Treating each neighbour independently with the paper's visit
+    probability, the scan inspects slot ``j`` iff neighbours ``0..j-1``
+    were all unvisited:  E[scan] = Σ_j Π_{i<j} (1 - p_i).  Sorting
+    neighbours by descending degree minimises this sum, which is the
+    formal statement of why the re-arrangement helps.
+    """
+    p = visit_probability(
+        np.asarray(neighbor_degrees, dtype=np.float64), edges_visited, total_edges
+    )
+    survival = np.cumprod(1.0 - p)
+    # Probability of inspecting slot 0 is 1; slot j>0 requires survival[j-1].
+    return float(1.0 + survival[:-1].sum()) if p.size else 0.0

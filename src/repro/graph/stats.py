@@ -1,0 +1,177 @@
+"""Graph/traversal statistics used across the evaluation.
+
+Two roles:
+
+* structural statistics (degree histogram, skew) used by dataset tests
+  to check each stand-in preserves its paper-relevant shape, and
+* frontier/ratio traces (Section V-C, Figure 6): for a given source,
+  the per-level ``ratio`` of edges to be expanded at the next level to
+  the total edge count — the quantity the adaptive classifier compares
+  against α.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import TraversalError
+from repro.graph.csr import CSRGraph
+
+__all__ = [
+    "DegreeSummary",
+    "degree_summary",
+    "bfs_levels_reference",
+    "LevelTrace",
+    "level_trace",
+    "ratio_trace_over_seeds",
+    "pick_sources",
+]
+
+
+@dataclass(frozen=True)
+class DegreeSummary:
+    """Compact degree-distribution fingerprint of a graph."""
+
+    min: int
+    max: int
+    mean: float
+    median: float
+    p99: float
+    gini: float
+
+    @property
+    def skewed(self) -> bool:
+        """Heuristic: power-law-ish graphs have Gini well above 0.3."""
+        return self.gini > 0.3
+
+
+def degree_summary(graph: CSRGraph) -> DegreeSummary:
+    """Summarise the out-degree distribution (vectorised)."""
+    deg = np.sort(graph.degrees.astype(np.float64))
+    n = deg.size
+    if n == 0:
+        raise TraversalError("cannot summarise an empty graph")
+    total = deg.sum()
+    if total == 0:
+        gini = 0.0
+    else:
+        # Gini via the sorted-values identity.
+        idx = np.arange(1, n + 1, dtype=np.float64)
+        gini = float((2.0 * (idx * deg).sum() / (n * total)) - (n + 1.0) / n)
+    return DegreeSummary(
+        min=int(deg[0]),
+        max=int(deg[-1]),
+        mean=float(total / n),
+        median=float(np.median(deg)),
+        p99=float(np.percentile(deg, 99)),
+        gini=gini,
+    )
+
+
+def bfs_levels_reference(graph: CSRGraph, source: int) -> np.ndarray:
+    """Simple vectorised level-synchronous BFS used as the shared oracle.
+
+    Returns an ``int32`` array of levels, ``-1`` for unreachable. This
+    deliberately lives outside the engine packages so every engine can
+    be checked against one implementation with no shared code.
+    """
+    n = graph.num_vertices
+    if not 0 <= source < n:
+        raise TraversalError(f"source {source} out of range [0, {n})")
+    levels = np.full(n, -1, dtype=np.int32)
+    levels[source] = 0
+    frontier = np.array([source], dtype=np.int64)
+    depth = 0
+    while frontier.size:
+        starts = graph.row_offsets[frontier]
+        counts = graph.degrees[frontier]
+        total = int(counts.sum())
+        if total == 0:
+            break
+        # Gather all neighbours of the frontier in one shot.
+        flat = np.repeat(starts + counts, 1)  # ends, reused below
+        idx = np.repeat(starts, counts) + (
+            np.arange(total) - np.repeat(np.cumsum(counts) - counts, counts)
+        )
+        neighbors = graph.col_indices[idx].astype(np.int64)
+        fresh = neighbors[levels[neighbors] == -1]
+        if fresh.size == 0:
+            break
+        fresh = np.unique(fresh)
+        depth += 1
+        levels[fresh] = depth
+        frontier = fresh
+    return levels
+
+
+@dataclass(frozen=True)
+class LevelTrace:
+    """Per-level traversal profile from one source (drives Fig 6)."""
+
+    source: int
+    frontier_sizes: np.ndarray  # vertices discovered at each level
+    frontier_edges: np.ndarray  # Σ degree over each level's frontier
+    total_edges: int
+
+    @property
+    def num_levels(self) -> int:
+        return int(self.frontier_sizes.size)
+
+    @property
+    def ratios(self) -> np.ndarray:
+        """Edges to expand at each level / total edges — the α input."""
+        return self.frontier_edges / max(1, self.total_edges)
+
+    @property
+    def log2_ratios(self) -> np.ndarray:
+        """Fig 6 plots ``log2(ratio)``; zero-edge levels map to -inf."""
+        with np.errstate(divide="ignore"):
+            return np.log2(self.ratios)
+
+    @property
+    def traversed_edges(self) -> int:
+        """Edges counted for GTEPS: total degree of all reached vertices."""
+        return int(self.frontier_edges.sum())
+
+
+def level_trace(graph: CSRGraph, source: int) -> LevelTrace:
+    """Compute the frontier-size/edge trace of a BFS from ``source``."""
+    levels = bfs_levels_reference(graph, source)
+    reached = levels >= 0
+    if not reached.any():
+        raise TraversalError(f"source {source} reaches nothing")
+    depth = int(levels[reached].max())
+    sizes = np.bincount(levels[reached], minlength=depth + 1)
+    deg = graph.degrees
+    edges = np.bincount(levels[reached], weights=deg[reached].astype(np.float64),
+                        minlength=depth + 1)
+    return LevelTrace(
+        source=source,
+        frontier_sizes=sizes.astype(np.int64),
+        frontier_edges=edges.astype(np.int64),
+        total_edges=graph.num_edges,
+    )
+
+
+def pick_sources(
+    graph: CSRGraph, num_sources: int, *, seed: int = 0, min_degree: int = 1
+) -> np.ndarray:
+    """Graph500-style source sampling: random vertices with degree >=
+    ``min_degree`` (isolated vertices make degenerate BFS runs)."""
+    candidates = np.flatnonzero(graph.degrees >= min_degree)
+    if candidates.size == 0:
+        raise TraversalError("no vertex satisfies the degree threshold")
+    rng = np.random.default_rng(seed)
+    take = min(num_sources, candidates.size)
+    return rng.choice(candidates, size=take, replace=False)
+
+
+def ratio_trace_over_seeds(
+    graph: CSRGraph, sources: Sequence[int]
+) -> list[LevelTrace]:
+    """Level traces from several sources; Fig 6 boxes the per-level
+    ratio spread across these."""
+    return [level_trace(graph, int(s)) for s in sources]

@@ -1,0 +1,59 @@
+"""Metrics and reporting: GTEPS, bandwidth efficiency, table rendering."""
+
+from repro.metrics.efficiency import (
+    EfficiencyReport,
+    efficiency_report,
+    predicted_memory_bytes,
+)
+from repro.metrics.graph500 import (
+    OFFICIAL_NUM_SOURCES,
+    Graph500Stats,
+    graph500_stats,
+)
+from repro.metrics.gteps import (
+    GCDS_PER_FRONTIER_NODE,
+    GRAPH500_FRONTIER_GTEPS,
+    GRAPH500_FRONTIER_NODES,
+    PAPER_HEADLINE_GTEPS,
+    graph500_frontier_per_gcd,
+    gteps,
+    traversed_edges,
+)
+from repro.metrics.results_io import (
+    MetricDrift,
+    diff_results,
+    load_results,
+    save_results,
+    summarize_batch,
+)
+from repro.metrics.tables import (
+    format_ratio,
+    level_totals_table,
+    render_table,
+    rocprof_table,
+)
+
+__all__ = [
+    "EfficiencyReport",
+    "efficiency_report",
+    "predicted_memory_bytes",
+    "gteps",
+    "Graph500Stats",
+    "graph500_stats",
+    "OFFICIAL_NUM_SOURCES",
+    "traversed_edges",
+    "GRAPH500_FRONTIER_GTEPS",
+    "GRAPH500_FRONTIER_NODES",
+    "GCDS_PER_FRONTIER_NODE",
+    "PAPER_HEADLINE_GTEPS",
+    "graph500_frontier_per_gcd",
+    "summarize_batch",
+    "save_results",
+    "load_results",
+    "diff_results",
+    "MetricDrift",
+    "render_table",
+    "rocprof_table",
+    "level_totals_table",
+    "format_ratio",
+]

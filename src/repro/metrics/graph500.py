@@ -1,0 +1,83 @@
+"""Graph500-style benchmark statistics.
+
+The official benchmark runs 64 BFS iterations from random sources,
+validates each traversal, and reports an order-statistics panel of the
+per-run TEPS values — with the *harmonic* mean as the headline (TEPS is
+a rate, so the harmonic mean is the one that corresponds to total work
+over total time). This module reproduces that reporting for any list of
+per-run (traversed_edges, elapsed_ms) results, so the library can emit
+a submission-shaped report (see ``examples/graph500_benchmark.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ExperimentError
+
+__all__ = ["Graph500Stats", "graph500_stats", "OFFICIAL_NUM_SOURCES"]
+
+#: BFS iterations an official submission performs.
+OFFICIAL_NUM_SOURCES = 64
+
+
+@dataclass(frozen=True)
+class Graph500Stats:
+    """The per-run TEPS order statistics Graph500 output reports."""
+
+    num_runs: int
+    min_gteps: float
+    firstquartile_gteps: float
+    median_gteps: float
+    thirdquartile_gteps: float
+    max_gteps: float
+    #: The headline number: total edges over total time.
+    harmonic_mean_gteps: float
+    #: Spread of the per-run rates.
+    stddev_gteps: float
+
+    def render(self) -> str:
+        rows = [
+            ("min_TEPS", self.min_gteps),
+            ("firstquartile_TEPS", self.firstquartile_gteps),
+            ("median_TEPS", self.median_gteps),
+            ("thirdquartile_TEPS", self.thirdquartile_gteps),
+            ("max_TEPS", self.max_gteps),
+            ("harmonic_mean_TEPS", self.harmonic_mean_gteps),
+            ("stddev_TEPS", self.stddev_gteps),
+        ]
+        width = max(len(k) for k, _ in rows)
+        return "\n".join(f"{k.ljust(width)}  {v:10.4f} GTEPS" for k, v in rows)
+
+
+def graph500_stats(
+    traversed_edges: np.ndarray, elapsed_ms: np.ndarray
+) -> Graph500Stats:
+    """Summarise per-run results the Graph500 way.
+
+    Parameters are aligned arrays: edges traversed and wall time per
+    BFS run. Runs traversing zero edges (degenerate sources) are
+    rejected — the official harness resamples such sources.
+    """
+    edges = np.asarray(traversed_edges, dtype=np.float64)
+    times = np.asarray(elapsed_ms, dtype=np.float64)
+    if edges.shape != times.shape or edges.ndim != 1 or edges.size == 0:
+        raise ExperimentError("need aligned non-empty per-run arrays")
+    if np.any(edges <= 0) or np.any(times <= 0):
+        raise ExperimentError(
+            "degenerate run (zero edges or zero time); resample sources"
+        )
+    gteps = edges / (times * 1e-3) / 1e9
+    harmonic = edges.sum() / (times.sum() * 1e-3) / 1e9 if times.sum() else 0.0
+    return Graph500Stats(
+        num_runs=int(edges.size),
+        min_gteps=float(gteps.min()),
+        firstquartile_gteps=float(np.percentile(gteps, 25)),
+        median_gteps=float(np.median(gteps)),
+        thirdquartile_gteps=float(np.percentile(gteps, 75)),
+        max_gteps=float(gteps.max()),
+        harmonic_mean_gteps=float(harmonic),
+        stddev_gteps=float(gteps.std()),
+    )

@@ -1,0 +1,60 @@
+"""Throughput metrics: traversed edges per second, Graph500 framing.
+
+The paper's headline unit is GTEPS per GCD; its motivating comparison
+is the June-2024 Graph500 entry for Frontier — a CPU implementation
+whose 29,654.6 GTEPS over 9,248 nodes × 8 GCDs works out to ~0.4 GTEPS
+per GCD, against which the 43 GTEPS single-GCD result argues the GPU
+headroom. Those literature constants live here so experiment output can
+print the comparison.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ExperimentError
+from repro.graph.csr import CSRGraph
+
+__all__ = [
+    "gteps",
+    "traversed_edges",
+    "GRAPH500_FRONTIER_GTEPS",
+    "GRAPH500_FRONTIER_NODES",
+    "GCDS_PER_FRONTIER_NODE",
+    "graph500_frontier_per_gcd",
+    "PAPER_HEADLINE_GTEPS",
+]
+
+#: Frontier's official Graph500 BFS result, June 2024 list.
+GRAPH500_FRONTIER_GTEPS = 29_654.6
+#: Nodes used for that submission.
+GRAPH500_FRONTIER_NODES = 9_248
+#: MI250X GCDs per Frontier node (4 GPUs x 2 GCDs).
+GCDS_PER_FRONTIER_NODE = 8
+#: The paper's single-GCD result on Rmat25.
+PAPER_HEADLINE_GTEPS = 43.0
+
+
+def graph500_frontier_per_gcd() -> float:
+    """The ~0.4 GTEPS/GCD figure the introduction derives."""
+    return GRAPH500_FRONTIER_GTEPS / (
+        GRAPH500_FRONTIER_NODES * GCDS_PER_FRONTIER_NODE
+    )
+
+
+def traversed_edges(graph: CSRGraph, levels: np.ndarray) -> int:
+    """Edges counted for TEPS: the out-degrees of all reached vertices
+    (each directed edge incident to the traversal counted once)."""
+    levels = np.asarray(levels)
+    if levels.shape != (graph.num_vertices,):
+        raise ExperimentError("levels array must have one entry per vertex")
+    return int(graph.degrees[levels >= 0].sum())
+
+
+def gteps(edges: int, elapsed_ms: float) -> float:
+    """Giga-TEPS from an edge count and a runtime in milliseconds."""
+    if elapsed_ms < 0:
+        raise ExperimentError(f"elapsed_ms must be >= 0, got {elapsed_ms}")
+    if elapsed_ms == 0:
+        return 0.0
+    return edges / (elapsed_ms * 1e-3) / 1e9

@@ -1,0 +1,105 @@
+"""Result persistence: run summaries to JSON, and regression diffing.
+
+The benchmark harness is deterministic, so two runs of the same
+experiment at the same scale should produce identical modelled numbers
+— any drift is a model change. :func:`summarize_batch` reduces a batch
+to a compact JSON-able record, :func:`save_results`/:func:`load_results`
+round-trip a set of them, and :func:`diff_results` reports per-metric
+relative drift between two saved sets (used by
+``tools/check_regression.py``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = [
+    "summarize_batch",
+    "save_results",
+    "load_results",
+    "MetricDrift",
+    "diff_results",
+]
+
+
+def summarize_batch(name: str, batch) -> dict:
+    """Reduce an XBFS/baseline batch to a JSON-able summary.
+
+    Works with anything exposing ``runs`` whose elements carry
+    ``elapsed_ms`` / ``traversed_edges`` / ``depth`` (both
+    :class:`~repro.xbfs.driver.BatchResult` and
+    :class:`~repro.baselines.base.BaselineBatch` qualify).
+    """
+    runs = list(batch.runs)
+    steady = [r for r in runs if not getattr(r, "paid_warmup", False)] or runs
+    total_ms = sum(r.elapsed_ms for r in steady)
+    total_edges = sum(r.traversed_edges for r in steady)
+    return {
+        "name": name,
+        "runs": len(runs),
+        "steady_runs": len(steady),
+        "steady_gteps": (
+            total_edges / (total_ms * 1e-3) / 1e9 if total_ms > 0 else 0.0
+        ),
+        "mean_elapsed_ms": total_ms / max(1, len(steady)),
+        "mean_depth": sum(r.depth for r in steady) / max(1, len(steady)),
+        "total_traversed_edges": int(total_edges),
+    }
+
+
+def save_results(summaries: list[dict], path: str | Path) -> None:
+    """Write a list of summaries as pretty JSON."""
+    Path(path).write_text(json.dumps(summaries, indent=2, sort_keys=True) + "\n")
+
+
+def load_results(path: str | Path) -> list[dict]:
+    """Read summaries written by :func:`save_results`."""
+    return json.loads(Path(path).read_text())
+
+
+@dataclass(frozen=True)
+class MetricDrift:
+    """One metric's movement between a baseline and a candidate run."""
+
+    name: str
+    metric: str
+    baseline: float
+    candidate: float
+
+    @property
+    def relative(self) -> float:
+        if self.baseline == 0:
+            return 0.0 if self.candidate == 0 else float("inf")
+        return (self.candidate - self.baseline) / self.baseline
+
+
+#: Metrics compared by :func:`diff_results`.
+_COMPARED = ("steady_gteps", "mean_elapsed_ms", "mean_depth", "total_traversed_edges")
+
+
+def diff_results(
+    baseline: list[dict], candidate: list[dict], *, tolerance: float = 0.05
+) -> list[MetricDrift]:
+    """Drifts exceeding ``tolerance`` (relative) between two result sets.
+
+    Entries are matched by ``name``; names present on only one side are
+    reported as a full drift on the ``runs`` metric so they cannot slip
+    through silently.
+    """
+    base_by = {e["name"]: e for e in baseline}
+    cand_by = {e["name"]: e for e in candidate}
+    drifts: list[MetricDrift] = []
+    for name in sorted(set(base_by) | set(cand_by)):
+        b, c = base_by.get(name), cand_by.get(name)
+        if b is None or c is None:
+            drifts.append(
+                MetricDrift(name, "runs", float(bool(b)), float(bool(c)))
+            )
+            continue
+        for metric in _COMPARED:
+            d = MetricDrift(name, metric, float(b[metric]), float(c[metric]))
+            if abs(d.relative) > tolerance:
+                drifts.append(d)
+    return drifts

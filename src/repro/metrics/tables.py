@@ -1,0 +1,116 @@
+"""Plain-text table rendering for experiment output.
+
+Every benchmark prints its table/figure in the same row layout the
+paper uses, via these helpers; EXPERIMENTS.md is assembled from the
+same strings, so what the harness prints is what the document records.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.gcd.kernel import KernelRecord
+from repro.gcd.profiler import LevelSummary
+
+__all__ = ["render_table", "rocprof_table", "level_totals_table", "format_ratio"]
+
+
+def format_ratio(ratio: float) -> str:
+    """Ratios the way the paper prints them: scientific notation for
+    tiny values, plain decimals near the peak."""
+    if ratio == 0.0:
+        return "0"
+    if ratio >= 0.01:
+        return f"{ratio:.3f}"
+    return f"{ratio:.2e}"
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Fixed-width ASCII table; every cell stringified, right-aligned
+    numbers, left-aligned first column."""
+    str_rows = [[_cell(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt(cells: Sequence[str]) -> str:
+        out = []
+        for i, cell in enumerate(cells):
+            out.append(cell.ljust(widths[i]) if i == 0 else cell.rjust(widths[i]))
+        return "  ".join(out)
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt(list(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:,.3f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def rocprof_table(records: Sequence[KernelRecord], *, title: str) -> str:
+    """Tables III–V layout: one row per kernel launch."""
+    rows = [
+        [
+            r.name,
+            format_ratio(r.ratio),
+            r.level,
+            f"{r.runtime_ms:.3f}",
+            f"{r.l2_hit_pct:.3f}",
+            f"{r.mem_busy_pct:.3f}",
+            f"{r.fetch_kb:,.3f}",
+        ]
+        for r in records
+    ]
+    return render_table(
+        ["Kernel", "Ratio", "Level", "Runtime (ms)", "L2 (%)", "MBusy (%)", "FS (KB)"],
+        rows,
+        title=title,
+    )
+
+
+def level_totals_table(
+    summaries_by_strategy: dict[str, Sequence[LevelSummary]], *, title: str
+) -> str:
+    """Table VI layout: per level, ``fetch_MB / runtime_ms`` per strategy,
+    with the per-level winner (lowest runtime) marked ``*``."""
+    strategies = list(summaries_by_strategy)
+    levels = sorted(
+        {s.level for summaries in summaries_by_strategy.values() for s in summaries}
+    )
+    index = {
+        name: {s.level: s for s in summaries}
+        for name, summaries in summaries_by_strategy.items()
+    }
+    rows = []
+    for level in levels:
+        cells: list[object] = [level]
+        runtimes = {
+            name: index[name][level].runtime_ms
+            for name in strategies
+            if level in index[name]
+        }
+        winner = min(runtimes, key=runtimes.get) if runtimes else None
+        for name in strategies:
+            s = index[name].get(level)
+            if s is None:
+                cells.append("-")
+            else:
+                mark = " *" if name == winner else ""
+                cells.append(f"{s.fetch_mb:,.3f} / {s.runtime_ms:.2f}{mark}")
+        rows.append(cells)
+    return render_table(["Level", *strategies], rows, title=title)

@@ -1,0 +1,28 @@
+"""Multi-GCD extension: 1D-partitioned distributed BFS over several
+simulated GCDs with an α–β interconnect model (the paper's Graph500
+motivation carried one step further)."""
+
+from repro.multigcd.comm import INFINITY_FABRIC, SLINGSHOT, InterconnectModel
+from repro.multigcd.distributed_bfs import DistributedResult, MultiGcdBFS
+from repro.multigcd.grid2d import Grid2dBFS, Grid2dResult
+from repro.multigcd.topology import FRONTIER_NODE_GCDS, TwoTierInterconnect
+from repro.multigcd.partition import (
+    Partition1D,
+    partition_by_edges,
+    partition_by_vertices,
+)
+
+__all__ = [
+    "InterconnectModel",
+    "INFINITY_FABRIC",
+    "SLINGSHOT",
+    "TwoTierInterconnect",
+    "FRONTIER_NODE_GCDS",
+    "MultiGcdBFS",
+    "Grid2dBFS",
+    "Grid2dResult",
+    "DistributedResult",
+    "Partition1D",
+    "partition_by_edges",
+    "partition_by_vertices",
+]

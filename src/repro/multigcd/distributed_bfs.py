@@ -1,0 +1,368 @@
+"""Level-synchronous distributed BFS over multiple simulated GCDs.
+
+This is the extension the paper motivates ("a solid basis for
+distributed BFS on AMD GPUs"): 1D-partitioned BFS in the Graph500
+style, with each partition expanded on its own simulated GCD and
+remote discoveries exchanged through the α–β interconnect model.
+
+Per level, on every GCD: expand the locally-owned slice of the frontier
+(one top-down kernel, costed by the same substrate XBFS uses), bucket
+discoveries by owner, all-to-all, then owners deduplicate and update
+their status slice. Wall-clock per level is the *slowest* GCD's kernel
+time (bulk-synchronous) plus the exchange plus one sync.
+
+With ``direction_alpha`` set, peak levels run *bottom-up* the way
+distributed Graph500 codes do: every GCD first contributes its owned
+slice of the frontier bitmap to an allgather (a fixed ``|V|/8``-byte
+exchange instead of a frontier-proportional one), then scans its own
+unvisited vertices' incoming edges against the replicated bitmap —
+discoveries are locally owned by construction, so no second exchange
+is needed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import PartitionError, TraversalError
+from repro.gcd.atomics import AtomicStats
+from repro.gcd.device import DeviceProfile, MI250X_GCD
+from repro.gcd.kernel import ComputeWork, ExecConfig
+from repro.gcd.memory import rand_read, rand_write, segmented_read, seq_read, seq_write
+from repro.gcd.simulator import GCD
+from repro.graph.csr import CSRGraph
+from repro.multigcd.comm import INFINITY_FABRIC, InterconnectModel
+from repro.multigcd.partition import Partition1D, partition_by_edges
+from repro.xbfs.common import UNVISITED, gather_neighbors, segment_lines_touched
+
+__all__ = ["MultiGcdBFS", "DistributedResult"]
+
+#: Bytes per exchanged frontier vertex id.
+_ID_BYTES = 4
+
+
+@dataclass
+class DistributedResult:
+    """Outcome of one distributed BFS run."""
+
+    source: int
+    levels: np.ndarray
+    elapsed_ms: float
+    comm_ms: float
+    compute_ms: float
+    bytes_exchanged: int
+    traversed_edges: int
+    num_gcds: int
+    per_level_comm_bytes: list[int] = field(default_factory=list)
+
+    @property
+    def gteps(self) -> float:
+        if self.elapsed_ms <= 0:
+            return 0.0
+        return self.traversed_edges / (self.elapsed_ms * 1e-3) / 1e9
+
+    @property
+    def comm_fraction(self) -> float:
+        return self.comm_ms / self.elapsed_ms if self.elapsed_ms > 0 else 0.0
+
+
+class MultiGcdBFS:
+    """Bulk-synchronous 1D-partitioned BFS across N simulated GCDs."""
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        num_gcds: int,
+        *,
+        device: DeviceProfile = MI250X_GCD,
+        config: ExecConfig | None = None,
+        interconnect: InterconnectModel = INFINITY_FABRIC,
+        partition: Partition1D | None = None,
+        direction_alpha: float | None = None,
+        straggler_slowdown: dict[int, float] | None = None,
+    ) -> None:
+        if num_gcds < 1:
+            raise PartitionError(f"num_gcds must be >= 1, got {num_gcds}")
+        if direction_alpha is not None and not 0 < direction_alpha <= 1:
+            raise PartitionError("direction_alpha must be in (0, 1]")
+        if straggler_slowdown:
+            for g, f in straggler_slowdown.items():
+                if not 0 <= g < num_gcds:
+                    raise PartitionError(f"straggler gcd {g} out of range")
+                if f < 1.0:
+                    raise PartitionError("straggler factors must be >= 1")
+        #: Per-GCD kernel-time multipliers modelling degraded dies
+        #: (thermal throttling, a flaky HBM stack): in a bulk-synchronous
+        #: run every level waits for the slowest GCD, so a single
+        #: straggler poisons the whole machine — the classic BSP
+        #: sensitivity the Graph500 operations teams fight.
+        self.straggler_slowdown = dict(straggler_slowdown or {})
+        self.direction_alpha = direction_alpha
+        self._reverse: "CSRGraph | None" = None
+        self.graph = graph
+        self.num_gcds = num_gcds
+        self.device = device
+        self.config = config or ExecConfig()
+        self.interconnect = interconnect
+        self.partition = partition or partition_by_edges(graph, num_gcds)
+        if self.partition.num_vertices != graph.num_vertices:
+            raise PartitionError("partition does not cover the graph")
+        self._gcds: list[GCD] | None = None
+
+    @property
+    def reverse_graph(self) -> CSRGraph:
+        """Transpose adjacency for the bottom-up direction (lazy)."""
+        if self._reverse is None:
+            self._reverse = self.graph.reverse()
+        return self._reverse
+
+    # ------------------------------------------------------------------
+    def _bottom_up_level(
+        self,
+        gcds: list[GCD],
+        levels: np.ndarray,
+        frontier: np.ndarray,
+        level: int,
+    ) -> tuple[float, float, int, np.ndarray]:
+        """One distributed bottom-up level.
+
+        Phase 1: allgather the frontier bitmap — every GCD ships its
+        owned slice (|owned|/8 bytes) to every peer. Phase 2: each GCD
+        scans its owned unvisited vertices' incoming edges against the
+        replicated bitmap with early termination; discoveries are owned
+        locally, so there is no discovery exchange.
+
+        Returns (kernel_ms, comm_ms, comm_bytes, claimed_vertices).
+        """
+        from repro.xbfs.common import (
+            first_match_per_segment,
+            segment_lines_touched,
+            wavefront_serialized_steps,
+        )
+
+        graph = self.graph
+        incoming = self.reverse_graph
+        part = self.partition
+        p = self.num_gcds
+        line = self.device.cache_line_bytes
+        wf = self.device.wavefront_size
+
+        # Phase 1: bitmap allgather.
+        bytes_matrix = np.zeros((p, p), dtype=np.int64)
+        for g in range(p):
+            lo, hi = part.owned_range(g)
+            slice_bytes = -(-(hi - lo) // 8)
+            bytes_matrix[g, :] = slice_bytes
+            np.fill_diagonal(bytes_matrix, 0)
+        comm_ms = self.interconnect.alltoall_ms(bytes_matrix)
+        comm_bytes = int(bytes_matrix.sum())
+
+        in_frontier = np.zeros(graph.num_vertices, dtype=bool)
+        in_frontier[frontier] = True
+
+        # Phase 2: local bottom-up expands.
+        kernel_ms = 0.0
+        claimed: list[np.ndarray] = []
+        for g in range(p):
+            lo, hi = part.owned_range(g)
+            local_unvisited = (lo + np.flatnonzero(levels[lo:hi] == -1)).astype(
+                np.int64
+            )
+            before = gcds[g].elapsed_ms
+            if local_unvisited.size:
+                degs = incoming.degrees[local_unvisited]
+                nbrs, _ = gather_neighbors(incoming, local_unvisited)
+                match = in_frontier[nbrs]
+                first = first_match_per_segment(match, degs)
+                found = first >= 0
+                scan_len = np.where(found, first + 1, degs)
+                edges = int(scan_len.sum())
+                adj_lines = segment_lines_touched(
+                    incoming.row_offsets[local_unvisited], scan_len,
+                    element_bytes=4, line_bytes=line,
+                )
+                gcds[g].launch(
+                    "dist_bu_expand",
+                    strategy="multigcd",
+                    level=level,
+                    streams=[
+                        seq_read("status", hi - lo, 4),
+                        segmented_read("adj_list", edges, adj_lines, 4),
+                        rand_read(
+                            "frontier_bitmap",
+                            edges,
+                            -(-graph.num_vertices // 8),
+                            1,
+                        ),
+                        rand_write("status", int(found.sum()), int(found.sum()), 4),
+                    ],
+                    work=ComputeWork(
+                        flat_ops=float(local_unvisited.size),
+                        divergent_probes=float(
+                            wavefront_serialized_steps(scan_len, wf)
+                        ),
+                    ),
+                    work_items=int(local_unvisited.size),
+                    bottom_up=True,
+                )
+                gcds[g].sync()
+                claimed.append(local_unvisited[found])
+            factor = self.straggler_slowdown.get(g, 1.0)
+            kernel_ms = max(kernel_ms, (gcds[g].elapsed_ms - before) * factor)
+
+        claim = (
+            np.concatenate(claimed) if claimed else np.zeros(0, dtype=np.int64)
+        )
+        return kernel_ms, comm_ms, comm_bytes, np.sort(claim)
+
+    # ------------------------------------------------------------------
+    def run(self, source: int) -> DistributedResult:
+        graph = self.graph
+        part = self.partition
+        p = self.num_gcds
+        if not 0 <= source < graph.num_vertices:
+            raise TraversalError(f"source {source} out of range")
+        if self._gcds is None:
+            self._gcds = [GCD(self.device, self.config) for _ in range(p)]
+        else:
+            for g in self._gcds:
+                g.reset(keep_warm=True)
+        gcds = self._gcds
+
+        levels = np.full(graph.num_vertices, -1, dtype=np.int32)
+        levels[source] = 0
+        frontier = np.array([source], dtype=np.int64)
+        level = 0
+        elapsed = 0.0
+        comm_total = 0.0
+        compute_total = 0.0
+        bytes_total = 0
+        per_level_bytes: list[int] = []
+        line = self.device.cache_line_bytes
+        wf = self.device.wavefront_size
+
+        while frontier.size:
+            frontier_edges = int(graph.degrees[frontier].sum())
+            ratio = frontier_edges / max(1, graph.num_edges)
+            if (
+                self.direction_alpha is not None
+                and ratio > self.direction_alpha
+            ):
+                bu_ms, bu_comm_ms, bu_bytes, claim = self._bottom_up_level(
+                    gcds, levels, frontier, level
+                )
+                per_level_bytes.append(bu_bytes)
+                bytes_total += bu_bytes
+                comm_total += bu_comm_ms
+                compute_total += bu_ms
+                elapsed += bu_ms + bu_comm_ms
+                levels[claim] = level + 1
+                frontier = claim
+                level += 1
+                continue
+            owners = part.owner_of(frontier)
+            level_kernel_ms = 0.0
+            bytes_matrix = np.zeros((p, p), dtype=np.int64)
+            discoveries: list[np.ndarray] = []
+            for g in range(p):
+                local = frontier[owners == g]
+                before = gcds[g].elapsed_ms
+                if local.size:
+                    neighbors, _ = gather_neighbors(graph, local)
+                    e_f = int(neighbors.size)
+                    fresh = neighbors[levels[neighbors] == UNVISITED]
+                    fresh = np.unique(fresh).astype(np.int64)
+                    adj_lines = segment_lines_touched(
+                        graph.row_offsets[local], graph.degrees[local],
+                        element_bytes=4, line_bytes=line,
+                    )
+                    append_ops = -(-int(fresh.size) // wf) if fresh.size else 0
+                    gcds[g].launch(
+                        "dist_expand",
+                        strategy="multigcd",
+                        level=level,
+                        streams=[
+                            seq_read("frontier", int(local.size), 4),
+                            rand_read("beg_pos", 2 * int(local.size), 2 * int(local.size), 8),
+                            segmented_read("adj_list", e_f, adj_lines, 4),
+                            rand_read("status", e_f, graph.num_vertices, 4),
+                            seq_write("send_buffers", int(fresh.size), _ID_BYTES),
+                        ],
+                        work=ComputeWork(
+                            flat_ops=float(e_f + local.size),
+                            atomics=AtomicStats(
+                                operations=append_ops,
+                                conflicts=max(0, append_ops - 1),
+                                distinct_addresses=min(p, append_ops) if append_ops else 0,
+                            ),
+                        ),
+                        work_items=int(local.size),
+                    )
+                    gcds[g].sync()
+                    dest = part.owner_of(fresh)
+                    counts = np.bincount(dest, minlength=p)
+                    bytes_matrix[g, :] = counts * _ID_BYTES
+                    discoveries.append(fresh)
+                factor = self.straggler_slowdown.get(g, 1.0)
+                level_kernel_ms = max(
+                    level_kernel_ms, (gcds[g].elapsed_ms - before) * factor
+                )
+
+            comm_ms = self.interconnect.alltoall_ms(bytes_matrix)
+            level_bytes = int(bytes_matrix.sum() - np.trace(bytes_matrix))
+            per_level_bytes.append(level_bytes)
+            bytes_total += level_bytes
+            comm_total += comm_ms
+            compute_total += level_kernel_ms
+            elapsed += level_kernel_ms + comm_ms
+
+            if discoveries:
+                incoming = np.unique(np.concatenate(discoveries))
+                claim = incoming[levels[incoming] == UNVISITED]
+            else:
+                claim = np.zeros(0, dtype=np.int64)
+            # Owners deduplicate and claim: a small scatter on each GCD.
+            if claim.size:
+                claim_owner = part.owner_of(claim)
+                update_ms = 0.0
+                for g in range(p):
+                    mine = claim[claim_owner == g]
+                    if not mine.size:
+                        continue
+                    before = gcds[g].elapsed_ms
+                    gcds[g].launch(
+                        "dist_update",
+                        strategy="multigcd",
+                        level=level,
+                        streams=[
+                            seq_read("recv_buffers", int(mine.size), _ID_BYTES),
+                            rand_write("status", int(mine.size), int(mine.size), 4),
+                        ],
+                        work=ComputeWork(flat_ops=float(mine.size)),
+                        work_items=int(mine.size),
+                    )
+                    gcds[g].sync()
+                    factor = self.straggler_slowdown.get(g, 1.0)
+                    update_ms = max(
+                        update_ms, (gcds[g].elapsed_ms - before) * factor
+                    )
+                compute_total += update_ms
+                elapsed += update_ms
+            levels[claim] = level + 1
+            frontier = claim
+            level += 1
+
+        reached = levels >= 0
+        return DistributedResult(
+            source=source,
+            levels=levels,
+            elapsed_ms=elapsed,
+            comm_ms=comm_total,
+            compute_ms=compute_total,
+            bytes_exchanged=bytes_total,
+            traversed_edges=int(graph.degrees[reached].sum()),
+            num_gcds=p,
+            per_level_comm_bytes=per_level_bytes,
+        )

@@ -1,0 +1,234 @@
+"""2D (checkerboard) partitioned distributed BFS.
+
+The 1D row decomposition in :mod:`repro.multigcd.distributed_bfs`
+exchanges discovered *vertices* all-to-all, which stops scaling once
+the frontier spans the machine. Production Graph500 codes (Buluç &
+Madduri's lineage, which the related-work section cites as [6]) use a
+**2D decomposition** instead: the adjacency matrix is tiled over an
+R×C processor grid; a BFS level is then
+
+1. an **allgather along columns** of the frontier slice (every tile in
+   a column needs the frontier bits of the rows it multiplies), then
+2. local tile expansion, then
+3. a **reduce-scatter along rows** of the discovery bits to the owner.
+
+Communication involves only the √P-sized processor rows/columns rather
+than all P peers — the classic volume argument (O(|V|/√P) words per
+GCD per level instead of O(|V|)).
+
+Functionally the engine is exact (validated against the oracle); the
+cost model charges each phase on its sub-communicator.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import PartitionError, TraversalError
+from repro.gcd.device import DeviceProfile, MI250X_GCD
+from repro.gcd.kernel import ComputeWork, ExecConfig
+from repro.gcd.memory import rand_read, rand_write, segmented_read, seq_read, seq_write
+from repro.gcd.simulator import GCD
+from repro.graph.csr import CSRGraph
+from repro.multigcd.comm import INFINITY_FABRIC, InterconnectModel
+from repro.xbfs.common import gather_neighbors, segment_lines_touched
+
+__all__ = ["Grid2dBFS", "Grid2dResult"]
+
+
+@dataclass
+class Grid2dResult:
+    """Outcome of one 2D-partitioned BFS run."""
+
+    source: int
+    levels: np.ndarray
+    elapsed_ms: float
+    comm_ms: float
+    compute_ms: float
+    #: Bytes moved by the column allgathers.
+    allgather_bytes: int
+    #: Bytes moved by the row reduce-scatters.
+    reduce_bytes: int
+    grid: tuple[int, int]
+    per_level_comm_bytes: list[int] = field(default_factory=list)
+
+    @property
+    def gteps(self) -> float:
+        if self.elapsed_ms <= 0:
+            return 0.0
+        reached = self.levels >= 0
+        # traversed edges are attached by the engine via _traversed.
+        return self._traversed / (self.elapsed_ms * 1e-3) / 1e9
+
+    _traversed: int = 0
+
+    @property
+    def comm_fraction(self) -> float:
+        return self.comm_ms / self.elapsed_ms if self.elapsed_ms > 0 else 0.0
+
+
+def _square_grid(p: int) -> tuple[int, int]:
+    """Largest R x C = p with R <= C and R as close to sqrt(p) as possible."""
+    r = int(math.isqrt(p))
+    while r > 1 and p % r:
+        r -= 1
+    return r, p // r
+
+
+class Grid2dBFS:
+    """Bulk-synchronous BFS on an R×C GCD grid.
+
+    Vertices are split into C column blocks (frontier ownership) and R
+    row blocks (discovery ownership); tile (i, j) holds the edges from
+    row block i's vertices to column block j's vertices. ``num_gcds``
+    must factor into a grid (a square count is ideal).
+    """
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        num_gcds: int,
+        *,
+        device: DeviceProfile = MI250X_GCD,
+        config: ExecConfig | None = None,
+        interconnect: InterconnectModel = INFINITY_FABRIC,
+    ) -> None:
+        if num_gcds < 1:
+            raise PartitionError(f"num_gcds must be >= 1, got {num_gcds}")
+        self.graph = graph
+        self.device = device
+        self.config = config or ExecConfig()
+        self.interconnect = interconnect
+        self.rows, self.cols = _square_grid(num_gcds)
+        self.num_gcds = num_gcds
+        n = graph.num_vertices
+        #: Vertex block boundaries along each grid dimension.
+        self.row_bounds = np.linspace(0, n, self.rows + 1).astype(np.int64)
+        self.col_bounds = np.linspace(0, n, self.cols + 1).astype(np.int64)
+        self._gcds: list[GCD] | None = None
+
+    # ------------------------------------------------------------------
+    def _subcomm_cost(self, peers: int, bytes_per_peer: float) -> float:
+        """α-β cost of an allgather/reduce-scatter over ``peers`` ranks."""
+        if peers <= 1 or bytes_per_peer <= 0:
+            return 0.0
+        m = np.full((peers, peers), bytes_per_peer, dtype=np.float64)
+        np.fill_diagonal(m, 0.0)
+        return self.interconnect.alltoall_ms(m)
+
+    def run(self, source: int) -> Grid2dResult:
+        graph = self.graph
+        n = graph.num_vertices
+        if not 0 <= source < n:
+            raise TraversalError(f"source {source} out of range")
+        if self._gcds is None:
+            self._gcds = [GCD(self.device, self.config) for _ in range(self.num_gcds)]
+        else:
+            for g in self._gcds:
+                g.reset(keep_warm=True)
+        gcds = self._gcds
+
+        levels = np.full(n, -1, dtype=np.int32)
+        levels[source] = 0
+        frontier = np.array([source], dtype=np.int64)
+        level = 0
+        elapsed = comm_total = compute_total = 0.0
+        allgather_bytes = reduce_bytes = 0
+        per_level: list[int] = []
+        line = self.device.cache_line_bytes
+
+        while frontier.size:
+            # Phase 1: column allgather of frontier bits — every tile
+            # column shares the frontier slice of its vertex block.
+            slice_bits = -(-n // self.cols) // 8
+            ag_ms = self._subcomm_cost(self.rows, slice_bits)
+            ag_bytes = slice_bits * self.rows * (self.rows - 1) * self.cols
+            allgather_bytes += ag_bytes
+
+            # Phase 2: local tile expansion. Tile (i, j) expands the
+            # frontier vertices in column block j whose out-edges land
+            # in row block i; we charge each tile its share of the
+            # frontier's adjacency.
+            neighbors, owner = gather_neighbors(graph, frontier)
+            fresh_mask = levels[neighbors] == -1
+            discovered = np.unique(neighbors[fresh_mask]).astype(np.int64)
+            tile_ms = 0.0
+            col_of_frontier = np.searchsorted(
+                self.col_bounds, frontier, side="right"
+            ) - 1
+            row_of_neighbor = np.searchsorted(
+                self.row_bounds, neighbors, side="right"
+            ) - 1
+            for i in range(self.rows):
+                for j in range(self.cols):
+                    g = i * self.cols + j
+                    in_tile = (row_of_neighbor == i) & (
+                        col_of_frontier[owner] == j
+                    )
+                    e_tile = int(np.count_nonzero(in_tile))
+                    if e_tile == 0:
+                        continue
+                    local_frontier = np.unique(frontier[owner[in_tile]])
+                    before = gcds[g].elapsed_ms
+                    adj_lines = segment_lines_touched(
+                        graph.row_offsets[local_frontier],
+                        graph.degrees[local_frontier],
+                        element_bytes=4,
+                        line_bytes=line,
+                    )
+                    gcds[g].launch(
+                        "g2d_tile_expand",
+                        strategy="grid2d",
+                        level=level,
+                        streams=[
+                            seq_read("frontier_bits", slice_bits, 1),
+                            rand_read(
+                                "beg_pos",
+                                2 * int(local_frontier.size),
+                                2 * int(local_frontier.size),
+                                8,
+                            ),
+                            segmented_read("tile_cols", e_tile, adj_lines, 4),
+                            rand_write(
+                                "discovery_bits", e_tile, -(-n // self.rows) // 8, 1
+                            ),
+                        ],
+                        work=ComputeWork(flat_ops=float(e_tile + local_frontier.size)),
+                        work_items=int(local_frontier.size),
+                    )
+                    gcds[g].sync()
+                    tile_ms = max(tile_ms, gcds[g].elapsed_ms - before)
+
+            # Phase 3: row reduce-scatter of discovery bits to owners.
+            row_bits = -(-n // self.rows) // 8
+            rs_ms = self._subcomm_cost(self.cols, row_bits)
+            rs_bytes = row_bits * self.cols * (self.cols - 1) * self.rows
+            reduce_bytes += rs_bytes
+
+            comm_ms = ag_ms + rs_ms
+            comm_total += comm_ms
+            compute_total += tile_ms
+            elapsed += comm_ms + tile_ms
+            per_level.append(ag_bytes + rs_bytes)
+
+            levels[discovered] = level + 1
+            frontier = discovered
+            level += 1
+
+        reached = levels >= 0
+        result = Grid2dResult(
+            source=source,
+            levels=levels,
+            elapsed_ms=elapsed,
+            comm_ms=comm_total,
+            compute_ms=compute_total,
+            allgather_bytes=allgather_bytes,
+            reduce_bytes=reduce_bytes,
+            grid=(self.rows, self.cols),
+            per_level_comm_bytes=per_level,
+        )
+        result._traversed = int(graph.degrees[reached].sum())
+        return result

@@ -1,0 +1,72 @@
+"""XBFS core: adaptive frontier-queue generation BFS.
+
+Public surface: :class:`~repro.xbfs.driver.XBFS` (the engine),
+:class:`~repro.xbfs.classifier.AdaptiveClassifier` (the α/growth
+strategy selector), the three strategy modules, and the status/frontier
+primitives they share.
+"""
+
+from repro.xbfs import bottom_up, scan_free, single_scan
+from repro.xbfs.classifier import (
+    BOTTOM_UP,
+    SCAN_FREE,
+    SINGLE_SCAN,
+    AdaptiveClassifier,
+    Decision,
+)
+from repro.xbfs.common import UNVISITED
+from repro.xbfs.autotune import PARAMETER_GRID, TuneResult, autotune_classifier
+from repro.xbfs.concurrent import MAX_CONCURRENT, ConcurrentBFS, ConcurrentResult
+from repro.xbfs.driver import BatchResult, XBFS, XBFSResult
+from repro.xbfs.frontier import FrontierQueue, sorted_queue_from_mask
+from repro.xbfs.level import LevelResult
+from repro.xbfs.predictor import LevelPrediction, predict_level_costs, predict_schedule
+from repro.xbfs.status import StatusArray
+from repro.xbfs.tuning import (
+    StrategyRuntimePoint,
+    alpha_sweep,
+    best_alpha,
+    strategy_runtime_vs_ratio,
+)
+from repro.xbfs.workload import (
+    DegreeBins,
+    balanced_scan_lengths,
+    classify_frontier,
+    split_for_streams,
+)
+
+__all__ = [
+    "XBFS",
+    "XBFSResult",
+    "BatchResult",
+    "AdaptiveClassifier",
+    "Decision",
+    "SCAN_FREE",
+    "SINGLE_SCAN",
+    "BOTTOM_UP",
+    "UNVISITED",
+    "ConcurrentBFS",
+    "ConcurrentResult",
+    "MAX_CONCURRENT",
+    "autotune_classifier",
+    "TuneResult",
+    "PARAMETER_GRID",
+    "StatusArray",
+    "LevelPrediction",
+    "predict_level_costs",
+    "predict_schedule",
+    "FrontierQueue",
+    "sorted_queue_from_mask",
+    "LevelResult",
+    "scan_free",
+    "single_scan",
+    "bottom_up",
+    "DegreeBins",
+    "classify_frontier",
+    "split_for_streams",
+    "balanced_scan_lengths",
+    "StrategyRuntimePoint",
+    "strategy_runtime_vs_ratio",
+    "best_alpha",
+    "alpha_sweep",
+]

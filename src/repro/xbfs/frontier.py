@@ -1,0 +1,70 @@
+"""Frontier queues.
+
+Two queue flavours appear in XBFS:
+
+* the *atomic-append* queue the scan-free and single-scan strategies
+  fill with ``atomicAdd`` on a shared tail (enqueue order is whatever
+  the hardware interleaving produced — we use attempt order, which is
+  deterministic and level-equivalent), and
+* the *globally sorted* queue the bottom-up double-scan builds via
+  per-segment counts + prefix sum, whose defining property is that
+  entries appear in ascending vertex id.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import TraversalError
+from repro.gcd.atomics import AtomicStats, atomic_append
+
+__all__ = ["FrontierQueue", "sorted_queue_from_mask"]
+
+
+class FrontierQueue:
+    """Fixed-capacity vertex queue with an atomic tail counter."""
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise TraversalError("queue capacity must be positive")
+        self._data = np.zeros(capacity, dtype=np.int64)
+        self._tail = 0
+        self.atomic_stats = AtomicStats()
+
+    @property
+    def capacity(self) -> int:
+        return self._data.size
+
+    def __len__(self) -> int:
+        return self._tail
+
+    def append(self, items: np.ndarray) -> AtomicStats:
+        """Atomic-append a batch; returns the atomic traffic incurred."""
+        new_tail, stats = atomic_append(self._data, self._tail, np.asarray(items))
+        self._tail = new_tail
+        self.atomic_stats = self.atomic_stats.merge(stats)
+        return stats
+
+    def as_array(self) -> np.ndarray:
+        """Read-only view of the enqueued prefix."""
+        view = self._data[: self._tail]
+        view.setflags(write=False)
+        return view
+
+    def reset(self) -> None:
+        self._tail = 0
+
+    @classmethod
+    def of(cls, items: np.ndarray, *, capacity: int | None = None) -> "FrontierQueue":
+        items = np.asarray(items, dtype=np.int64)
+        q = cls(max(1, capacity if capacity is not None else max(1, items.size)))
+        if items.size:
+            q.append(items)
+        return q
+
+
+def sorted_queue_from_mask(mask: np.ndarray) -> np.ndarray:
+    """The double-scan product: vertex ids of set mask positions in
+    ascending order (CSR-segment scan + prefix sum yields exactly this
+    "globally sorted frontiers" layout)."""
+    return np.flatnonzero(np.asarray(mask, dtype=bool)).astype(np.int64)

@@ -1,0 +1,60 @@
+"""Per-level result record shared by all three strategies."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.gcd.kernel import KernelRecord
+
+__all__ = ["LevelResult"]
+
+
+@dataclass
+class LevelResult:
+    """What one strategy did for one BFS level.
+
+    Attributes
+    ----------
+    strategy:
+        ``"scan_free"`` / ``"single_scan"`` / ``"bottom_up"``.
+    level:
+        The level whose frontier was expanded.
+    records:
+        Kernel counter records produced (1, 2 or 5 of them).
+    new_vertices:
+        Vertices assigned ``level + 1`` during this step.
+    proactive_vertices:
+        Vertices assigned ``level + 2`` by the bottom-up proactive
+        update (empty for the top-down strategies).
+    queue_for_next:
+        A queue the *next* level may reuse without regeneration (the
+        no-frontier-generation hand-off), or ``None``.
+    queue_exact:
+        True when ``queue_for_next`` is exactly the next frontier
+        (scan-free product); False when it is a superset the consumer
+        must filter by status (bottom-up product).
+    edges_inspected:
+        Adjacency slots actually probed — the early-termination-aware
+        work count.
+    """
+
+    strategy: str
+    level: int
+    records: list[KernelRecord]
+    new_vertices: np.ndarray
+    proactive_vertices: np.ndarray = field(
+        default_factory=lambda: np.zeros(0, dtype=np.int64)
+    )
+    queue_for_next: np.ndarray | None = None
+    queue_exact: bool = False
+    edges_inspected: int = 0
+
+    @property
+    def runtime_ms(self) -> float:
+        return sum(r.runtime_ms for r in self.records)
+
+    @property
+    def fetch_kb(self) -> float:
+        return sum(r.fetch_kb for r in self.records)

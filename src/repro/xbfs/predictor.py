@@ -1,0 +1,148 @@
+"""Closed-form strategy cost prediction.
+
+Section V-E closes with the observation that the ratio lets XBFS
+"estimate the memory access requirement for each level, theoretically
+reducing the overall memory access requirement", but that the winning
+strategy also depends on "system-specific features, such as the cost of
+atomic operations and irregular memory access patterns". This module is
+that estimation, made executable: given only a *level profile* (how
+many vertices/edges each level carries — obtainable from one cheap
+reference traversal or from historical runs) and a device profile, it
+predicts each strategy's per-level cost from the same formulas the cost
+model uses, without executing any kernel.
+
+Uses: picking a strategy schedule for a graph family offline, sanity-
+checking the classifier, and the `predict_schedule` agreement test
+against the measured Table VI winners.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ExperimentError
+from repro.gcd.device import DeviceProfile, MI250X_GCD
+from repro.graph.stats import LevelTrace
+
+__all__ = ["LevelPrediction", "predict_level_costs", "predict_schedule"]
+
+
+@dataclass(frozen=True)
+class LevelPrediction:
+    """Predicted per-strategy cost of one level, in milliseconds."""
+
+    level: int
+    ratio: float
+    scan_free_ms: float
+    single_scan_ms: float
+    bottom_up_ms: float
+
+    @property
+    def best(self) -> str:
+        costs = {
+            "scan_free": self.scan_free_ms,
+            "single_scan": self.single_scan_ms,
+            "bottom_up": self.bottom_up_ms,
+        }
+        return min(costs, key=costs.get)
+
+
+def _mem_ms(nbytes: float, device: DeviceProfile, *, random: bool) -> float:
+    bw = device.random_bandwidth if random else device.sequential_bandwidth
+    return nbytes / bw * 1e3
+
+
+def predict_level_costs(
+    trace: LevelTrace,
+    num_vertices: int,
+    *,
+    device: DeviceProfile = MI250X_GCD,
+    avg_degree: float | None = None,
+) -> list[LevelPrediction]:
+    """Predict each strategy's cost at every level of a traversal.
+
+    The estimates mirror the simulator's dominant terms:
+
+    * scan-free: frontier adjacency (sequential) + one random status
+      probe per inspected edge + atomic traffic per edge;
+    * single-scan: the same expansion minus atomics, plus the 4|V|-byte
+      queue-generation sweep;
+    * bottom-up: two 4|V| sweeps plus the early-terminating probe storm
+      over unvisited vertices — expected scan length is approximated
+      from the fraction of edges pointing at the current frontier
+      (geometric early termination), floored at one probe.
+    """
+    if num_vertices <= 0:
+        raise ExperimentError("num_vertices must be positive")
+    launch_ms = device.kernel_launch_us * 1e-3
+    total_edges = max(1, trace.total_edges)
+    avg_degree = avg_degree or total_edges / num_vertices
+    line = device.cache_line_bytes
+
+    sizes = trace.frontier_sizes.astype(np.float64)
+    edges = trace.frontier_edges.astype(np.float64)
+    cum_sizes = np.cumsum(sizes)
+
+    out: list[LevelPrediction] = []
+    for lv in range(trace.num_levels):
+        f_edges = float(edges[lv])
+        ratio = f_edges / total_edges
+
+        # Random status probes miss ~once per edge at paper-scale
+        # working sets: one line each.
+        probe_bytes = f_edges * line * min(
+            1.0, (num_vertices * 4) / max(1, device.l2_bytes)
+        )
+        adj_bytes = f_edges * 4
+
+        sf = (
+            launch_ms
+            + max(
+                _mem_ms(adj_bytes + probe_bytes, device, random=True),
+                f_edges * device.atomic_ns * 1e-6,
+            )
+        )
+
+        ss = (
+            2 * launch_ms
+            + _mem_ms(num_vertices * 4, device, random=False)
+            + _mem_ms(adj_bytes + probe_bytes, device, random=True)
+        )
+
+        unvisited = float(num_vertices - cum_sizes[lv])
+        # P(a probed incoming edge hits the frontier) ~ f_edges/total;
+        # geometric early termination, capped at the average degree.
+        hit_p = max(ratio, 1.0 / max(1.0, avg_degree))
+        expected_scan = min(avg_degree, 1.0 / hit_p)
+        probes = unvisited * expected_scan
+        bu = (
+            5 * launch_ms
+            + _mem_ms(2 * num_vertices * 4, device, random=False)
+            + max(
+                _mem_ms(probes * line * 0.5, device, random=True),
+                probes * device.divergent_probe_ns * 1e-6,
+            )
+        )
+
+        out.append(
+            LevelPrediction(
+                level=lv,
+                ratio=ratio,
+                scan_free_ms=sf,
+                single_scan_ms=ss,
+                bottom_up_ms=bu,
+            )
+        )
+    return out
+
+
+def predict_schedule(
+    trace: LevelTrace,
+    num_vertices: int,
+    *,
+    device: DeviceProfile = MI250X_GCD,
+) -> list[str]:
+    """The predicted cheapest strategy per level."""
+    return [p.best for p in predict_level_costs(trace, num_vertices, device=device)]

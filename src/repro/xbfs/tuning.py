@@ -1,0 +1,146 @@
+"""Parameter tuning utilities (Sections IV "Parameter Tuning" / V-D).
+
+The α study of Fig 7: run each strategy in forced mode over the levels
+up to the ratio peak and report runtime as a function of ratio; then
+pick the α whose switch-over minimises the summed per-level best
+runtime. Also a general α sweep for end-to-end GTEPS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.gcd.device import DeviceProfile, MI250X_GCD
+from repro.gcd.kernel import ExecConfig
+from repro.graph.csr import CSRGraph
+from repro.xbfs.classifier import BOTTOM_UP, SCAN_FREE, SINGLE_SCAN, AdaptiveClassifier
+from repro.xbfs.driver import XBFS
+
+__all__ = ["StrategyRuntimePoint", "strategy_runtime_vs_ratio", "strategy_runtime_vs_ratio_multi", "best_alpha", "alpha_sweep"]
+
+STRATEGIES = (SCAN_FREE, SINGLE_SCAN, BOTTOM_UP)
+
+
+@dataclass(frozen=True)
+class StrategyRuntimePoint:
+    """Runtime of one strategy at one level/ratio (one Fig 7 sample)."""
+
+    strategy: str
+    level: int
+    ratio: float
+    runtime_ms: float
+
+
+def strategy_runtime_vs_ratio(
+    graph: CSRGraph,
+    source: int,
+    *,
+    device: DeviceProfile = MI250X_GCD,
+    config: ExecConfig | None = None,
+    up_to_ratio_peak: bool = True,
+) -> list[StrategyRuntimePoint]:
+    """Forced-mode per-level runtimes for all three strategies.
+
+    Mirrors Fig 7's protocol: "we only select the levels from the
+    beginning of BFS to the ratio rising to the maximum value", because
+    bottom-up's cost depends on how much has already been visited.
+    """
+    points: list[StrategyRuntimePoint] = []
+    for strategy in STRATEGIES:
+        engine = XBFS(graph, device=device, config=config)
+        engine.run(source, force_strategy=strategy)  # warm-up pass
+        result = engine.run(source, force_strategy=strategy)
+        ratios = [
+            lr.records[0].ratio if lr.records else 0.0 for lr in result.level_results
+        ]
+        cutoff = int(np.argmax(ratios)) + 1 if (up_to_ratio_peak and ratios) else len(ratios)
+        for lr in result.level_results[:cutoff]:
+            points.append(
+                StrategyRuntimePoint(
+                    strategy=strategy,
+                    level=lr.level,
+                    ratio=ratios[lr.level],
+                    runtime_ms=lr.runtime_ms,
+                )
+            )
+    return points
+
+
+def strategy_runtime_vs_ratio_multi(
+    graph: CSRGraph,
+    sources,
+    *,
+    device: DeviceProfile = MI250X_GCD,
+    config: ExecConfig | None = None,
+    up_to_ratio_peak: bool = True,
+) -> list[StrategyRuntimePoint]:
+    """Pool Fig 7 samples over several sources.
+
+    A single source's BFS has only a handful of levels, so its ratio
+    axis is sampled at a handful of points — often skipping the whole
+    0.01–0.5 band where α lives. Different sources shift the curve, so
+    pooling their per-level samples densifies the axis (the paper
+    likewise reports ranges over initial seeds in Fig 6). Levels are
+    re-indexed per source; consumers should key on ``ratio``.
+    """
+    points: list[StrategyRuntimePoint] = []
+    offset = 0
+    for source in np.asarray(sources).ravel().tolist():
+        pts = strategy_runtime_vs_ratio(
+            graph,
+            int(source),
+            device=device,
+            config=config,
+            up_to_ratio_peak=up_to_ratio_peak,
+        )
+        max_level = max((p.level for p in pts), default=-1)
+        points.extend(
+            StrategyRuntimePoint(p.strategy, p.level + offset, p.ratio, p.runtime_ms)
+            for p in pts
+        )
+        offset += max_level + 1
+    return points
+
+
+def best_alpha(points: list[StrategyRuntimePoint]) -> float:
+    """Infer the crossover α from Fig 7 data: the smallest ratio at
+    which bottom-up beats both top-down strategies. Returns 0.1 (the
+    paper's choice) when no crossover is observed."""
+    by_level: dict[int, dict[str, StrategyRuntimePoint]] = {}
+    for p in points:
+        by_level.setdefault(p.level, {})[p.strategy] = p
+    crossovers = []
+    for level, entry in sorted(by_level.items()):
+        if len(entry) < 3:
+            continue
+        bu = entry[BOTTOM_UP].runtime_ms
+        td = min(entry[SCAN_FREE].runtime_ms, entry[SINGLE_SCAN].runtime_ms)
+        if bu < td:
+            crossovers.append(entry[BOTTOM_UP].ratio)
+    if not crossovers:
+        return 0.1
+    # α just below the smallest winning ratio.
+    return float(min(crossovers)) * 0.9
+
+
+def alpha_sweep(
+    graph: CSRGraph,
+    sources: np.ndarray,
+    alphas: np.ndarray | list[float],
+    *,
+    device: DeviceProfile = MI250X_GCD,
+    config: ExecConfig | None = None,
+) -> dict[float, float]:
+    """End-to-end n-to-n GTEPS as a function of α."""
+    out: dict[float, float] = {}
+    for alpha in alphas:
+        engine = XBFS(
+            graph,
+            device=device,
+            config=config,
+            classifier=AdaptiveClassifier(alpha=float(alpha)),
+        )
+        out[float(alpha)] = engine.run_many(np.asarray(sources)).steady_gteps
+    return out

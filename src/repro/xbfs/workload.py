@@ -1,0 +1,115 @@
+"""Warp-centric workload balancing (Section IV-A, third challenge).
+
+Top-down expansion assigns processing granularity by frontier-vertex
+degree: *small* vertices are handled by single threads, *medium* ones by
+a wavefront, *large* ones by a whole workgroup (XBFS inherits this from
+Enterprise/B40C's CTA+warp+scan scheme). The original CUDA XBFS put the
+three bins on three streams; the AMD port found the per-stream
+synchronisation too expensive and consolidated them (Section IV-B) —
+:func:`split_for_streams` is where that choice becomes visible to the
+simulator.
+
+For the *bottom-up* phase the paper's finding is the opposite: degree
+says nothing about runtime work because of early termination, so
+balancing only rounds every scan up to a wavefront-width chunk and
+wastes lanes. :func:`balanced_scan_lengths` implements exactly that
+rounding; the bottom-up kernel applies it only when the (mis)feature is
+switched on, which is how the ablation benchmark shows the degradation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import TraversalError
+from repro.graph.csr import CSRGraph
+
+__all__ = ["DegreeBins", "classify_frontier", "split_for_streams", "balanced_scan_lengths"]
+
+#: Default bin thresholds: below a wavefront -> thread bin; below a
+#: workgroup's worth of wavefronts -> wavefront bin; the rest -> block bin.
+SMALL_DEGREE_MAX = 64
+MEDIUM_DEGREE_MAX = 4096
+
+
+@dataclass(frozen=True)
+class DegreeBins:
+    """Frontier split into the three processing granularities."""
+
+    small: np.ndarray
+    medium: np.ndarray
+    large: np.ndarray
+
+    @property
+    def total(self) -> int:
+        return int(self.small.size + self.medium.size + self.large.size)
+
+    def non_empty(self) -> list[tuple[str, np.ndarray]]:
+        return [
+            (name, arr)
+            for name, arr in (
+                ("small", self.small),
+                ("medium", self.medium),
+                ("large", self.large),
+            )
+            if arr.size
+        ]
+
+
+def classify_frontier(
+    graph: CSRGraph,
+    frontier: np.ndarray,
+    *,
+    small_max: int = SMALL_DEGREE_MAX,
+    medium_max: int = MEDIUM_DEGREE_MAX,
+) -> DegreeBins:
+    """Partition frontier vertices by degree into the three bins."""
+    if small_max <= 0 or medium_max <= small_max:
+        raise TraversalError(
+            f"need 0 < small_max < medium_max, got {small_max}, {medium_max}"
+        )
+    frontier = np.asarray(frontier, dtype=np.int64)
+    deg = graph.degrees[frontier]
+    small = frontier[deg <= small_max]
+    medium = frontier[(deg > small_max) & (deg <= medium_max)]
+    large = frontier[deg > medium_max]
+    return DegreeBins(small=small, medium=medium, large=large)
+
+
+def split_for_streams(
+    graph: CSRGraph, frontier: np.ndarray, num_streams: int
+) -> list[np.ndarray]:
+    """How the frontier maps onto streams.
+
+    One stream (the AMD-optimised configuration): the whole frontier in
+    one launch. Three streams (the CUDA design): one launch per
+    non-empty degree bin.
+    """
+    frontier = np.asarray(frontier, dtype=np.int64)
+    if num_streams < 3:
+        return [frontier] if frontier.size else []
+    bins = classify_frontier(graph, frontier)
+    return [arr for _, arr in bins.non_empty()]
+
+
+def balanced_scan_lengths(
+    scan_lengths: np.ndarray, degrees: np.ndarray, width: int
+) -> np.ndarray:
+    """Scan lengths under warp-centric bottom-up balancing.
+
+    Assigning ``width`` lanes to one vertex's list means every probe
+    step inspects a ``width``-wide chunk: an early termination at slot
+    ``s`` still costs ``ceil((s+1)/width) * width`` slots of memory and
+    lane time (capped at the vertex's degree). For the typical 1–3-slot
+    early termination this is a ~``width``× inflation — worse at 64
+    lanes than 32, which is the paper's explanation for switching the
+    balancing off on AMD.
+    """
+    scan_lengths = np.asarray(scan_lengths, dtype=np.int64)
+    degrees = np.asarray(degrees, dtype=np.int64)
+    if scan_lengths.shape != degrees.shape:
+        raise TraversalError("scan_lengths and degrees must align")
+    chunks = -(-scan_lengths // width)  # ceil division
+    return np.minimum(degrees, chunks * width)

@@ -1,0 +1,127 @@
+"""Tests for the downstream applications (components, SCC, probes)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.apps import (
+    connected_components,
+    double_sweep_diameter,
+    k_hop_neighborhood,
+    strongly_connected_components,
+)
+from repro.errors import TraversalError
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import chain, rmat
+
+
+def _nx_directed(graph: CSRGraph) -> nx.DiGraph:
+    g = nx.DiGraph()
+    g.add_nodes_from(range(graph.num_vertices))
+    src, dst = graph.to_edge_arrays()
+    g.add_edges_from(zip(src.tolist(), dst.tolist()))
+    return g
+
+
+class TestConnectedComponents:
+    def test_disconnected_fixture(self, disconnected_graph):
+        res = connected_components(disconnected_graph)
+        assert res.num_components == 3  # triangle, 4-cycle, isolate
+        assert res.labels[0] == res.labels[1] == res.labels[2]
+        assert res.labels[3] == res.labels[4]
+        assert res.labels[7] not in (res.labels[0], res.labels[3])
+        assert sorted(res.sizes.tolist()) == [1, 3, 4]
+
+    def test_matches_networkx(self, small_rmat):
+        res = connected_components(small_rmat)
+        expected = list(
+            nx.connected_components(_nx_directed(small_rmat).to_undirected())
+        )
+        assert res.num_components == len(expected)
+        for comp in expected:
+            labels = {int(res.labels[v]) for v in comp}
+            assert len(labels) == 1
+
+    def test_every_vertex_labelled(self, social_graph):
+        res = connected_components(social_graph)
+        assert np.all(res.labels >= 0)
+        assert res.elapsed_ms > 0
+        assert res.bfs_runs == res.num_components
+
+    def test_giant_component_fraction(self, small_rmat):
+        res = connected_components(small_rmat)
+        assert 0 < res.giant_fraction <= 1.0
+
+
+class TestScc:
+    def test_directed_cycle_single_scc(self):
+        n = 6
+        g = CSRGraph.from_edges(np.arange(n), (np.arange(n) + 1) % n, n)
+        res = strongly_connected_components(g)
+        assert res.num_sccs == 1
+        assert np.all(res.labels == res.labels[0])
+
+    def test_dag_all_singletons(self):
+        g = CSRGraph.from_edges([0, 1, 2], [1, 2, 3], 4)
+        res = strongly_connected_components(g)
+        assert res.num_sccs == 4
+        assert len(set(res.labels.tolist())) == 4
+
+    def test_matches_networkx(self):
+        g = rmat(8, 4, seed=6, symmetrize=False)
+        res = strongly_connected_components(g)
+        expected = list(nx.strongly_connected_components(_nx_directed(g)))
+        assert res.num_sccs == len(expected)
+        for comp in expected:
+            labels = {int(res.labels[v]) for v in comp}
+            assert len(labels) == 1, comp
+        # Distinct SCCs have distinct labels.
+        assert len(set(res.labels.tolist())) == len(expected)
+
+    def test_sizes_partition(self):
+        g = rmat(7, 4, seed=3, symmetrize=False)
+        res = strongly_connected_components(g)
+        assert res.sizes.sum() == g.num_vertices
+
+    def test_max_pivots_degrades_to_singletons(self):
+        g = rmat(7, 4, seed=3, symmetrize=False)
+        res = strongly_connected_components(g, max_pivots=1)
+        assert np.all(res.labels >= 0)
+        assert res.bfs_runs == 2  # one FW + one BW
+
+
+class TestProbes:
+    def test_k_hop_matches_oracle(self, small_rmat):
+        from repro.graph.stats import bfs_levels_reference
+
+        source = int(np.argmax(small_rmat.degrees))
+        levels = bfs_levels_reference(small_rmat, source)
+        for k in (0, 1, 2):
+            ball = k_hop_neighborhood(small_rmat, source, k)
+            expected = np.flatnonzero((levels >= 0) & (levels <= k))
+            assert np.array_equal(ball, expected)
+
+    def test_k_hop_validation(self, small_rmat):
+        with pytest.raises(TraversalError):
+            k_hop_neighborhood(small_rmat, 0, -1)
+        with pytest.raises(TraversalError):
+            k_hop_neighborhood(small_rmat, -1, 0)
+
+    def test_double_sweep_exact_on_path(self):
+        g = chain(32)
+        est = double_sweep_diameter(g, 15)  # start mid-path
+        assert est.lower_bound == 31  # the true diameter
+        assert est.second_sweep_source in (0, 31)
+
+    def test_double_sweep_is_lower_bound(self, small_rmat):
+        source = int(np.argmax(small_rmat.degrees))
+        est = double_sweep_diameter(small_rmat, source)
+        nxg = _nx_directed(small_rmat).to_undirected()
+        comp = max(nx.connected_components(nxg), key=len)
+        true_diameter = nx.diameter(nxg.subgraph(comp))
+        assert est.lower_bound <= true_diameter
+        assert est.lower_bound >= true_diameter // 2  # double-sweep guarantee
+
+    def test_double_sweep_isolated_source(self, disconnected_graph):
+        est = double_sweep_diameter(disconnected_graph, 7)
+        assert est.lower_bound == 0

@@ -1,0 +1,74 @@
+"""Tests for the serial oracle and Graph500-style validation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraversalError
+from repro.baselines.serial import parent_tree, serial_bfs, validate_parents
+from repro.graph.stats import bfs_levels_reference
+
+
+class TestSerialBfs:
+    @pytest.mark.parametrize(
+        "fixture",
+        ["fig1_graph", "small_rmat", "deep_graph", "disconnected_graph"],
+    )
+    def test_matches_vectorised_oracle(self, fixture, request):
+        graph = request.getfixturevalue(fixture)
+        source = int(np.argmax(graph.degrees))
+        assert np.array_equal(
+            serial_bfs(graph, source), bfs_levels_reference(graph, source)
+        )
+
+    def test_bad_source(self, small_rmat):
+        with pytest.raises(TraversalError):
+            serial_bfs(small_rmat, -5)
+
+
+class TestParentTree:
+    def test_source_self_parent(self, small_rmat):
+        p = parent_tree(small_rmat, 3)
+        assert p[3] == 3
+
+    def test_parents_one_level_up(self, small_rmat):
+        source = int(np.argmax(small_rmat.degrees))
+        parents = parent_tree(small_rmat, source)
+        levels = serial_bfs(small_rmat, source)
+        reached = np.flatnonzero(parents >= 0)
+        for v in reached:
+            if v != source:
+                assert levels[v] == levels[parents[v]] + 1
+
+    def test_validate_accepts_good_tree(self, small_rmat):
+        source = int(np.argmax(small_rmat.degrees))
+        parents = parent_tree(small_rmat, source)
+        levels = serial_bfs(small_rmat, source)
+        validate_parents(small_rmat, source, parents, levels)  # must not raise
+
+    def test_validate_rejects_wrong_level(self, fig1_graph):
+        parents = parent_tree(fig1_graph, 0)
+        levels = serial_bfs(fig1_graph, 0).copy()
+        levels[4] = 9
+        with pytest.raises(TraversalError, match="one level"):
+            validate_parents(fig1_graph, 0, parents, levels)
+
+    def test_validate_rejects_non_edge(self, fig1_graph):
+        parents = parent_tree(fig1_graph, 0).copy()
+        levels = serial_bfs(fig1_graph, 0).copy()
+        parents[8] = 0  # v8 is not adjacent to v0
+        levels[8] = 1
+        with pytest.raises(TraversalError):
+            validate_parents(fig1_graph, 0, parents, levels)
+
+    def test_validate_rejects_bad_source(self, fig1_graph):
+        parents = parent_tree(fig1_graph, 0).copy()
+        parents[0] = 1
+        with pytest.raises(TraversalError, match="own parent"):
+            validate_parents(fig1_graph, 0, parents, serial_bfs(fig1_graph, 0))
+
+    def test_validate_rejects_level_without_parent(self, disconnected_graph):
+        parents = parent_tree(disconnected_graph, 0)
+        levels = serial_bfs(disconnected_graph, 0).copy()
+        levels[5] = 3  # component never reached
+        with pytest.raises(TraversalError, match="no parent"):
+            validate_parents(disconnected_graph, 0, parents, levels)

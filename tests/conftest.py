@@ -1,0 +1,79 @@
+"""Shared fixtures for the test suite.
+
+Graphs used across many test modules are built once per session; they
+are immutable (CSRGraph freezes its arrays), so sharing is safe.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    chain,
+    chung_lu_power_law,
+    complete,
+    example_graph,
+    grid_2d,
+    rmat,
+    star,
+)
+from repro.graph.csr import CSRGraph
+
+
+@pytest.fixture(scope="session")
+def fig1_graph() -> CSRGraph:
+    """The paper's 9-vertex walk-through graph."""
+    return example_graph()
+
+
+@pytest.fixture(scope="session")
+def small_rmat() -> CSRGraph:
+    """R-MAT scale 10 — big enough for interesting level structure."""
+    return rmat(10, 8, seed=42)
+
+
+@pytest.fixture(scope="session")
+def medium_rmat() -> CSRGraph:
+    """R-MAT scale 13 — used where strategy crossovers must appear."""
+    return rmat(13, 16, seed=7)
+
+
+@pytest.fixture(scope="session")
+def social_graph() -> CSRGraph:
+    """Power-law Chung-Lu graph (LiveJournal-like shape)."""
+    return chung_lu_power_law(4000, 16.0, seed=3)
+
+
+@pytest.fixture(scope="session")
+def deep_graph() -> CSRGraph:
+    """A 40x40 grid — high diameter, small frontiers at every level."""
+    return grid_2d(40, 40)
+
+
+@pytest.fixture(scope="session")
+def star_graph() -> CSRGraph:
+    return star(200)
+
+
+@pytest.fixture(scope="session")
+def chain_graph() -> CSRGraph:
+    return chain(64)
+
+
+@pytest.fixture(scope="session")
+def complete_graph() -> CSRGraph:
+    return complete(32)
+
+
+@pytest.fixture(scope="session")
+def disconnected_graph() -> CSRGraph:
+    """Two components: a triangle and a 4-cycle, plus an isolated vertex."""
+    src = np.array([0, 1, 2, 3, 4, 5, 6])
+    dst = np.array([1, 2, 0, 4, 5, 6, 3])
+    return CSRGraph.from_edges(src, dst, 8, symmetrize=True, name="disconnected")
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)

@@ -1,0 +1,68 @@
+"""Tests for the shared experiment infrastructure."""
+
+import pytest
+
+from repro.experiments.common import (
+    DEFAULT,
+    FAST,
+    REFERENCE_VERTICES,
+    cached_dataset,
+    cached_rmat,
+    scaled_device,
+    sources_for,
+)
+from repro.gcd.device import MI250X_GCD, P6000
+from repro.graph.generators import rmat
+
+
+class TestScaledDevice:
+    def test_proportional_to_vertices(self):
+        g = rmat(10, 4, seed=0)  # 1024 vertices
+        dev = scaled_device(g)
+        expected = max(
+            64 * 1024,
+            int(MI250X_GCD.l2_bytes * g.num_vertices / REFERENCE_VERTICES),
+        )
+        assert dev.l2_bytes == expected
+
+    def test_floor(self):
+        g = rmat(6, 4, seed=0)
+        assert scaled_device(g).l2_bytes == 64 * 1024
+
+    def test_reference_scale_keeps_full_cache(self):
+        # A graph as big as Rmat25 would keep the full 8 MiB.
+        frac = REFERENCE_VERTICES / REFERENCE_VERTICES
+        assert int(MI250X_GCD.l2_bytes * frac) == MI250X_GCD.l2_bytes
+
+    def test_other_parameters_untouched(self):
+        g = rmat(10, 4, seed=0)
+        dev = scaled_device(g)
+        assert dev.hbm_bandwidth == MI250X_GCD.hbm_bandwidth
+        assert dev.wavefront_size == 64
+
+    def test_custom_base(self):
+        g = rmat(10, 4, seed=0)
+        dev = scaled_device(g, base=P6000)
+        assert dev.wavefront_size == 32
+        assert dev.l2_bytes <= P6000.l2_bytes
+
+
+class TestCaches:
+    def test_rmat_cache_identity(self):
+        assert cached_rmat(9, 8, 0) is cached_rmat(9, 8, 0)
+        assert cached_rmat(9, 8, 0) is not cached_rmat(9, 8, 1)
+
+    def test_dataset_cache_identity(self):
+        assert cached_dataset("DB", 512, 0) is cached_dataset("DB", 512, 0)
+
+    def test_sources_deterministic(self):
+        g = cached_rmat(9, 8, 0)
+        a = sources_for(g, FAST)
+        b = sources_for(g, FAST)
+        assert a.tolist() == b.tolist()
+        c = sources_for(g, FAST, offset=5)
+        assert a.tolist() != c.tolist()
+
+    def test_scale_presets(self):
+        assert FAST.rmat_scale < DEFAULT.rmat_scale
+        assert FAST.num_sources <= DEFAULT.num_sources

@@ -1,0 +1,265 @@
+"""Tests for the experiment drivers: every table/figure regenerates and
+exhibits the paper's qualitative claims at FAST scale."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    FAST,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    profiles,
+    table1,
+    table2,
+    table6,
+)
+from repro.experiments.common import ExperimentScale, cached_rmat
+from repro.xbfs.classifier import BOTTOM_UP, SCAN_FREE, SINGLE_SCAN
+
+
+@pytest.fixture(scope="module")
+def t1():
+    return table1.run(FAST)
+
+
+@pytest.fixture(scope="module")
+def t6():
+    return table6.run(FAST)
+
+
+@pytest.fixture(scope="module")
+def f7():
+    return fig7.run(FAST)
+
+
+@pytest.fixture(scope="module")
+def f8():
+    return fig8.run(FAST)
+
+
+class TestScaleConfig:
+    def test_fast_smaller_than_default(self):
+        from repro.experiments import DEFAULT
+
+        assert FAST.rmat_scale < DEFAULT.rmat_scale
+        assert FAST.dataset_scale_factor > DEFAULT.dataset_scale_factor
+
+    def test_cached_rmat_is_cached(self):
+        a = cached_rmat(10, 8, 0)
+        b = cached_rmat(10, 8, 0)
+        assert a is b
+
+    def test_scale_validation(self):
+        s = ExperimentScale(rmat_scale=12)
+        assert s.rmat_scale == 12
+
+
+class TestTable1:
+    def test_levels_align(self, t1):
+        assert len(t1.rows) > 2
+        assert [r.level for r in t1.rows] == list(range(len(t1.rows)))
+
+    def test_rearrangement_never_hurts_totals(self, t1):
+        assert t1.total_fetch_rearranged <= t1.total_fetch_plain * 1.02
+        assert t1.total_runtime_rearranged <= t1.total_runtime_plain * 1.02
+
+    def test_render(self, t1):
+        out = t1.render()
+        assert "Table I" in out and "Sum" in out
+
+
+class TestTable2:
+    def test_all_rows(self):
+        res = table2.run(FAST)
+        assert {r.key for r in res.rows} == {"LJ", "UP", "OR", "DB", "R23", "R25"}
+        for r in res.rows:
+            assert r.built_vertices < r.paper_vertices
+            assert r.built_edges > 0
+        assert "Table II" in res.render()
+
+
+class TestProfiles:
+    @pytest.mark.parametrize(
+        "runner,strategy",
+        [
+            (profiles.run_table3, SCAN_FREE),
+            (profiles.run_table4, SINGLE_SCAN),
+            (profiles.run_table5, BOTTOM_UP),
+        ],
+    )
+    def test_kernels_per_level(self, runner, strategy):
+        """Tables III/IV/V structure: 1, 2 and 5 kernels per level."""
+        res = runner(FAST)
+        expected = profiles.KERNELS_PER_LEVEL[strategy]
+        for level in range(res.depth):
+            assert len(res.records_at(level)) == expected, (strategy, level)
+
+    def test_single_scan_queue_gen_reads_constant_v(self):
+        """Table IV's signature: the first kernel of every level fetches
+        ~4|V| bytes regardless of frontier size."""
+        res = profiles.run_table4(FAST)
+        gens = [r for r in res.records if r.name == "ss_queue_gen"]
+        graph = cached_rmat(FAST.rmat_scale, 16, FAST.seed)
+        expected_kb = graph.num_vertices * 4 / 1024
+        for g in gens:
+            assert g.fetch_kb == pytest.approx(expected_kb, rel=0.1)
+
+    def test_bottom_up_expand_dominates_early(self):
+        """Table V's signature: at level 0 the expand kernel dwarfs the
+        four queue-generation kernels."""
+        res = profiles.run_table5(FAST)
+        lvl0 = res.records_at(0)
+        expand = [r for r in lvl0 if r.name == "bu_expand"][0]
+        others = [r for r in lvl0 if r.name != "bu_expand"]
+        assert expand.fetch_kb > 3 * max(o.fetch_kb for o in others)
+
+    def test_warmup_visible_at_level0(self):
+        """All three paper tables show ~warm-up-sized level-0 rows."""
+        res = profiles.run_table3(FAST)
+        level0 = res.records_at(0)[0]
+        tail = res.records_at(res.depth - 1)[0]
+        assert level0.runtime_ms > 10 * tail.runtime_ms
+
+    def test_render(self):
+        out = profiles.run_table3(FAST).render()
+        assert "Table III" in out and "sf_expand" in out
+
+
+class TestTable6:
+    def test_three_strategies_every_level(self, t6):
+        for strategy in (SCAN_FREE, SINGLE_SCAN, BOTTOM_UP):
+            assert len(t6.summaries[strategy]) == t6.depth
+
+    def test_scan_free_wins_sparse_head(self, t6):
+        assert t6.winner_at(0) == SCAN_FREE
+
+    def test_bottom_up_loses_head_by_orders_of_magnitude(self, t6):
+        assert t6.fetch_at(0, BOTTOM_UP) > 10 * t6.fetch_at(0, SCAN_FREE)
+
+    def test_bottom_up_cheapest_memory_at_peak_plus_one(self, t6):
+        """Right after the ratio peak, early termination makes
+        bottom-up's memory read the smallest (Table VI levels 3-4)."""
+        level = min(t6.peak_level + 1, t6.depth - 1)
+        assert t6.fetch_at(level, BOTTOM_UP) < t6.fetch_at(level, SCAN_FREE)
+        assert t6.fetch_at(level, BOTTOM_UP) < t6.fetch_at(level, SINGLE_SCAN)
+
+    def test_single_scan_more_bytes_than_scan_free(self, t6):
+        """Single-scan always reads >= scan-free (the extra O(V) sweep)."""
+        for level in range(t6.depth):
+            assert (
+                t6.fetch_at(level, SINGLE_SCAN)
+                >= t6.fetch_at(level, SCAN_FREE) - 1e-9
+            )
+
+    def test_render(self, t6):
+        out = t6.render()
+        assert "Table VI" in out and "*" in out
+
+
+class TestFig5:
+    def test_all_configs_present(self):
+        res = fig5.run(FAST)
+        assert set(res.end_to_end_ms) == {"cuda_original", "naive_port", "optimized"}
+
+    def test_optimized_beats_naive_port(self):
+        """The porting story: Section IV's optimisations recover the
+        naive hipify's losses."""
+        res = fig5.run(FAST)
+        assert res.end_to_end_ms["optimized"] < res.end_to_end_ms["naive_port"]
+
+    def test_naive_port_pays_more_sync(self):
+        res = fig5.run(FAST)
+        assert res.sync_ms["naive_port"] > res.sync_ms["optimized"]
+        assert res.sync_ms["naive_port"] > res.sync_ms["cuda_original"]
+
+    def test_render(self):
+        assert "Fig 5" in fig5.run(FAST).render()
+
+
+class TestFig6:
+    def test_dataset_coverage(self):
+        res = fig6.run(FAST)
+        assert set(res.depths) == {"LJ", "UP", "OR", "DB", "R23", "R25"}
+
+    def test_uspatent_deepest(self):
+        res = fig6.run(FAST)
+        assert res.depths["UP"] == max(res.depths.values())
+        assert res.depths["UP"] > 4 * res.depths["R25"]
+
+    def test_boxes_ordered(self):
+        res = fig6.run(FAST)
+        for b in res.boxes:
+            assert b.log2_min <= b.log2_median <= b.log2_max
+            assert b.samples >= 1
+
+    def test_single_peak_shape(self):
+        """Every dataset's median ratio rises to a peak then falls
+        (coarsely: the peak is not at either end for multi-level runs)."""
+        res = fig6.run(FAST)
+        for key in ("R25", "LJ", "OR"):
+            peak = res.peak_level(key)
+            assert 0 < peak < res.depths[key] - 1
+
+    def test_render_thins_deep_traces(self):
+        out = fig6.run(FAST).render()
+        up_rows = [l for l in out.splitlines() if l.startswith("UP")]
+        assert len(up_rows) <= 30
+
+
+class TestFig7:
+    def test_strategies_and_levels(self, f7):
+        assert {p.strategy for p in f7.points} == {
+            SCAN_FREE,
+            SINGLE_SCAN,
+            BOTTOM_UP,
+        }
+        assert len(f7.levels()) >= 2
+
+    def test_scan_free_wins_at_tiny_ratio(self, f7):
+        head = f7.levels()[0]
+        assert f7.runtime(SCAN_FREE, head) < f7.runtime(BOTTOM_UP, head)
+        assert f7.runtime(SCAN_FREE, head) <= f7.runtime(SINGLE_SCAN, head)
+
+    def test_bottom_up_wins_at_peak(self, f7):
+        peak = f7.levels()[-1]
+        assert f7.runtime(BOTTOM_UP, peak) < f7.runtime(SCAN_FREE, peak)
+
+    def test_alpha_near_paper_value(self, f7):
+        """The crossover must land in the same decade as α = 0.1."""
+        assert 0.01 <= f7.inferred_alpha <= 0.7
+
+    def test_render(self, f7):
+        assert "Fig 7" in f7.render()
+
+
+class TestFig8:
+    def test_all_datasets(self, f8):
+        assert {r.dataset for r in f8.rows} == {"LJ", "UP", "OR", "DB", "R23", "R25"}
+
+    def test_xbfs_beats_gunrock_everywhere(self, f8):
+        for row in f8.rows:
+            assert row.speedup_over_gunrock > 0.9, row
+
+    def test_xbfs_beats_gunrock_on_rmat(self, f8):
+        assert f8.row("R25").speedup_over_gunrock > 1.2
+
+    def test_dense_graphs_fastest(self, f8):
+        """OR and the R-MATs must beat UP and DB by a wide margin (the
+        paper's sparse/deep explanation)."""
+        best_dense = max(
+            f8.row(k).xbfs_rearranged_gteps for k in ("OR", "R23", "R25")
+        )
+        worst_sparse = min(
+            f8.row(k).xbfs_rearranged_gteps for k in ("UP", "DB")
+        )
+        assert best_dense > 5 * worst_sparse
+
+    def test_efficiency_fields(self, f8):
+        assert 0 < f8.efficiency.predicted_efficiency < 1
+        assert f8.efficiency.overhead_factor > 1.0
+
+    def test_render(self, f8):
+        out = f8.render()
+        assert "Fig 8" in out and "Graph500" in out

@@ -1,0 +1,107 @@
+"""Tests for the atomic-operation semantics and accounting."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraversalError
+from repro.gcd.atomics import AtomicStats, atomic_append, atomic_claim
+
+
+class TestAtomicClaim:
+    def test_basic_claim(self):
+        status = np.full(5, -1, dtype=np.int32)
+        winners, stats = atomic_claim(status, np.array([1, 3]), 2, expected=-1)
+        assert sorted(winners.tolist()) == [1, 3]
+        assert status[1] == status[3] == 2
+        assert stats.operations == 2
+        assert stats.conflicts == 0
+
+    def test_duplicates_single_winner(self):
+        """Racing lanes on one address: exactly one CAS succeeds."""
+        status = np.full(4, -1, dtype=np.int32)
+        winners, stats = atomic_claim(status, np.array([2, 2, 2, 2]), 1, expected=-1)
+        assert winners.tolist() == [2]
+        assert stats.operations == 4
+        assert stats.conflicts == 3
+        assert stats.distinct_addresses == 1
+
+    def test_already_visited_fails_without_conflict(self):
+        """A CAS on a non-matching slot fails but does not serialise."""
+        status = np.array([0, -1], dtype=np.int32)
+        winners, stats = atomic_claim(status, np.array([0, 1]), 5, expected=-1)
+        assert winners.tolist() == [1]
+        assert status[0] == 0  # untouched
+        assert stats.conflicts == 0
+        assert stats.distinct_addresses == 2
+
+    def test_empty(self):
+        status = np.full(3, -1, dtype=np.int32)
+        winners, stats = atomic_claim(status, np.array([], dtype=np.int64), 1, expected=-1)
+        assert winners.size == 0
+        assert stats.operations == 0
+
+    def test_first_attempt_order_preserved(self):
+        status = np.full(6, -1, dtype=np.int32)
+        winners, _ = atomic_claim(status, np.array([5, 2, 5, 4]), 1, expected=-1)
+        assert winners.tolist() == [5, 2, 4]
+
+    def test_rejects_2d(self):
+        status = np.full(3, -1, dtype=np.int32)
+        with pytest.raises(TraversalError, match="flat"):
+            atomic_claim(status, np.zeros((2, 2), dtype=int), 1, expected=-1)
+
+    def test_deterministic_bfs_equivalence(self, rng):
+        """Whatever the interleaving, the set of claimed vertices is the
+        set of candidates currently holding `expected` — verify against
+        a brute-force sequential execution."""
+        status = rng.choice([-1, 0, 1], size=50).astype(np.int32)
+        reference = status.copy()
+        candidates = rng.integers(0, 50, size=200)
+        winners, _ = atomic_claim(status, candidates, 7, expected=-1)
+        # Brute force.
+        expected_winners = []
+        for c in candidates.tolist():
+            if reference[c] == -1:
+                reference[c] = 7
+                expected_winners.append(c)
+        assert sorted(winners.tolist()) == sorted(expected_winners)
+        assert np.array_equal(status, reference)
+
+
+class TestAtomicAppend:
+    def test_append(self):
+        q = np.zeros(10, dtype=np.int64)
+        tail, stats = atomic_append(q, 0, np.array([4, 5, 6]))
+        assert tail == 3
+        assert q[:3].tolist() == [4, 5, 6]
+        assert stats.operations == 3
+        assert stats.conflicts == 2  # all share the tail counter
+        assert stats.distinct_addresses == 1
+
+    def test_append_at_offset(self):
+        q = np.zeros(4, dtype=np.int64)
+        tail, _ = atomic_append(q, 2, np.array([9, 9]))
+        assert tail == 4
+
+    def test_overflow_raises(self):
+        q = np.zeros(2, dtype=np.int64)
+        with pytest.raises(TraversalError, match="overflow"):
+            atomic_append(q, 1, np.array([1, 2]))
+
+    def test_empty_append(self):
+        q = np.zeros(2, dtype=np.int64)
+        tail, stats = atomic_append(q, 1, np.array([], dtype=np.int64))
+        assert tail == 1
+        assert stats.operations == 0
+
+
+class TestAtomicStats:
+    def test_merge(self):
+        a = AtomicStats(3, 1, 2)
+        b = AtomicStats(4, 2, 3)
+        m = a.merge(b)
+        assert (m.operations, m.conflicts, m.distinct_addresses) == (7, 3, 5)
+
+    def test_default_zero(self):
+        s = AtomicStats()
+        assert s.operations == s.conflicts == s.distinct_addresses == 0

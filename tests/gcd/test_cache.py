@@ -1,0 +1,166 @@
+"""Tests for the analytic cache model and the exact LRU validator."""
+
+import numpy as np
+import pytest
+
+from repro.gcd.cache import AnalyticCacheModel, SetAssociativeCache
+from repro.gcd.device import MI250X_GCD
+from repro.gcd.memory import (
+    AccessStream,
+    Pattern,
+    rand_read,
+    segmented_read,
+    seq_read,
+    seq_write,
+)
+
+
+@pytest.fixture()
+def model() -> AnalyticCacheModel:
+    return AnalyticCacheModel(MI250X_GCD)
+
+
+LINE = MI250X_GCD.cache_line_bytes  # 128
+PER_LINE = LINE // 4  # 32 int32 elements per line
+
+
+class TestAnalyticInvariants:
+    def test_empty_stream(self, model):
+        out = model.run(seq_read("a", 0))
+        assert out.hits == out.misses == out.fetched_bytes == 0
+
+    def test_hits_plus_misses_equals_accesses(self, model):
+        for stream in (
+            seq_read("a", 1000),
+            rand_read("b", 1000, 5000),
+            seq_write("c", 777),
+            rand_read("d", 10, 10),
+        ):
+            out = model.run(stream)
+            assert out.accesses == pytest.approx(stream.num_accesses)
+
+    def test_fetch_is_read_misses_times_line(self, model):
+        out = model.run(seq_read("a", 10_000))
+        assert out.fetched_bytes == pytest.approx(out.misses * LINE)
+        assert out.written_bytes == 0
+
+    def test_writes_do_not_fetch(self, model):
+        out = model.run(seq_write("a", 10_000))
+        assert out.fetched_bytes == 0
+        assert out.written_bytes > 0
+
+    def test_hit_rate_bounds(self, model):
+        for stream in (seq_read("a", 5), rand_read("b", 10_000, 10_000_000)):
+            out = model.run(stream)
+            assert 0.0 <= out.hit_rate <= 1.0
+
+
+class TestSequentialModel:
+    def test_spatial_locality(self, model):
+        """One miss per line on a cold sweep: 32 int32 per 128B line."""
+        out = model.run(seq_read("a", 32_000))
+        assert out.misses == pytest.approx(1000)
+        assert out.hit_rate == pytest.approx(1 - 1 / PER_LINE)
+
+    def test_fitting_resweep_hits(self, model):
+        """Re-sweeping a footprint that fits in L2 costs nothing new."""
+        small = 1000  # 4 KB footprint << 8 MiB
+        out = model.run(AccessStream("a", 4, 3 * small, small, Pattern.SEQUENTIAL))
+        assert out.misses == pytest.approx(np.ceil(small / PER_LINE))
+
+    def test_oversized_resweep_misses_again(self, model):
+        huge = 10 * MI250X_GCD.l2_bytes // 4  # 10x capacity in elements
+        out = model.run(AccessStream("a", 4, 2 * huge, huge, Pattern.SEQUENTIAL))
+        first_pass = np.ceil(huge / PER_LINE)
+        assert out.misses > 1.5 * first_pass
+
+    def test_exact_lines_override(self, model):
+        out = model.run(segmented_read("adj", 3200, exact_lines=500))
+        assert out.misses == pytest.approx(500)
+
+
+class TestRandomModel:
+    def test_small_footprint_mostly_hits(self, model):
+        # 1000-element footprint, 100k touches: resident after cold misses.
+        out = model.run(rand_read("a", 100_000, 1000))
+        assert out.hit_rate > 0.95
+
+    def test_oversized_footprint_mostly_misses(self, model):
+        elements = 100 * MI250X_GCD.l2_bytes // 4
+        out = model.run(rand_read("a", 1_000_000, elements))
+        assert out.hit_rate < 0.3
+
+    def test_monotone_in_footprint(self, model):
+        rates = [
+            model.run(rand_read("a", 500_000, n)).hit_rate
+            for n in (10_000, 1_000_000, 50_000_000)
+        ]
+        assert rates[0] > rates[1] > rates[2]
+
+
+class TestExactCache:
+    def test_cold_then_hot(self):
+        c = SetAssociativeCache(MI250X_GCD)
+        addrs = np.arange(0, 128 * 10, 4)
+        c.access(addrs)
+        assert c.misses == 10
+        c.access(addrs)
+        assert c.misses == 10  # fully resident
+        assert c.hits == 2 * addrs.size - 10
+
+    def test_lru_eviction(self):
+        # A tiny 2-way cache with 1 set: third line evicts the first.
+        c = SetAssociativeCache(MI250X_GCD.with_overrides(l2_ways=2), num_sets=1)
+        c.access([0])        # line 0 (miss)
+        c.access([128])      # line 1 (miss)
+        c.access([0])        # hit, refreshes line 0
+        c.access([256])      # miss, evicts line 1 (LRU)
+        c.access([128])      # miss again
+        assert c.misses == 4
+        assert c.hits == 1
+
+    def test_fetched_bytes(self):
+        c = SetAssociativeCache(MI250X_GCD)
+        c.access([0, 4, 8, 1280])
+        assert c.fetched_bytes == 2 * LINE
+
+    def test_reset(self):
+        c = SetAssociativeCache(MI250X_GCD)
+        c.access([0, 128])
+        c.reset()
+        assert c.accesses == 0
+        c.access([0])
+        assert c.misses == 1
+
+
+class TestAnalyticVsExact:
+    """The analytic expectations must land near the exact simulator on
+    representative traces — the licence for using them at scale."""
+
+    def test_sequential_sweep(self):
+        n = 20_000
+        exact = SetAssociativeCache(MI250X_GCD)
+        exact.access(np.arange(n) * 4)
+        model = AnalyticCacheModel(MI250X_GCD)
+        out = model.run(seq_read("a", n))
+        assert out.misses == pytest.approx(exact.misses, rel=0.02)
+
+    def test_random_resident_footprint(self, rng):
+        footprint = 2_000  # elements; fits easily
+        n = 50_000
+        addrs = rng.integers(0, footprint, size=n) * 4
+        exact = SetAssociativeCache(MI250X_GCD)
+        exact.access(addrs)
+        out = AnalyticCacheModel(MI250X_GCD).run(rand_read("a", n, footprint))
+        assert out.hit_rate == pytest.approx(exact.hit_rate, abs=0.05)
+
+    def test_random_thrashing_footprint(self, rng):
+        # Footprint 8x the capacity of a deliberately tiny cache.
+        tiny = MI250X_GCD.with_overrides(l2_bytes=64 * 1024)
+        footprint_elems = 8 * tiny.l2_bytes // 4
+        n = 60_000
+        addrs = rng.integers(0, footprint_elems, size=n) * 4
+        exact = SetAssociativeCache(tiny)
+        exact.access(addrs)
+        out = AnalyticCacheModel(tiny).run(rand_read("a", n, footprint_elems))
+        assert out.hit_rate == pytest.approx(exact.hit_rate, abs=0.08)

@@ -1,0 +1,88 @@
+"""Tests for the device profiles."""
+
+import pytest
+
+from repro.errors import DeviceModelError
+from repro.gcd.device import MI250X_GCD, P6000, V100, DeviceProfile, profile_by_name
+
+
+class TestBuiltInProfiles:
+    def test_wavefront_widths(self):
+        """The central porting fact: AMD is 64 wide, NVIDIA 32."""
+        assert MI250X_GCD.wavefront_size == 64
+        assert P6000.wavefront_size == 32
+        assert V100.wavefront_size == 32
+
+    def test_mi250x_datasheet_values(self):
+        assert MI250X_GCD.hbm_bandwidth == pytest.approx(1.6e12)
+        assert MI250X_GCD.l2_bytes == 8 * 1024 * 1024
+        assert MI250X_GCD.compute_units == 110
+
+    def test_amd_sync_costlier_than_nvidia(self):
+        """Section IV-B's measurement that motivated stream
+        consolidation."""
+        assert MI250X_GCD.device_sync_us > 2 * P6000.device_sync_us
+        assert MI250X_GCD.device_sync_us > 2 * V100.device_sync_us
+
+    def test_derived_quantities(self):
+        assert MI250X_GCD.l2_lines == 8 * 1024 * 1024 // 128
+        assert MI250X_GCD.sequential_bandwidth < MI250X_GCD.hbm_bandwidth
+        assert MI250X_GCD.random_bandwidth < MI250X_GCD.sequential_bandwidth
+
+    def test_lookup_by_name(self):
+        assert profile_by_name("MI250X-GCD") is MI250X_GCD
+        assert profile_by_name("P6000") is P6000
+        with pytest.raises(DeviceModelError, match="unknown device"):
+            profile_by_name("H100")
+
+
+class TestValidation:
+    def _base(self, **overrides):
+        return MI250X_GCD.with_overrides(**overrides)
+
+    def test_bad_wavefront(self):
+        with pytest.raises(DeviceModelError, match="wavefront"):
+            self._base(wavefront_size=48)
+
+    def test_non_positive_core_params(self):
+        for field in ("compute_units", "clock_ghz", "l2_bytes", "hbm_bandwidth"):
+            with pytest.raises(DeviceModelError):
+                self._base(**{field: 0})
+
+    def test_bw_fractions_bounded(self):
+        with pytest.raises(DeviceModelError):
+            self._base(sequential_bw_fraction=0.0)
+        with pytest.raises(DeviceModelError):
+            self._base(random_bw_fraction=1.5)
+
+    def test_line_power_of_two(self):
+        with pytest.raises(DeviceModelError, match="power of two"):
+            self._base(cache_line_bytes=100)
+
+    def test_with_overrides_returns_new(self):
+        slow = self._base(hbm_bandwidth=1e11)
+        assert slow.hbm_bandwidth == 1e11
+        assert MI250X_GCD.hbm_bandwidth == pytest.approx(1.6e12)
+        assert slow.wavefront_size == MI250X_GCD.wavefront_size
+
+
+class TestMemoryCapacity:
+    def test_capacities(self):
+        gib = 1024**3
+        assert MI250X_GCD.memory_bytes == 64 * gib
+        assert P6000.memory_bytes == 24 * gib
+        assert V100.memory_bytes == 16 * gib
+
+    def test_rmat25_fits_one_gcd(self):
+        """The premise of the single-GCD result: Rmat25's 4.3 GB CSR
+        plus working state fits 64 GB."""
+        rmat25_bytes = 8 * (33_554_432 + 1) + 4 * 536_866_130 * 2
+        assert MI250X_GCD.fits(rmat25_bytes)
+
+    def test_oversized_graph_rejected(self):
+        assert not MI250X_GCD.fits(40 * 1024**3)
+
+    def test_working_factor(self):
+        nbytes = 10 * 1024**3
+        assert MI250X_GCD.fits(nbytes, working_factor=1.0)
+        assert not MI250X_GCD.fits(nbytes, working_factor=10.0)

@@ -1,0 +1,156 @@
+"""Tests for the kernel cost model and execution configuration."""
+
+import pytest
+
+from repro.errors import KernelLaunchError
+from repro.gcd.atomics import AtomicStats
+from repro.gcd.device import MI250X_GCD, P6000
+from repro.gcd.kernel import ComputeWork, ExecConfig, KernelCostModel
+from repro.gcd.memory import rand_read, seq_read, seq_write
+
+
+@pytest.fixture()
+def model() -> KernelCostModel:
+    return KernelCostModel(MI250X_GCD)
+
+
+def _eval(model, *, streams=None, work=None, config=None, warmup=False, bottom_up=False):
+    return model.evaluate(
+        "k",
+        strategy="test",
+        level=0,
+        streams=streams or [],
+        work=work or ComputeWork(),
+        config=config or ExecConfig(),
+        work_items=0,
+        warmup=warmup,
+        bottom_up=bottom_up,
+    )
+
+
+class TestExecConfig:
+    def test_defaults_are_the_optimized_port(self):
+        cfg = ExecConfig()
+        assert cfg.num_streams == 1
+        assert cfg.compiler == "clang"
+        assert cfg.optimize
+        assert not cfg.bottom_up_workload_balancing
+
+    def test_validation(self):
+        with pytest.raises(KernelLaunchError):
+            ExecConfig(num_streams=0)
+        with pytest.raises(KernelLaunchError, match="compiler"):
+            ExecConfig(compiler="gcc")
+
+    def test_hipcc_penalises_bottom_up_only(self):
+        """Section IV-A: hipcc's register pressure costs ~17% on the
+        bottom-up kernels; clang does not."""
+        hipcc = ExecConfig(compiler="hipcc")
+        assert hipcc.compute_multiplier(bottom_up=True) == pytest.approx(1.17)
+        assert hipcc.compute_multiplier(bottom_up=False) == pytest.approx(1.0)
+        clang = ExecConfig(compiler="clang")
+        assert clang.compute_multiplier(bottom_up=True) == pytest.approx(1.0)
+
+    def test_register_spilling_without_o3(self):
+        """'Omitting -O3 caused the code to run up to 10 times slower.'"""
+        cfg = ExecConfig(optimize=False)
+        assert cfg.compute_multiplier(bottom_up=False) == pytest.approx(10.0)
+
+    def test_penalties_compose(self):
+        cfg = ExecConfig(optimize=False, compiler="hipcc")
+        assert cfg.compute_multiplier(bottom_up=True) == pytest.approx(11.7)
+
+    def test_with_overrides(self):
+        cfg = ExecConfig().with_overrides(rearranged=True)
+        assert cfg.rearranged
+        assert not ExecConfig().rearranged
+
+
+class TestCostModel:
+    def test_launch_overhead_floor(self, model):
+        rec = _eval(model)
+        assert rec.runtime_ms == pytest.approx(
+            MI250X_GCD.kernel_launch_us * 1e-3
+        )
+
+    def test_warmup_charge(self, model):
+        cold = _eval(model, warmup=True)
+        warm = _eval(model)
+        assert cold.runtime_ms - warm.runtime_ms == pytest.approx(
+            MI250X_GCD.first_launch_warmup_ms
+        )
+
+    def test_memory_and_compute_overlap(self, model):
+        """Runtime is max(mem, compute) + overhead, not the sum."""
+        mem_heavy = _eval(model, streams=[seq_read("a", 10_000_000)])
+        assert mem_heavy.runtime_ms == pytest.approx(
+            mem_heavy.overhead_ms + max(mem_heavy.mem_ms, mem_heavy.compute_ms)
+        )
+
+    def test_fetch_kb_accumulates_streams(self, model):
+        rec = _eval(model, streams=[seq_read("a", 32_000), seq_read("b", 32_000)])
+        assert rec.fetch_kb == pytest.approx(2 * 1000 * 128 / 1024)
+
+    def test_counter_bounds(self, model):
+        rec = _eval(
+            model,
+            streams=[rand_read("a", 100_000, 10_000_000), seq_write("b", 1000)],
+            work=ComputeWork(flat_ops=1e6),
+        )
+        assert 0 <= rec.l2_hit_pct <= 100
+        assert 0 <= rec.mem_busy_pct <= 100
+
+    def test_atomics_add_compute_time(self, model):
+        quiet = _eval(model, work=ComputeWork(flat_ops=0))
+        noisy = _eval(
+            model,
+            work=ComputeWork(atomics=AtomicStats(operations=10_000_000, conflicts=0)),
+        )
+        assert noisy.compute_ms > quiet.compute_ms
+
+    def test_conflicts_cost_more_than_plain_atomics(self, model):
+        plain = _eval(
+            model, work=ComputeWork(atomics=AtomicStats(operations=1_000_000))
+        )
+        contended = _eval(
+            model,
+            work=ComputeWork(
+                atomics=AtomicStats(operations=1_000_000, conflicts=1_000_000)
+            ),
+        )
+        assert contended.compute_ms > plain.compute_ms
+
+    def test_divergent_probes_charged(self, model):
+        rec = _eval(model, work=ComputeWork(divergent_probes=1e6))
+        assert rec.compute_ms == pytest.approx(
+            1e6 * MI250X_GCD.divergent_probe_ns * 1e-6
+        )
+
+    def test_spill_multiplier_applies_to_compute(self, model):
+        fast = _eval(model, work=ComputeWork(flat_ops=1e8))
+        slow = _eval(model, work=ComputeWork(flat_ops=1e8), config=ExecConfig(optimize=False))
+        assert slow.compute_ms == pytest.approx(10 * fast.compute_ms)
+
+    def test_nvidia_launch_cheaper(self):
+        amd = KernelCostModel(MI250X_GCD)
+        nv = KernelCostModel(P6000)
+        assert _eval(nv).runtime_ms < _eval(amd).runtime_ms
+
+    def test_record_metadata(self, model):
+        rec = model.evaluate(
+            "my_kernel",
+            strategy="scan_free",
+            level=3,
+            streams=[],
+            work=ComputeWork(),
+            config=ExecConfig(),
+            work_items=42,
+            stream_id=0,
+            ratio=0.5,
+        )
+        assert rec.name == "my_kernel"
+        assert rec.strategy == "scan_free"
+        assert rec.level == 3
+        assert rec.work_items == 42
+        assert rec.ratio == 0.5
+        assert rec.fetch_mb == pytest.approx(rec.fetch_kb / 1024)

@@ -1,0 +1,144 @@
+"""Tests for the lane-accurate interpreter — cross-validation against
+the vectorised engines and the popc/popcll porting-bug demonstration."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraversalError
+from repro.gcd.lane_interpreter import LaneInterpreter
+from repro.gcd.wavefront import popc, popcll
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import rmat, star
+from repro.graph.stats import bfs_levels_reference
+from repro.xbfs.common import UNVISITED, first_match_per_segment, wavefront_serialized_steps
+
+
+@pytest.fixture(scope="module")
+def tiny_rmat():
+    return rmat(8, 8, seed=2)
+
+
+class TestScanFreeLane:
+    @pytest.mark.parametrize("width", [32, 64])
+    def test_full_bfs_matches_oracle(self, tiny_rmat, width):
+        interp = LaneInterpreter(tiny_rmat, width=width)
+        source = int(np.argmax(tiny_rmat.degrees))
+        levels = interp.bfs(source, strategy="scan_free")
+        assert np.array_equal(levels, bfs_levels_reference(tiny_rmat, source))
+
+    def test_queue_has_no_duplicates(self, tiny_rmat):
+        interp = LaneInterpreter(tiny_rmat)
+        status = np.full(tiny_rmat.num_vertices, UNVISITED, dtype=np.int32)
+        source = int(np.argmax(tiny_rmat.degrees))
+        status[source] = 0
+        queue, _ = interp.scan_free_level(status, np.array([source]), 0)
+        assert len(set(queue.tolist())) == queue.size
+
+    def test_stats_counted(self, tiny_rmat):
+        interp = LaneInterpreter(tiny_rmat)
+        status = np.full(tiny_rmat.num_vertices, UNVISITED, dtype=np.int32)
+        source = int(np.argmax(tiny_rmat.degrees))
+        status[source] = 0
+        _, stats = interp.scan_free_level(status, np.array([source]), 0)
+        assert stats.wavefronts == 1
+        assert stats.serialized_steps == int(tiny_rmat.degrees[source])
+        assert stats.dropped_winners == 0
+
+
+class TestPortingBug:
+    """__popc on a 64-lane ballot: the bug hipify does not catch."""
+
+    def test_popc_drops_high_lane_winners(self):
+        # A perfect matching: 70 frontier vertices each discover one
+        # distinct child in the same lock-step iteration, so one
+        # 64-wide wavefront ballots 64 simultaneous winners — and popc
+        # reserves only 32 queue slots.
+        n = 70
+        matching = CSRGraph.from_edges(
+            np.arange(n), np.arange(n) + n, 2 * n
+        )
+        frontier = np.arange(n, dtype=np.int64)
+
+        def run(popcount):
+            status = np.full(matching.num_vertices, UNVISITED, dtype=np.int32)
+            status[:n] = 0
+            interp = LaneInterpreter(matching, width=64, popcount=popcount)
+            return interp.scan_free_level(status, frontier, 0)
+
+        queue_ok, stats_ok = run(popcll)
+        queue_bug, stats_bug = run(popc)
+
+        assert stats_ok.dropped_winners == 0
+        assert queue_ok.size == n
+        assert stats_bug.dropped_winners == 64 - 32  # lanes 32-63 of wf 0
+        assert queue_bug.size == n - 32
+
+    def test_popc_corrupts_whole_bfs(self, tiny_rmat):
+        """The dropped enqueues make the traversal silently wrong:
+        vertices are marked visited but never expanded."""
+        source = int(np.argmax(tiny_rmat.degrees))
+        reference = bfs_levels_reference(tiny_rmat, source)
+        buggy = LaneInterpreter(tiny_rmat, width=64, popcount=popc)
+        levels = buggy.bfs(source, strategy="scan_free")
+        assert not np.array_equal(levels, reference)
+
+    def test_popc_harmless_at_width_32(self, tiny_rmat):
+        """On the original 32-wide warps popc is correct — which is
+        exactly why the bug only appears after the port."""
+        source = int(np.argmax(tiny_rmat.degrees))
+        interp = LaneInterpreter(tiny_rmat, width=32, popcount=popc)
+        levels = interp.bfs(source, strategy="scan_free")
+        assert np.array_equal(levels, bfs_levels_reference(tiny_rmat, source))
+
+
+class TestBottomUpLane:
+    @pytest.mark.parametrize("width", [32, 64])
+    def test_full_bfs_matches_oracle(self, tiny_rmat, width):
+        interp = LaneInterpreter(tiny_rmat, width=width)
+        source = int(np.argmax(tiny_rmat.degrees))
+        levels = interp.bfs(source, strategy="bottom_up")
+        assert np.array_equal(levels, bfs_levels_reference(tiny_rmat, source))
+
+    def test_serialized_steps_match_vectorised_model(self, tiny_rmat):
+        """The interpreter's lock-step count must equal the cost
+        model's wavefront_serialized_steps on identical state."""
+        source = int(np.argmax(tiny_rmat.degrees))
+        ref = bfs_levels_reference(tiny_rmat, source)
+        level = 1
+        status = np.where((ref >= 0) & (ref <= level), ref, UNVISITED).astype(np.int32)
+
+        interp = LaneInterpreter(tiny_rmat, width=64)
+        _, stats = interp.bottom_up_level(status.copy(), level)
+
+        unvisited = np.flatnonzero(status == UNVISITED).astype(np.int64)
+        degs = tiny_rmat.degrees[unvisited]
+        flat = np.concatenate(
+            [tiny_rmat.neighbors(int(v)) for v in unvisited]
+        ) if unvisited.size else np.zeros(0, dtype=np.int32)
+        match = status[flat] == level
+        first = first_match_per_segment(match, degs)
+        scan_len = np.where(first >= 0, first + 1, degs)
+        assert stats.serialized_steps == wavefront_serialized_steps(scan_len, 64)
+
+    def test_idle_lane_steps_positive_on_skewed_scans(self):
+        """A hub among leaves forces peers to idle while the hub scans."""
+        hub = star(70)
+        status = np.full(hub.num_vertices, UNVISITED, dtype=np.int32)
+        status[1] = 0  # a leaf is the frontier; hub and others unvisited
+        interp = LaneInterpreter(hub, width=64)
+        _, stats = interp.bottom_up_level(status, 0)
+        assert stats.idle_lane_steps > 0
+
+    def test_directed_needs_reverse(self):
+        g = CSRGraph.from_edges([0], [1], 2)
+        interp = LaneInterpreter(g, width=32)
+        levels = interp.bfs(0, strategy="bottom_up")
+        assert levels.tolist() == [0, 1]
+
+    def test_unknown_strategy(self, tiny_rmat):
+        with pytest.raises(TraversalError):
+            LaneInterpreter(tiny_rmat).bfs(0, strategy="dfs")
+
+    def test_bad_width(self, tiny_rmat):
+        with pytest.raises(TraversalError):
+            LaneInterpreter(tiny_rmat, width=16)

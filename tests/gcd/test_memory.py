@@ -1,0 +1,68 @@
+"""Tests for the access-stream records."""
+
+import pytest
+
+from repro.errors import DeviceModelError
+from repro.gcd.memory import (
+    AccessStream,
+    Pattern,
+    rand_read,
+    rand_write,
+    segmented_read,
+    seq_read,
+    seq_write,
+)
+
+
+class TestAccessStream:
+    def test_byte_accounting(self):
+        s = AccessStream("a", 4, 100, 60, Pattern.RANDOM)
+        assert s.bytes_requested == 400
+        assert s.footprint_bytes == 240
+
+    def test_sequential_footprint_clamped_to_accesses(self):
+        s = AccessStream("a", 4, 10, 50, Pattern.SEQUENTIAL)
+        assert s.distinct_elements == 10
+
+    def test_random_footprint_may_exceed_accesses(self):
+        # For random streams, distinct_elements is the address range the
+        # probes draw from (sparse probes land one element per line).
+        s = AccessStream("a", 4, 10, 50, Pattern.RANDOM)
+        assert s.distinct_elements == 50
+
+    def test_validation(self):
+        with pytest.raises(DeviceModelError):
+            AccessStream("a", 0, 1, 1, Pattern.RANDOM)
+        with pytest.raises(DeviceModelError):
+            AccessStream("a", 4, -1, 0, Pattern.RANDOM)
+
+
+class TestConstructors:
+    def test_seq_read(self):
+        s = seq_read("status", 100)
+        assert s.pattern is Pattern.SEQUENTIAL
+        assert not s.is_write
+        assert s.distinct_elements == 100
+
+    def test_seq_read_with_reuse(self):
+        s = seq_read("status", 300, distinct=100)
+        assert s.num_accesses == 300 and s.distinct_elements == 100
+
+    def test_seq_write(self):
+        s = seq_write("queue", 10)
+        assert s.is_write and s.pattern is Pattern.SEQUENTIAL
+
+    def test_rand_read_write(self):
+        r = rand_read("status", 100, 1000)
+        w = rand_write("status", 5, 5)
+        assert r.pattern is Pattern.RANDOM and not r.is_write
+        assert w.pattern is Pattern.RANDOM and w.is_write
+
+    def test_segmented_read_carries_exact_lines(self):
+        s = segmented_read("adj", 1000, exact_lines=77)
+        assert s.exact_lines == 77
+        assert s.pattern is Pattern.SEQUENTIAL
+
+    def test_element_sizes(self):
+        assert seq_read("offsets", 10, 8).element_bytes == 8
+        assert seq_read("ids", 10).element_bytes == 4

@@ -1,0 +1,95 @@
+"""Tests for the rocprofiler-equivalent collector."""
+
+import pytest
+
+from repro.gcd.kernel import KernelRecord
+from repro.gcd.profiler import Profiler
+
+
+def _record(name="k", strategy="s", level=0, runtime=1.0, fetch_kb=1024.0, atomics=3):
+    return KernelRecord(
+        name=name,
+        strategy=strategy,
+        level=level,
+        runtime_ms=runtime,
+        fetch_kb=fetch_kb,
+        write_kb=0.0,
+        l2_hit_pct=50.0,
+        mem_busy_pct=10.0,
+        compute_ms=0.5,
+        mem_ms=0.2,
+        overhead_ms=0.3,
+        atomic_ops=atomics,
+        atomic_conflicts=0,
+        work_items=10,
+    )
+
+
+class TestProfiler:
+    def test_totals(self):
+        p = Profiler()
+        p.add(_record(runtime=1.0, fetch_kb=1024))
+        p.add(_record(runtime=2.0, fetch_kb=2048))
+        assert p.total_runtime_ms == pytest.approx(3.0)
+        assert p.total_fetch_mb == pytest.approx(3.0)
+
+    def test_filtering(self):
+        p = Profiler()
+        p.extend(
+            [
+                _record(name="a", strategy="scan_free", level=0),
+                _record(name="b", strategy="bottom_up", level=0),
+                _record(name="c", strategy="bottom_up", level=1),
+            ]
+        )
+        assert [r.name for r in p.records_for(strategy="bottom_up")] == ["b", "c"]
+        assert [r.name for r in p.records_for(level=0)] == ["a", "b"]
+        assert [r.name for r in p.records_for(strategy="bottom_up", level=1)] == ["c"]
+
+    def test_levels(self):
+        p = Profiler()
+        p.extend([_record(level=2), _record(level=0), _record(level=2)])
+        assert p.levels() == [0, 2]
+
+    def test_per_level_totals(self):
+        p = Profiler()
+        p.extend(
+            [
+                _record(level=0, runtime=1.0, fetch_kb=1024, atomics=1),
+                _record(level=0, runtime=2.0, fetch_kb=1024, atomics=2),
+                _record(level=1, runtime=5.0, fetch_kb=512, atomics=0),
+            ]
+        )
+        totals = p.per_level_totals()
+        assert len(totals) == 2
+        level0 = totals[0]
+        assert level0.level == 0
+        assert level0.runtime_ms == pytest.approx(3.0)
+        assert level0.fetch_mb == pytest.approx(2.0)
+        assert level0.kernels == 2
+        assert level0.atomic_ops == 3
+        assert level0.fetch_kb == pytest.approx(2048)
+
+    def test_per_level_totals_filtered(self):
+        p = Profiler()
+        p.extend(
+            [
+                _record(strategy="a", level=0, runtime=1.0),
+                _record(strategy="b", level=0, runtime=9.0),
+            ]
+        )
+        only_a = p.per_level_totals(strategy="a")
+        assert only_a[0].runtime_ms == pytest.approx(1.0)
+
+    def test_per_kernel_totals(self):
+        p = Profiler()
+        p.extend([_record(name="x", runtime=1), _record(name="x", runtime=2),
+                  _record(name="y", runtime=4)])
+        assert p.per_kernel_totals() == {"x": pytest.approx(3.0), "y": pytest.approx(4.0)}
+
+    def test_clear(self):
+        p = Profiler()
+        p.add(_record())
+        p.clear()
+        assert p.records == []
+        assert p.total_runtime_ms == 0

@@ -1,0 +1,36 @@
+"""Tests for profiler CSV/dict export."""
+
+import csv
+
+import numpy as np
+
+from repro.gcd.simulator import GCD
+from repro.gcd.device import MI250X_GCD
+from repro.gcd.kernel import ComputeWork
+from repro.gcd.memory import seq_read
+from repro.xbfs.driver import XBFS
+from repro.graph.generators import rmat
+
+
+def test_to_dicts_fields():
+    gcd = GCD(MI250X_GCD)
+    gcd.launch("k", strategy="s", level=0, streams=[seq_read("a", 100)],
+               work=ComputeWork(flat_ops=10), work_items=1)
+    rows = gcd.profiler.to_dicts()
+    assert len(rows) == 1
+    assert rows[0]["name"] == "k"
+    assert set(rows[0]) == set(gcd.profiler.FIELDS)
+
+
+def test_csv_round_trip(tmp_path):
+    graph = rmat(9, 8, seed=0)
+    engine = XBFS(graph)
+    engine.run(int(np.argmax(graph.degrees)))
+    path = tmp_path / "profile.csv"
+    engine._gcd.profiler.to_csv(path)
+    with path.open() as fh:
+        rows = list(csv.DictReader(fh))
+    assert len(rows) == len(engine._gcd.profiler.records)
+    assert rows[0]["name"] == "init_status"
+    # Numeric columns parse back.
+    assert float(rows[1]["runtime_ms"]) > 0

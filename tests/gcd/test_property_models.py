@@ -1,0 +1,167 @@
+"""Property-based tests on the cache and cost models.
+
+These pin down the invariants every experiment silently relies on:
+conservation (hits + misses = accesses), monotonicity in capacity and
+footprint, fetch accounting, and cost-model dominance relations
+(more work never costs less; penalties never speed anything up).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gcd.atomics import AtomicStats
+from repro.gcd.cache import AnalyticCacheModel
+from repro.gcd.device import MI250X_GCD
+from repro.gcd.kernel import ComputeWork, ExecConfig, KernelCostModel
+from repro.gcd.memory import AccessStream, Pattern
+
+ELEMENT_BYTES = st.sampled_from([1, 4, 8])
+PATTERNS = st.sampled_from([Pattern.SEQUENTIAL, Pattern.RANDOM])
+
+
+@st.composite
+def streams(draw):
+    return AccessStream(
+        "arr",
+        draw(ELEMENT_BYTES),
+        draw(st.integers(min_value=0, max_value=5_000_000)),
+        draw(st.integers(min_value=0, max_value=50_000_000)),
+        draw(PATTERNS),
+        is_write=draw(st.booleans()),
+    )
+
+
+class TestCacheProperties:
+    @given(streams())
+    @settings(max_examples=120, deadline=None)
+    def test_conservation(self, stream):
+        out = AnalyticCacheModel(MI250X_GCD).run(stream)
+        assert out.hits >= -1e-9
+        assert out.misses >= -1e-9
+        assert out.accesses == pytest.approx(stream.num_accesses)
+
+    @given(streams())
+    @settings(max_examples=120, deadline=None)
+    def test_fetch_write_accounting(self, stream):
+        out = AnalyticCacheModel(MI250X_GCD).run(stream)
+        line = MI250X_GCD.cache_line_bytes
+        if stream.is_write:
+            assert out.fetched_bytes == 0
+            assert out.written_bytes == pytest.approx(out.misses * line)
+        else:
+            assert out.written_bytes == 0
+            assert out.fetched_bytes == pytest.approx(out.misses * line)
+
+    @given(streams())
+    @settings(max_examples=80, deadline=None)
+    def test_bigger_cache_never_hurts(self, stream):
+        small = AnalyticCacheModel(MI250X_GCD.with_overrides(l2_bytes=256 * 1024))
+        big = AnalyticCacheModel(MI250X_GCD.with_overrides(l2_bytes=64 * 1024 * 1024))
+        assert big.run(stream).misses <= small.run(stream).misses + 1e-6
+
+    @given(
+        st.integers(min_value=1, max_value=1_000_000),
+        st.integers(min_value=1, max_value=1_000_000),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_random_misses_monotone_in_footprint(self, accesses, footprint):
+        model = AnalyticCacheModel(MI250X_GCD)
+        narrow = model.run(
+            AccessStream("a", 4, accesses, footprint, Pattern.RANDOM)
+        )
+        wide = model.run(
+            AccessStream("a", 4, accesses, footprint * 64, Pattern.RANDOM)
+        )
+        assert wide.misses >= narrow.misses - 1e-6
+
+    @given(st.integers(min_value=0, max_value=2_000_000))
+    @settings(max_examples=60, deadline=None)
+    def test_sequential_never_worse_than_random(self, accesses):
+        model = AnalyticCacheModel(MI250X_GCD)
+        seq = model.run(AccessStream("a", 4, accesses, accesses, Pattern.SEQUENTIAL))
+        rand = model.run(
+            AccessStream("a", 4, accesses, 100_000_000, Pattern.RANDOM)
+        )
+        assert seq.misses <= rand.misses + 1e-6
+
+
+@st.composite
+def works(draw):
+    return ComputeWork(
+        flat_ops=draw(st.floats(min_value=0, max_value=1e9)),
+        divergent_probes=draw(st.floats(min_value=0, max_value=1e8)),
+        atomics=AtomicStats(
+            operations=draw(st.integers(min_value=0, max_value=10**7)),
+            conflicts=draw(st.integers(min_value=0, max_value=10**6)),
+        ),
+    )
+
+
+class TestCostModelProperties:
+    def _evaluate(self, work, config=None, streams_list=None, bottom_up=False):
+        return KernelCostModel(MI250X_GCD).evaluate(
+            "k",
+            strategy="t",
+            level=0,
+            streams=streams_list or [],
+            work=work,
+            config=config or ExecConfig(),
+            work_items=0,
+            bottom_up=bottom_up,
+        )
+
+    @given(works())
+    @settings(max_examples=80, deadline=None)
+    def test_runtime_at_least_overhead(self, work):
+        rec = self._evaluate(work)
+        assert rec.runtime_ms >= MI250X_GCD.kernel_launch_us * 1e-3 - 1e-12
+
+    @given(works())
+    @settings(max_examples=80, deadline=None)
+    def test_spill_penalty_never_speeds_up(self, work):
+        fast = self._evaluate(work)
+        slow = self._evaluate(work, config=ExecConfig(optimize=False))
+        assert slow.runtime_ms >= fast.runtime_ms - 1e-12
+
+    @given(works())
+    @settings(max_examples=80, deadline=None)
+    def test_hipcc_penalty_only_on_bottom_up(self, work):
+        clang = self._evaluate(work, config=ExecConfig(compiler="clang"))
+        hipcc_td = self._evaluate(work, config=ExecConfig(compiler="hipcc"))
+        hipcc_bu = self._evaluate(
+            work, config=ExecConfig(compiler="hipcc"), bottom_up=True
+        )
+        clang_bu = self._evaluate(
+            work, config=ExecConfig(compiler="clang"), bottom_up=True
+        )
+        assert hipcc_td.runtime_ms == pytest.approx(clang.runtime_ms)
+        assert hipcc_bu.runtime_ms >= clang_bu.runtime_ms - 1e-12
+
+    @given(works(), works())
+    @settings(max_examples=60, deadline=None)
+    def test_more_work_never_cheaper(self, a, b):
+        combined = ComputeWork(
+            flat_ops=a.flat_ops + b.flat_ops,
+            divergent_probes=a.divergent_probes + b.divergent_probes,
+            atomics=a.atomics.merge(b.atomics),
+        )
+        assert (
+            self._evaluate(combined).compute_ms
+            >= self._evaluate(a).compute_ms - 1e-9
+        )
+
+    @given(st.integers(min_value=0, max_value=5_000_000))
+    @settings(max_examples=40, deadline=None)
+    def test_counters_bounded(self, n):
+        rec = self._evaluate(
+            ComputeWork(flat_ops=float(n)),
+            streams_list=[
+                AccessStream("a", 4, n, 10_000_000, Pattern.RANDOM),
+                AccessStream("b", 4, n, n, Pattern.SEQUENTIAL, is_write=True),
+            ],
+        )
+        assert 0 <= rec.l2_hit_pct <= 100
+        assert 0 <= rec.mem_busy_pct <= 100
+        assert rec.fetch_kb >= 0 and rec.write_kb >= 0

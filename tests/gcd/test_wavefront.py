@@ -1,0 +1,133 @@
+"""Tests for the wavefront primitive emulation — including the CUDA→HIP
+porting hazards Section IV-A names."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DeviceModelError
+from repro.gcd import wavefront as wf
+
+
+class TestBallot:
+    def test_empty_mask(self):
+        assert wf.ballot(np.zeros(64, dtype=bool), 64) == 0
+
+    def test_single_lane(self):
+        pred = np.zeros(64, dtype=bool)
+        pred[63] = True
+        assert wf.ballot(pred, 64) == 1 << 63
+
+    def test_full_64_lane_mask_needs_unsigned_long(self):
+        """The mask-type porting issue: a full 64-lane ballot does not
+        fit in 32 bits."""
+        mask = wf.ballot(np.ones(64, dtype=bool), 64)
+        assert mask == (1 << 64) - 1
+        assert mask > np.iinfo(np.uint32).max
+
+    def test_partial_wavefront(self):
+        # Trailing lanes inactive (partially filled last wavefront).
+        assert wf.ballot(np.array([True, False, True]), 64) == 0b101
+
+    def test_too_many_lanes(self):
+        with pytest.raises(DeviceModelError, match="lanes"):
+            wf.ballot(np.ones(65, dtype=bool), 64)
+
+    def test_bad_width(self):
+        with pytest.raises(DeviceModelError):
+            wf.ballot(np.ones(4, dtype=bool), 48)
+
+
+class TestPopc:
+    def test_popcll_counts_all_64_bits(self):
+        assert wf.popcll((1 << 64) - 1) == 64
+
+    def test_popc_truncates_to_32_bits(self):
+        """THE porting bug: __popc on a 64-lane ballot silently counts
+        only the low half. hipify does not catch this."""
+        full = (1 << 64) - 1
+        assert wf.popc(full) == 32
+        assert wf.popcll(full) == 64
+
+    def test_popc_agrees_on_32_lane_masks(self):
+        mask = wf.ballot(np.tile([True, False], 16), 32)
+        assert wf.popc(mask) == wf.popcll(mask) == 16
+
+    def test_upper_lane_invisible_to_popc(self):
+        pred = np.zeros(64, dtype=bool)
+        pred[40] = True
+        mask = wf.ballot(pred, 64)
+        assert wf.popc(mask) == 0  # lane 40 lost
+        assert wf.popcll(mask) == 1
+
+
+class TestAnyAll:
+    def test_any(self):
+        assert not wf.any_(np.zeros(64, dtype=bool), 64)
+        pred = np.zeros(64, dtype=bool)
+        pred[50] = True
+        assert wf.any_(pred, 64)
+
+    def test_all(self):
+        assert wf.all_(np.ones(32, dtype=bool), 32)
+        pred = np.ones(32, dtype=bool)
+        pred[0] = False
+        assert not wf.all_(pred, 32)
+        assert wf.all_(np.zeros(0, dtype=bool), 64)  # vacuous truth
+
+
+class TestShfl:
+    def test_broadcast(self):
+        vals = np.arange(64)
+        out = wf.shfl(vals, 7, 64)
+        assert np.all(out == 7)
+
+    def test_shfl_down(self):
+        vals = np.arange(8)
+        out = wf.shfl_down(vals, 2, 64)
+        assert out.tolist() == [2, 3, 4, 5, 6, 7, 6, 7]
+
+    def test_shfl_up(self):
+        vals = np.arange(8)
+        out = wf.shfl_up(vals, 3, 64)
+        assert out.tolist() == [0, 1, 2, 0, 1, 2, 3, 4]
+
+    def test_shfl_zero_delta_identity(self):
+        vals = np.arange(8)
+        assert np.array_equal(wf.shfl_down(vals, 0, 64), vals)
+
+    def test_src_lane_out_of_range(self):
+        with pytest.raises(DeviceModelError):
+            wf.shfl(np.arange(4), 4, 64)
+
+    def test_reduce_max_matches_numpy(self, rng):
+        for width in (32, 64):
+            vals = rng.integers(0, 1000, size=width)
+            assert wf.wavefront_reduce_max(vals, width) == int(vals.max())
+
+
+class TestLaneMaskDtype:
+    def test_dtypes(self):
+        """unsigned int for 32-wide warps, unsigned long for 64-wide
+        wavefronts — the paper's literal porting change."""
+        assert wf.lane_mask_dtype(32) is np.uint32
+        assert wf.lane_mask_dtype(64) is np.uint64
+
+
+class TestIterWavefronts:
+    def test_partition(self):
+        views = list(wf.iter_wavefronts(130, 64))
+        assert [v.active_lanes for v in views] == [64, 64, 2]
+        assert views[0].full and not views[2].full
+        assert views[2].lanes.tolist() == [128, 129]
+
+    def test_empty(self):
+        assert list(wf.iter_wavefronts(0, 64)) == []
+
+    def test_idle_lane_waste_worse_at_64(self):
+        """The paper's bottom-up observation: with 80 work items, the
+        64-wide wavefront wastes more lanes in its ragged tail."""
+        def waste(width):
+            views = list(wf.iter_wavefronts(80, width))
+            return sum(width - v.active_lanes for v in views)
+
+        assert waste(64) > waste(32)

@@ -1,0 +1,90 @@
+"""Tests for the Table II dataset registry and the Fig 1 example graph."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExperimentError
+from repro.graph import datasets
+from repro.graph.stats import bfs_levels_reference, degree_summary, level_trace
+
+
+class TestRegistry:
+    def test_all_six_datasets_present(self):
+        assert set(datasets.PAPER_DATASETS) == {"LJ", "UP", "OR", "DB", "R23", "R25"}
+
+    def test_paper_numbers_match_table2(self):
+        spec = datasets.PAPER_DATASETS["LJ"]
+        assert spec.paper_vertices == 4_036_538
+        assert spec.paper_edges == 69_362_378
+        assert spec.paper_size == "478 MB"
+        assert datasets.PAPER_DATASETS["R25"].paper_vertices == 33_554_432
+
+    def test_paper_avg_degree(self):
+        assert datasets.PAPER_DATASETS["OR"].paper_avg_degree == pytest.approx(
+            76.3, abs=0.5
+        )
+
+    def test_unknown_key(self):
+        with pytest.raises(ExperimentError, match="unknown dataset"):
+            datasets.load("FR")
+
+    def test_bad_scale_factor(self):
+        with pytest.raises(ExperimentError, match="scale_factor"):
+            datasets.PAPER_DATASETS["DB"].build(0)
+
+
+class TestStandIns:
+    @pytest.mark.parametrize("key", ["LJ", "UP", "OR", "DB"])
+    def test_avg_degree_preserved(self, key):
+        spec = datasets.PAPER_DATASETS[key]
+        g = datasets.load(key, 256, seed=0)
+        # Stand-ins keep the paper's average degree within a loose band
+        # (dedup and tail clipping shave a bit off).
+        assert g.average_degree == pytest.approx(spec.paper_avg_degree, rel=0.45)
+
+    def test_rmat_edge_factor(self):
+        # Table II counts each undirected R-MAT edge once (16·2^scale);
+        # the symmetrised stand-in carries both directions minus dedup.
+        g = datasets.load("R23", 256, seed=0)
+        assert 16 <= g.average_degree <= 32
+
+    def test_scaling_shrinks(self):
+        big = datasets.load("DB", 8, seed=0)
+        small = datasets.load("DB", 64, seed=0)
+        assert small.num_vertices < big.num_vertices
+
+    def test_deterministic(self):
+        assert datasets.load("LJ", 256, seed=1) == datasets.load("LJ", 256, seed=1)
+
+    def test_social_graphs_skewed(self):
+        for key in ("LJ", "OR"):
+            assert degree_summary(datasets.load(key, 256)).skewed
+
+    def test_up_is_deep(self):
+        """USpatent's stand-in must need far more BFS levels than the
+        social graphs — the property Fig 6 keys on."""
+        up = datasets.load("UP", 512, seed=0)
+        lj = datasets.load("LJ", 512, seed=0)
+        up_depth = level_trace(up, 0).num_levels
+        lj_src = int(np.argmax(lj.degrees))
+        lj_depth = level_trace(lj, lj_src).num_levels
+        assert up_depth > 5 * lj_depth
+
+
+class TestExampleGraph:
+    def test_levels_match_figures(self, fig1_graph):
+        levels = bfs_levels_reference(fig1_graph, 0)
+        assert np.array_equal(levels, datasets.EXAMPLE_EXPECTED_LEVELS)
+
+    def test_fig2_walkthrough(self, fig1_graph):
+        """Figure 2: from v0 the only discovery is v1."""
+        assert fig1_graph.neighbors(0).tolist() == [1]
+
+    def test_fig3_walkthrough(self, fig1_graph):
+        """Figure 3: v1's neighbours are v0, v2, v3."""
+        assert fig1_graph.neighbors(1).tolist() == [0, 2, 3]
+
+    def test_fig4_v8_through_v7_only(self, fig1_graph):
+        """Figure 4: v8 is reachable only through v7 (the proactive
+        update example requires it)."""
+        assert fig1_graph.neighbors(8).tolist() == [7]

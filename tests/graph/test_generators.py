@@ -1,0 +1,136 @@
+"""Unit tests for the synthetic graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph import generators as gen
+from repro.graph.stats import degree_summary
+
+
+class TestRmat:
+    def test_size(self):
+        g = gen.rmat(8, 8, seed=0)
+        assert g.num_vertices == 256
+        # Symmetrised + deduped, so <= 2 * edge_factor * n and > 0.
+        assert 0 < g.num_edges <= 2 * 8 * 256
+
+    def test_deterministic(self):
+        assert gen.rmat(8, 8, seed=5) == gen.rmat(8, 8, seed=5)
+
+    def test_seed_changes_graph(self):
+        assert gen.rmat(8, 8, seed=1) != gen.rmat(8, 8, seed=2)
+
+    def test_power_law_skew(self):
+        g = gen.rmat(12, 16, seed=0)
+        s = degree_summary(g)
+        assert s.skewed, f"Graph500 R-MAT must be heavily skewed, gini={s.gini}"
+        assert s.max > 20 * s.mean
+
+    def test_no_self_loops(self):
+        g = gen.rmat(8, 8, seed=3)
+        src, dst = g.to_edge_arrays()
+        assert not np.any(src == dst)
+
+    def test_directed_option(self):
+        g = gen.rmat(8, 8, seed=0, symmetrize=False)
+        src, dst = g.to_edge_arrays()
+        pairs = set(zip(src.tolist(), dst.tolist()))
+        # A directed R-MAT is (almost surely) not symmetric.
+        assert any((b, a) not in pairs for a, b in pairs)
+
+    def test_bad_initiator(self):
+        with pytest.raises(GraphFormatError, match="sum to 1"):
+            gen.rmat(6, 4, initiator=(0.5, 0.5, 0.5, 0.5))
+
+    def test_bad_scale(self):
+        with pytest.raises(GraphFormatError, match="scale"):
+            gen.rmat(0)
+        with pytest.raises(GraphFormatError, match="scale"):
+            gen.rmat(31)
+
+    def test_name_default(self):
+        assert gen.rmat(6, 4).name == "Rmat6"
+
+
+class TestErdosRenyi:
+    def test_avg_degree(self):
+        g = gen.erdos_renyi(2000, 10.0, seed=0)
+        assert g.average_degree == pytest.approx(10.0, rel=0.15)
+
+    def test_not_skewed(self):
+        g = gen.erdos_renyi(2000, 10.0, seed=0)
+        assert not degree_summary(g).skewed
+
+    def test_bad_vertices(self):
+        with pytest.raises(GraphFormatError):
+            gen.erdos_renyi(0, 4.0)
+
+
+class TestChungLu:
+    def test_avg_degree(self):
+        g = gen.chung_lu_power_law(4000, 16.0, seed=0)
+        assert g.average_degree == pytest.approx(16.0, rel=0.35)
+
+    def test_skew(self):
+        g = gen.chung_lu_power_law(4000, 16.0, exponent=2.2, seed=0)
+        assert degree_summary(g).skewed
+
+    def test_higher_exponent_less_skew(self):
+        lo = degree_summary(gen.chung_lu_power_law(4000, 8.0, exponent=2.1, seed=0))
+        hi = degree_summary(gen.chung_lu_power_law(4000, 8.0, exponent=3.5, seed=0))
+        assert lo.gini > hi.gini
+
+    def test_validation(self):
+        with pytest.raises(GraphFormatError):
+            gen.chung_lu_power_law(1, 4.0)
+        with pytest.raises(GraphFormatError, match="exponent"):
+            gen.chung_lu_power_law(100, 4.0, exponent=1.0)
+
+
+class TestStructured:
+    def test_ring_lattice_degrees(self):
+        g = gen.ring_lattice(100, 3)
+        assert np.all(g.degrees == 6)  # k successors + k predecessors
+
+    def test_ring_rewire_keeps_edge_budget(self):
+        g = gen.ring_lattice(200, 2, rewire_prob=0.1, seed=0)
+        assert g.num_edges <= 2 * 2 * 200
+
+    def test_grid_degrees(self):
+        g = gen.grid_2d(5, 7)
+        assert g.num_vertices == 35
+        deg = g.degrees
+        assert deg.min() == 2  # corners
+        assert deg.max() == 4  # interior
+        # Interior count for a 5x7 grid: 3*5 = 15 vertices of degree 4.
+        assert int((deg == 4).sum()) == 15
+
+    def test_grid_validation(self):
+        with pytest.raises(GraphFormatError):
+            gen.grid_2d(0, 5)
+
+    def test_star(self):
+        g = gen.star(9)
+        assert g.num_vertices == 10
+        assert g.degrees[0] == 9
+        assert np.all(g.degrees[1:] == 1)
+
+    def test_chain(self):
+        g = gen.chain(5)
+        assert g.degrees.tolist() == [1, 2, 2, 2, 1]
+
+    def test_complete(self):
+        g = gen.complete(6)
+        assert np.all(g.degrees == 5)
+        assert g.num_edges == 30
+
+    def test_structured_validation(self):
+        with pytest.raises(GraphFormatError):
+            gen.star(0)
+        with pytest.raises(GraphFormatError):
+            gen.chain(1)
+        with pytest.raises(GraphFormatError):
+            gen.complete(1)
+        with pytest.raises(GraphFormatError):
+            gen.ring_lattice(2, 1)

@@ -1,0 +1,79 @@
+"""Tests for graph serialisation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph import io
+from repro.graph.csr import CSRGraph
+
+
+class TestEdgeList:
+    def test_round_trip(self, small_rmat, tmp_path):
+        path = tmp_path / "g.txt"
+        io.save_edge_list(small_rmat, path)
+        loaded = io.load_edge_list(path, small_rmat.num_vertices)
+        assert loaded == small_rmat
+
+    def test_infer_num_vertices(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# comment\n0 5\n5 0\n")
+        g = io.load_edge_list(path)
+        assert g.num_vertices == 6
+        assert g.num_edges == 2
+
+    def test_symmetrize_on_load(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n")
+        g = io.load_edge_list(path, 2, symmetrize=True)
+        assert g.num_edges == 2
+
+    def test_empty_file_needs_vertex_count(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        path.write_text("# nothing\n")
+        with pytest.raises(GraphFormatError, match="empty"):
+            io.load_edge_list(path)
+        g = io.load_edge_list(path, 4)
+        assert g.num_vertices == 4 and g.num_edges == 0
+
+    def test_comment_header_written(self, tmp_path):
+        g = CSRGraph.from_edges([0], [1], 2, name="tiny")
+        path = tmp_path / "g.txt"
+        io.save_edge_list(g, path)
+        assert path.read_text().startswith("# tiny:")
+
+
+class TestBinary:
+    def test_round_trip(self, small_rmat, tmp_path):
+        path = tmp_path / "g.csrbin"
+        io.save_csr_binary(small_rmat, path)
+        loaded = io.load_csr_binary(path)
+        assert loaded == small_rmat
+        assert loaded.name == small_rmat.name
+
+    def test_empty_graph_round_trip(self, tmp_path):
+        g = CSRGraph.empty(7, name="empty7")
+        path = tmp_path / "e.csrbin"
+        io.save_csr_binary(g, path)
+        loaded = io.load_csr_binary(path)
+        assert loaded == g
+
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "bad.csrbin"
+        path.write_bytes(b"NOTMAGIC" + b"\x00" * 32)
+        with pytest.raises(GraphFormatError, match="bad magic"):
+            io.load_csr_binary(path)
+
+    def test_truncated(self, small_rmat, tmp_path):
+        path = tmp_path / "t.csrbin"
+        io.save_csr_binary(small_rmat, path)
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) // 2])
+        with pytest.raises(GraphFormatError, match="truncated"):
+            io.load_csr_binary(path)
+
+    def test_unicode_name(self, tmp_path):
+        g = CSRGraph.from_edges([0], [1], 2, name="graphe-été")
+        path = tmp_path / "u.csrbin"
+        io.save_csr_binary(g, path)
+        assert io.load_csr_binary(path).name == "graphe-été"

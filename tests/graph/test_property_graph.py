@@ -1,0 +1,95 @@
+"""Property-based tests (hypothesis) on the graph substrate."""
+
+import networkx as nx
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.csr import CSRGraph
+from repro.graph.rearrange import rearrange_by_degree, visit_probability
+from repro.graph.stats import bfs_levels_reference
+
+
+@st.composite
+def edge_lists(draw, max_vertices: int = 24, max_edges: int = 120):
+    """Random (src, dst, n) edge lists, possibly with self loops,
+    duplicates and isolated vertices."""
+    n = draw(st.integers(min_value=1, max_value=max_vertices))
+    m = draw(st.integers(min_value=0, max_value=max_edges))
+    vertex = st.integers(min_value=0, max_value=n - 1)
+    src = draw(st.lists(vertex, min_size=m, max_size=m))
+    dst = draw(st.lists(vertex, min_size=m, max_size=m))
+    return np.asarray(src, dtype=np.int64), np.asarray(dst, dtype=np.int64), n
+
+
+@given(edge_lists())
+@settings(max_examples=60, deadline=None)
+def test_csr_preserves_edge_multiset(data):
+    src, dst, n = data
+    g = CSRGraph.from_edges(src, dst, n)
+    back_src, back_dst = g.to_edge_arrays()
+    assert sorted(zip(src.tolist(), dst.tolist())) == sorted(
+        zip(back_src.tolist(), back_dst.tolist())
+    )
+
+
+@given(edge_lists())
+@settings(max_examples=60, deadline=None)
+def test_csr_degrees_consistent(data):
+    src, dst, n = data
+    g = CSRGraph.from_edges(src, dst, n)
+    assert g.degrees.sum() == g.num_edges
+    counts = np.bincount(src, minlength=n)
+    assert np.array_equal(g.degrees, counts)
+
+
+@given(edge_lists(), st.integers(min_value=0, max_value=23))
+@settings(max_examples=60, deadline=None)
+def test_oracle_matches_networkx(data, source_raw):
+    src, dst, n = data
+    source = source_raw % n
+    g = CSRGraph.from_edges(src, dst, n)
+    levels = bfs_levels_reference(g, source)
+    nxg = nx.DiGraph()
+    nxg.add_nodes_from(range(n))
+    nxg.add_edges_from(zip(src.tolist(), dst.tolist()))
+    expected = nx.single_source_shortest_path_length(nxg, source)
+    for v in range(n):
+        assert levels[v] == expected.get(v, -1)
+
+
+@given(edge_lists())
+@settings(max_examples=60, deadline=None)
+def test_rearrangement_is_graph_isomorphic_per_vertex(data):
+    src, dst, n = data
+    g = CSRGraph.from_edges(src, dst, n)
+    r = rearrange_by_degree(g)
+    assert np.array_equal(r.row_offsets, g.row_offsets)
+    for v in range(n):
+        assert sorted(r.neighbors(v).tolist()) == sorted(g.neighbors(v).tolist())
+
+
+@given(edge_lists(), st.integers(min_value=0, max_value=23))
+@settings(max_examples=40, deadline=None)
+def test_rearrangement_preserves_bfs_levels(data, source_raw):
+    """Re-arrangement is a pure storage transform: BFS semantics
+    cannot change."""
+    src, dst, n = data
+    source = source_raw % n
+    g = CSRGraph.from_edges(src, dst, n)
+    r = rearrange_by_degree(g)
+    assert np.array_equal(
+        bfs_levels_reference(g, source), bfs_levels_reference(r, source)
+    )
+
+
+@given(
+    st.integers(min_value=1, max_value=10_000),
+    st.integers(min_value=0, max_value=10_000),
+    st.integers(min_value=1, max_value=200),
+)
+@settings(max_examples=80, deadline=None)
+def test_visit_probability_in_unit_interval(m_extra, mk, d):
+    m = mk + m_extra  # guarantees mk <= m
+    p = visit_probability(np.array([float(d)]), mk, m)[0]
+    assert 0.0 <= p <= 1.0

@@ -1,0 +1,132 @@
+"""Tests for degree-aware neighbour re-arrangement and its probability
+model (Section IV-B)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph.csr import CSRGraph
+from repro.graph.rearrange import (
+    degree_descending_order,
+    expected_scan_length,
+    rearrange_by_degree,
+    visit_probability,
+)
+
+
+class TestRearrangement:
+    def test_neighbor_multisets_preserved(self, small_rmat):
+        r = rearrange_by_degree(small_rmat)
+        for v in range(0, small_rmat.num_vertices, 37):
+            assert sorted(r.neighbors(v).tolist()) == sorted(
+                small_rmat.neighbors(v).tolist()
+            )
+
+    def test_degrees_descending_within_lists(self, small_rmat):
+        r = rearrange_by_degree(small_rmat)
+        deg = r.degrees
+        for v in range(0, r.num_vertices, 17):
+            nd = deg[r.neighbors(v)]
+            assert np.all(nd[:-1] >= nd[1:]), f"vertex {v} not degree-sorted"
+
+    def test_order_is_permutation(self, small_rmat):
+        order = degree_descending_order(small_rmat)
+        assert np.array_equal(np.sort(order), np.arange(small_rmat.num_edges))
+
+    def test_stable_ties_keep_id_order(self):
+        # All neighbours have equal degree -> original (id) order kept.
+        g = CSRGraph.from_edges([0, 0, 0], [3, 1, 2], 4, symmetrize=True)
+        r = rearrange_by_degree(g)
+        assert r.neighbors(0).tolist() == [1, 2, 3]
+
+    def test_empty_graph(self):
+        g = CSRGraph.empty(4)
+        assert degree_descending_order(g).size == 0
+        assert rearrange_by_degree(g).num_edges == 0
+
+    def test_name_suffix(self, small_rmat):
+        assert rearrange_by_degree(small_rmat).name.endswith("+rearranged")
+
+    def test_idempotent(self, small_rmat):
+        once = rearrange_by_degree(small_rmat)
+        twice = rearrange_by_degree(once)
+        assert once.col_indices.tolist() == twice.col_indices.tolist()
+
+
+class TestVisitProbability:
+    def test_zero_visited(self):
+        assert visit_probability(np.array([1.0, 100.0]), 0, 1000).tolist() == [0, 0]
+
+    def test_all_visited(self):
+        p = visit_probability(np.array([1.0, 5.0]), 1000, 1000)
+        np.testing.assert_allclose(p, 1.0)
+
+    def test_monotone_in_degree(self):
+        """The paper's claim: larger degree => higher visit probability."""
+        degrees = np.array([1.0, 2.0, 5.0, 20.0, 100.0])
+        p = visit_probability(degrees, 300, 1000)
+        assert np.all(np.diff(p) > 0)
+
+    def test_monotone_in_edges_visited(self):
+        d = np.array([10.0])
+        p1 = visit_probability(d, 100, 1000)[0]
+        p2 = visit_probability(d, 500, 1000)[0]
+        assert p2 > p1
+
+    def test_degree_exceeding_remaining_certain(self):
+        # d > m - m_k => C(m - d, m_k) = 0 => probability exactly 1.
+        p = visit_probability(np.array([950.0]), 100, 1000)
+        assert p[0] == 1.0
+
+    def test_matches_hypergeometric_identity(self):
+        """Against a direct small-number computation of
+        1 - C(m-d, mk)/C(m, mk)."""
+        from math import comb
+
+        m, mk, d = 30, 10, 4
+        expected = 1.0 - comb(m - d, mk) / comb(m, mk)
+        got = visit_probability(np.array([float(d)]), mk, m)[0]
+        assert got == pytest.approx(expected, rel=1e-9)
+
+    def test_bounds(self):
+        p = visit_probability(np.arange(1, 50, dtype=float), 123, 10_000)
+        assert np.all(p >= 0) and np.all(p <= 1)
+
+    def test_invalid_args(self):
+        with pytest.raises(GraphFormatError):
+            visit_probability(np.array([1.0]), 11, 10)
+        with pytest.raises(GraphFormatError):
+            visit_probability(np.array([1.0]), -1, 10)
+
+    def test_paper_scale_no_overflow(self):
+        """Stays finite at Rmat25 sizes (the point of log-gamma).
+
+        With a quarter of the edges visited, a degree-4 vertex is
+        visited w.p. ~1-0.75^4; a degree-10^4 vertex saturates to 1.
+        """
+        p = visit_probability(np.array([4.0, 1e4]), 134_000_000, 536_866_130)
+        assert p[0] == pytest.approx(1.0 - 0.75**4, rel=1e-3)
+        assert p[1] == pytest.approx(1.0)
+        assert np.all(np.isfinite(p))
+
+
+class TestExpectedScanLength:
+    def test_empty(self):
+        assert expected_scan_length(np.array([]), 10, 100) == 0.0
+
+    def test_no_visits_full_scan(self):
+        e = expected_scan_length(np.array([3.0, 3.0, 3.0]), 0, 100)
+        assert e == pytest.approx(3.0)
+
+    def test_descending_order_minimises(self, rng):
+        """The formal justification of the re-arrangement: fronting
+        high-degree (high-probability) neighbours minimises E[scan]."""
+        degrees = rng.integers(1, 200, size=30).astype(float)
+        asc = expected_scan_length(np.sort(degrees), 5_000, 100_000)
+        desc = expected_scan_length(np.sort(degrees)[::-1], 5_000, 100_000)
+        shuffled = expected_scan_length(rng.permutation(degrees), 5_000, 100_000)
+        assert desc <= shuffled <= asc
+
+    def test_at_least_one_probe(self):
+        e = expected_scan_length(np.array([1000.0]), 90_000, 100_000)
+        assert e == pytest.approx(1.0)

@@ -1,0 +1,91 @@
+"""Tests for vertex relabeling transforms."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphFormatError
+from repro.graph.csr import CSRGraph
+from repro.graph.relabel import (
+    relabel,
+    relabel_bfs_order,
+    relabel_by_degree,
+    unrelabel_levels,
+)
+from repro.graph.stats import bfs_levels_reference
+
+
+class TestRelabel:
+    def test_explicit_permutation(self):
+        g = CSRGraph.from_edges([0, 1], [1, 2], 3)
+        r = relabel(g, np.array([2, 0, 1]))
+        # 0->2, 1->0, 2->1: edges become 2->0, 0->1.
+        assert r.neighbors(2).tolist() == [0]
+        assert r.neighbors(0).tolist() == [1]
+
+    def test_identity(self, small_rmat):
+        r = relabel(small_rmat, np.arange(small_rmat.num_vertices))
+        assert r == small_rmat
+
+    def test_rejects_non_permutation(self, small_rmat):
+        n = small_rmat.num_vertices
+        with pytest.raises(GraphFormatError, match="permutation"):
+            relabel(small_rmat, np.zeros(n, dtype=np.int64))
+        with pytest.raises(GraphFormatError, match="shape"):
+            relabel(small_rmat, np.arange(n - 1))
+
+    def test_degree_sort_puts_hub_first(self, star_graph):
+        r, new_id = relabel_by_degree(star_graph)
+        assert new_id[0] == 0  # the hub keeps id 0 (it has max degree)
+        assert r.degrees[0] == star_graph.degrees.max()
+        assert np.all(np.diff(np.sort(r.degrees)[::-1] == r.degrees) >= 0) or True
+        # degrees of relabeled graph are non-increasing in id:
+        assert np.all(r.degrees[:-1] >= r.degrees[1:])
+
+    def test_bfs_order_contiguous_levels(self, small_rmat):
+        source = int(np.argmax(small_rmat.degrees))
+        r, new_id = relabel_bfs_order(small_rmat, source)
+        levels = bfs_levels_reference(r, int(new_id[source]))
+        reached = levels[levels >= 0]
+        # In BFS order, levels are non-decreasing over ids for reached
+        # vertices packed at the front.
+        k = reached.size
+        assert np.all(np.diff(levels[:k]) >= 0)
+
+    def test_unrelabel_round_trip(self, small_rmat):
+        source = int(np.argmax(small_rmat.degrees))
+        expected = bfs_levels_reference(small_rmat, source)
+        r, new_id = relabel_by_degree(small_rmat)
+        levels_r = bfs_levels_reference(r, int(new_id[source]))
+        assert np.array_equal(unrelabel_levels(levels_r, new_id), expected)
+
+    def test_unrelabel_shape_check(self):
+        with pytest.raises(GraphFormatError):
+            unrelabel_levels(np.zeros(3), np.arange(4))
+
+
+@st.composite
+def graphs(draw):
+    n = draw(st.integers(min_value=2, max_value=30))
+    m = draw(st.integers(min_value=0, max_value=90))
+    vertex = st.integers(min_value=0, max_value=n - 1)
+    src = draw(st.lists(vertex, min_size=m, max_size=m))
+    dst = draw(st.lists(vertex, min_size=m, max_size=m))
+    return CSRGraph.from_edges(np.asarray(src), np.asarray(dst), n)
+
+
+@given(graphs(), st.integers(min_value=0, max_value=29), st.randoms(use_true_random=False))
+@settings(max_examples=40, deadline=None)
+def test_relabel_preserves_bfs_structure(g, source_raw, rnd):
+    """BFS on a relabeled graph, mapped back, equals BFS on the original
+    — for arbitrary permutations."""
+    n = g.num_vertices
+    source = source_raw % n
+    perm = list(range(n))
+    rnd.shuffle(perm)
+    new_id = np.asarray(perm, dtype=np.int64)
+    r = relabel(g, new_id)
+    original = bfs_levels_reference(g, source)
+    relabeled = bfs_levels_reference(r, int(new_id[source]))
+    assert np.array_equal(unrelabel_levels(relabeled, new_id), original)

@@ -1,0 +1,126 @@
+"""Tests for graph statistics and the reference BFS oracle."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.errors import TraversalError
+from repro.graph import stats
+from repro.graph.csr import CSRGraph
+
+
+def _to_networkx(graph: CSRGraph) -> nx.DiGraph:
+    g = nx.DiGraph()
+    g.add_nodes_from(range(graph.num_vertices))
+    src, dst = graph.to_edge_arrays()
+    g.add_edges_from(zip(src.tolist(), dst.tolist()))
+    return g
+
+
+class TestOracle:
+    @pytest.mark.parametrize("fixture", ["small_rmat", "deep_graph", "star_graph"])
+    def test_matches_networkx(self, fixture, request):
+        graph = request.getfixturevalue(fixture)
+        source = int(np.argmax(graph.degrees))
+        levels = stats.bfs_levels_reference(graph, source)
+        expected = nx.single_source_shortest_path_length(_to_networkx(graph), source)
+        for v in range(graph.num_vertices):
+            assert levels[v] == expected.get(v, -1)
+
+    def test_unreachable_marked(self, disconnected_graph):
+        levels = stats.bfs_levels_reference(disconnected_graph, 0)
+        assert levels[0] == 0
+        assert np.all(levels[[1, 2]] >= 1)
+        assert np.all(levels[3:] == -1)
+
+    def test_isolated_source(self, disconnected_graph):
+        levels = stats.bfs_levels_reference(disconnected_graph, 7)
+        assert levels[7] == 0
+        assert np.count_nonzero(levels >= 0) == 1
+
+    def test_source_out_of_range(self, small_rmat):
+        with pytest.raises(TraversalError):
+            stats.bfs_levels_reference(small_rmat, -1)
+        with pytest.raises(TraversalError):
+            stats.bfs_levels_reference(small_rmat, small_rmat.num_vertices)
+
+
+class TestDegreeSummary:
+    def test_known_values(self):
+        g = CSRGraph.from_edges([0, 0, 0, 1], [1, 2, 3, 2], 4)
+        s = stats.degree_summary(g)
+        assert s.min == 0 and s.max == 3
+        assert s.mean == pytest.approx(1.0)
+
+    def test_uniform_gini_zero(self, complete_graph):
+        assert stats.degree_summary(complete_graph).gini == pytest.approx(0.0, abs=1e-12)
+
+    def test_star_gini_high(self, star_graph):
+        assert stats.degree_summary(star_graph).gini > 0.45
+
+    def test_empty_graph_raises(self):
+        with pytest.raises(TraversalError):
+            stats.degree_summary(CSRGraph(np.array([0]), np.array([], dtype=np.int32)))
+
+
+class TestLevelTrace:
+    def test_sizes_sum_to_reached(self, small_rmat):
+        src = int(np.argmax(small_rmat.degrees))
+        tr = stats.level_trace(small_rmat, src)
+        levels = stats.bfs_levels_reference(small_rmat, src)
+        assert tr.frontier_sizes.sum() == np.count_nonzero(levels >= 0)
+
+    def test_edges_match_degree_sums(self, small_rmat):
+        src = int(np.argmax(small_rmat.degrees))
+        tr = stats.level_trace(small_rmat, src)
+        levels = stats.bfs_levels_reference(small_rmat, src)
+        for lv in range(tr.num_levels):
+            expected = small_rmat.degrees[levels == lv].sum()
+            assert tr.frontier_edges[lv] == expected
+
+    def test_ratios_bounded(self, small_rmat):
+        tr = stats.level_trace(small_rmat, int(np.argmax(small_rmat.degrees)))
+        assert np.all(tr.ratios >= 0)
+        assert np.all(tr.ratios <= 1)
+        assert tr.ratios.sum() <= 1.0 + 1e-9  # frontiers partition vertices
+
+    def test_chain_trace(self, chain_graph):
+        tr = stats.level_trace(chain_graph, 0)
+        assert tr.num_levels == 64
+        assert np.all(tr.frontier_sizes == 1)
+
+    def test_traversed_edges(self, complete_graph):
+        tr = stats.level_trace(complete_graph, 0)
+        assert tr.traversed_edges == complete_graph.num_edges
+
+    def test_log2_ratios_handle_zero(self):
+        # A sink-only level yields ratio 0 -> -inf, not an exception.
+        g = CSRGraph.from_edges([0], [1], 2)
+        tr = stats.level_trace(g, 0)
+        assert np.isneginf(tr.log2_ratios[-1])
+
+
+class TestPickSources:
+    def test_respects_min_degree(self, star_graph):
+        sources = stats.pick_sources(star_graph, 5, seed=0, min_degree=2)
+        assert sources.tolist() == [0]  # only the hub qualifies
+
+    def test_deterministic(self, small_rmat):
+        a = stats.pick_sources(small_rmat, 4, seed=9)
+        b = stats.pick_sources(small_rmat, 4, seed=9)
+        assert np.array_equal(a, b)
+
+    def test_no_replacement(self, small_rmat):
+        s = stats.pick_sources(small_rmat, 50, seed=0)
+        assert len(set(s.tolist())) == s.size
+
+    def test_no_candidates(self):
+        g = CSRGraph.empty(5)
+        with pytest.raises(TraversalError):
+            stats.pick_sources(g, 1)
+
+    def test_ratio_trace_over_seeds(self, small_rmat):
+        sources = stats.pick_sources(small_rmat, 3, seed=1)
+        traces = stats.ratio_trace_over_seeds(small_rmat, sources)
+        assert len(traces) == 3
+        assert all(t.num_levels >= 1 for t in traces)

@@ -1,0 +1,45 @@
+"""Every engine x every device profile: correctness is device-independent."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    XBFS,
+    EnterpriseBFS,
+    GunrockBFS,
+    HierarchicalBFS,
+    LinAlgBFS,
+    MI250X_GCD,
+    P6000,
+    SsspBFS,
+    V100,
+)
+from repro.graph.stats import bfs_levels_reference
+
+DEVICES = [MI250X_GCD, P6000, V100]
+ENGINES = [XBFS, GunrockBFS, EnterpriseBFS, HierarchicalBFS, SsspBFS, LinAlgBFS]
+
+
+@pytest.mark.parametrize("device", DEVICES, ids=lambda d: d.name)
+@pytest.mark.parametrize("engine_cls", ENGINES, ids=lambda e: e.__name__)
+def test_levels_identical_across_devices(engine_cls, device, small_rmat):
+    source = int(np.argmax(small_rmat.degrees))
+    result = engine_cls(small_rmat, device=device).run(source)
+    assert np.array_equal(
+        result.levels, bfs_levels_reference(small_rmat, source)
+    )
+
+
+@pytest.mark.parametrize("engine_cls", ENGINES, ids=lambda e: e.__name__)
+def test_modeled_times_depend_on_device(engine_cls, small_rmat):
+    """Same work, different silicon: the wall clocks must differ (the
+    functional result must not)."""
+    source = int(np.argmax(small_rmat.degrees))
+    amd = engine_cls(small_rmat, device=MI250X_GCD)
+    nvd = engine_cls(small_rmat, device=P6000)
+    amd.run(source)
+    nvd.run(source)
+    a = amd.run(source)
+    b = nvd.run(source)
+    assert a.elapsed_ms != b.elapsed_ms
+    assert np.array_equal(a.levels, b.levels)

@@ -1,0 +1,79 @@
+"""Tests for the Graph500 statistics panel."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExperimentError
+from repro.metrics.graph500 import OFFICIAL_NUM_SOURCES, graph500_stats
+
+
+class TestGraph500Stats:
+    def test_identical_runs(self):
+        edges = np.full(4, 1e9)
+        times = np.full(4, 1000.0)  # 1 GTEPS each
+        s = graph500_stats(edges, times)
+        assert s.min_gteps == s.max_gteps == pytest.approx(1.0)
+        assert s.harmonic_mean_gteps == pytest.approx(1.0)
+        assert s.stddev_gteps == pytest.approx(0.0)
+        assert s.num_runs == 4
+
+    def test_harmonic_mean_is_total_over_total(self):
+        edges = np.array([1e9, 1e9])
+        times = np.array([500.0, 2000.0])  # 2 and 0.5 GTEPS
+        s = graph500_stats(edges, times)
+        # Harmonic (rate) mean: 2e9 edges / 2.5 s = 0.8 GTEPS —
+        # NOT the arithmetic 1.25.
+        assert s.harmonic_mean_gteps == pytest.approx(0.8)
+        assert s.median_gteps == pytest.approx(1.25)
+
+    def test_order_statistics_ordered(self, rng):
+        edges = rng.uniform(1e8, 1e9, size=64)
+        times = rng.uniform(1.0, 10.0, size=64)
+        s = graph500_stats(edges, times)
+        assert (
+            s.min_gteps
+            <= s.firstquartile_gteps
+            <= s.median_gteps
+            <= s.thirdquartile_gteps
+            <= s.max_gteps
+        )
+        assert s.min_gteps <= s.harmonic_mean_gteps <= s.max_gteps
+
+    def test_degenerate_runs_rejected(self):
+        with pytest.raises(ExperimentError, match="degenerate"):
+            graph500_stats(np.array([0.0, 1e9]), np.array([1.0, 1.0]))
+        with pytest.raises(ExperimentError, match="degenerate"):
+            graph500_stats(np.array([1e9]), np.array([0.0]))
+
+    def test_shape_validation(self):
+        with pytest.raises(ExperimentError):
+            graph500_stats(np.array([1.0, 2.0]), np.array([1.0]))
+        with pytest.raises(ExperimentError):
+            graph500_stats(np.array([]), np.array([]))
+
+    def test_render(self):
+        s = graph500_stats(np.array([1e9]), np.array([1000.0]))
+        out = s.render()
+        assert "harmonic_mean_TEPS" in out
+        assert "GTEPS" in out
+
+    def test_official_source_count(self):
+        assert OFFICIAL_NUM_SOURCES == 64
+
+
+class TestEndToEnd:
+    def test_xbfs_feeds_the_panel(self, small_rmat):
+        from repro.graph.stats import pick_sources
+        from repro.xbfs.driver import XBFS
+
+        engine = XBFS(small_rmat)
+        sources = pick_sources(small_rmat, 8, seed=3)
+        engine.run(int(sources[0]))  # warm-up
+        edges, times = [], []
+        for s in sources.tolist():
+            r = engine.run(int(s))
+            edges.append(r.traversed_edges)
+            times.append(r.elapsed_ms)
+        stats = graph500_stats(np.asarray(edges), np.asarray(times))
+        assert stats.num_runs == 8
+        assert stats.harmonic_mean_gteps > 0

@@ -1,0 +1,131 @@
+"""Tests for GTEPS, bandwidth efficiency and table rendering."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExperimentError
+from repro.gcd.device import MI250X_GCD
+from repro.gcd.kernel import KernelRecord
+from repro.gcd.profiler import LevelSummary
+import sys
+
+import repro.metrics.efficiency as efficiency
+import repro.metrics.tables as tables
+
+# `repro.metrics` re-exports the `gteps` *function* under the same name
+# as the submodule; grab the module itself from sys.modules.
+import repro.metrics.gteps  # noqa: F401 - ensure it is loaded
+gteps = sys.modules["repro.metrics.gteps"]
+from repro.graph.csr import CSRGraph
+
+
+class TestGteps:
+    def test_basic(self):
+        # 1e9 edges in 1 second = 1 GTEPS.
+        assert gteps.gteps(10**9, 1000.0) == pytest.approx(1.0)
+
+    def test_zero_time(self):
+        assert gteps.gteps(100, 0.0) == 0.0
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ExperimentError):
+            gteps.gteps(1, -1.0)
+
+    def test_traversed_edges(self, disconnected_graph):
+        levels = np.full(disconnected_graph.num_vertices, -1, dtype=np.int32)
+        levels[[0, 1, 2]] = [0, 1, 1]
+        assert gteps.traversed_edges(disconnected_graph, levels) == int(
+            disconnected_graph.degrees[[0, 1, 2]].sum()
+        )
+
+    def test_traversed_edges_shape_check(self, fig1_graph):
+        with pytest.raises(ExperimentError):
+            gteps.traversed_edges(fig1_graph, np.zeros(3))
+
+    def test_graph500_per_gcd_constant(self):
+        """The introduction's arithmetic: 29,654.6 GTEPS over
+        9,248 nodes x 8 GCDs ≈ 0.4 GTEPS/GCD."""
+        per_gcd = gteps.graph500_frontier_per_gcd()
+        assert per_gcd == pytest.approx(0.4, abs=0.01)
+        assert gteps.PAPER_HEADLINE_GTEPS / per_gcd > 100
+
+
+class TestEfficiency:
+    def test_predicted_bytes_formula(self):
+        g = CSRGraph.from_edges([0, 1], [1, 0], 2)
+        # 8 * 2|V| + 4 * |M|
+        assert efficiency.predicted_memory_bytes(g) == 8 * 2 * 2 + 4 * 2
+
+    def test_paper_calculation_shape(self):
+        """Feed the paper's own Rmat25 numbers through the report: the
+        quoted 13.7% predicted / 16.2% hardware efficiencies come out."""
+        rep = efficiency.EfficiencyReport(
+            predicted_bytes=16 * 33_554_432 + 4 * 536_866_130,
+            measured_bytes=3.183e9,
+            runtime_ms=536_866_130 / 43e9 * 1e3,  # 43 GTEPS on Rmat25
+            peak_bandwidth=1.6e12,
+        )
+        assert rep.predicted_efficiency == pytest.approx(0.134, abs=0.01)
+        assert rep.hardware_efficiency == pytest.approx(0.16, abs=0.01)
+        assert rep.overhead_factor > 1.0
+
+    def test_zero_runtime(self):
+        rep = efficiency.EfficiencyReport(100, 100.0, 0.0, 1e12)
+        assert rep.predicted_efficiency == 0.0
+
+    def test_report_builder(self, small_rmat):
+        rep = efficiency.efficiency_report(
+            small_rmat, fetch_bytes=1e6, runtime_ms=1.0, device=MI250X_GCD
+        )
+        assert rep.peak_bandwidth == MI250X_GCD.hbm_bandwidth
+        with pytest.raises(ExperimentError):
+            efficiency.efficiency_report(
+                small_rmat, fetch_bytes=-1, runtime_ms=1.0, device=MI250X_GCD
+            )
+
+
+def _record(name="k", level=0, ratio=0.5):
+    return KernelRecord(
+        name=name, strategy="s", level=level, runtime_ms=1.234,
+        fetch_kb=2048.0, write_kb=0.0, l2_hit_pct=42.0, mem_busy_pct=10.0,
+        compute_ms=0.1, mem_ms=0.2, overhead_ms=0.01, atomic_ops=0,
+        atomic_conflicts=0, work_items=5, ratio=ratio,
+    )
+
+
+class TestTables:
+    def test_format_ratio(self):
+        assert tables.format_ratio(0.0) == "0"
+        assert tables.format_ratio(0.725) == "0.725"
+        assert "e-0" in tables.format_ratio(5.44e-3)
+
+    def test_render_table_alignment(self):
+        out = tables.render_table(["A", "Bee"], [["x", 1], ["yyyy", 22]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert all(len(l) == len(lines[1]) for l in lines[1:])
+
+    def test_rocprof_table_columns(self):
+        out = tables.rocprof_table([_record()], title="Table X")
+        assert "FS (KB)" in out
+        assert "2,048.000" in out
+        assert "Table X" in out
+
+    def test_level_totals_table_marks_winner(self):
+        summaries = {
+            "a": [LevelSummary(0, runtime_ms=1.0, fetch_mb=1.0, kernels=1, atomic_ops=0)],
+            "b": [LevelSummary(0, runtime_ms=5.0, fetch_mb=0.5, kernels=1, atomic_ops=0)],
+        }
+        out = tables.level_totals_table(summaries, title="VI")
+        winner_line = [l for l in out.splitlines() if l.startswith("0")][0]
+        # 'a' is faster: its cell carries the star.
+        assert "1.00 *" in winner_line
+        assert "5.00 *" not in winner_line
+
+    def test_level_totals_missing_level(self):
+        summaries = {
+            "a": [LevelSummary(0, 1.0, 1.0, 1, 0)],
+            "b": [],
+        }
+        out = tables.level_totals_table(summaries, title="VI")
+        assert "-" in out

@@ -1,0 +1,88 @@
+"""Tests for result persistence and regression diffing."""
+
+import pytest
+
+from repro.graph.stats import pick_sources
+from repro.metrics.results_io import (
+    diff_results,
+    load_results,
+    save_results,
+    summarize_batch,
+)
+from repro.xbfs.driver import XBFS
+
+
+@pytest.fixture(scope="module")
+def batch(request):
+    small_rmat = request.getfixturevalue("small_rmat")
+    return XBFS(small_rmat).run_many(pick_sources(small_rmat, 3, seed=0))
+
+
+class TestSummaries:
+    def test_summary_fields(self, batch):
+        s = summarize_batch("xbfs", batch)
+        assert s["name"] == "xbfs"
+        assert s["runs"] == 3
+        assert s["steady_runs"] == 2  # first run paid warm-up
+        assert s["steady_gteps"] == pytest.approx(batch.steady_gteps)
+        assert s["total_traversed_edges"] > 0
+
+    def test_round_trip(self, batch, tmp_path):
+        summaries = [summarize_batch("a", batch)]
+        path = tmp_path / "results.json"
+        save_results(summaries, path)
+        assert load_results(path) == summaries
+
+
+class TestDiff:
+    BASE = [{"name": "x", "steady_gteps": 10.0, "mean_elapsed_ms": 1.0,
+             "mean_depth": 6.0, "total_traversed_edges": 1000}]
+
+    def test_identical_clean(self):
+        assert diff_results(self.BASE, self.BASE) == []
+
+    def test_within_tolerance_clean(self):
+        cand = [dict(self.BASE[0], steady_gteps=10.3)]
+        assert diff_results(self.BASE, cand, tolerance=0.05) == []
+
+    def test_drift_detected(self):
+        cand = [dict(self.BASE[0], steady_gteps=12.0)]
+        drifts = diff_results(self.BASE, cand, tolerance=0.05)
+        assert len(drifts) == 1
+        assert drifts[0].metric == "steady_gteps"
+        assert drifts[0].relative == pytest.approx(0.2)
+
+    def test_missing_entry_reported(self):
+        drifts = diff_results(self.BASE, [], tolerance=0.05)
+        assert len(drifts) == 1
+        assert drifts[0].metric == "runs"
+
+    def test_new_entry_reported(self):
+        cand = self.BASE + [dict(self.BASE[0], name="y")]
+        drifts = diff_results(self.BASE, cand)
+        assert any(d.name == "y" for d in drifts)
+
+    def test_zero_baseline(self):
+        base = [dict(self.BASE[0], steady_gteps=0.0)]
+        cand = [dict(self.BASE[0], steady_gteps=1.0)]
+        drifts = diff_results(base, cand)
+        assert any(d.relative == float("inf") for d in drifts)
+
+
+class TestRegressionTool:
+    def test_record_then_check_clean(self, tmp_path):
+        import subprocess
+        import sys
+
+        path = tmp_path / "fp.json"
+        rec = subprocess.run(
+            [sys.executable, "tools/check_regression.py", "record", str(path)],
+            capture_output=True, text=True,
+        )
+        assert rec.returncode == 0, rec.stderr
+        chk = subprocess.run(
+            [sys.executable, "tools/check_regression.py", "check", str(path)],
+            capture_output=True, text=True,
+        )
+        assert chk.returncode == 0, chk.stdout + chk.stderr
+        assert "no drift" in chk.stdout

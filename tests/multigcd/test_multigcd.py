@@ -1,0 +1,261 @@
+"""Tests for partitioning, the interconnect model and distributed BFS."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PartitionError
+from repro.graph.stats import bfs_levels_reference
+from repro.multigcd import (
+    INFINITY_FABRIC,
+    SLINGSHOT,
+    InterconnectModel,
+    MultiGcdBFS,
+    Partition1D,
+    partition_by_edges,
+    partition_by_vertices,
+)
+
+
+class TestPartition1D:
+    def test_vertex_balance(self, small_rmat):
+        p = partition_by_vertices(small_rmat, 4)
+        sizes = np.diff(p.boundaries)
+        assert sizes.sum() == small_rmat.num_vertices
+        assert sizes.max() - sizes.min() <= 1
+
+    def test_edge_balance_beats_vertex_balance_on_skew(self, social_graph):
+        pv = partition_by_vertices(social_graph, 4)
+        pe = partition_by_edges(social_graph, 4)
+
+        def edge_imbalance(p):
+            owned = [
+                social_graph.degrees[p.boundaries[i] : p.boundaries[i + 1]].sum()
+                for i in range(p.num_parts)
+            ]
+            return max(owned) / max(1, min(owned) if min(owned) else 1)
+
+        assert edge_imbalance(pe) <= edge_imbalance(pv)
+
+    def test_owner_of(self):
+        p = Partition1D(np.array([0, 3, 7, 10]))
+        assert p.owner_of(np.array([0, 2, 3, 6, 7, 9])).tolist() == [0, 0, 1, 1, 2, 2]
+
+    def test_owner_out_of_range(self):
+        p = Partition1D(np.array([0, 5]))
+        with pytest.raises(PartitionError):
+            p.owner_of(np.array([5]))
+
+    def test_owned_range_and_mask(self):
+        p = Partition1D(np.array([0, 3, 5]))
+        assert p.owned_range(1) == (3, 5)
+        assert p.owned_mask(0).tolist() == [True] * 3 + [False] * 2
+        with pytest.raises(PartitionError):
+            p.owned_range(2)
+
+    def test_validation(self):
+        with pytest.raises(PartitionError):
+            Partition1D(np.array([1, 5]))
+        with pytest.raises(PartitionError):
+            Partition1D(np.array([0, 5, 3]))
+        with pytest.raises(PartitionError):
+            Partition1D(np.array([0]))
+
+    def test_too_many_parts(self, fig1_graph):
+        with pytest.raises(PartitionError):
+            partition_by_vertices(fig1_graph, 100)
+        with pytest.raises(PartitionError):
+            partition_by_edges(fig1_graph, 100)
+
+
+class TestInterconnect:
+    def test_single_part_free(self):
+        assert INFINITY_FABRIC.alltoall_ms(np.zeros((1, 1))) == 0.0
+
+    def test_diagonal_ignored(self):
+        m = np.diag([1e9, 1e9]).astype(float)
+        cost = INFINITY_FABRIC.alltoall_ms(m)
+        # Only latency remains: local hand-off is free.
+        assert cost == pytest.approx(INFINITY_FABRIC.latency_us * 1e-3)
+
+    def test_bandwidth_term_scales(self):
+        small = np.array([[0.0, 1e6], [1e6, 0.0]])
+        big = small * 100
+        assert INFINITY_FABRIC.alltoall_ms(big) > INFINITY_FABRIC.alltoall_ms(small)
+
+    def test_slingshot_slower_than_fabric(self):
+        m = np.array([[0.0, 1e8], [1e8, 0.0]])
+        assert SLINGSHOT.alltoall_ms(m) > INFINITY_FABRIC.alltoall_ms(m)
+
+    def test_non_square_rejected(self):
+        with pytest.raises(PartitionError):
+            INFINITY_FABRIC.alltoall_ms(np.zeros((2, 3)))
+
+    def test_validation(self):
+        with pytest.raises(PartitionError):
+            InterconnectModel("bad", 0.0, 1.0)
+        with pytest.raises(PartitionError):
+            InterconnectModel("bad", 1.0, -1.0)
+
+
+class TestDistributedBFS:
+    @pytest.mark.parametrize("num_gcds", [1, 2, 3, 8])
+    def test_matches_oracle(self, small_rmat, num_gcds):
+        source = int(np.argmax(small_rmat.degrees))
+        result = MultiGcdBFS(small_rmat, num_gcds).run(source)
+        assert np.array_equal(
+            result.levels, bfs_levels_reference(small_rmat, source)
+        )
+        assert result.num_gcds == num_gcds
+
+    def test_disconnected(self, disconnected_graph):
+        result = MultiGcdBFS(disconnected_graph, 2).run(0)
+        assert np.array_equal(
+            result.levels, bfs_levels_reference(disconnected_graph, 0)
+        )
+
+    def test_comm_grows_with_parts(self, social_graph):
+        source = int(np.argmax(social_graph.degrees))
+        res2 = MultiGcdBFS(social_graph, 2).run(source)
+        res8 = MultiGcdBFS(social_graph, 8).run(source)
+        assert res8.bytes_exchanged >= res2.bytes_exchanged
+        assert res8.comm_ms > 0
+
+    def test_single_gcd_no_comm(self, small_rmat):
+        result = MultiGcdBFS(small_rmat, 1).run(0)
+        assert result.bytes_exchanged == 0
+        assert result.comm_ms == 0.0
+
+    def test_per_level_bytes_sum(self, social_graph):
+        source = int(np.argmax(social_graph.degrees))
+        result = MultiGcdBFS(social_graph, 4).run(source)
+        assert sum(result.per_level_comm_bytes) == result.bytes_exchanged
+
+    def test_comm_fraction_bounded(self, social_graph):
+        result = MultiGcdBFS(social_graph, 4).run(
+            int(np.argmax(social_graph.degrees))
+        )
+        assert 0.0 <= result.comm_fraction < 1.0
+
+    def test_slower_interconnect_more_comm_time(self, social_graph):
+        source = int(np.argmax(social_graph.degrees))
+        fab = MultiGcdBFS(social_graph, 4, interconnect=INFINITY_FABRIC).run(source)
+        ss = MultiGcdBFS(social_graph, 4, interconnect=SLINGSHOT).run(source)
+        assert ss.comm_ms > fab.comm_ms
+        assert np.array_equal(fab.levels, ss.levels)
+
+    def test_custom_partition(self, small_rmat):
+        part = partition_by_vertices(small_rmat, 2)
+        result = MultiGcdBFS(small_rmat, 2, partition=part).run(0)
+        assert np.array_equal(result.levels, bfs_levels_reference(small_rmat, 0))
+
+    def test_partition_mismatch(self, small_rmat, fig1_graph):
+        part = partition_by_vertices(fig1_graph, 2)
+        with pytest.raises(PartitionError, match="cover"):
+            MultiGcdBFS(small_rmat, 2, partition=part)
+
+    def test_bad_num_gcds(self, small_rmat):
+        with pytest.raises(PartitionError):
+            MultiGcdBFS(small_rmat, 0)
+
+    def test_gteps_positive(self, small_rmat):
+        source = int(np.argmax(small_rmat.degrees))
+        eng = MultiGcdBFS(small_rmat, 2)
+        eng.run(source)          # warm-up
+        steady = eng.run(source)
+        assert steady.gteps > 0
+
+
+class TestDirectionOptimized:
+    """Distributed bottom-up via bitmap allgather (direction_alpha)."""
+
+    def test_correctness(self, small_rmat):
+        from repro.graph.stats import bfs_levels_reference
+
+        source = int(np.argmax(small_rmat.degrees))
+        result = MultiGcdBFS(small_rmat, 4, direction_alpha=0.1).run(source)
+        assert np.array_equal(
+            result.levels, bfs_levels_reference(small_rmat, source)
+        )
+
+    def test_correctness_directed(self):
+        from repro.graph.generators import rmat
+        from repro.graph.stats import bfs_levels_reference
+
+        graph = rmat(9, 6, seed=4, symmetrize=False)
+        source = int(np.argmax(graph.degrees))
+        result = MultiGcdBFS(graph, 3, direction_alpha=0.1).run(source)
+        assert np.array_equal(
+            result.levels, bfs_levels_reference(graph, source)
+        )
+
+    def test_less_communication_at_peak(self, social_graph):
+        """The bitmap allgather is a fixed |V|/8-byte exchange; at peak
+        levels it undercuts the frontier-proportional all-to-all."""
+        source = int(np.argmax(social_graph.degrees))
+        td = MultiGcdBFS(social_graph, 4)
+        td.run(source)
+        plain = td.run(source)
+        do = MultiGcdBFS(social_graph, 4, direction_alpha=0.1)
+        do.run(source)
+        optimized = do.run(source)
+        assert optimized.bytes_exchanged < plain.bytes_exchanged
+        assert np.array_equal(optimized.levels, plain.levels)
+
+    def test_faster_at_peak(self, social_graph):
+        source = int(np.argmax(social_graph.degrees))
+        from repro.experiments.common import scaled_device
+
+        dev = scaled_device(social_graph)
+        td = MultiGcdBFS(social_graph, 4, device=dev)
+        td.run(source)
+        do = MultiGcdBFS(social_graph, 4, device=dev, direction_alpha=0.1)
+        do.run(source)
+        assert do.run(source).elapsed_ms < td.run(source).elapsed_ms
+
+    def test_alpha_validation(self, small_rmat):
+        with pytest.raises(PartitionError):
+            MultiGcdBFS(small_rmat, 2, direction_alpha=0.0)
+        with pytest.raises(PartitionError):
+            MultiGcdBFS(small_rmat, 2, direction_alpha=1.5)
+
+    def test_alpha_one_never_triggers(self, small_rmat):
+        """ratio can never exceed 1, so alpha=1 degenerates to pure
+        top-down with identical byte counts."""
+        source = int(np.argmax(small_rmat.degrees))
+        plain = MultiGcdBFS(small_rmat, 2).run(source)
+        never = MultiGcdBFS(small_rmat, 2, direction_alpha=1.0).run(source)
+        assert never.bytes_exchanged == plain.bytes_exchanged
+
+
+class TestStraggler:
+    """Bulk-synchronous sensitivity to one degraded GCD."""
+
+    def test_one_straggler_slows_whole_run(self, social_graph):
+        source = int(np.argmax(social_graph.degrees))
+        healthy = MultiGcdBFS(social_graph, 4)
+        healthy.run(source)
+        base = healthy.run(source)
+        degraded = MultiGcdBFS(
+            social_graph, 4, straggler_slowdown={2: 4.0}
+        )
+        degraded.run(source)
+        slow = degraded.run(source)
+        assert slow.elapsed_ms > base.elapsed_ms
+        assert np.array_equal(slow.levels, base.levels)
+
+    def test_slowdown_bounded_by_factor(self, social_graph):
+        """One 4x straggler cannot slow compute more than 4x."""
+        source = int(np.argmax(social_graph.degrees))
+        healthy = MultiGcdBFS(social_graph, 4)
+        healthy.run(source)
+        base = healthy.run(source)
+        degraded = MultiGcdBFS(social_graph, 4, straggler_slowdown={0: 4.0})
+        degraded.run(source)
+        slow = degraded.run(source)
+        assert slow.compute_ms <= 4.0 * base.compute_ms + 1e-9
+
+    def test_validation(self, small_rmat):
+        with pytest.raises(PartitionError, match="out of range"):
+            MultiGcdBFS(small_rmat, 2, straggler_slowdown={5: 2.0})
+        with pytest.raises(PartitionError, match=">= 1"):
+            MultiGcdBFS(small_rmat, 2, straggler_slowdown={0: 0.5})

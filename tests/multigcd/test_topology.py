@@ -1,0 +1,83 @@
+"""Tests for the two-tier (Frontier node) interconnect topology."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PartitionError
+from repro.graph.stats import bfs_levels_reference, pick_sources
+from repro.multigcd import (
+    INFINITY_FABRIC,
+    SLINGSHOT,
+    MultiGcdBFS,
+    TwoTierInterconnect,
+)
+from repro.multigcd.topology import FRONTIER_NODE_GCDS
+
+
+class TestTwoTier:
+    def test_node_mapping(self):
+        t = TwoTierInterconnect(gcds_per_node=4)
+        assert t.node_of(np.array([0, 3, 4, 7, 8])).tolist() == [0, 0, 1, 1, 2]
+
+    def test_intra_node_traffic_priced_at_fast_tier(self):
+        t = TwoTierInterconnect(gcds_per_node=8)
+        m = np.zeros((8, 8))
+        m[0, 7] = m[7, 0] = 1e8  # same node
+        assert t.alltoall_ms(m) == pytest.approx(INFINITY_FABRIC.alltoall_ms(m))
+
+    def test_inter_node_traffic_priced_at_slow_tier(self):
+        t = TwoTierInterconnect(gcds_per_node=8)
+        m = np.zeros((16, 16))
+        m[0, 8] = m[8, 0] = 1e8  # across nodes
+        assert t.alltoall_ms(m) == pytest.approx(SLINGSHOT.alltoall_ms(m))
+
+    def test_mixed_traffic_max_of_phases(self):
+        t = TwoTierInterconnect(gcds_per_node=2)
+        m = np.zeros((4, 4))
+        m[0, 1] = 1e8   # intra
+        m[0, 2] = 1e8   # inter
+        intra_only = np.zeros((4, 4)); intra_only[0, 1] = 1e8
+        inter_only = np.zeros((4, 4)); inter_only[0, 2] = 1e8
+        expected = max(
+            t.intra.alltoall_ms(intra_only), t.inter.alltoall_ms(inter_only)
+        )
+        assert t.alltoall_ms(m) == pytest.approx(expected)
+
+    def test_single_part_free(self):
+        assert TwoTierInterconnect().alltoall_ms(np.zeros((1, 1))) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(PartitionError):
+            TwoTierInterconnect(gcds_per_node=0)
+        with pytest.raises(PartitionError):
+            TwoTierInterconnect().alltoall_ms(np.zeros((2, 3)))
+
+    def test_frontier_constant(self):
+        assert FRONTIER_NODE_GCDS == 8
+
+
+class TestMultiNodeBFS:
+    def test_correctness_across_two_nodes(self, small_rmat):
+        source = int(np.argmax(small_rmat.degrees))
+        engine = MultiGcdBFS(
+            small_rmat, 16, interconnect=TwoTierInterconnect()
+        )
+        result = engine.run(source)
+        assert np.array_equal(
+            result.levels, bfs_levels_reference(small_rmat, source)
+        )
+
+    def test_crossing_nodes_costs_more(self, social_graph):
+        """16 GCDs on two nodes pay more communication time than 16
+        GCDs sharing one (hypothetical) node."""
+        source = int(pick_sources(social_graph, 1, seed=0)[0])
+        two_nodes = MultiGcdBFS(
+            social_graph, 16,
+            interconnect=TwoTierInterconnect(gcds_per_node=8),
+        ).run(source)
+        one_node = MultiGcdBFS(
+            social_graph, 16,
+            interconnect=TwoTierInterconnect(gcds_per_node=16),
+        ).run(source)
+        assert two_nodes.comm_ms > one_node.comm_ms
+        assert np.array_equal(two_nodes.levels, one_node.levels)

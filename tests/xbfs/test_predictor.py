@@ -1,0 +1,78 @@
+"""Tests for the closed-form strategy cost predictor."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import table6
+from repro.experiments.common import ExperimentScale, scaled_device, sources_for
+from repro.graph.generators import rmat
+from repro.graph.stats import level_trace
+from repro.xbfs.predictor import (
+    predict_level_costs,
+    predict_schedule,
+)
+
+SCALE = ExperimentScale(dataset_scale_factor=512, rmat_scale=16, num_sources=3)
+
+
+@pytest.fixture(scope="module")
+def study():
+    graph = rmat(SCALE.rmat_scale, 16, seed=SCALE.seed)
+    source = int(sources_for(graph, SCALE)[0])
+    return graph, level_trace(graph, source), scaled_device(graph)
+
+
+class TestStructure:
+    def test_one_prediction_per_level(self, study):
+        graph, trace, device = study
+        preds = predict_level_costs(trace, graph.num_vertices, device=device)
+        assert len(preds) == trace.num_levels
+        assert [p.level for p in preds] == list(range(trace.num_levels))
+
+    def test_costs_positive_and_floored_by_launch(self, study):
+        graph, trace, device = study
+        launch_ms = device.kernel_launch_us * 1e-3
+        for p in predict_level_costs(trace, graph.num_vertices, device=device):
+            assert p.scan_free_ms >= launch_ms
+            assert p.single_scan_ms >= 2 * launch_ms
+            assert p.bottom_up_ms >= 5 * launch_ms
+
+    def test_validation(self, study):
+        _, trace, _ = study
+        with pytest.raises(ExperimentError):
+            predict_level_costs(trace, 0)
+
+
+class TestShape:
+    def test_scan_free_predicted_at_sparse_head(self, study):
+        graph, trace, device = study
+        schedule = predict_schedule(trace, graph.num_vertices, device=device)
+        assert schedule[0] == "scan_free"
+        assert schedule[-1] == "scan_free"
+
+    def test_bottom_up_predicted_somewhere_near_peak(self, study):
+        graph, trace, device = study
+        schedule = predict_schedule(trace, graph.num_vertices, device=device)
+        peak = int(np.argmax(trace.ratios))
+        window = schedule[max(0, peak - 1) : peak + 2]
+        assert "bottom_up" in window
+
+    def test_bottom_up_hopeless_when_nothing_visited(self, study):
+        graph, trace, device = study
+        preds = predict_level_costs(trace, graph.num_vertices, device=device)
+        assert preds[0].bottom_up_ms > 100 * preds[0].scan_free_ms
+
+
+class TestAgreementWithMeasurement:
+    def test_majority_agreement_with_table6_winners(self, study):
+        """The closed-form estimate must agree with the measured
+        per-level winner on a majority of levels (it is an estimate:
+        near-ties at the peak may flip)."""
+        graph, trace, device = study
+        schedule = predict_schedule(trace, graph.num_vertices, device=device)
+        t6 = table6.run(SCALE)
+        measured = [t6.winner_at(lv) for lv in range(t6.depth)]
+        depth = min(len(schedule), len(measured))
+        agree = sum(schedule[i] == measured[i] for i in range(depth))
+        assert agree / depth >= 0.6, (schedule, measured)

@@ -1,0 +1,62 @@
+"""Property-based end-to-end tests: every engine mode must equal the
+oracle on arbitrary graphs."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.csr import CSRGraph
+from repro.graph.stats import bfs_levels_reference
+from repro.xbfs.driver import XBFS
+
+
+@st.composite
+def graph_and_source(draw):
+    n = draw(st.integers(min_value=2, max_value=40))
+    m = draw(st.integers(min_value=0, max_value=160))
+    vertex = st.integers(min_value=0, max_value=n - 1)
+    src = draw(st.lists(vertex, min_size=m, max_size=m))
+    dst = draw(st.lists(vertex, min_size=m, max_size=m))
+    source = draw(vertex)
+    symmetrize = draw(st.booleans())
+    g = CSRGraph.from_edges(
+        np.asarray(src, dtype=np.int64),
+        np.asarray(dst, dtype=np.int64),
+        n,
+        symmetrize=symmetrize,
+    )
+    return g, source
+
+
+@given(graph_and_source())
+@settings(max_examples=40, deadline=None)
+def test_adaptive_matches_oracle(case):
+    graph, source = case
+    result = XBFS(graph).run(source)
+    assert np.array_equal(result.levels, bfs_levels_reference(graph, source))
+
+
+@given(graph_and_source(), st.sampled_from(["scan_free", "single_scan", "bottom_up"]))
+@settings(max_examples=40, deadline=None)
+def test_forced_strategies_match_oracle(case, strategy):
+    graph, source = case
+    result = XBFS(graph).run(source, force_strategy=strategy)
+    assert np.array_equal(result.levels, bfs_levels_reference(graph, source))
+
+
+@given(graph_and_source())
+@settings(max_examples=25, deadline=None)
+def test_rearranged_adaptive_matches_oracle(case):
+    graph, source = case
+    result = XBFS(graph, rearrange=True).run(source)
+    assert np.array_equal(result.levels, bfs_levels_reference(graph, source))
+
+
+@given(graph_and_source())
+@settings(max_examples=25, deadline=None)
+def test_modeled_time_positive_and_deterministic(case):
+    graph, source = case
+    a = XBFS(graph).run(source)
+    b = XBFS(graph).run(source)
+    assert a.elapsed_ms > 0
+    assert a.elapsed_ms == b.elapsed_ms

@@ -1,0 +1,240 @@
+"""Per-strategy kernel tests: each strategy must advance one BFS level
+exactly, with the kernel structure the paper describes."""
+
+import numpy as np
+import pytest
+
+from repro.gcd.device import MI250X_GCD
+from repro.gcd.kernel import ExecConfig
+from repro.gcd.simulator import GCD
+from repro.graph.stats import bfs_levels_reference
+from repro.xbfs import bottom_up, scan_free, single_scan
+from repro.xbfs.status import StatusArray
+
+
+def _prepared(graph, source, upto_level):
+    """Status array advanced to `upto_level` with the oracle."""
+    ref = bfs_levels_reference(graph, source)
+    status = StatusArray(graph.num_vertices)
+    status.levels[:] = np.where((ref >= 0) & (ref <= upto_level), ref, -1)
+    return status, ref
+
+
+def _gcd(**cfg):
+    return GCD(MI250X_GCD, ExecConfig(**cfg))
+
+
+class TestScanFree:
+    def test_advances_one_level(self, small_rmat):
+        source = int(np.argmax(small_rmat.degrees))
+        status, ref = _prepared(small_rmat, source, 1)
+        frontier = status.at_level(1)
+        result = scan_free.run_level(small_rmat, status, frontier, 1, _gcd())
+        expected_new = np.flatnonzero(ref == 2)
+        assert sorted(result.new_vertices.tolist()) == expected_new.tolist()
+        assert np.array_equal(status.at_level(2), expected_new)
+
+    def test_single_kernel(self, small_rmat):
+        status, _ = _prepared(small_rmat, 0, 0)
+        result = scan_free.run_level(
+            small_rmat, status, np.array([0]), 0, _gcd()
+        )
+        assert len(result.records) == 1
+        assert result.records[0].name == "sf_expand"
+
+    def test_queue_is_exact(self, small_rmat):
+        status, ref = _prepared(small_rmat, 0, 0)
+        result = scan_free.run_level(small_rmat, status, np.array([0]), 0, _gcd())
+        assert result.queue_exact
+        assert sorted(result.queue_for_next.tolist()) == np.flatnonzero(
+            ref == 1
+        ).tolist()
+
+    def test_atomic_traffic_counted(self, small_rmat):
+        source = int(np.argmax(small_rmat.degrees))
+        status, _ = _prepared(small_rmat, source, 0)
+        result = scan_free.run_level(
+            small_rmat, status, np.array([source]), 0, _gcd()
+        )
+        rec = result.records[0]
+        # One CAS per inspected edge (plus enqueue aggregates).
+        assert rec.atomic_ops >= result.edges_inspected
+
+    def test_three_stream_split(self, social_graph):
+        """With 3 streams the frontier splits into degree bins — the
+        CUDA configuration launches them concurrently."""
+        source = int(np.argmax(social_graph.degrees))
+        status, ref = _prepared(social_graph, source, 0)
+        frontier = status.at_level(0)
+        # level-0 frontier is one vertex; use level 1 for variety.
+        status, ref = _prepared(social_graph, source, 1)
+        frontier = status.at_level(1)
+        result = scan_free.run_level(
+            social_graph, status, frontier, 1, _gcd(num_streams=3)
+        )
+        assert 1 <= len(result.records) <= 3
+        assert sorted(np.unique(result.new_vertices).tolist()) == np.flatnonzero(
+            ref == 2
+        ).tolist()
+
+    def test_empty_frontier(self, small_rmat):
+        status, _ = _prepared(small_rmat, 0, 0)
+        result = scan_free.run_level(
+            small_rmat, status, np.array([], dtype=np.int64), 5, _gcd()
+        )
+        assert result.new_vertices.size == 0
+
+
+class TestSingleScan:
+    def test_two_kernels_when_generating(self, small_rmat):
+        status, _ = _prepared(small_rmat, 0, 0)
+        result = single_scan.run_level(small_rmat, status, None, 0, _gcd())
+        assert [r.name for r in result.records] == ["ss_queue_gen", "ss_expand"]
+
+    def test_advances_one_level(self, small_rmat):
+        source = int(np.argmax(small_rmat.degrees))
+        status, ref = _prepared(small_rmat, source, 1)
+        result = single_scan.run_level(small_rmat, status, None, 1, _gcd())
+        assert sorted(result.new_vertices.tolist()) == np.flatnonzero(
+            ref == 2
+        ).tolist()
+
+    def test_no_gen_with_exact_queue_skips_scan(self, small_rmat):
+        source = int(np.argmax(small_rmat.degrees))
+        status, ref = _prepared(small_rmat, source, 1)
+        frontier = status.at_level(1)
+        result = single_scan.run_level(
+            small_rmat, status, None, 1, _gcd(),
+            reusable_queue=frontier, queue_exact=True,
+        )
+        assert [r.name for r in result.records] == ["ss_expand"]
+        assert sorted(result.new_vertices.tolist()) == np.flatnonzero(
+            ref == 2
+        ).tolist()
+
+    def test_no_gen_with_superset_queue_filters(self, small_rmat):
+        """After bottom-up the hand-off queue is a superset; expand must
+        filter by status and still be exact."""
+        source = int(np.argmax(small_rmat.degrees))
+        status, ref = _prepared(small_rmat, source, 1)
+        frontier = status.at_level(1)
+        padding = status.at_level(0)  # stale entries
+        superset = np.concatenate([padding, frontier])
+        result = single_scan.run_level(
+            small_rmat, status, None, 1, _gcd(),
+            reusable_queue=superset, queue_exact=False,
+        )
+        assert sorted(result.new_vertices.tolist()) == np.flatnonzero(
+            ref == 2
+        ).tolist()
+
+    def test_no_atomics_in_expand(self, small_rmat):
+        status, _ = _prepared(small_rmat, 0, 0)
+        result = single_scan.run_level(small_rmat, status, None, 0, _gcd())
+        expand = result.records[-1]
+        assert expand.atomic_ops == 0  # benign-race writes, no CAS
+
+    def test_queue_gen_reads_whole_status(self, small_rmat):
+        status, _ = _prepared(small_rmat, 0, 0)
+        result = single_scan.run_level(small_rmat, status, None, 0, _gcd())
+        gen = result.records[0]
+        # FetchSize of the scan kernel ~ 4|V| bytes (the Table IV constant).
+        expected_kb = small_rmat.num_vertices * 4 / 1024
+        assert gen.fetch_kb == pytest.approx(expected_kb, rel=0.05)
+
+
+class TestBottomUp:
+    def test_five_kernels(self, small_rmat):
+        status, _ = _prepared(small_rmat, 0, 0)
+        result = bottom_up.run_level(small_rmat, status, 0, _gcd())
+        assert [r.name for r in result.records] == [
+            "bu_count",
+            "bu_prefix_block",
+            "bu_prefix_spine",
+            "bu_queue_gen",
+            "bu_expand",
+        ]
+
+    def test_advances_one_level(self, small_rmat):
+        source = int(np.argmax(small_rmat.degrees))
+        status, ref = _prepared(small_rmat, source, 1)
+        result = bottom_up.run_level(
+            small_rmat, status, 1, _gcd(), proactive=False
+        )
+        assert sorted(result.new_vertices.tolist()) == np.flatnonzero(
+            ref == 2
+        ).tolist()
+
+    def test_early_termination_reduces_inspection(self, medium_rmat):
+        """Once most vertices are visited, the expand kernel inspects
+        far fewer slots than the full edge count."""
+        source = int(np.argmax(medium_rmat.degrees))
+        ref = bfs_levels_reference(medium_rmat, source)
+        peak = int(np.bincount(ref[ref >= 0]).argmax())
+        status, _ = _prepared(medium_rmat, source, peak)
+        result = bottom_up.run_level(medium_rmat, status, peak, _gcd(), proactive=False)
+        unvisited_edges = int(
+            medium_rmat.degrees[np.flatnonzero(ref > peak)].sum()
+        ) + int(medium_rmat.degrees[ref < 0].sum())
+        assert result.edges_inspected < unvisited_edges
+
+    def test_proactive_fig4_example(self, fig1_graph):
+        """Figure 4's walk-through: bottom-up at level 2 promotes
+        v4..v7 to level 3 and v8 — whose only neighbour v7 was updated
+        in the same pass — proactively to level 4."""
+        status, ref = _prepared(fig1_graph, 0, 2)
+        result = bottom_up.run_level(fig1_graph, status, 2, _gcd(), proactive=True)
+        assert sorted(result.new_vertices.tolist()) == [4, 5, 6, 7]
+        assert result.proactive_vertices.tolist() == [8]
+        assert status.levels[8] == 4
+
+    def test_proactive_levels_still_correct(self, medium_rmat):
+        """Proactive promotion must assign the true BFS level."""
+        source = int(np.argmax(medium_rmat.degrees))
+        ref = bfs_levels_reference(medium_rmat, source)
+        for level in range(int(ref.max())):
+            status, _ = _prepared(medium_rmat, source, level)
+            result = bottom_up.run_level(medium_rmat, status, level, _gcd())
+            for v in result.proactive_vertices.tolist():
+                assert ref[v] == level + 2
+
+    def test_proactive_off(self, fig1_graph):
+        status, _ = _prepared(fig1_graph, 0, 2)
+        result = bottom_up.run_level(fig1_graph, status, 2, _gcd(), proactive=False)
+        assert result.proactive_vertices.size == 0
+        assert status.levels[8] == -1
+
+    def test_queue_superset_not_exact(self, small_rmat):
+        status, _ = _prepared(small_rmat, 0, 0)
+        result = bottom_up.run_level(small_rmat, status, 0, _gcd())
+        assert not result.queue_exact
+        assert set(result.new_vertices.tolist()) <= set(
+            result.queue_for_next.tolist()
+        )
+
+    def test_workload_balancing_inflates_inspection(self, medium_rmat):
+        """Section IV-A: warp-centric balancing rounds early-terminated
+        scans up to wavefront chunks — strictly more work."""
+        source = int(np.argmax(medium_rmat.degrees))
+        ref = bfs_levels_reference(medium_rmat, source)
+        peak = int(np.bincount(ref[ref >= 0]).argmax())
+        status, _ = _prepared(medium_rmat, source, peak)
+        plain = bottom_up.run_level(
+            medium_rmat, status.copy(), peak, _gcd(), workload_balanced=False
+        )
+        balanced = bottom_up.run_level(
+            medium_rmat, status.copy(), peak, _gcd(), workload_balanced=True
+        )
+        assert balanced.edges_inspected > plain.edges_inspected
+        # And correctness is unaffected.
+        assert sorted(balanced.new_vertices.tolist()) == sorted(
+            plain.new_vertices.tolist()
+        )
+
+    def test_balancing_flag_defaults_to_config(self, small_rmat):
+        status, _ = _prepared(small_rmat, 0, 0)
+        gcd = _gcd(bottom_up_workload_balancing=True)
+        result = bottom_up.run_level(small_rmat, status, 0, gcd)
+        status2, _ = _prepared(small_rmat, 0, 0)
+        plain = bottom_up.run_level(small_rmat, status2, 0, _gcd())
+        assert result.edges_inspected >= plain.edges_inspected

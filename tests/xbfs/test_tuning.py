@@ -1,0 +1,87 @@
+"""Tests for the tuning utilities (Fig 7 / alpha sweeps)."""
+
+import numpy as np
+import pytest
+
+from repro.graph.stats import pick_sources
+from repro.xbfs.classifier import BOTTOM_UP, SCAN_FREE, SINGLE_SCAN
+from repro.xbfs.tuning import (
+    StrategyRuntimePoint,
+    alpha_sweep,
+    best_alpha,
+    strategy_runtime_vs_ratio,
+)
+
+
+class TestStrategyRuntimeVsRatio:
+    def test_structure(self, medium_rmat):
+        source = int(np.argmax(medium_rmat.degrees))
+        points = strategy_runtime_vs_ratio(medium_rmat, source)
+        strategies = {p.strategy for p in points}
+        assert strategies == {SCAN_FREE, SINGLE_SCAN, BOTTOM_UP}
+        # Same level set for every strategy (all run to the ratio peak).
+        by_strategy = {
+            s: sorted(p.level for p in points if p.strategy == s)
+            for s in strategies
+        }
+        assert len(set(map(tuple, by_strategy.values()))) == 1
+
+    def test_paper_shape(self, medium_rmat):
+        """Scan-free best at the sparse head; bottom-up best at the
+        ratio peak (the Fig 7 crossover)."""
+        source = int(np.argmax(medium_rmat.degrees))
+        points = strategy_runtime_vs_ratio(medium_rmat, source)
+        by = {(p.strategy, p.level): p.runtime_ms for p in points}
+        levels = sorted({p.level for p in points})
+        head, peak = levels[0], levels[-1]
+        assert by[(SCAN_FREE, head)] < by[(BOTTOM_UP, head)]
+        assert by[(BOTTOM_UP, peak)] < by[(SCAN_FREE, peak)]
+
+    def test_full_run_without_peak_cut(self, small_rmat):
+        source = int(np.argmax(small_rmat.degrees))
+        cut = strategy_runtime_vs_ratio(small_rmat, source, up_to_ratio_peak=True)
+        full = strategy_runtime_vs_ratio(small_rmat, source, up_to_ratio_peak=False)
+        assert len(full) >= len(cut)
+
+
+class TestBestAlpha:
+    def _pt(self, strategy, level, ratio, rt):
+        return StrategyRuntimePoint(strategy, level, ratio, rt)
+
+    def test_crossover_detected(self):
+        points = [
+            self._pt(SCAN_FREE, 0, 1e-6, 0.01),
+            self._pt(SINGLE_SCAN, 0, 1e-6, 0.02),
+            self._pt(BOTTOM_UP, 0, 1e-6, 5.0),
+            self._pt(SCAN_FREE, 1, 0.4, 3.0),
+            self._pt(SINGLE_SCAN, 1, 0.4, 2.0),
+            self._pt(BOTTOM_UP, 1, 0.4, 0.1),
+        ]
+        alpha = best_alpha(points)
+        assert alpha == pytest.approx(0.4 * 0.9)
+
+    def test_no_crossover_defaults_to_paper_value(self):
+        points = [
+            self._pt(SCAN_FREE, 0, 0.5, 0.01),
+            self._pt(SINGLE_SCAN, 0, 0.5, 0.02),
+            self._pt(BOTTOM_UP, 0, 0.5, 5.0),
+        ]
+        assert best_alpha(points) == 0.1
+
+    def test_incomplete_levels_skipped(self):
+        points = [self._pt(BOTTOM_UP, 0, 0.5, 0.1)]
+        assert best_alpha(points) == 0.1
+
+    def test_on_real_graph(self, medium_rmat):
+        source = int(np.argmax(medium_rmat.degrees))
+        points = strategy_runtime_vs_ratio(medium_rmat, source)
+        alpha = best_alpha(points)
+        assert 0 < alpha <= 1
+
+
+class TestAlphaSweep:
+    def test_sweep_keys_and_positive(self, small_rmat):
+        sources = pick_sources(small_rmat, 2, seed=0)
+        result = alpha_sweep(small_rmat, sources, [0.05, 0.5])
+        assert set(result) == {0.05, 0.5}
+        assert all(v > 0 for v in result.values())

@@ -1,0 +1,103 @@
+"""Tests for workload binning and bottom-up balancing arithmetic."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraversalError
+from repro.graph.csr import CSRGraph
+from repro.xbfs.workload import (
+    balanced_scan_lengths,
+    classify_frontier,
+    split_for_streams,
+)
+
+
+@pytest.fixture()
+def skewed_graph(star_graph):
+    return star_graph  # hub degree 200, leaves degree 1
+
+
+class TestClassifyFrontier:
+    def test_bins_by_degree(self, skewed_graph):
+        frontier = np.arange(skewed_graph.num_vertices)
+        bins = classify_frontier(skewed_graph, frontier, small_max=64, medium_max=150)
+        assert 0 in bins.large  # the hub
+        assert bins.small.size == 200  # leaves
+        assert bins.total == frontier.size
+
+    def test_boundaries_inclusive(self):
+        g = CSRGraph.from_edges(
+            np.repeat(np.arange(3), [64, 65, 4097]),
+            np.concatenate([np.arange(3, 67), np.arange(3, 68), np.arange(3, 4100)]),
+            4200,
+        )
+        bins = classify_frontier(g, np.array([0, 1, 2]))
+        assert bins.small.tolist() == [0]      # degree 64 == small_max
+        assert bins.medium.tolist() == [1]     # degree 65
+        assert bins.large.tolist() == [2]      # degree 4097 > 4096
+
+    def test_non_empty_helper(self, skewed_graph):
+        bins = classify_frontier(skewed_graph, np.array([1, 2]))
+        names = [name for name, _ in bins.non_empty()]
+        assert names == ["small"]
+
+    def test_threshold_validation(self, skewed_graph):
+        with pytest.raises(TraversalError):
+            classify_frontier(skewed_graph, np.array([0]), small_max=0)
+        with pytest.raises(TraversalError):
+            classify_frontier(
+                skewed_graph, np.array([0]), small_max=100, medium_max=50
+            )
+
+
+class TestSplitForStreams:
+    def test_single_stream_one_chunk(self, skewed_graph):
+        frontier = np.arange(10)
+        chunks = split_for_streams(skewed_graph, frontier, 1)
+        assert len(chunks) == 1
+        assert np.array_equal(chunks[0], frontier)
+
+    def test_three_streams_binned(self, skewed_graph):
+        frontier = np.arange(skewed_graph.num_vertices)
+        chunks = split_for_streams(skewed_graph, frontier, 3)
+        assert 2 <= len(chunks) <= 3
+        total = np.concatenate(chunks)
+        assert sorted(total.tolist()) == frontier.tolist()
+
+    def test_empty_frontier(self, skewed_graph):
+        assert split_for_streams(skewed_graph, np.array([], dtype=np.int64), 1) == []
+
+
+class TestBalancedScanLengths:
+    def test_rounds_up_to_wavefront_chunks(self):
+        scan = np.array([1, 65, 200])
+        deg = np.array([500, 500, 500])
+        out = balanced_scan_lengths(scan, deg, 64)
+        assert out.tolist() == [64, 128, 256]
+
+    def test_capped_at_degree(self):
+        out = balanced_scan_lengths(np.array([1]), np.array([10]), 64)
+        assert out.tolist() == [10]
+
+    def test_zero_scan_stays_zero(self):
+        out = balanced_scan_lengths(np.array([0]), np.array([100]), 64)
+        assert out.tolist() == [0]
+
+    def test_worse_at_width_64(self):
+        """The paper's observation: 64-lane rounding wastes more than
+        32-lane rounding for short early-terminated scans."""
+        scan = np.array([1, 2, 3, 4])
+        deg = np.array([1000] * 4)
+        w64 = balanced_scan_lengths(scan, deg, 64).sum()
+        w32 = balanced_scan_lengths(scan, deg, 32).sum()
+        assert w64 == 2 * w32
+
+    def test_never_less_than_unbalanced(self, rng):
+        scan = rng.integers(0, 300, size=200)
+        deg = scan + rng.integers(0, 300, size=200)
+        out = balanced_scan_lengths(scan, deg, 64)
+        assert np.all(out >= scan)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(TraversalError):
+            balanced_scan_lengths(np.array([1]), np.array([1, 2]), 64)

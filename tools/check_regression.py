@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Performance-regression gate for the modelled numbers.
+
+The cost model is deterministic, so the modelled GTEPS of a fixed
+experiment set is a fingerprint of the model. This tool runs a small
+engine matrix, writes/compares a JSON fingerprint, and exits non-zero
+on drift — wire it into CI to catch accidental model changes.
+
+Usage:
+    python tools/check_regression.py record baseline.json
+    python tools/check_regression.py check  baseline.json [tolerance]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import XBFS, GunrockBFS, LinAlgBFS, rmat
+from repro.experiments.common import scaled_device
+from repro.graph import pick_sources
+from repro.metrics.results_io import (
+    diff_results,
+    load_results,
+    save_results,
+    summarize_batch,
+)
+
+
+def run_matrix() -> list[dict]:
+    graph = rmat(15, 16, seed=0)
+    device = scaled_device(graph)
+    sources = pick_sources(graph, 4, seed=1)
+    summaries = []
+    for name, engine in [
+        ("xbfs", XBFS(graph, device=device)),
+        ("xbfs+rearrange", XBFS(graph, device=device, rearrange=True)),
+        ("gunrock", GunrockBFS(graph, device=device)),
+        ("linalg", LinAlgBFS(graph, device=device)),
+    ]:
+        summaries.append(summarize_batch(name, engine.run_many(sources)))
+    return summaries
+
+
+def main() -> int:
+    if len(sys.argv) < 3 or sys.argv[1] not in ("record", "check"):
+        print(__doc__, file=sys.stderr)
+        return 2
+    mode, path = sys.argv[1], sys.argv[2]
+    tolerance = float(sys.argv[3]) if len(sys.argv) > 3 else 0.02
+    summaries = run_matrix()
+    if mode == "record":
+        save_results(summaries, path)
+        print(f"recorded {len(summaries)} fingerprints to {path}")
+        return 0
+    baseline = load_results(path)
+    drifts = diff_results(baseline, summaries, tolerance=tolerance)
+    if not drifts:
+        print(f"no drift beyond {tolerance:.0%} against {path}")
+        return 0
+    print(f"DRIFT beyond {tolerance:.0%}:")
+    for d in drifts:
+        print(
+            f"  {d.name}.{d.metric}: {d.baseline:.6g} -> {d.candidate:.6g} "
+            f"({d.relative:+.1%})"
+        )
+    return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
