@@ -26,12 +26,17 @@ Layers:
 """
 
 from repro.errors import (
+    AdmissionError,
+    DeadlineExceededError,
     DeviceModelError,
     ExperimentError,
     GraphFormatError,
+    GraphTooLargeError,
     KernelLaunchError,
     PartitionError,
+    QueueFullError,
     ReproError,
+    ServiceError,
     TraversalError,
 )
 from repro.gcd import GCD, MI250X_GCD, P6000, V100, DeviceProfile, ExecConfig
@@ -48,6 +53,7 @@ from repro.graph import (
 from repro.xbfs import XBFS, AdaptiveClassifier, BatchResult, ConcurrentBFS, XBFSResult
 from repro.baselines import EnterpriseBFS, GunrockBFS, HierarchicalBFS, LinAlgBFS, SsspBFS
 from repro.multigcd import MultiGcdBFS
+from repro.service import BFSService, GraphRegistry, Query, QueryOptions, ServiceReport
 
 __version__ = "1.0.0"
 
@@ -60,6 +66,11 @@ __all__ = [
     "TraversalError",
     "ExperimentError",
     "PartitionError",
+    "ServiceError",
+    "AdmissionError",
+    "QueueFullError",
+    "DeadlineExceededError",
+    "GraphTooLargeError",
     "CSRGraph",
     "rmat",
     "load",
@@ -85,4 +96,9 @@ __all__ = [
     "LinAlgBFS",
     "SsspBFS",
     "MultiGcdBFS",
+    "BFSService",
+    "ServiceReport",
+    "GraphRegistry",
+    "Query",
+    "QueryOptions",
 ]

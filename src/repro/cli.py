@@ -1,12 +1,17 @@
 """Command-line interface.
 
-Four subcommands cover the common workflows without writing Python:
+Six subcommands cover the common workflows without writing Python:
 
-* ``repro run``        — BFS on a graph spec, print the strategy trace
-  and modelled GTEPS.
-* ``repro datasets``   — the Table II inventory at a chosen scale.
-* ``repro experiment`` — regenerate any paper table/figure.
-* ``repro generate``   — materialise a graph spec into a ``.csrbin``.
+* ``repro run``          — BFS on a graph spec, print the strategy
+  trace and modelled GTEPS (``--concurrent`` batches the sources
+  through the iBFS-style engine and reports the sharing factor).
+* ``repro datasets``     — the Table II inventory at a chosen scale.
+* ``repro experiment``   — regenerate any paper table/figure.
+* ``repro generate``     — materialise a graph spec into a ``.csrbin``.
+* ``repro serve``        — replay a JSONL query trace through the
+  serving runtime (registry + coalescing scheduler + admission).
+* ``repro service-bench``— synthetic open-loop load through the same
+  runtime.
 
 Graph specs (the ``--graph`` argument):
 
@@ -63,6 +68,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         args.graph, scale_factor=args.scale_factor, seed=args.seed
     )
     print(f"graph: {graph}")
+    if args.concurrent:
+        return _run_concurrent(graph, args)
     device = scaled_device(graph) if args.scaled_cache else None
     engine = XBFS(
         graph,
@@ -90,6 +97,136 @@ def _cmd_run(args: argparse.Namespace) -> int:
         engine._gcd.profiler.to_csv(args.profile_csv)
         print(f"wrote kernel counters to {args.profile_csv}")
     return 0
+
+
+def _run_concurrent(graph, args: argparse.Namespace) -> int:
+    """``repro run --concurrent``: one iBFS-style shared traversal."""
+    from repro.experiments.common import scaled_device
+    from repro.xbfs.concurrent import ConcurrentBFS
+
+    if args.force is not None:
+        raise ReproError("--force cannot be combined with --concurrent "
+                         "(the batched engine has no per-level strategies)")
+    device = scaled_device(graph) if args.scaled_cache else None
+    engine = ConcurrentBFS(
+        graph, **({"device": device} if device is not None else {})
+    )
+    sources = pick_sources(graph, args.sources, seed=args.seed + 1)
+    result = engine.run(sources)
+    reached = int((result.levels[0] >= 0).sum())
+    print(
+        f"concurrent batch: {sources.size} sources  depth: {result.depth}  "
+        f"reached(src0): {reached:,}/{graph.num_vertices:,}"
+    )
+    print(
+        f"union edges: {result.union_edges:,}  "
+        f"solo edges: {result.solo_edges:,}  "
+        f"sharing factor: {result.sharing_factor:.2f}x"
+    )
+    print(f"aggregate: {result.gteps:.3f} GTEPS (modelled)")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import BFSService, load_trace
+
+    queries = load_trace(args.trace)
+    service = _service_from_args(args, BFSService)
+    report = service.replay(queries)
+    print(f"replayed {len(queries)} queries from {args.trace}")
+    print(report.render())
+    if args.validate:
+        _validate_outcomes(service, report)
+        print(f"validated {len(report.served)} served queries against "
+              f"the serial oracle: all levels match")
+    if args.out:
+        _save_service_summary(report, args)
+    return 0
+
+
+def _cmd_service_bench(args: argparse.Namespace) -> int:
+    from repro.service import BFSService, synthetic_trace
+
+    service = _service_from_args(args, BFSService)
+    specs = [s.strip() for s in args.graphs.split(",") if s.strip()]
+    sizes = {}
+    for spec in specs:
+        entry, _ = service.registry.get(spec)
+        sizes[spec] = entry.graph.num_vertices
+    queries = synthetic_trace(
+        specs,
+        sizes,
+        num_queries=args.queries,
+        seed=args.seed,
+        mean_gap_ms=args.gap_ms,
+        burst=args.burst,
+        deadline_ms=args.deadline_ms,
+    )
+    report = service.replay(queries)
+    print(f"synthetic open-loop load: {len(queries)} queries over "
+          f"{len(specs)} graphs (burst {args.burst}, "
+          f"mean gap {args.gap_ms} ms)")
+    print(report.render())
+    if args.out:
+        _save_service_summary(report, args)
+    return 0
+
+
+def _service_from_args(args: argparse.Namespace, cls):
+    return cls(
+        memory_budget_mb=args.memory_budget_mb,
+        workers=args.workers,
+        max_batch=args.max_batch,
+        window_ms=args.window_ms,
+        max_queue_depth=args.queue_depth,
+        default_deadline_ms=args.deadline_ms,
+        scale_factor=args.scale_factor,
+        seed=args.seed,
+    )
+
+
+def _validate_outcomes(service, report) -> None:
+    from repro.graph.stats import bfs_levels_reference
+
+    import numpy as np
+
+    oracle: dict[tuple[str, int], object] = {}
+    for outcome in report.served:
+        key = (outcome.query.graph, outcome.query.source)
+        if key not in oracle:
+            entry, _ = service.registry.get(outcome.query.graph)
+            oracle[key] = bfs_levels_reference(entry.graph, outcome.query.source)
+        if not np.array_equal(outcome.levels, oracle[key]):
+            raise ReproError(
+                f"query {outcome.query.qid} ({key[0]}, source {key[1]}): "
+                f"served levels diverge from the solo oracle"
+            )
+
+
+def _save_service_summary(report, args: argparse.Namespace) -> None:
+    from repro.metrics.results_io import save_results
+
+    save_results([report.summary("service")], args.out)
+    print(f"wrote service summary to {args.out}")
+
+
+def _add_service_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--workers", type=int, default=2,
+                        help="simulated GCD workers in the dispatch pool")
+    parser.add_argument("--max-batch", type=int, default=64,
+                        help="max distinct sources per concurrent batch")
+    parser.add_argument("--window-ms", type=float, default=5.0,
+                        help="coalescing window (virtual ms)")
+    parser.add_argument("--queue-depth", type=int, default=256,
+                        help="admission limit on pending queries")
+    parser.add_argument("--deadline-ms", type=float, default=None,
+                        help="default per-query deadline (virtual ms)")
+    parser.add_argument("--memory-budget-mb", type=float, default=256.0,
+                        help="graph-registry LRU budget")
+    parser.add_argument("--scale-factor", type=int, default=64)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", default=None, metavar="PATH",
+                        help="save the service summary JSON here")
 
 
 def _cmd_datasets(args: argparse.Namespace) -> int:
@@ -168,6 +305,9 @@ def _build_parser() -> argparse.ArgumentParser:
                      default=None, help="pin one strategy for every level")
     run.add_argument("--rearrange", action="store_true",
                      help="degree-aware neighbour re-arrangement")
+    run.add_argument("--concurrent", action="store_true",
+                     help="batch all sources through the iBFS-style "
+                     "concurrent engine and report the sharing factor")
     run.add_argument("--trace", action="store_true",
                      help="print the per-level strategy trace")
     run.add_argument("--no-scaled-cache", dest="scaled_cache",
@@ -198,6 +338,31 @@ def _build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--seed", type=int, default=0)
     generate.add_argument("--scale-factor", type=int, default=64)
     generate.set_defaults(func=_cmd_generate)
+
+    serve = sub.add_parser(
+        "serve", help="replay a JSONL query trace through the serving runtime"
+    )
+    serve.add_argument("--trace", required=True, metavar="PATH",
+                       help="JSONL trace (see repro.service.trace)")
+    serve.add_argument("--validate", action="store_true",
+                       help="check every served level array against the "
+                       "serial oracle")
+    _add_service_args(serve)
+    serve.set_defaults(func=_cmd_serve)
+
+    bench = sub.add_parser(
+        "service-bench",
+        help="synthetic open-loop load through the serving runtime",
+    )
+    bench.add_argument("--graphs", default="rmat:10,rmat:11,rmat:12",
+                       help="comma-separated graph specs")
+    bench.add_argument("--queries", type=int, default=200)
+    bench.add_argument("--burst", type=int, default=8,
+                       help="same-graph queries per arrival burst")
+    bench.add_argument("--gap-ms", type=float, default=1.0,
+                       help="mean inter-burst gap (virtual ms)")
+    _add_service_args(bench)
+    bench.set_defaults(func=_cmd_service_bench)
     return parser
 
 

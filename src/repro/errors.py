@@ -16,6 +16,11 @@ __all__ = [
     "TraversalError",
     "ExperimentError",
     "PartitionError",
+    "ServiceError",
+    "AdmissionError",
+    "QueueFullError",
+    "DeadlineExceededError",
+    "GraphTooLargeError",
 ]
 
 
@@ -50,3 +55,30 @@ class ExperimentError(ReproError, RuntimeError):
 class PartitionError(ReproError, ValueError):
     """A multi-GCD partitioning request is invalid (more parts than
     vertices, non-contiguous ownership map, ...)."""
+
+
+class ServiceError(ReproError, RuntimeError):
+    """The query-serving runtime (:mod:`repro.service`) hit an invalid
+    configuration or request (unknown graph spec, out-of-order arrival,
+    bad trace record, ...)."""
+
+
+class AdmissionError(ServiceError):
+    """Base class for typed admission-control rejections. A request
+    refused with an :class:`AdmissionError` was never executed; callers
+    distinguish the reason via the concrete subclass."""
+
+
+class QueueFullError(AdmissionError):
+    """The bounded request queue was at capacity when the query
+    arrived; backpressure instead of unbounded queueing."""
+
+
+class DeadlineExceededError(AdmissionError):
+    """The query could not be scheduled (or would only start) after its
+    per-request deadline had already elapsed."""
+
+
+class GraphTooLargeError(ServiceError, ValueError):
+    """A requested graph exceeds the registry's total memory budget, so
+    it could never be cached even after evicting everything else."""

@@ -7,21 +7,34 @@ to a compact JSON-able record, :func:`save_results`/:func:`load_results`
 round-trip a set of them, and :func:`diff_results` reports per-metric
 relative drift between two saved sets (used by
 ``tools/check_regression.py``).
+
+Saved files carry a ``schema_version`` envelope so the record format
+can evolve (the serving layer adds latency/sharing summaries alongside
+the original batch summaries); loading a file written under a
+different version warns instead of failing, and legacy bare-list files
+(pre-versioning) still load.
 """
 
 from __future__ import annotations
 
 import json
+import warnings
 from dataclasses import dataclass
 from pathlib import Path
 
 __all__ = [
+    "RESULTS_SCHEMA_VERSION",
     "summarize_batch",
     "save_results",
     "load_results",
     "MetricDrift",
     "diff_results",
 ]
+
+#: Version stamped into every file :func:`save_results` writes.
+#: 1 = the original bare-list format (implicit, no field);
+#: 2 = ``{"schema_version": 2, "results": [...]}`` envelope.
+RESULTS_SCHEMA_VERSION = 2
 
 
 def summarize_batch(name: str, batch) -> dict:
@@ -50,13 +63,35 @@ def summarize_batch(name: str, batch) -> dict:
 
 
 def save_results(summaries: list[dict], path: str | Path) -> None:
-    """Write a list of summaries as pretty JSON."""
-    Path(path).write_text(json.dumps(summaries, indent=2, sort_keys=True) + "\n")
+    """Write a list of summaries as pretty, schema-versioned JSON."""
+    payload = {"schema_version": RESULTS_SCHEMA_VERSION, "results": summaries}
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
 
 def load_results(path: str | Path) -> list[dict]:
-    """Read summaries written by :func:`save_results`."""
-    return json.loads(Path(path).read_text())
+    """Read summaries written by :func:`save_results`.
+
+    Accepts both the versioned envelope and legacy bare-list files;
+    warns (without failing) when the file's schema version differs
+    from :data:`RESULTS_SCHEMA_VERSION`, since individual metrics may
+    have been added or renamed across versions.
+    """
+    data = json.loads(Path(path).read_text())
+    if isinstance(data, list):
+        warnings.warn(
+            f"{path}: legacy un-versioned results file (schema 1); "
+            f"current writer is schema {RESULTS_SCHEMA_VERSION}",
+            stacklevel=2,
+        )
+        return data
+    version = data.get("schema_version")
+    if version != RESULTS_SCHEMA_VERSION:
+        warnings.warn(
+            f"{path}: results schema {version} != current "
+            f"{RESULTS_SCHEMA_VERSION}; metrics may not line up",
+            stacklevel=2,
+        )
+    return data["results"]
 
 
 @dataclass(frozen=True)
@@ -75,8 +110,21 @@ class MetricDrift:
         return (self.candidate - self.baseline) / self.baseline
 
 
-#: Metrics compared by :func:`diff_results`.
-_COMPARED = ("steady_gteps", "mean_elapsed_ms", "mean_depth", "total_traversed_edges")
+#: Non-metric bookkeeping fields never compared by :func:`diff_results`.
+_SKIPPED = frozenset({"name", "schema_version"})
+
+
+def _compared_metrics(baseline_entry: dict, candidate_entry: dict) -> list[str]:
+    """Numeric fields present on both sides — so batch summaries and
+    service summaries (different key sets) both diff cleanly."""
+    keys = set(baseline_entry) & set(candidate_entry) - _SKIPPED
+    return sorted(
+        k
+        for k in keys
+        if isinstance(baseline_entry[k], (int, float))
+        and isinstance(candidate_entry[k], (int, float))
+        and not isinstance(baseline_entry[k], bool)
+    )
 
 
 def diff_results(
@@ -84,7 +132,8 @@ def diff_results(
 ) -> list[MetricDrift]:
     """Drifts exceeding ``tolerance`` (relative) between two result sets.
 
-    Entries are matched by ``name``; names present on only one side are
+    Entries are matched by ``name``; every numeric metric the two
+    entries share is compared. Names present on only one side are
     reported as a full drift on the ``runs`` metric so they cannot slip
     through silently.
     """
@@ -98,7 +147,7 @@ def diff_results(
                 MetricDrift(name, "runs", float(bool(b)), float(bool(c)))
             )
             continue
-        for metric in _COMPARED:
+        for metric in _compared_metrics(b, c):
             d = MetricDrift(name, metric, float(b[metric]), float(c[metric]))
             if abs(d.relative) > tolerance:
                 drifts.append(d)

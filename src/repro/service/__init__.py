@@ -1,0 +1,66 @@
+"""The BFS query-serving runtime.
+
+The paper's evaluation loop is a Graph500-style batch script: build a
+graph, run n traversals, report GTEPS. This package turns that loop
+into a *servable system* — the front door every scaling PR (sharding,
+async backends, multi-GCD serving) plugs into:
+
+* :mod:`repro.service.request`   — query / outcome records and the
+  per-query option surface.
+* :mod:`repro.service.registry`  — a memory-budgeted LRU graph cache,
+  so repeated queries skip CSR construction.
+* :mod:`repro.service.admission` — queue-depth limits and per-request
+  deadlines with typed rejections.
+* :mod:`repro.service.scheduler` — the coalescing scheduler: drains a
+  bounded queue, groups same-graph queries into ≤64-source
+  :class:`~repro.xbfs.concurrent.ConcurrentBFS` batches, and
+  dispatches them across a pool of simulated GCD workers in virtual
+  time.
+* :mod:`repro.service.metrics`   — per-query latency percentiles,
+  batch sharing factors, cache hit rates, modelled GTEPS.
+* :mod:`repro.service.trace`     — JSONL query traces (replay and
+  synthetic open-loop generation).
+* :mod:`repro.service.runtime`   — :class:`BFSService`, the facade
+  wiring all of the above together.
+
+Everything is synchronous and deterministic: time is *virtual* (query
+arrival stamps plus modelled kernel costs), so a replayed trace always
+produces bit-identical levels and identical latency statistics.
+
+Quick start::
+
+    from repro.service import BFSService, synthetic_trace
+
+    svc = BFSService(workers=2, memory_budget_mb=64)
+    trace = synthetic_trace(["rmat:10", "rmat:11"], {"rmat:10": 1024,
+                            "rmat:11": 2048}, num_queries=64, seed=7)
+    report = svc.replay(trace)
+    print(report.render())
+"""
+
+from repro.service.admission import AdmissionController, AdmissionPolicy
+from repro.service.metrics import ServiceMetrics, percentile
+from repro.service.registry import GraphRegistry, RegistryEntry
+from repro.service.request import Query, QueryOptions, QueryOutcome
+from repro.service.runtime import BFSService, ServiceReport
+from repro.service.scheduler import CoalescingScheduler, WorkerState
+from repro.service.trace import load_trace, save_trace, synthetic_trace
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionPolicy",
+    "BFSService",
+    "CoalescingScheduler",
+    "GraphRegistry",
+    "Query",
+    "QueryOptions",
+    "QueryOutcome",
+    "RegistryEntry",
+    "ServiceMetrics",
+    "ServiceReport",
+    "WorkerState",
+    "load_trace",
+    "percentile",
+    "save_trace",
+    "synthetic_trace",
+]

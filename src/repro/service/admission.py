@@ -1,0 +1,91 @@
+"""Admission control: bounded queueing and per-request deadlines.
+
+The serving layer refuses work it cannot do in time instead of
+queueing without bound. Two typed rejections, both subclasses of
+:class:`~repro.errors.AdmissionError`:
+
+* :class:`~repro.errors.QueueFullError` — the pending queue was at
+  its depth limit when the query arrived (checked at submit time).
+* :class:`~repro.errors.DeadlineExceededError` — the query's start
+  slot on the virtual clock falls past its deadline (checked at
+  dispatch time, before any kernel cost is charged).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import DeadlineExceededError, QueueFullError
+from repro.service.request import Query
+
+__all__ = ["AdmissionPolicy", "AdmissionController"]
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Static admission limits.
+
+    max_queue_depth:
+        Pending (admitted, not yet dispatched) queries the service
+        holds before rejecting with
+        :class:`~repro.errors.QueueFullError`.
+    default_deadline_ms:
+        Deadline applied to queries that do not carry their own;
+        ``None`` means no implicit deadline.
+    """
+
+    max_queue_depth: int = 256
+    default_deadline_ms: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be >= 1")
+        if self.default_deadline_ms is not None and self.default_deadline_ms <= 0:
+            raise ValueError("default_deadline_ms must be positive")
+
+
+class AdmissionController:
+    """Applies an :class:`AdmissionPolicy` and counts its decisions."""
+
+    def __init__(self, policy: AdmissionPolicy | None = None) -> None:
+        self.policy = policy or AdmissionPolicy()
+        self.admitted = 0
+        self.rejected_queue_full = 0
+        self.rejected_deadline = 0
+
+    def deadline_of(self, query: Query) -> float | None:
+        """The query's effective deadline (its own, else the default)."""
+        if query.deadline_ms is not None:
+            return query.deadline_ms
+        return self.policy.default_deadline_ms
+
+    def admit(self, query: Query, queue_depth: int) -> None:
+        """Gate one submission against the current queue depth."""
+        if queue_depth >= self.policy.max_queue_depth:
+            self.rejected_queue_full += 1
+            raise QueueFullError(
+                f"query {query.qid} rejected: queue depth "
+                f"{queue_depth} >= limit {self.policy.max_queue_depth}"
+            )
+        self.admitted += 1
+
+    def check_deadline(self, query: Query, start_ms: float) -> None:
+        """Reject a query whose dispatch slot already misses its
+        deadline; charged queueing delay is ``start_ms - arrival``."""
+        deadline = self.deadline_of(query)
+        if deadline is None:
+            return
+        wait = start_ms - query.arrival_ms
+        if wait > deadline:
+            self.rejected_deadline += 1
+            raise DeadlineExceededError(
+                f"query {query.qid} waited {wait:.3f} ms "
+                f"> deadline {deadline:.3f} ms"
+            )
+
+    def stats(self) -> dict:
+        return {
+            "admitted": self.admitted,
+            "rejected_queue_full": self.rejected_queue_full,
+            "rejected_deadline": self.rejected_deadline,
+        }

@@ -1,0 +1,169 @@
+"""Serving metrics: latency percentiles, sharing, cache hits, GTEPS.
+
+Everything here is computed from the virtual clock and the modelled
+kernel costs, so a replayed trace always yields identical numbers —
+which lets ``tools/check_regression.py`` fingerprint the serving layer
+exactly like the engines underneath it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.service.request import QueryOutcome
+
+__all__ = ["ServiceMetrics", "percentile"]
+
+
+def percentile(values: list[float], q: float) -> float:
+    """Linear-interpolated percentile (``q`` in [0, 100]) of a list.
+
+    Deterministic and dependency-light; returns 0.0 for empty input.
+    """
+    if not values:
+        return 0.0
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    pos = q / 100.0 * (len(ordered) - 1)
+    lo = int(pos)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = pos - lo
+    return float(ordered[lo] * (1.0 - frac) + ordered[hi] * frac)
+
+
+@dataclass
+class ServiceMetrics:
+    """Accumulates per-query outcomes into a serving summary."""
+
+    latencies_ms: list[float] = field(default_factory=list)
+    #: One entry per *dispatch* (batch or solo run).
+    batch_sizes: list[int] = field(default_factory=list)
+    sharing_factors: list[float] = field(default_factory=list)
+    served: int = 0
+    rejected_queue_full: int = 0
+    rejected_deadline: int = 0
+    total_traversed_edges: int = 0
+    first_arrival_ms: float | None = None
+    last_finish_ms: float = 0.0
+
+    # ------------------------------------------------------------------
+    def record_outcome(self, outcome: QueryOutcome) -> None:
+        """Fold one served (or dispatch-dropped) query in."""
+        if self.first_arrival_ms is None:
+            self.first_arrival_ms = outcome.query.arrival_ms
+        else:
+            self.first_arrival_ms = min(
+                self.first_arrival_ms, outcome.query.arrival_ms
+            )
+        if not outcome.served:
+            self.record_rejection(outcome.rejected)
+            return
+        self.served += 1
+        self.latencies_ms.append(outcome.latency_ms)
+        self.total_traversed_edges += outcome.traversed_edges
+        self.last_finish_ms = max(self.last_finish_ms, outcome.finish_ms)
+
+    def record_batch(self, num_queries: int, sharing_factor: float) -> None:
+        """Record one dispatch (solo runs count with sharing 1.0)."""
+        self.batch_sizes.append(num_queries)
+        self.sharing_factors.append(sharing_factor)
+
+    def record_rejection(self, kind: str | None) -> None:
+        if kind == "queue_full":
+            self.rejected_queue_full += 1
+        elif kind == "deadline":
+            self.rejected_deadline += 1
+        else:
+            raise ValueError(f"unknown rejection kind {kind!r}")
+
+    # ------------------------------------------------------------------
+    @property
+    def rejected(self) -> int:
+        return self.rejected_queue_full + self.rejected_deadline
+
+    @property
+    def makespan_ms(self) -> float:
+        """First arrival to last completion on the virtual clock."""
+        if self.first_arrival_ms is None:
+            return 0.0
+        return max(0.0, self.last_finish_ms - self.first_arrival_ms)
+
+    @property
+    def gteps(self) -> float:
+        """Aggregate modelled throughput, Graph500-credited: every
+        served query's solo-equivalent edges over the makespan."""
+        span = self.makespan_ms
+        if span <= 0:
+            return 0.0
+        return self.total_traversed_edges / (span * 1e-3) / 1e9
+
+    @property
+    def mean_sharing_factor(self) -> float:
+        if not self.sharing_factors:
+            return 1.0
+        return sum(self.sharing_factors) / len(self.sharing_factors)
+
+    @property
+    def mean_batch_size(self) -> float:
+        if not self.batch_sizes:
+            return 0.0
+        return sum(self.batch_sizes) / len(self.batch_sizes)
+
+    # ------------------------------------------------------------------
+    def summary(self, name: str, *, registry_stats: dict | None = None) -> dict:
+        """JSON-able record, save/diff-able via
+        :mod:`repro.metrics.results_io`."""
+        out = {
+            "name": name,
+            "queries_served": self.served,
+            "rejected_queue_full": self.rejected_queue_full,
+            "rejected_deadline": self.rejected_deadline,
+            "p50_ms": percentile(self.latencies_ms, 50),
+            "p95_ms": percentile(self.latencies_ms, 95),
+            "p99_ms": percentile(self.latencies_ms, 99),
+            "mean_latency_ms": (
+                sum(self.latencies_ms) / len(self.latencies_ms)
+                if self.latencies_ms
+                else 0.0
+            ),
+            "dispatches": len(self.batch_sizes),
+            "mean_batch_size": self.mean_batch_size,
+            "mean_sharing_factor": self.mean_sharing_factor,
+            "makespan_ms": self.makespan_ms,
+            "service_gteps": self.gteps,
+            "total_traversed_edges": self.total_traversed_edges,
+        }
+        if registry_stats is not None:
+            out["cache_hit_rate"] = registry_stats["hit_rate"]
+            out["cache_evictions"] = registry_stats["evictions"]
+        return out
+
+    def render(self, *, registry_stats: dict | None = None) -> str:
+        """Human-readable one-screen report."""
+        s = self.summary("service", registry_stats=registry_stats)
+        lines = [
+            f"served:     {s['queries_served']} queries in "
+            f"{s['dispatches']} dispatches "
+            f"(mean batch {s['mean_batch_size']:.2f}, "
+            f"sharing {s['mean_sharing_factor']:.2f}x)",
+            f"rejected:   {self.rejected} "
+            f"(queue_full={s['rejected_queue_full']}, "
+            f"deadline={s['rejected_deadline']})",
+            f"latency:    p50 {s['p50_ms']:.3f} ms  "
+            f"p95 {s['p95_ms']:.3f} ms  p99 {s['p99_ms']:.3f} ms  "
+            f"(mean {s['mean_latency_ms']:.3f} ms)",
+            f"throughput: {s['service_gteps']:.3f} GTEPS (modelled) over "
+            f"{s['makespan_ms']:.3f} ms makespan",
+        ]
+        if registry_stats is not None:
+            lines.append(
+                f"registry:   hit rate {registry_stats['hit_rate']:.1%}  "
+                f"({registry_stats['hits']} hits / "
+                f"{registry_stats['misses']} misses, "
+                f"{registry_stats['evictions']} evictions, "
+                f"{registry_stats['graphs_cached']} cached)"
+            )
+        return "\n".join(lines)

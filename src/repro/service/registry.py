@@ -1,0 +1,158 @@
+"""Memory-budgeted LRU graph registry.
+
+CSR construction (and the optional degree re-arrangement) dominates
+cold-query cost, so the service keeps built graphs — plus their warm
+per-graph engines — in an LRU cache bounded by a byte budget. Keys are
+the graph *spec strings* the CLI already understands (``rmat:S[:EF]``,
+Table II names, ``file:PATH``), resolved with the same scale factor and
+seed for the registry's whole lifetime, so one key always denotes one
+deterministic graph.
+
+A cache miss charges a modelled build cost (proportional to the edge
+count) onto the virtual clock of whichever worker dispatches the
+missing batch; a hit charges nothing. Eviction drops the graph *and*
+its attached engines, so a re-admitted graph pays both the rebuild and
+a fresh device warm-up — exactly the behaviour the serving metrics
+need to expose.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import GraphTooLargeError
+from repro.graph.csr import CSRGraph
+
+__all__ = ["GraphRegistry", "RegistryEntry", "BUILD_MS_PER_MEDGE"]
+
+#: Modelled CSR-construction cost: milliseconds per million edges.
+#: (~200 M edges/s of host-side coalescing + prefix-summing.)
+BUILD_MS_PER_MEDGE = 5.0
+
+
+@dataclass
+class RegistryEntry:
+    """One cached graph plus its warm per-graph state."""
+
+    key: str
+    graph: CSRGraph
+    #: Modelled one-time construction charge paid on the miss.
+    build_ms: float
+    #: Engines (XBFS / ConcurrentBFS / device profiles) attached by the
+    #: scheduler; evicted together with the graph.
+    engines: dict = field(default_factory=dict)
+
+    @property
+    def memory_bytes(self) -> int:
+        return self.graph.memory_bytes
+
+
+class GraphRegistry:
+    """LRU cache of built graphs under a total byte budget.
+
+    Parameters
+    ----------
+    memory_budget_bytes:
+        Total CSR bytes the registry may hold; least-recently-used
+        graphs are evicted to make room.
+    builder:
+        ``spec -> CSRGraph`` resolver. Defaults to
+        :func:`repro.cli.parse_graph_spec` with the registry's
+        ``scale_factor``/``seed``.
+    """
+
+    def __init__(
+        self,
+        *,
+        memory_budget_bytes: int = 256 * 1024 * 1024,
+        builder: Callable[[str], CSRGraph] | None = None,
+        scale_factor: int = 64,
+        seed: int = 0,
+    ) -> None:
+        if memory_budget_bytes <= 0:
+            raise ValueError("memory_budget_bytes must be positive")
+        self.memory_budget_bytes = int(memory_budget_bytes)
+        self.scale_factor = scale_factor
+        self.seed = seed
+        self._builder = builder or self._default_builder
+        self._entries: OrderedDict[str, RegistryEntry] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def _default_builder(self, spec: str) -> CSRGraph:
+        from repro.cli import parse_graph_spec  # local: avoid cycle
+
+        return parse_graph_spec(
+            spec, scale_factor=self.scale_factor, seed=self.seed
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def bytes_cached(self) -> int:
+        return sum(e.memory_bytes for e in self._entries.values())
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def keys(self) -> list[str]:
+        """Cached specs in LRU order (oldest first)."""
+        return list(self._entries)
+
+    # ------------------------------------------------------------------
+    def get(self, spec: str) -> tuple[RegistryEntry, bool]:
+        """Fetch (or build) the graph for ``spec``.
+
+        Returns ``(entry, hit)`` and bumps the entry to
+        most-recently-used. Raises
+        :class:`~repro.errors.GraphTooLargeError` when the built graph
+        alone exceeds the whole budget.
+        """
+        entry = self._entries.get(spec)
+        if entry is not None:
+            self._entries.move_to_end(spec)
+            self.hits += 1
+            return entry, True
+
+        self.misses += 1
+        graph = self._builder(spec)
+        if graph.memory_bytes > self.memory_budget_bytes:
+            raise GraphTooLargeError(
+                f"graph {spec!r} needs {graph.memory_bytes:,} B but the "
+                f"registry budget is {self.memory_budget_bytes:,} B"
+            )
+        build_ms = graph.num_edges / 1e6 * BUILD_MS_PER_MEDGE
+        entry = RegistryEntry(key=spec, graph=graph, build_ms=build_ms)
+        self._evict_for(graph.memory_bytes)
+        self._entries[spec] = entry
+        return entry, False
+
+    def _evict_for(self, incoming_bytes: int) -> None:
+        while (
+            self._entries
+            and self.bytes_cached + incoming_bytes > self.memory_budget_bytes
+        ):
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def stats(self) -> dict:
+        """JSON-able counter snapshot."""
+        return {
+            "graphs_cached": len(self._entries),
+            "bytes_cached": self.bytes_cached,
+            "memory_budget_bytes": self.memory_budget_bytes,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }

@@ -1,0 +1,93 @@
+"""Query and outcome records for the serving layer.
+
+A :class:`Query` is one BFS request against a named graph; it carries a
+virtual arrival stamp (milliseconds on the service clock), an optional
+deadline, and the per-query options that decide whether it can share a
+:class:`~repro.xbfs.concurrent.ConcurrentBFS` traversal with its
+neighbours in the queue. A :class:`QueryOutcome` is the service's
+answer: the level array plus the full latency/batching provenance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.xbfs.concurrent import coalescing_key
+
+__all__ = ["Query", "QueryOptions", "QueryOutcome"]
+
+
+@dataclass(frozen=True)
+class QueryOptions:
+    """Per-query execution options.
+
+    Any non-default option makes the query *solo-only*: it falls back
+    to an :class:`~repro.xbfs.driver.XBFS` run instead of joining a
+    concurrent batch (see
+    :func:`repro.xbfs.concurrent.coalescing_key`).
+    """
+
+    force_strategy: str | None = None
+    record_parents: bool = False
+    max_levels: int | None = None
+
+    def coalescing_key(self) -> tuple | None:
+        """Hashable batch-compatibility key, ``None`` when solo-only."""
+        return coalescing_key(
+            force_strategy=self.force_strategy,
+            record_parents=self.record_parents,
+            max_levels=self.max_levels,
+        )
+
+
+@dataclass(frozen=True)
+class Query:
+    """One BFS request submitted to the service."""
+
+    qid: int
+    graph: str
+    source: int
+    arrival_ms: float = 0.0
+    deadline_ms: float | None = None
+    options: QueryOptions = field(default_factory=QueryOptions)
+
+
+@dataclass
+class QueryOutcome:
+    """What happened to one admitted query."""
+
+    query: Query
+    #: Per-vertex BFS levels from the query's source (-1 unreachable);
+    #: ``None`` when the query was dropped at dispatch time.
+    levels: np.ndarray | None
+    start_ms: float = 0.0
+    finish_ms: float = 0.0
+    worker: int = -1
+    #: Number of *queries* that shared this query's dispatch.
+    batch_size: int = 1
+    #: Distinct sources traversed together in the dispatch.
+    batch_sources: int = 1
+    #: Sharing factor of the concurrent batch (1.0 for solo runs).
+    sharing_factor: float = 1.0
+    #: Whether the graph came out of the registry cache.
+    cache_hit: bool = False
+    #: Edges a solo traversal from this source expands (Graph500 credit).
+    traversed_edges: int = 0
+    #: ``None`` for served queries, else the typed-rejection reason
+    #: (``"queue_full"`` or ``"deadline"``).
+    rejected: str | None = None
+
+    @property
+    def served(self) -> bool:
+        return self.rejected is None
+
+    @property
+    def latency_ms(self) -> float:
+        """Arrival-to-completion latency on the virtual clock."""
+        return self.finish_ms - self.query.arrival_ms
+
+    @property
+    def batched(self) -> bool:
+        return self.batch_sources > 1

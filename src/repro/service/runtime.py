@@ -1,0 +1,138 @@
+""":class:`BFSService` — the serving facade.
+
+Wires the registry, admission controller, coalescing scheduler and
+metrics into one object with two entry points:
+
+* :meth:`BFSService.submit` — online use: admit one query (raises a
+  typed :class:`~repro.errors.AdmissionError` under backpressure).
+* :meth:`BFSService.replay` — offline use: drive a whole arrival-
+  ordered trace through the service, recording rejections instead of
+  raising, and return a :class:`ServiceReport`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.errors import AdmissionError
+from repro.service.admission import AdmissionController, AdmissionPolicy
+from repro.service.metrics import ServiceMetrics
+from repro.service.registry import GraphRegistry
+from repro.service.request import Query, QueryOutcome
+from repro.service.scheduler import CoalescingScheduler
+from repro.xbfs.concurrent import MAX_CONCURRENT
+
+__all__ = ["BFSService", "ServiceReport"]
+
+
+@dataclass
+class ServiceReport:
+    """Everything a replay produced."""
+
+    outcomes: list[QueryOutcome]
+    metrics: ServiceMetrics
+    registry_stats: dict
+    worker_stats: list[dict]
+
+    @property
+    def served(self) -> list[QueryOutcome]:
+        return [o for o in self.outcomes if o.served]
+
+    @property
+    def rejections(self) -> list[QueryOutcome]:
+        return [o for o in self.outcomes if not o.served]
+
+    def summary(self, name: str = "service") -> dict:
+        """JSON-able summary for :mod:`repro.metrics.results_io`."""
+        return self.metrics.summary(name, registry_stats=self.registry_stats)
+
+    def render(self) -> str:
+        return self.metrics.render(registry_stats=self.registry_stats)
+
+
+class BFSService:
+    """A deterministic, synchronous BFS query service.
+
+    Parameters mirror the subsystem layers: ``memory_budget_mb`` bounds
+    the graph registry, ``workers``/``max_batch``/``window_ms`` shape
+    the coalescing scheduler, ``max_queue_depth``/``default_deadline_ms``
+    set the admission policy, and ``scale_factor``/``seed`` fix how
+    graph specs resolve (one spec string → one graph for the service's
+    lifetime).
+    """
+
+    def __init__(
+        self,
+        *,
+        memory_budget_mb: float = 256.0,
+        workers: int = 2,
+        max_batch: int = MAX_CONCURRENT,
+        window_ms: float = 5.0,
+        max_queue_depth: int = 256,
+        default_deadline_ms: float | None = None,
+        scale_factor: int = 64,
+        seed: int = 0,
+        scaled_cache: bool = True,
+        registry: GraphRegistry | None = None,
+    ) -> None:
+        # Explicit None-check: an empty GraphRegistry has len() == 0
+        # and would read as falsy.
+        if registry is None:
+            registry = GraphRegistry(
+                memory_budget_bytes=int(memory_budget_mb * 1024 * 1024),
+                scale_factor=scale_factor,
+                seed=seed,
+            )
+        self.registry = registry
+        self.admission = AdmissionController(
+            AdmissionPolicy(
+                max_queue_depth=max_queue_depth,
+                default_deadline_ms=default_deadline_ms,
+            )
+        )
+        self.metrics = ServiceMetrics()
+        self.scheduler = CoalescingScheduler(
+            self.registry,
+            workers=workers,
+            max_batch=max_batch,
+            window_ms=window_ms,
+            admission=self.admission,
+            metrics=self.metrics,
+            scaled_cache=scaled_cache,
+        )
+
+    # ------------------------------------------------------------------
+    def submit(self, query: Query) -> None:
+        """Admit one query; raises on typed rejection."""
+        self.scheduler.submit(query)
+
+    def drain(self) -> list[QueryOutcome]:
+        """Dispatch everything still pending."""
+        return self.scheduler.run_until_idle()
+
+    def replay(
+        self, queries: Iterable[Query] | Sequence[Query], *, strict: bool = False
+    ) -> ServiceReport:
+        """Drive an arrival-ordered trace end to end.
+
+        Queue-full rejections are recorded in the report (the open-loop
+        client keeps sending); with ``strict=True`` they re-raise
+        instead.
+        """
+        for query in queries:
+            try:
+                self.scheduler.submit(query)
+            except AdmissionError:
+                if strict:
+                    raise
+        self.scheduler.run_until_idle()
+        return self.report()
+
+    def report(self) -> ServiceReport:
+        return ServiceReport(
+            outcomes=list(self.scheduler.outcomes),
+            metrics=self.metrics,
+            registry_stats=self.registry.stats(),
+            worker_stats=self.scheduler.worker_stats(),
+        )

@@ -1,0 +1,269 @@
+"""The coalescing scheduler: bounded queue → batches → GCD workers.
+
+The scheduler runs in *virtual time*. Queries arrive with millisecond
+stamps; the scheduler holds them in a bounded pending queue for at most
+``window_ms`` (the coalescing window), then groups every compatible
+same-graph query — same spec string, equal
+:func:`~repro.xbfs.concurrent.coalescing_key` — into one
+:class:`~repro.xbfs.concurrent.ConcurrentBFS` dispatch of up to
+``max_batch`` (≤64) distinct sources. Duplicate sources ride along for
+free: they map onto one status bit and share its level array.
+Singleton groups and solo-only options fall back to a plain
+:class:`~repro.xbfs.driver.XBFS` run.
+
+Dispatches land on the least-loaded of ``workers`` simulated GCDs
+(earliest ``busy_until``, ties to the lowest index), so the virtual
+clock models real queueing delay: a batch starts when both its window
+has closed *and* its worker is free, and a registry miss additionally
+pays the modelled CSR build charge before the traversal.
+
+Everything — grouping, worker choice, timing — is a pure function of
+the submitted queries, so a replayed trace is bit-for-bit
+reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import AdmissionError, DeadlineExceededError, ServiceError
+from repro.gcd.device import MI250X_GCD
+from repro.service.admission import AdmissionController
+from repro.service.metrics import ServiceMetrics
+from repro.service.registry import GraphRegistry, RegistryEntry
+from repro.service.request import Query, QueryOutcome
+from repro.xbfs.concurrent import MAX_CONCURRENT, ConcurrentBFS
+
+__all__ = ["CoalescingScheduler", "WorkerState"]
+
+
+@dataclass
+class WorkerState:
+    """One simulated GCD in the dispatch pool."""
+
+    index: int
+    busy_until_ms: float = 0.0
+    dispatches: int = 0
+    busy_ms: float = 0.0
+
+
+class CoalescingScheduler:
+    """Drains a bounded queue into batched BFS dispatches."""
+
+    def __init__(
+        self,
+        registry: GraphRegistry,
+        *,
+        workers: int = 2,
+        max_batch: int = MAX_CONCURRENT,
+        window_ms: float = 5.0,
+        admission: AdmissionController | None = None,
+        metrics: ServiceMetrics | None = None,
+        scaled_cache: bool = True,
+    ) -> None:
+        if workers < 1:
+            raise ServiceError("scheduler needs at least one worker")
+        if not 1 <= max_batch <= MAX_CONCURRENT:
+            raise ServiceError(
+                f"max_batch must be in 1..{MAX_CONCURRENT}, got {max_batch}"
+            )
+        if window_ms < 0:
+            raise ServiceError("window_ms must be >= 0")
+        self.registry = registry
+        self.max_batch = max_batch
+        self.window_ms = window_ms
+        self.admission = admission or AdmissionController()
+        self.metrics = metrics or ServiceMetrics()
+        self.scaled_cache = scaled_cache
+        self.workers = [WorkerState(i) for i in range(workers)]
+        self.outcomes: list[QueryOutcome] = []
+        self.now_ms = 0.0
+        self._pending: list[Query] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def queue_depth(self) -> int:
+        return len(self._pending)
+
+    def submit(self, query: Query) -> None:
+        """Admit one query at its arrival stamp.
+
+        Raises a typed :class:`~repro.errors.AdmissionError` (after
+        recording the rejection) when the bounded queue is full.
+        Arrivals must be submitted in non-decreasing time order.
+        """
+        if query.arrival_ms < self.now_ms:
+            raise ServiceError(
+                f"query {query.qid} arrives at {query.arrival_ms} ms, "
+                f"before the clock ({self.now_ms} ms); submit in order"
+            )
+        self._advance(query.arrival_ms)
+        self.now_ms = query.arrival_ms
+        try:
+            self.admission.admit(query, self.queue_depth)
+        except AdmissionError:
+            outcome = QueryOutcome(
+                query=query, levels=None, rejected="queue_full"
+            )
+            self.outcomes.append(outcome)
+            self.metrics.record_outcome(outcome)
+            raise
+        self._pending.append(query)
+        self._dispatch_full_groups(query)
+
+    def run_until_idle(self) -> list[QueryOutcome]:
+        """Flush every pending query and return all outcomes so far."""
+        while self._pending:
+            anchor = self._pending[0]
+            close = max(self.now_ms, anchor.arrival_ms)
+            self._dispatch_group(anchor, close)
+        return self.outcomes
+
+    # ------------------------------------------------------------------
+    def _advance(self, now: float) -> None:
+        """Dispatch every group whose coalescing window closed by ``now``."""
+        while self._pending:
+            anchor = self._pending[0]
+            close = anchor.arrival_ms + self.window_ms
+            if close > now:
+                break
+            self._dispatch_group(anchor, close)
+
+    def _dispatch_full_groups(self, query: Query) -> None:
+        """Dispatch early when the new arrival fills its group."""
+        members, key = self._group_of(query)
+        if key is None:
+            return
+        distinct = len({q.source for q in members})
+        if distinct >= self.max_batch:
+            self._dispatch_group(members[0], query.arrival_ms)
+
+    def _group_of(self, anchor: Query) -> tuple[list[Query], tuple | None]:
+        """Pending queries that may share ``anchor``'s dispatch, in
+        arrival order, capped at ``max_batch`` distinct sources."""
+        key = anchor.options.coalescing_key()
+        if key is None:
+            return [anchor], None
+        members: list[Query] = []
+        sources: set[int] = set()
+        for q in self._pending:
+            if q.graph != anchor.graph or q.options.coalescing_key() != key:
+                continue
+            if q.source not in sources and len(sources) >= self.max_batch:
+                continue
+            sources.add(q.source)
+            members.append(q)
+        return members, key
+
+    # ------------------------------------------------------------------
+    def _dispatch_group(self, anchor: Query, close_ms: float) -> None:
+        members, key = self._group_of(anchor)
+        pending_ids = {q.qid for q in members}
+        self._pending = [q for q in self._pending if q.qid not in pending_ids]
+
+        worker = min(self.workers, key=lambda w: (w.busy_until_ms, w.index))
+        ready = max(close_ms, max(q.arrival_ms for q in members))
+        start = max(worker.busy_until_ms, ready)
+
+        # Deadline gate: drop members whose start slot already misses
+        # their deadline — they never charge kernel time.
+        live: list[Query] = []
+        for q in members:
+            try:
+                self.admission.check_deadline(q, start)
+            except DeadlineExceededError:
+                outcome = QueryOutcome(query=q, levels=None, rejected="deadline")
+                self.outcomes.append(outcome)
+                self.metrics.record_outcome(outcome)
+            else:
+                live.append(q)
+        if not live:
+            return
+
+        entry, hit = self.registry.get(anchor.graph)
+        build_ms = 0.0 if hit else entry.build_ms
+        sources = list(dict.fromkeys(q.source for q in live))
+
+        if key is not None and len(sources) > 1:
+            result = self._run_concurrent(entry, sources)
+            elapsed = result.elapsed_ms
+            sharing = result.sharing_factor
+            levels_of = result.levels_of
+        else:
+            solo = self._run_solo(entry, live[0])
+            elapsed = solo.elapsed_ms
+            sharing = 1.0
+            levels_of = lambda _s: solo.levels  # noqa: E731
+
+        finish = start + build_ms + elapsed
+        worker.busy_until_ms = finish
+        worker.busy_ms += build_ms + elapsed
+        worker.dispatches += 1
+
+        degrees = entry.graph.degrees
+        self.metrics.record_batch(len(live), sharing)
+        for q in live:
+            levels = levels_of(q.source)
+            outcome = QueryOutcome(
+                query=q,
+                levels=levels,
+                start_ms=start,
+                finish_ms=finish,
+                worker=worker.index,
+                batch_size=len(live),
+                batch_sources=len(sources),
+                sharing_factor=sharing,
+                cache_hit=hit,
+                traversed_edges=int(degrees[levels >= 0].sum()),
+            )
+            self.outcomes.append(outcome)
+            self.metrics.record_outcome(outcome)
+
+    # ------------------------------------------------------------------
+    def _device_of(self, entry: RegistryEntry):
+        device = entry.engines.get("device")
+        if device is None:
+            if self.scaled_cache:
+                from repro.experiments.common import scaled_device
+
+                device = scaled_device(entry.graph)
+            else:
+                device = MI250X_GCD
+            entry.engines["device"] = device
+        return device
+
+    def _run_concurrent(self, entry: RegistryEntry, sources: list[int]):
+        engine = entry.engines.get("concurrent")
+        if engine is None:
+            engine = ConcurrentBFS(entry.graph, device=self._device_of(entry))
+            entry.engines["concurrent"] = engine
+        return engine.run(np.asarray(sources, dtype=np.int64))
+
+    def _run_solo(self, entry: RegistryEntry, query: Query):
+        from repro.xbfs.driver import XBFS
+
+        engine = entry.engines.get("solo")
+        if engine is None:
+            engine = XBFS(entry.graph, device=self._device_of(entry))
+            entry.engines["solo"] = engine
+        opts = query.options
+        return engine.run(
+            query.source,
+            force_strategy=opts.force_strategy,
+            max_levels=opts.max_levels,
+            record_parents=opts.record_parents,
+        )
+
+    def worker_stats(self) -> list[dict]:
+        """Per-worker utilisation snapshot (JSON-able)."""
+        return [
+            {
+                "worker": w.index,
+                "dispatches": w.dispatches,
+                "busy_ms": w.busy_ms,
+                "busy_until_ms": w.busy_until_ms,
+            }
+            for w in self.workers
+        ]

@@ -1,0 +1,137 @@
+"""Query traces: JSONL round-trip and synthetic open-loop generation.
+
+Trace format — one JSON object per line, in arrival order::
+
+    {"t_ms": 0.0, "graph": "rmat:10", "source": 5}
+    {"t_ms": 0.0, "graph": "rmat:10", "source": 9, "deadline_ms": 50.0}
+    {"t_ms": 2.5, "graph": "LJ", "source": 17, "force": "bottom_up"}
+
+``t_ms`` is the virtual arrival stamp, ``graph`` any CLI graph spec,
+``source`` the BFS root. Optional fields: ``deadline_ms`` (admission
+deadline), ``force`` (pin a strategy — makes the query solo-only),
+``max_levels``, ``record_parents``. Query ids are assigned from line
+order, so a trace file fully determines a replay.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import ServiceError
+from repro.service.request import Query, QueryOptions
+
+__all__ = ["load_trace", "save_trace", "synthetic_trace"]
+
+
+def save_trace(queries: Iterable[Query], path: str | Path) -> None:
+    """Write queries as JSONL (one record per line, arrival order)."""
+    lines = []
+    for q in queries:
+        rec: dict = {"t_ms": q.arrival_ms, "graph": q.graph, "source": q.source}
+        if q.deadline_ms is not None:
+            rec["deadline_ms"] = q.deadline_ms
+        if q.options.force_strategy is not None:
+            rec["force"] = q.options.force_strategy
+        if q.options.max_levels is not None:
+            rec["max_levels"] = q.options.max_levels
+        if q.options.record_parents:
+            rec["record_parents"] = True
+        lines.append(json.dumps(rec, sort_keys=True))
+    Path(path).write_text("\n".join(lines) + ("\n" if lines else ""))
+
+
+def load_trace(path: str | Path) -> list[Query]:
+    """Parse a JSONL trace into arrival-ordered :class:`Query` records."""
+    try:
+        text = Path(path).read_text()
+    except OSError as exc:
+        raise ServiceError(f"cannot read trace {path}: {exc}") from exc
+    queries: list[Query] = []
+    prev_t = float("-inf")
+    for lineno, line in enumerate(text.splitlines(), 1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            rec = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ServiceError(f"{path}:{lineno}: bad trace JSON: {exc}") from exc
+        try:
+            t_ms = float(rec["t_ms"])
+            graph = str(rec["graph"])
+            source = int(rec["source"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ServiceError(
+                f"{path}:{lineno}: trace records need t_ms, graph, source"
+            ) from exc
+        if t_ms < prev_t:
+            raise ServiceError(
+                f"{path}:{lineno}: arrivals must be non-decreasing "
+                f"({t_ms} after {prev_t})"
+            )
+        prev_t = t_ms
+        options = QueryOptions(
+            force_strategy=rec.get("force"),
+            record_parents=bool(rec.get("record_parents", False)),
+            max_levels=rec.get("max_levels"),
+        )
+        queries.append(
+            Query(
+                qid=len(queries),
+                graph=graph,
+                source=source,
+                arrival_ms=t_ms,
+                deadline_ms=rec.get("deadline_ms"),
+                options=options,
+            )
+        )
+    return queries
+
+
+def synthetic_trace(
+    graphs: Sequence[str],
+    num_vertices: Mapping[str, int],
+    *,
+    num_queries: int = 200,
+    seed: int = 0,
+    mean_gap_ms: float = 1.0,
+    burst: int = 8,
+    deadline_ms: float | None = None,
+) -> list[Query]:
+    """Deterministic open-loop load: bursts of same-graph queries.
+
+    Arrivals come in bursts of ``burst`` queries sharing one timestamp
+    and one graph (the coalescing opportunity); gaps between bursts are
+    exponential with mean ``mean_gap_ms``. Sources are uniform over
+    ``num_vertices[spec]``. Fully determined by ``seed``.
+    """
+    if not graphs:
+        raise ServiceError("synthetic_trace needs at least one graph spec")
+    missing = [g for g in graphs if g not in num_vertices]
+    if missing:
+        raise ServiceError(f"num_vertices missing for specs {missing}")
+    if burst < 1:
+        raise ServiceError("burst must be >= 1")
+    rng = np.random.default_rng(seed)
+    queries: list[Query] = []
+    t = 0.0
+    while len(queries) < num_queries:
+        spec = graphs[int(rng.integers(len(graphs)))]
+        n = int(num_vertices[spec])
+        size = min(burst, num_queries - len(queries))
+        for _ in range(size):
+            queries.append(
+                Query(
+                    qid=len(queries),
+                    graph=spec,
+                    source=int(rng.integers(n)),
+                    arrival_ms=t,
+                    deadline_ms=deadline_ms,
+                )
+            )
+        t += float(rng.exponential(mean_gap_ms))
+    return queries

@@ -29,10 +29,36 @@ from repro.gcd.simulator import GCD
 from repro.graph.csr import CSRGraph
 from repro.xbfs.common import gather_neighbors, segment_ids, segment_lines_touched
 
-__all__ = ["ConcurrentBFS", "ConcurrentResult", "MAX_CONCURRENT"]
+__all__ = [
+    "ConcurrentBFS",
+    "ConcurrentResult",
+    "MAX_CONCURRENT",
+    "coalescing_key",
+]
 
 #: One status bit per source in a 64-bit word.
 MAX_CONCURRENT = 64
+
+
+def coalescing_key(
+    *,
+    force_strategy: str | None = None,
+    record_parents: bool = False,
+    max_levels: int | None = None,
+) -> tuple | None:
+    """Batch-compatibility hook for the serving layer.
+
+    Two queries against the same graph may share one
+    :class:`ConcurrentBFS` traversal only when neither asks for
+    anything the bit-parallel engine cannot honour: a pinned per-level
+    strategy, a Graph500 parent array, or a truncated run. Returns a
+    hashable key — queries with equal keys coalesce — or ``None`` when
+    the request must fall back to a solo
+    :class:`~repro.xbfs.driver.XBFS` run.
+    """
+    if force_strategy is not None or record_parents or max_levels is not None:
+        return None
+    return ("concurrent",)
 
 
 @dataclass
@@ -59,6 +85,14 @@ class ConcurrentResult:
     @property
     def traversed_edges(self) -> int:
         return self.solo_edges
+
+    def levels_of(self, source: int) -> np.ndarray:
+        """The level array of one batched ``source`` (equal to what a
+        solo :meth:`XBFS.run` from it would produce)."""
+        hits = np.flatnonzero(self.sources == source)
+        if hits.size == 0:
+            raise TraversalError(f"source {source} is not in this batch")
+        return self.levels[int(hits[0])]
 
     @property
     def gteps(self) -> float:

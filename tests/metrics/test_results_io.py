@@ -34,6 +34,48 @@ class TestSummaries:
         assert load_results(path) == summaries
 
 
+class TestSchemaVersion:
+    ROWS = [{"name": "x", "steady_gteps": 1.0}]
+
+    def test_saved_files_carry_version(self, tmp_path):
+        import json
+
+        from repro.metrics.results_io import RESULTS_SCHEMA_VERSION
+
+        path = tmp_path / "r.json"
+        save_results(self.ROWS, path)
+        payload = json.loads(path.read_text())
+        assert payload["schema_version"] == RESULTS_SCHEMA_VERSION
+        assert payload["results"] == self.ROWS
+
+    def test_current_version_loads_silently(self, tmp_path):
+        import warnings
+
+        path = tmp_path / "r.json"
+        save_results(self.ROWS, path)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert load_results(path) == self.ROWS
+
+    def test_legacy_bare_list_warns_but_loads(self, tmp_path):
+        import json
+
+        path = tmp_path / "legacy.json"
+        path.write_text(json.dumps(self.ROWS))
+        with pytest.warns(UserWarning, match="legacy un-versioned"):
+            assert load_results(path) == self.ROWS
+
+    def test_version_mismatch_warns_but_loads(self, tmp_path):
+        import json
+
+        path = tmp_path / "future.json"
+        path.write_text(
+            json.dumps({"schema_version": 99, "results": self.ROWS})
+        )
+        with pytest.warns(UserWarning, match="schema 99"):
+            assert load_results(path) == self.ROWS
+
+
 class TestDiff:
     BASE = [{"name": "x", "steady_gteps": 10.0, "mean_elapsed_ms": 1.0,
              "mean_depth": 6.0, "total_traversed_edges": 1000}]
@@ -67,6 +109,17 @@ class TestDiff:
         cand = [dict(self.BASE[0], steady_gteps=1.0)]
         drifts = diff_results(base, cand)
         assert any(d.relative == float("inf") for d in drifts)
+
+    def test_service_summaries_diff_on_their_own_metrics(self):
+        base = [{"name": "svc", "p99_ms": 10.0, "service_gteps": 2.0}]
+        cand = [{"name": "svc", "p99_ms": 20.0, "service_gteps": 2.0}]
+        drifts = diff_results(base, cand, tolerance=0.05)
+        assert [d.metric for d in drifts] == ["p99_ms"]
+
+    def test_only_shared_numeric_keys_compared(self):
+        base = [{"name": "svc", "p99_ms": 10.0, "old_metric": 5.0}]
+        cand = [{"name": "svc", "p99_ms": 10.0, "new_metric": 7.0}]
+        assert diff_results(base, cand) == []
 
 
 class TestRegressionTool:

@@ -1,0 +1,200 @@
+"""Tests for the coalescing scheduler's grouping, timing and workers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import QueueFullError, ServiceError
+from repro.graph.generators import rmat
+from repro.service.admission import AdmissionController, AdmissionPolicy
+from repro.service.registry import GraphRegistry
+from repro.service.request import Query, QueryOptions
+from repro.service.scheduler import CoalescingScheduler
+
+
+def _builder(spec: str):
+    return rmat(int(spec), 8, seed=0)
+
+
+def make_scheduler(**kwargs):
+    registry = GraphRegistry(memory_budget_bytes=1 << 30, builder=_builder)
+    kwargs.setdefault("workers", 2)
+    kwargs.setdefault("window_ms", 5.0)
+    return CoalescingScheduler(registry, **kwargs)
+
+
+def burst(graph, sources, t=0.0, start_qid=0, **query_kwargs):
+    return [
+        Query(qid=start_qid + i, graph=graph, source=s, arrival_ms=t,
+              **query_kwargs)
+        for i, s in enumerate(sources)
+    ]
+
+
+class TestCoalescing:
+    def test_same_graph_burst_shares_one_dispatch(self):
+        sched = make_scheduler()
+        for q in burst("9", [1, 2, 3, 4]):
+            sched.submit(q)
+        outcomes = sched.run_until_idle()
+        assert len(outcomes) == 4
+        assert all(o.batch_sources == 4 for o in outcomes)
+        assert all(o.sharing_factor > 1.0 for o in outcomes)
+        # One dispatch only: identical start/finish/worker.
+        assert len({(o.start_ms, o.finish_ms, o.worker) for o in outcomes}) == 1
+
+    def test_duplicate_sources_share_a_slot(self):
+        sched = make_scheduler()
+        for q in burst("9", [5, 5, 7]):
+            sched.submit(q)
+        outcomes = sched.run_until_idle()
+        assert all(o.batch_size == 3 for o in outcomes)
+        assert all(o.batch_sources == 2 for o in outcomes)
+        assert np.array_equal(outcomes[0].levels, outcomes[1].levels)
+
+    def test_singleton_falls_back_to_solo_xbfs(self):
+        sched = make_scheduler()
+        sched.submit(Query(qid=0, graph="9", source=3, arrival_ms=0.0))
+        (outcome,) = sched.run_until_idle()
+        assert outcome.batch_sources == 1
+        assert outcome.sharing_factor == 1.0
+        assert "solo" in sched.registry.get("9")[0].engines
+
+    def test_incompatible_options_run_solo(self):
+        sched = make_scheduler()
+        forced = QueryOptions(force_strategy="bottom_up")
+        qs = burst("9", [1, 2])
+        qs.append(Query(qid=2, graph="9", source=3, arrival_ms=0.0,
+                        options=forced))
+        for q in qs:
+            sched.submit(q)
+        outcomes = sched.run_until_idle()
+        by_qid = {o.query.qid: o for o in outcomes}
+        assert by_qid[0].batch_sources == 2
+        assert by_qid[2].batch_sources == 1 and by_qid[2].batch_size == 1
+
+    def test_max_batch_caps_distinct_sources(self):
+        sched = make_scheduler(max_batch=4)
+        for q in burst("9", list(range(10))):
+            sched.submit(q)
+        outcomes = sched.run_until_idle()
+        assert len(outcomes) == 10
+        assert max(o.batch_sources for o in outcomes) <= 4
+        assert len({(o.start_ms, o.worker) for o in outcomes}) >= 3
+
+    def test_window_separates_distant_arrivals(self):
+        sched = make_scheduler(window_ms=1.0)
+        sched.submit(Query(qid=0, graph="9", source=1, arrival_ms=0.0))
+        sched.submit(Query(qid=1, graph="9", source=2, arrival_ms=100.0))
+        outcomes = sched.run_until_idle()
+        assert all(o.batch_sources == 1 for o in outcomes)
+
+    def test_levels_match_oracle(self):
+        from repro.graph.stats import bfs_levels_reference
+
+        sched = make_scheduler()
+        graph = _builder("9")
+        for q in burst("9", [0, 10, 20]):
+            sched.submit(q)
+        for o in sched.run_until_idle():
+            assert np.array_equal(
+                o.levels, bfs_levels_reference(graph, o.query.source)
+            )
+
+
+class TestWorkersAndTiming:
+    def test_two_groups_use_both_workers(self):
+        sched = make_scheduler(workers=2)
+        for q in burst("9", [1, 2], t=0.0):
+            sched.submit(q)
+        for q in burst("10", [1, 2], t=0.0, start_qid=10):
+            sched.submit(q)
+        outcomes = sched.run_until_idle()
+        assert {o.worker for o in outcomes} == {0, 1}
+
+    def test_single_worker_serialises(self):
+        sched = make_scheduler(workers=1)
+        for q in burst("9", [1, 2], t=0.0):
+            sched.submit(q)
+        for q in burst("10", [1, 2], t=0.0, start_qid=10):
+            sched.submit(q)
+        outcomes = sched.run_until_idle()
+        first = min(outcomes, key=lambda o: o.start_ms)
+        second = max(outcomes, key=lambda o: o.start_ms)
+        assert second.start_ms >= first.finish_ms
+
+    def test_miss_pays_build_charge_hit_does_not(self):
+        sched = make_scheduler(workers=1, window_ms=0.0)
+        sched.submit(Query(qid=0, graph="9", source=1, arrival_ms=0.0))
+        sched.submit(Query(qid=1, graph="9", source=2, arrival_ms=1000.0))
+        miss, hit = sched.run_until_idle()
+        assert not miss.cache_hit and hit.cache_hit
+        build_ms = sched.registry.get("9")[0].build_ms
+        assert miss.finish_ms - miss.start_ms >= build_ms
+
+    def test_latency_includes_queueing(self):
+        sched = make_scheduler(window_ms=5.0)
+        sched.submit(Query(qid=0, graph="9", source=1, arrival_ms=0.0))
+        (o,) = sched.run_until_idle()
+        assert o.start_ms >= 0.0
+        assert o.latency_ms == pytest.approx(o.finish_ms - 0.0)
+
+    def test_deterministic_replay(self):
+        def run():
+            sched = make_scheduler()
+            for q in burst("9", [1, 2, 3]) + burst("10", [4], t=2.0,
+                                                   start_qid=10):
+                sched.submit(q)
+            return [
+                (o.query.qid, o.start_ms, o.finish_ms, o.worker,
+                 o.sharing_factor)
+                for o in sched.run_until_idle()
+            ]
+
+        assert run() == run()
+
+
+class TestAdmissionIntegration:
+    def test_queue_full_raises_and_records(self):
+        sched = make_scheduler(
+            admission=AdmissionController(AdmissionPolicy(max_queue_depth=2))
+        )
+        sched.submit(Query(qid=0, graph="9", source=1, arrival_ms=0.0))
+        sched.submit(Query(qid=1, graph="9", source=2, arrival_ms=0.0))
+        with pytest.raises(QueueFullError):
+            sched.submit(Query(qid=2, graph="9", source=3, arrival_ms=0.0))
+        outcomes = sched.run_until_idle()
+        rejected = [o for o in outcomes if not o.served]
+        assert len(rejected) == 1 and rejected[0].rejected == "queue_full"
+        assert len([o for o in outcomes if o.served]) == 2
+
+    def test_deadline_drops_at_dispatch(self):
+        sched = make_scheduler(workers=1, window_ms=0.0)
+        sched.submit(Query(qid=0, graph="9", source=1, arrival_ms=0.0))
+        # Arrives while the worker is busy; a tiny deadline cannot be met.
+        sched.submit(Query(qid=1, graph="9", source=2, arrival_ms=0.1,
+                           deadline_ms=1e-6))
+        outcomes = sched.run_until_idle()
+        by_qid = {o.query.qid: o for o in outcomes}
+        assert by_qid[0].served
+        assert by_qid[1].rejected == "deadline"
+        assert by_qid[1].levels is None
+
+    def test_out_of_order_arrival_rejected(self):
+        sched = make_scheduler()
+        sched.submit(Query(qid=0, graph="9", source=1, arrival_ms=10.0))
+        with pytest.raises(ServiceError, match="in order"):
+            sched.submit(Query(qid=1, graph="9", source=2, arrival_ms=5.0))
+
+
+class TestValidation:
+    def test_bad_worker_count(self):
+        with pytest.raises(ServiceError):
+            make_scheduler(workers=0)
+
+    def test_bad_max_batch(self):
+        with pytest.raises(ServiceError):
+            make_scheduler(max_batch=65)
+
+    def test_bad_window(self):
+        with pytest.raises(ServiceError):
+            make_scheduler(window_ms=-1.0)

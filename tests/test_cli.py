@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import re
+
 import numpy as np
 import pytest
 
@@ -88,6 +90,84 @@ class TestCommands:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestRunConcurrent:
+    def test_sharing_factor_printed(self, capsys):
+        rc = main(["run", "--graph", "rmat:9", "--sources", "8",
+                   "--concurrent"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "sharing factor:" in out
+        assert "union edges:" in out and "solo edges:" in out
+        assert "GTEPS" in out
+
+    def test_concurrent_rejects_forced_strategy(self, capsys):
+        rc = main(["run", "--graph", "rmat:9", "--sources", "2",
+                   "--concurrent", "--force", "bottom_up"])
+        assert rc == 2
+        assert "--concurrent" in capsys.readouterr().err
+
+
+class TestServe:
+    @pytest.fixture()
+    def trace_path(self, tmp_path):
+        from repro.service import synthetic_trace, save_trace
+
+        sizes = {"rmat:8": 256, "rmat:9": 512, "rmat:10": 1024}
+        trace = synthetic_trace(
+            list(sizes), sizes, num_queries=200, seed=11, burst=8
+        )
+        path = tmp_path / "trace.jsonl"
+        save_trace(trace, path)
+        return path
+
+    def test_serve_replays_and_validates(self, trace_path, capsys):
+        rc = main(["serve", "--trace", str(trace_path), "--validate"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "replayed 200 queries" in out
+        assert "all levels match" in out
+        # Same-graph bursts coalesce and repeat graphs hit the cache.
+        sharing = float(re.search(r"sharing (\d+\.\d+)x", out).group(1))
+        assert sharing > 1.0
+        hit_rate = float(re.search(r"hit rate (\d+\.\d+)%", out).group(1))
+        assert hit_rate > 0.0
+
+    def test_serve_writes_summary(self, trace_path, tmp_path, capsys):
+        out_path = tmp_path / "svc.json"
+        rc = main(["serve", "--trace", str(trace_path), "--out",
+                   str(out_path)])
+        assert rc == 0
+        from repro.metrics.results_io import load_results
+
+        (summary,) = load_results(out_path)
+        assert summary["queries_served"] == 200
+        assert summary["mean_sharing_factor"] > 1.0
+        assert summary["cache_hit_rate"] > 0.0
+
+    def test_serve_bounded_queue_rejects(self, trace_path, capsys):
+        rc = main(["serve", "--trace", str(trace_path),
+                   "--queue-depth", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        rejected = int(re.search(r"queue_full=(\d+)", out).group(1))
+        assert rejected > 0
+
+    def test_serve_missing_trace_errors(self, tmp_path, capsys):
+        rc = main(["serve", "--trace", str(tmp_path / "nope.jsonl")])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestServiceBench:
+    def test_bench_smoke(self, capsys):
+        rc = main(["service-bench", "--graphs", "rmat:8,rmat:9",
+                   "--queries", "40", "--burst", "8"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "synthetic open-loop load" in out
+        assert "p50" in out and "GTEPS" in out
 
 
 class TestProfileCsv:

@@ -38,7 +38,23 @@ def run_matrix() -> list[dict]:
         ("linalg", LinAlgBFS(graph, device=device)),
     ]:
         summaries.append(summarize_batch(name, engine.run_many(sources)))
+    summaries.append(run_service_fingerprint())
     return summaries
+
+
+def run_service_fingerprint() -> dict:
+    """Serving-layer fingerprint: a fixed synthetic trace through the
+    registry + coalescing scheduler + admission stack. Latency
+    percentiles and service GTEPS are pure functions of the model, so
+    they drift exactly when the model (or the scheduler) changes."""
+    from repro.service import BFSService, synthetic_trace
+
+    service = BFSService(workers=2, window_ms=5.0, seed=0)
+    sizes = {"rmat:10": 1024, "rmat:11": 2048, "rmat:12": 4096}
+    trace = synthetic_trace(
+        list(sizes), sizes, num_queries=96, seed=23, burst=8, mean_gap_ms=1.0
+    )
+    return service.replay(trace).summary("service")
 
 
 def main() -> int:
