@@ -53,6 +53,7 @@ from repro.graph import (
 from repro.xbfs import XBFS, AdaptiveClassifier, BatchResult, ConcurrentBFS, XBFSResult
 from repro.baselines import EnterpriseBFS, GunrockBFS, HierarchicalBFS, LinAlgBFS, SsspBFS
 from repro.multigcd import MultiGcdBFS
+from repro.perf import HostProfiler
 from repro.service import BFSService, GraphRegistry, Query, QueryOptions, ServiceReport
 
 __version__ = "1.0.0"
@@ -85,6 +86,7 @@ __all__ = [
     "MI250X_GCD",
     "P6000",
     "V100",
+    "HostProfiler",
     "XBFS",
     "XBFSResult",
     "BatchResult",

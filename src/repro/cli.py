@@ -71,11 +71,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.concurrent:
         return _run_concurrent(graph, args)
     device = scaled_device(graph) if args.scaled_cache else None
+    host_prof = None
+    if args.host_profile:
+        from repro.perf import HostProfiler
+
+        host_prof = HostProfiler()
     engine = XBFS(
         graph,
         rearrange=args.rearrange,
         classifier=AdaptiveClassifier(alpha=args.alpha),
         **({"device": device} if device is not None else {}),
+        **({"profiler": host_prof} if host_prof is not None else {}),
     )
     sources = pick_sources(graph, args.sources, seed=args.seed + 1)
     batch = engine.run_many(sources, force_strategy=args.force)
@@ -93,6 +99,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
         f"reached: {run.reached:,}/{graph.num_vertices:,}"
     )
     print(f"steady n-to-n: {batch.steady_gteps:.3f} GTEPS (modelled)")
+    if host_prof is not None:
+        print("host wall-clock profile (perf_counter, machine-dependent):")
+        print(host_prof.render())
     if args.profile_csv:
         engine._gcd.profiler.to_csv(args.profile_csv)
         print(f"wrote kernel counters to {args.profile_csv}")
@@ -108,8 +117,15 @@ def _run_concurrent(graph, args: argparse.Namespace) -> int:
         raise ReproError("--force cannot be combined with --concurrent "
                          "(the batched engine has no per-level strategies)")
     device = scaled_device(graph) if args.scaled_cache else None
+    host_prof = None
+    if args.host_profile:
+        from repro.perf import HostProfiler
+
+        host_prof = HostProfiler()
     engine = ConcurrentBFS(
-        graph, **({"device": device} if device is not None else {})
+        graph,
+        **({"device": device} if device is not None else {}),
+        **({"profiler": host_prof} if host_prof is not None else {}),
     )
     sources = pick_sources(graph, args.sources, seed=args.seed + 1)
     result = engine.run(sources)
@@ -124,6 +140,9 @@ def _run_concurrent(graph, args: argparse.Namespace) -> int:
         f"sharing factor: {result.sharing_factor:.2f}x"
     )
     print(f"aggregate: {result.gteps:.3f} GTEPS (modelled)")
+    if host_prof is not None:
+        print("host wall-clock profile (perf_counter, machine-dependent):")
+        print(host_prof.render())
     return 0
 
 
@@ -314,6 +333,10 @@ def _build_parser() -> argparse.ArgumentParser:
                      action="store_false",
                      help="keep the full 8 MiB L2 instead of scaling it "
                      "with the graph")
+    run.add_argument("--host-profile", action="store_true",
+                     help="attach a repro.perf HostProfiler and print the "
+                          "host wall-clock attribution (machine-dependent, "
+                          "never part of the deterministic fingerprints)")
     run.add_argument("--profile-csv", default=None, metavar="PATH",
                      help="dump the per-kernel rocprofiler-style counters "
                      "of the last run to CSV")

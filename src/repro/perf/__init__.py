@@ -1,0 +1,236 @@
+"""repro.perf — host wall-clock profiling for the simulation hot paths.
+
+Everything else in this package measures *modelled* device time on a
+virtual clock; this package measures the **host** Python that produces
+those numbers. The distinction matters because the serving layer's
+throughput ceiling is host wall-clock, not modelled milliseconds: a
+level that simulates in 0.2 virtual ms but takes 40 real ms of numpy
+gathers caps the query rate at 25 QPS per process no matter what the
+model says.
+
+:class:`HostProfiler` provides *scoped*, *nestable* ``perf_counter``
+timers plus event counters:
+
+* ``with prof.timer("bottom_up"):`` — accumulates wall seconds under
+  the current scope path. Nested timers produce ``/``-joined keys
+  (``run/bottom_up/probe``), so per-strategy and per-kernel host time
+  roll up without double counting.
+* ``prof.count("probe_rounds", 3)`` — scoped event counters with the
+  same path semantics.
+* ``prof.summary()`` / ``prof.to_json(path)`` — JSON-able export;
+  ``prof.render()`` — a one-screen attribution table.
+* ``HostProfiler(enabled=False)`` (or the shared
+  :data:`NULL_PROFILER`) — a no-op variant the hot paths can call
+  unconditionally; the disabled ``timer()`` returns a shared null
+  context manager and costs one attribute check.
+
+Timers are wall-clock and therefore machine-dependent: host numbers
+are *reported next to* the deterministic modelled metrics, never mixed
+into them (regression fingerprints compare the modelled numbers only;
+``tools/check_regression.py`` fingerprints this module's API surface
+instead of its measurements).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = [
+    "HostProfiler",
+    "TimerStats",
+    "NULL_PROFILER",
+    "SCOPE_SEP",
+]
+
+#: Separator used to join nested timer scopes into one key.
+SCOPE_SEP = "/"
+
+
+@dataclass
+class TimerStats:
+    """Accumulated wall time of one timer scope."""
+
+    total_s: float = 0.0
+    calls: int = 0
+
+    def add(self, seconds: float) -> None:
+        self.total_s += seconds
+        self.calls += 1
+
+    def merge(self, other: "TimerStats") -> "TimerStats":
+        return TimerStats(self.total_s + other.total_s, self.calls + other.calls)
+
+
+class _NullScope:
+    """Zero-cost context manager returned by disabled profilers."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullScope":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL_SCOPE = _NullScope()
+
+
+class _Scope:
+    """One live timer scope; pushes its name for the duration."""
+
+    __slots__ = ("_prof", "_name", "_start")
+
+    def __init__(self, prof: "HostProfiler", name: str):
+        self._prof = prof
+        self._name = name
+
+    def __enter__(self) -> "_Scope":
+        self._prof._push(self._name)
+        self._start = self._prof._clock()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        elapsed = self._prof._clock() - self._start
+        self._prof._pop(elapsed)
+        return False
+
+
+class HostProfiler:
+    """Scoped host wall-clock timers and counters.
+
+    Parameters
+    ----------
+    enabled:
+        When False every entry point is a near-free no-op, so engines
+        can thread one profiler object through unconditionally.
+    clock:
+        Second-resolution monotonic clock (injectable for tests;
+        defaults to :func:`time.perf_counter`).
+    """
+
+    def __init__(self, *, enabled: bool = True, clock=time.perf_counter):
+        self.enabled = enabled
+        self._clock = clock
+        self._stack: list[str] = []
+        self.timers: dict[str, TimerStats] = {}
+        self.counters: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def timer(self, name: str):
+        """Context manager accumulating wall seconds under ``name``,
+        nested below whatever timer scopes are currently open."""
+        if not self.enabled:
+            return _NULL_SCOPE
+        return _Scope(self, name)
+
+    def count(self, name: str, n: int = 1) -> None:
+        """Bump a counter under the current scope path."""
+        if not self.enabled:
+            return
+        key = self._scoped(name)
+        self.counters[key] = self.counters.get(key, 0) + int(n)
+
+    # ------------------------------------------------------------------
+    def _scoped(self, name: str) -> str:
+        if not self._stack:
+            return name
+        return SCOPE_SEP.join(self._stack) + SCOPE_SEP + name
+
+    def _push(self, name: str) -> None:
+        self._stack.append(name)
+
+    def _pop(self, elapsed: float) -> None:
+        key = SCOPE_SEP.join(self._stack)
+        self._stack.pop()
+        stats = self.timers.get(key)
+        if stats is None:
+            stats = self.timers[key] = TimerStats()
+        stats.add(elapsed)
+
+    # ------------------------------------------------------------------
+    def seconds(self, key: str) -> float:
+        """Total wall seconds accumulated under an exact scope key."""
+        stats = self.timers.get(key)
+        return stats.total_s if stats else 0.0
+
+    def subtree_seconds(self, prefix: str) -> float:
+        """Wall seconds of a scope *including* its children — the scope
+        key itself if recorded (parents already contain child time), or
+        the sum of top-level keys under ``prefix`` otherwise."""
+        if prefix in self.timers:
+            return self.timers[prefix].total_s
+        head = prefix + SCOPE_SEP
+        total = 0.0
+        for key, stats in self.timers.items():
+            if key.startswith(head) and SCOPE_SEP not in key[len(head):]:
+                total += stats.total_s
+        return total
+
+    # ------------------------------------------------------------------
+    def merge(self, other: "HostProfiler") -> None:
+        """Fold another profiler's accumulations into this one."""
+        for key, stats in other.timers.items():
+            mine = self.timers.get(key)
+            self.timers[key] = stats.merge(mine) if mine else TimerStats(
+                stats.total_s, stats.calls
+            )
+        for key, n in other.counters.items():
+            self.counters[key] = self.counters.get(key, 0) + n
+
+    def reset(self) -> None:
+        self._stack.clear()
+        self.timers.clear()
+        self.counters.clear()
+
+    # ------------------------------------------------------------------
+    def summary(self) -> dict:
+        """JSON-able snapshot: per-scope seconds/calls plus counters."""
+        return {
+            "timers": {
+                key: {"total_s": s.total_s, "calls": s.calls}
+                for key, s in sorted(self.timers.items())
+            },
+            "counters": dict(sorted(self.counters.items())),
+        }
+
+    def to_json(self, path: str | Path) -> None:
+        """Write :meth:`summary` as pretty JSON."""
+        Path(path).write_text(
+            json.dumps(self.summary(), indent=2, sort_keys=True) + "\n"
+        )
+
+    def render(self) -> str:
+        """Attribution table as an indented tree: children grouped under
+        their parent scope, siblings ordered by descending subtree time."""
+        if not self.timers and not self.counters:
+            return "(no host timings recorded)"
+        lines = [f"{'scope':<44} {'calls':>7} {'total s':>10} {'mean ms':>10}"]
+
+        def tree_key(key: str) -> tuple:
+            parts = key.split(SCOPE_SEP)
+            out = []
+            for i in range(len(parts)):
+                prefix = SCOPE_SEP.join(parts[: i + 1])
+                out.append((-self.subtree_seconds(prefix), parts[i]))
+            return tuple(out)
+
+        ordered = sorted(self.timers.items(), key=lambda kv: tree_key(kv[0]))
+        for key, s in ordered:
+            depth = key.count(SCOPE_SEP)
+            label = "  " * depth + key.rsplit(SCOPE_SEP, 1)[-1]
+            mean_ms = 1e3 * s.total_s / s.calls if s.calls else 0.0
+            lines.append(
+                f"{label:<44} {s.calls:>7} {s.total_s:>10.4f} {mean_ms:>10.4f}"
+            )
+        for key, n in sorted(self.counters.items()):
+            lines.append(f"{key:<44} {n:>7}  (count)")
+        return "\n".join(lines)
+
+
+#: Shared disabled profiler — hot paths default to this so the
+#: profiling hooks cost one attribute check when profiling is off.
+NULL_PROFILER = HostProfiler(enabled=False)

@@ -4,6 +4,13 @@ Everything here is computed from the virtual clock and the modelled
 kernel costs, so a replayed trace always yields identical numbers —
 which lets ``tools/check_regression.py`` fingerprint the serving layer
 exactly like the engines underneath it.
+
+The one exception is the *host* section: per-dispatch wall-clock
+seconds measured with ``time.perf_counter`` on the machine actually
+running the service. Those are machine-dependent by nature, so
+:meth:`ServiceMetrics.summary` nests them under a ``"host"`` dict whose
+values :func:`repro.metrics.results_io.diff_results` never compares
+(only top-level ints/floats enter the fingerprint).
 """
 
 from __future__ import annotations
@@ -48,6 +55,9 @@ class ServiceMetrics:
     total_traversed_edges: int = 0
     first_arrival_ms: float | None = None
     last_finish_ms: float = 0.0
+    #: Host wall-clock seconds per dispatch (perf_counter; one entry
+    #: per engine run, machine-dependent — excluded from fingerprints).
+    host_dispatch_s: list[float] = field(default_factory=list)
 
     # ------------------------------------------------------------------
     def record_outcome(self, outcome: QueryOutcome) -> None:
@@ -70,6 +80,10 @@ class ServiceMetrics:
         """Record one dispatch (solo runs count with sharing 1.0)."""
         self.batch_sizes.append(num_queries)
         self.sharing_factors.append(sharing_factor)
+
+    def record_host_dispatch(self, seconds: float) -> None:
+        """Record the host wall-clock cost of one dispatch."""
+        self.host_dispatch_s.append(float(seconds))
 
     def record_rejection(self, kind: str | None) -> None:
         if kind == "queue_full":
@@ -139,6 +153,16 @@ class ServiceMetrics:
         if registry_stats is not None:
             out["cache_hit_rate"] = registry_stats["hit_rate"]
             out["cache_evictions"] = registry_stats["evictions"]
+        # Machine-dependent wall-clock numbers ride in a nested dict so
+        # the deterministic fingerprint (top-level numerics only) never
+        # sees them.
+        host = self.host_dispatch_s
+        out["host"] = {
+            "dispatches": len(host),
+            "total_s": sum(host),
+            "p50_ms": percentile(host, 50) * 1e3,
+            "p95_ms": percentile(host, 95) * 1e3,
+        }
         return out
 
     def render(self, *, registry_stats: dict | None = None) -> str:
@@ -158,6 +182,14 @@ class ServiceMetrics:
             f"throughput: {s['service_gteps']:.3f} GTEPS (modelled) over "
             f"{s['makespan_ms']:.3f} ms makespan",
         ]
+        if self.host_dispatch_s:
+            h = s["host"]
+            lines.append(
+                f"host:       p50 {h['p50_ms']:.3f} ms  "
+                f"p95 {h['p95_ms']:.3f} ms wall-clock per dispatch "
+                f"({h['total_s'] * 1e3:.3f} ms total, "
+                f"{h['dispatches']} dispatches)"
+            )
         if registry_stats is not None:
             lines.append(
                 f"registry:   hit rate {registry_stats['hit_rate']:.1%}  "

@@ -24,6 +24,7 @@ reproducible.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -182,6 +183,10 @@ class CoalescingScheduler:
         if not live:
             return
 
+        # Host wall-clock per dispatch (registry lookup/build + the
+        # actual engine run) — the machine-dependent complement of the
+        # virtual ``elapsed``; lands in metrics under the "host" section.
+        host_t0 = time.perf_counter()
         entry, hit = self.registry.get(anchor.graph)
         build_ms = 0.0 if hit else entry.build_ms
         sources = list(dict.fromkeys(q.source for q in live))
@@ -196,6 +201,7 @@ class CoalescingScheduler:
             elapsed = solo.elapsed_ms
             sharing = 1.0
             levels_of = lambda _s: solo.levels  # noqa: E731
+        self.metrics.record_host_dispatch(time.perf_counter() - host_t0)
 
         finish = start + build_ms + elapsed
         worker.busy_until_ms = finish

@@ -28,18 +28,33 @@ no neighbour at the current level has scanned its whole list; if that
 list contains a neighbour that was itself promoted earlier in this same
 pass (smaller queue position), the vertex can immediately take
 ``level+2``, sparing the next level's work.
+
+Host-side, the expand supports two implementations (``impl=``):
+
+* ``"blocked"`` (default) — a blocked probe loop: adjacency columns
+  are gathered in rounds of ``probe_block`` via masked gathers and a
+  segment retires the moment it matches, so host traffic is
+  proportional to the modelled ``scan_len`` instead of O(|E|)
+  (:func:`repro.xbfs.common.blocked_first_match`).
+* ``"reference"`` — the original full-gather path, retained as the
+  oracle; ``tests/xbfs/test_blocked_expand.py`` proves the two produce
+  bit-identical :class:`~repro.xbfs.level.LevelResult`\\ s.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.errors import TraversalError
 from repro.gcd.kernel import ComputeWork
 from repro.gcd.memory import rand_read, rand_write, segmented_read, seq_read, seq_write
 from repro.gcd.simulator import GCD
 from repro.graph.csr import CSRGraph
+from repro.perf import NULL_PROFILER
 from repro.xbfs.common import (
+    DEFAULT_PROBE_BLOCK,
     UNVISITED,
+    blocked_first_match,
     first_match_per_segment,
     gather_neighbors,
     segment_ids,
@@ -48,12 +63,17 @@ from repro.xbfs.common import (
 )
 from repro.xbfs.frontier import sorted_queue_from_mask
 from repro.xbfs.level import LevelResult
+from repro.xbfs.scratch import ScratchPool
 from repro.xbfs.status import StatusArray
 from repro.xbfs.workload import balanced_scan_lengths
 
-__all__ = ["run_level", "STRATEGY"]
+__all__ = ["run_level", "STRATEGY", "IMPLS"]
 
 STRATEGY = "bottom_up"
+
+#: Host implementations of the expand: the blocked probe loop and the
+#: full-gather reference it is property-tested against.
+IMPLS = ("blocked", "reference")
 
 #: Workgroup width used by the prefix-sum kernels (256 threads).
 _BLOCK = 256
@@ -140,6 +160,10 @@ def run_level(
     workload_balanced: bool | None = None,
     reverse_graph: CSRGraph | None = None,
     parents: np.ndarray | None = None,
+    impl: str = "blocked",
+    probe_block: int = DEFAULT_PROBE_BLOCK,
+    scratch: ScratchPool | None = None,
+    profiler=None,
 ) -> LevelResult:
     """Expand one level bottom-up.
 
@@ -151,11 +175,21 @@ def run_level(
     transpose adjacency (CSC). For the symmetric Graph500-style inputs
     the paper uses, the transpose equals the graph and callers may omit
     it; for directed graphs it is required for correctness.
+
+    ``impl`` selects the host expand implementation (see module docs);
+    both produce bit-identical results. ``scratch`` pools the per-level
+    temporaries across levels; ``profiler`` attributes host wall time.
     """
+    if impl not in IMPLS:
+        raise TraversalError(f"unknown bottom-up impl {impl!r}; use one of {IMPLS}")
     if workload_balanced is None:
         workload_balanced = gcd.config.bottom_up_workload_balancing
     incoming = reverse_graph if reverse_graph is not None else graph
-    queue, records = _queue_generation(status, gcd, level, ratio)
+    prof = profiler if profiler is not None else NULL_PROFILER
+    if scratch is None:
+        scratch = ScratchPool()
+    with prof.timer("bu_queue_gen"):
+        queue, records = _queue_generation(status, gcd, level, ratio)
     u = int(queue.size)
     wf = gcd.device.wavefront_size
     line = gcd.device.cache_line_bytes
@@ -164,9 +198,26 @@ def run_level(
     # Kernel 5: the early-terminating expand (over incoming edges).
     # ------------------------------------------------------------------
     degs = incoming.degrees[queue]
-    neighbors, _owner = gather_neighbors(incoming, queue)
-    match = status.levels[neighbors] == level
-    first = first_match_per_segment(match, degs)
+    neighbors = None  # full gather exists only on the reference path
+    with prof.timer("bu_probe"):
+        if impl == "reference":
+            neighbors, _owner = gather_neighbors(incoming, queue)
+            match = status.levels[neighbors] == level
+            first = first_match_per_segment(match, degs)
+        else:
+
+            def at_level(cols, _owners):
+                lv = np.take(
+                    status.levels, cols,
+                    out=scratch.take("bu_col_levels", cols.size, np.int32),
+                )
+                return np.equal(
+                    lv, level, out=scratch.take("bu_col_match", cols.size, bool)
+                )
+
+            first = blocked_first_match(
+                incoming, queue, at_level, block=probe_block, profiler=prof
+            )
     found = first >= 0
     scan_len = np.where(found, first + 1, degs)
     if workload_balanced:
@@ -175,7 +226,7 @@ def run_level(
         scan_len_eff = scan_len
 
     promoted = queue[found]
-    status.levels[promoted] = level + 1
+    status.mark(promoted, level + 1)
     if parents is not None and promoted.size:
         # The matched incoming neighbour (the early-termination hit) is
         # the BFS parent: the edge parent -> child exists by definition
@@ -190,14 +241,34 @@ def run_level(
         # queue is sorted) was already level+1 when scanned.
         miss = ~found
         if miss.any():
-            promoted_mask = np.zeros(status.num_vertices, dtype=bool)
-            promoted_mask[promoted] = True
-            owner_vertex = queue[segment_ids(degs)]
-            hit = promoted_mask[neighbors] & (neighbors < owner_vertex)
-            second = first_match_per_segment(hit, degs)
-            candidates = (second >= 0) & miss
+            with prof.timer("bu_proactive"), scratch.flagged_mask(
+                "bu_promoted", status.num_vertices, promoted
+            ) as promoted_mask:
+                if impl == "reference":
+                    owner_vertex = queue[segment_ids(degs)]
+                    hit = promoted_mask[neighbors] & (neighbors < owner_vertex)
+                    second = first_match_per_segment(hit, degs)
+                    candidates = (second >= 0) & miss
+                else:
+
+                    def promoted_earlier(cols, owners):
+                        pm = np.take(
+                            promoted_mask, cols,
+                            out=scratch.take("bu_col_promoted", cols.size, bool),
+                        )
+                        return pm & (cols < queue[owners])
+
+                    # Only the miss segments re-walk their lists; the
+                    # retired ones already found a parent at ``level``.
+                    second = blocked_first_match(
+                        incoming, queue, promoted_earlier,
+                        block=probe_block,
+                        active=np.flatnonzero(miss),
+                        profiler=prof,
+                    )
+                    candidates = second >= 0
             proactive_vertices = queue[candidates]
-            status.levels[proactive_vertices] = level + 2
+            status.mark(proactive_vertices, level + 2)
             if parents is not None and proactive_vertices.size:
                 hit_pos = (
                     incoming.row_offsets[proactive_vertices]

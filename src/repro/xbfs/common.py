@@ -20,13 +20,38 @@ __all__ = [
     "gather_neighbors",
     "segment_ids",
     "first_match_per_segment",
+    "blocked_first_match",
+    "shared_arange",
     "segment_lines_touched",
     "wavefront_serialized_steps",
     "UNVISITED",
+    "DEFAULT_PROBE_BLOCK",
 ]
 
 #: Status-array sentinel for "never visited".
 UNVISITED = np.int32(-1)
+
+#: Default column-block width of :func:`blocked_first_match` — a few
+#: cache lines per round; most hunting-regime probes retire in round 1.
+DEFAULT_PROBE_BLOCK = 8
+
+_ARANGE = np.zeros(0, dtype=np.int64)
+
+
+def shared_arange(n: int) -> np.ndarray:
+    """Read-only view of ``arange(n)`` from a shared, grow-only buffer.
+
+    Every segment helper needs a fresh ``0..total`` ramp; at frontier
+    peak that is an |E|-sized allocation per call. One cached buffer
+    (doubled on growth) serves them all — callers only ever use it as
+    an operand, never as an output.
+    """
+    global _ARANGE
+    if _ARANGE.size < n:
+        grown = np.arange(max(n, 2 * _ARANGE.size), dtype=np.int64)
+        grown.setflags(write=False)
+        _ARANGE = grown
+    return _ARANGE[:n]
 
 
 def segment_ids(lengths: np.ndarray) -> np.ndarray:
@@ -45,7 +70,10 @@ def gather_neighbors(
     the edge-parallel expansion every top-down kernel performs.
     """
     vertices = np.asarray(vertices, dtype=np.int64)
-    if vertices.size and (vertices.min() < 0 or vertices.max() >= graph.num_vertices):
+    # One-pass bounds check: reinterpreting int64 as uint64 maps any
+    # negative id above every valid vertex, so a single max() catches
+    # both ends of the range (this runs on every frontier chunk).
+    if vertices.size and int(vertices.view(np.uint64).max()) >= graph.num_vertices:
         raise TraversalError("frontier contains out-of-range vertex ids")
     starts = graph.row_offsets[vertices]
     counts = graph.degrees[vertices]
@@ -58,7 +86,7 @@ def gather_neighbors(
     owner = segment_ids(counts)
     # Flat edge index: start of each owner segment plus intra-segment rank.
     seg_begin = np.repeat(np.cumsum(counts) - counts, counts)
-    intra = np.arange(total, dtype=np.int64) - seg_begin
+    intra = shared_arange(total) - seg_begin
     flat = np.repeat(starts, counts) + intra
     return graph.col_indices[flat], owner
 
@@ -84,7 +112,7 @@ def first_match_per_segment(
     if total == 0 or n == 0:
         return out
     seg_begin = np.cumsum(lengths) - lengths
-    intra = np.arange(total, dtype=np.int64) - np.repeat(seg_begin, lengths)
+    intra = shared_arange(total) - np.repeat(seg_begin, lengths)
     big = np.int64(1) << 60
     keyed = np.where(match, intra, big)
     nonempty = lengths > 0
@@ -93,6 +121,92 @@ def first_match_per_segment(
     found = mins < big
     idx = np.flatnonzero(nonempty)
     out[idx[found]] = mins[found]
+    return out
+
+
+def blocked_first_match(
+    graph: CSRGraph,
+    vertices: np.ndarray,
+    predicate,
+    *,
+    block: int = DEFAULT_PROBE_BLOCK,
+    active: np.ndarray | None = None,
+    profiler=None,
+) -> np.ndarray:
+    """Early-terminating first-match search over CSR adjacency, done in
+    column blocks so host traffic tracks the *scan length*, not O(|E|).
+
+    Semantically identical to ``gather_neighbors`` +
+    :func:`first_match_per_segment`: returns, per segment, the position
+    of the first neighbour satisfying ``predicate`` (or ``-1``) — but
+    gathers adjacency in rounds of ``block`` columns and retires a
+    segment the moment a round finds its match. This is the host-side
+    analogue of the bottom-up expand lanes' early termination: a lane
+    that matches in slot 2 never touches slot 3, and neither do we.
+
+    Parameters
+    ----------
+    graph:
+        CSR adjacency to probe (the transpose for bottom-up).
+    vertices:
+        Segment owners; segment ``i`` scans ``vertices[i]``'s list.
+    predicate:
+        ``predicate(cols, owners) -> bool array`` evaluated per gathered
+        block; ``owners`` are indices into ``vertices``. Must be pure
+        (it may be re-evaluated in any round order).
+    block:
+        Columns gathered per round (>= 1).
+    active:
+        Optional segment indices to probe; others keep ``-1`` (the
+        proactive second scan only re-walks the miss segments).
+    profiler:
+        Optional :class:`repro.perf.HostProfiler`; counts probe rounds
+        and gathered slots.
+
+    Returns
+    -------
+    ``int64`` array of length ``len(vertices)``: first-match positions,
+    bit-identical to the full-gather reference path.
+    """
+    if block < 1:
+        raise TraversalError(f"probe block must be >= 1, got {block}")
+    vertices = np.asarray(vertices, dtype=np.int64)
+    n = vertices.size
+    out = np.full(n, -1, dtype=np.int64)
+    if n == 0:
+        return out
+    if vertices.size and int(vertices.view(np.uint64).max()) >= graph.num_vertices:
+        raise TraversalError("frontier contains out-of-range vertex ids")
+    starts = graph.row_offsets[vertices]
+    degs = graph.degrees[vertices]
+    if active is None:
+        alive = np.flatnonzero(degs > 0)
+    else:
+        alive = np.asarray(active, dtype=np.int64)
+        alive = alive[degs[alive] > 0]
+    offset = 0
+    rounds = 0
+    gathered = 0
+    while alive.size:
+        width = np.minimum(degs[alive] - offset, block)
+        total = int(width.sum())
+        seg_begin = np.cumsum(width) - width
+        intra = shared_arange(total) - np.repeat(seg_begin, width)
+        flat = np.repeat(starts[alive] + offset, width) + intra
+        cols = graph.col_indices[flat]
+        owners = np.repeat(alive, width)
+        match = np.asarray(predicate(cols, owners), dtype=bool)
+        first = first_match_per_segment(match, width)
+        hit = first >= 0
+        out[alive[hit]] = offset + first[hit]
+        rounds += 1
+        gathered += total
+        offset += block
+        survivors = alive[~hit]
+        alive = survivors[degs[survivors] > offset]
+    if profiler is not None:
+        profiler.count("probe_rounds", rounds)
+        profiler.count("probe_slots_gathered", gathered)
     return out
 
 

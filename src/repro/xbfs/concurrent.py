@@ -27,6 +27,7 @@ from repro.gcd.kernel import ComputeWork, ExecConfig
 from repro.gcd.memory import rand_read, rand_write, segmented_read, seq_read, seq_write
 from repro.gcd.simulator import GCD
 from repro.graph.csr import CSRGraph
+from repro.perf import NULL_PROFILER, HostProfiler
 from repro.xbfs.common import gather_neighbors, segment_ids, segment_lines_touched
 
 __all__ = [
@@ -112,10 +113,12 @@ class ConcurrentBFS:
         *,
         device: DeviceProfile = MI250X_GCD,
         config: ExecConfig | None = None,
+        profiler: HostProfiler | None = None,
     ) -> None:
         self.graph = graph
         self.device = device
         self.config = config or ExecConfig()
+        self.profiler = profiler if profiler is not None else NULL_PROFILER
         self._gcd: GCD | None = None
 
     def run(self, sources: np.ndarray) -> ConcurrentResult:
@@ -156,27 +159,35 @@ class ConcurrentBFS:
         solo_edges = 0
         degs = graph.degrees
 
+        prof = self.profiler
         while True:
             active = np.flatnonzero(frontier_bits).astype(np.int64)
             if active.size == 0:
                 break
-            neighbors, owner = gather_neighbors(graph, active)
-            e_union = int(neighbors.size)
-            union_edges += e_union
-            # A solo run would expand each (source, vertex) pair separately.
-            popcounts = np.bitwise_count(frontier_bits[active]).astype(np.int64)
-            solo_edges += int((popcounts * degs[active]).sum())
+            with prof.timer("cb_expand"):
+                neighbors, owner = gather_neighbors(graph, active)
+                e_union = int(neighbors.size)
+                union_edges += e_union
+                # A solo run would expand each (source, vertex) pair
+                # separately.
+                popcounts = np.bitwise_count(frontier_bits[active]).astype(
+                    np.int64
+                )
+                solo_edges += int((popcounts * degs[active]).sum())
 
-            # Propagate the frontier bits along the gathered edges.
-            incoming = np.zeros(n, dtype=np.uint64)
-            np.bitwise_or.at(incoming, neighbors, frontier_bits[active][owner])
-            fresh = incoming & ~visited
-            visited |= fresh
-            newly = np.flatnonzero(fresh).astype(np.int64)
-            for i in range(k):
-                mine = newly[(fresh[newly] >> np.uint64(i)) & np.uint64(1) == 1]
-                levels[i, mine] = level + 1
-            frontier_bits = fresh
+                # Propagate the frontier bits along the gathered edges.
+                incoming = np.zeros(n, dtype=np.uint64)
+                np.bitwise_or.at(incoming, neighbors, frontier_bits[active][owner])
+                fresh = incoming & ~visited
+                visited |= fresh
+                newly = np.flatnonzero(fresh).astype(np.int64)
+                for i in range(k):
+                    mine = newly[
+                        (fresh[newly] >> np.uint64(i)) & np.uint64(1) == 1
+                    ]
+                    levels[i, mine] = level + 1
+                frontier_bits = fresh
+            prof.count("levels/concurrent")
 
             adj_lines = segment_lines_touched(
                 graph.row_offsets[active], degs[active],

@@ -24,6 +24,7 @@ from repro.gcd.memory import seq_write
 from repro.gcd.simulator import GCD
 from repro.graph.csr import CSRGraph
 from repro.graph.rearrange import rearrange_by_degree
+from repro.perf import NULL_PROFILER, HostProfiler
 from repro.xbfs import bottom_up, scan_free, single_scan
 from repro.xbfs.classifier import (
     BOTTOM_UP,
@@ -32,7 +33,9 @@ from repro.xbfs.classifier import (
     AdaptiveClassifier,
     Decision,
 )
+from repro.xbfs.common import DEFAULT_PROBE_BLOCK
 from repro.xbfs.level import LevelResult
+from repro.xbfs.scratch import ScratchPool
 from repro.xbfs.status import StatusArray
 
 __all__ = ["XBFS", "XBFSResult", "BatchResult"]
@@ -137,6 +140,16 @@ class XBFS:
         the paper's preprocessing.
     proactive:
         Enable the bottom-up proactive next-level update.
+    profiler:
+        Optional :class:`repro.perf.HostProfiler` receiving host
+        wall-clock attribution (per strategy and per host kernel phase)
+        across every run of this engine.
+    bottom_up_impl:
+        Host implementation of the bottom-up expand: ``"blocked"``
+        (early-terminating blocked probe loop, the default) or
+        ``"reference"`` (full-gather oracle) — bit-identical results.
+    probe_block:
+        Column-block width of the blocked probe loop.
     """
 
     def __init__(
@@ -148,7 +161,15 @@ class XBFS:
         classifier: AdaptiveClassifier | None = None,
         rearrange: bool = False,
         proactive: bool = True,
+        profiler: HostProfiler | None = None,
+        bottom_up_impl: str = "blocked",
+        probe_block: int = DEFAULT_PROBE_BLOCK,
     ) -> None:
+        if bottom_up_impl not in bottom_up.IMPLS:
+            raise TraversalError(
+                f"unknown bottom_up_impl {bottom_up_impl!r}; "
+                f"use one of {bottom_up.IMPLS}"
+            )
         self.config = (config or ExecConfig()).with_overrides(rearranged=rearrange)
         self._base_graph = graph
         self._rearranged = rearrange
@@ -156,6 +177,10 @@ class XBFS:
         self.device = device
         self.classifier = classifier or AdaptiveClassifier()
         self.proactive = proactive
+        self.profiler = profiler if profiler is not None else NULL_PROFILER
+        self.bottom_up_impl = bottom_up_impl
+        self.probe_block = probe_block
+        self._scratch = ScratchPool()
         self._gcd: GCD | None = None
         self._reverse: CSRGraph | None = None
 
@@ -234,9 +259,17 @@ class XBFS:
         strategies: list[str] = []
         decisions: list[Decision] = []
         level_results: list[LevelResult] = []
+        prof = self.profiler
 
+        # The frontier at level L+1 is exactly the vertices this level
+        # promoted (``new_vertices``) plus the proactive carries from
+        # level L-1 (already holding status L+1) — the sets are disjoint
+        # because every strategy only claims UNVISITED vertices. Tracking
+        # it incrementally avoids the O(|V|) ``status.at_level`` rescan
+        # per level; only its size and degree sum feed the classifier,
+        # so ordering differences are immaterial.
+        frontier = np.array([source], dtype=np.int64)
         while True:
-            frontier = status.at_level(level)
             if frontier.size == 0:
                 break
             if max_levels is not None and level >= max_levels:
@@ -258,49 +291,61 @@ class XBFS:
             strategy = decision.strategy
 
             if strategy == BOTTOM_UP:
-                result = bottom_up.run_level(
-                    graph,
-                    status,
-                    level,
-                    gcd,
-                    ratio=ratio,
-                    proactive=self.proactive,
-                    reverse_graph=self.reverse_graph,
-                    parents=parents,
-                )
+                with prof.timer(BOTTOM_UP):
+                    result = bottom_up.run_level(
+                        graph,
+                        status,
+                        level,
+                        gcd,
+                        ratio=ratio,
+                        proactive=self.proactive,
+                        reverse_graph=self.reverse_graph,
+                        parents=parents,
+                        impl=self.bottom_up_impl,
+                        probe_block=self.probe_block,
+                        scratch=self._scratch,
+                        profiler=prof,
+                    )
             elif strategy == SINGLE_SCAN:
                 reusable = (
                     handoff_queue
                     if (self.classifier.use_no_gen and force_strategy is None)
                     else None
                 )
-                result = single_scan.run_level(
-                    graph,
-                    status,
-                    None,
-                    level,
-                    gcd,
-                    ratio=ratio,
-                    reusable_queue=reusable,
-                    queue_exact=handoff_exact,
-                    parents=parents,
-                )
-            else:  # scan-free
-                if handoff_queue is not None and handoff_exact:
-                    queue = handoff_queue
-                else:
-                    # No usable queue (e.g. after single-scan): one
-                    # status sweep rebuilds it, then scan-free
-                    # self-sustains. The generation record lands in the
-                    # profiler via the shared kernel helper.
-                    queue, _gen_records = single_scan._queue_gen(
-                        status, level, gcd, ratio
+                with prof.timer(SINGLE_SCAN):
+                    result = single_scan.run_level(
+                        graph,
+                        status,
+                        None,
+                        level,
+                        gcd,
+                        ratio=ratio,
+                        reusable_queue=reusable,
+                        queue_exact=handoff_exact,
+                        parents=parents,
+                        scratch=self._scratch,
+                        profiler=prof,
                     )
-                result = scan_free.run_level(
-                    graph, status, queue, level, gcd, ratio=ratio,
-                    parents=parents,
-                )
+            else:  # scan-free
+                with prof.timer(SCAN_FREE):
+                    if handoff_queue is not None and handoff_exact:
+                        queue = handoff_queue
+                    else:
+                        # No usable queue (e.g. after single-scan): one
+                        # status sweep rebuilds it, then scan-free
+                        # self-sustains. The generation record lands in
+                        # the profiler via the shared kernel helper.
+                        queue, _gen_records = single_scan._queue_gen(
+                            status, level, gcd, ratio
+                        )
+                    result = scan_free.run_level(
+                        graph, status, queue, level, gcd, ratio=ratio,
+                        parents=parents,
+                        scratch=self._scratch,
+                        profiler=prof,
+                    )
             gcd.sync()
+            prof.count("levels/" + strategy)
 
             strategies.append(strategy)
             decisions.append(decision)
@@ -314,9 +359,13 @@ class XBFS:
             # next layer, which this carry reproduces.
             if handoff_queue is not None and carry_proactive.size:
                 handoff_queue = np.concatenate([handoff_queue, carry_proactive])
+            next_frontier = result.new_vertices
+            if carry_proactive.size:
+                next_frontier = np.concatenate([next_frontier, carry_proactive])
             carry_proactive = result.proactive_vertices
             prev_strategy = strategy
             prev_frontier_size = int(frontier.size)
+            frontier = next_frontier
             level += 1
 
         reached = status.levels >= 0

@@ -20,8 +20,10 @@ from repro.gcd.kernel import ComputeWork
 from repro.gcd.memory import rand_read, rand_write, segmented_read, seq_read, seq_write
 from repro.gcd.simulator import GCD, KernelSpec
 from repro.graph.csr import CSRGraph
+from repro.perf import NULL_PROFILER
 from repro.xbfs.common import UNVISITED, gather_neighbors, segment_lines_touched
 from repro.xbfs.level import LevelResult
+from repro.xbfs.scratch import ScratchPool
 from repro.xbfs.status import StatusArray
 from repro.xbfs.workload import split_for_streams
 
@@ -48,6 +50,9 @@ def _expand_chunk(
         status.levels, neighbors, level + 1, expected=int(UNVISITED),
         return_slots=True,
     )
+    # The CAS claims wrote ``levels`` in place; keep the incremental
+    # visited total honest.
+    status.note_visited(int(winners.size))
     if parents is not None and winners.size:
         parents[winners] = chunk[owner[slots]]
     wf = gcd.device.wavefront_size
@@ -88,13 +93,18 @@ def run_level(
     *,
     ratio: float = 0.0,
     parents: np.ndarray | None = None,
+    scratch: ScratchPool | None = None,
+    profiler=None,
 ) -> LevelResult:
     """Expand one level scan-free.
 
     With a 3-stream configuration the frontier is split by degree bins
     into concurrent launches (the CUDA design); with 1 stream it is one
-    launch (the AMD consolidation).
+    launch (the AMD consolidation). ``scratch`` is accepted for parity
+    with the other strategies (the CAS path allocates only its winner
+    arrays); ``profiler`` attributes host wall time.
     """
+    prof = profiler if profiler is not None else NULL_PROFILER
     frontier = np.asarray(frontier, dtype=np.int64)
     chunks = split_for_streams(graph, frontier, gcd.config.num_streams)
     records = []
@@ -102,9 +112,10 @@ def run_level(
     edges = 0
     if len(chunks) <= 1:
         chunk = chunks[0] if chunks else frontier
-        streams, work, winners, e_f, items = _expand_chunk(
-            graph, status, chunk, level, gcd, parents
-        )
+        with prof.timer("sf_expand"):
+            streams, work, winners, e_f, items = _expand_chunk(
+                graph, status, chunk, level, gcd, parents
+            )
         records.append(
             gcd.launch(
                 "sf_expand",
@@ -121,9 +132,10 @@ def run_level(
     else:
         specs = []
         for chunk in chunks:
-            streams, work, winners, e_f, items = _expand_chunk(
-                graph, status, chunk, level, gcd, parents
-            )
+            with prof.timer("sf_expand"):
+                streams, work, winners, e_f, items = _expand_chunk(
+                    graph, status, chunk, level, gcd, parents
+                )
             specs.append(
                 KernelSpec(
                     name="sf_expand",

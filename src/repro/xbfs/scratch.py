@@ -1,0 +1,81 @@
+"""Reusable per-engine scratch buffers.
+
+Every BFS level allocates the same family of temporaries — a |V|-sized
+promoted mask for the proactive update, |E_f|-sized gather targets for
+status probes — and throws them away. On a long-lived engine (the
+n-to-n loop, the serving layer's warm engines) that is pure allocator
+churn on the host hot path. A :class:`ScratchPool` keeps one grow-only
+backing buffer per (name, dtype) and hands out views, mirroring how
+the real kernels reuse pre-sized device workspaces across levels.
+
+The pool is deliberately dumb: buffers are keyed by name, returned
+*uninitialised* (callers overwrite via ``out=``), and never shrunk.
+The only stateful helper is :meth:`flagged_mask`, which maintains an
+always-False vertex mask and clears exactly the bits a caller set —
+O(k) per level instead of an O(|V|) ``np.zeros``.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+import numpy as np
+
+from repro.errors import TraversalError
+
+__all__ = ["ScratchPool"]
+
+
+class ScratchPool:
+    """Named, grow-only scratch buffers reused across BFS levels."""
+
+    def __init__(self) -> None:
+        self._buffers: dict[str, np.ndarray] = {}
+        self._masks: dict[str, np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    def take(self, name: str, size: int, dtype) -> np.ndarray:
+        """A view of ``size`` elements of the named buffer.
+
+        Contents are unspecified — callers must fully overwrite (the
+        intended use is the ``out=`` argument of ``np.take`` /
+        ``np.equal`` and friends).
+        """
+        if size < 0:
+            raise TraversalError(f"scratch size must be >= 0, got {size}")
+        dtype = np.dtype(dtype)
+        buf = self._buffers.get(name)
+        if buf is None or buf.size < size or buf.dtype != dtype:
+            capacity = max(size, 2 * buf.size if buf is not None else 0, 1)
+            buf = np.empty(capacity, dtype=dtype)
+            self._buffers[name] = buf
+        return buf[:size]
+
+    # ------------------------------------------------------------------
+    @contextmanager
+    def flagged_mask(self, name: str, size: int, flag: np.ndarray):
+        """An all-False bool mask of ``size`` with ``flag`` indices set,
+        valid for the duration of the ``with`` block.
+
+        The backing mask persists across levels and is kept all-False
+        between uses by clearing only the flagged indices on exit —
+        the pooled replacement for a fresh ``np.zeros(V, bool)``.
+        """
+        mask = self._masks.get(name)
+        if mask is None or mask.size < size:
+            mask = np.zeros(max(size, 2 * mask.size if mask is not None else 0),
+                            dtype=bool)
+            self._masks[name] = mask
+        view = mask[:size]
+        view[flag] = True
+        try:
+            yield view
+        finally:
+            view[flag] = False
+
+    # ------------------------------------------------------------------
+    def allocated_bytes(self) -> int:
+        """Total bytes currently held (observability / tests)."""
+        return sum(b.nbytes for b in self._buffers.values()) + sum(
+            m.nbytes for m in self._masks.values()
+        )

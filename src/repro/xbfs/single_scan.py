@@ -29,8 +29,10 @@ from repro.gcd.kernel import ComputeWork
 from repro.gcd.memory import rand_read, rand_write, segmented_read, seq_read, seq_write
 from repro.gcd.simulator import GCD, KernelSpec
 from repro.graph.csr import CSRGraph
+from repro.perf import NULL_PROFILER
 from repro.xbfs.common import UNVISITED, gather_neighbors, segment_lines_touched
 from repro.xbfs.level import LevelResult
+from repro.xbfs.scratch import ScratchPool
 from repro.xbfs.status import StatusArray
 from repro.xbfs.workload import split_for_streams
 
@@ -77,6 +79,7 @@ def _expand_chunk(
     *,
     filtered_from: int = 0,
     parents: np.ndarray | None = None,
+    scratch: ScratchPool | None = None,
 ) -> tuple[list, ComputeWork, np.ndarray, int, int]:
     """Inspect/update one frontier chunk non-atomically.
 
@@ -86,10 +89,21 @@ def _expand_chunk(
     """
     neighbors, owner = gather_neighbors(graph, chunk)
     e_f = int(neighbors.size)
-    fresh_mask = status.levels[neighbors] == UNVISITED
+    if scratch is not None:
+        # Pooled |E_f|-sized temporaries: the status gather and the
+        # freshness mask are rebuilt every level, never kept.
+        nb_levels = np.take(
+            status.levels, neighbors,
+            out=scratch.take("ss_nb_levels", e_f, np.int32),
+        )
+        fresh_mask = np.equal(
+            nb_levels, UNVISITED, out=scratch.take("ss_fresh_mask", e_f, bool)
+        )
+    else:
+        fresh_mask = status.levels[neighbors] == UNVISITED
     fresh = neighbors[fresh_mask].astype(np.int64)
     new_vertices = np.unique(fresh)
-    status.levels[new_vertices] = level + 1
+    status.mark(new_vertices, level + 1)
     if parents is not None and new_vertices.size:
         # Benign races: any discovering parent is a valid BFS parent;
         # deterministically keep the first write in flat order.
@@ -130,13 +144,17 @@ def run_level(
     reusable_queue: np.ndarray | None = None,
     queue_exact: bool = False,
     parents: np.ndarray | None = None,
+    scratch: ScratchPool | None = None,
+    profiler=None,
 ) -> LevelResult:
     """Expand one level with single-scan.
 
     ``frontier`` may be ``None`` when the caller wants the strategy to
     generate it (the normal mode, kernel A). ``reusable_queue`` engages
-    the no-frontier-generation variant.
+    the no-frontier-generation variant. ``scratch`` pools the per-level
+    gather buffers; ``profiler`` attributes host wall time.
     """
+    prof = profiler if profiler is not None else NULL_PROFILER
     records = []
     filtered_from = 0
     if reusable_queue is not None:
@@ -148,7 +166,8 @@ def run_level(
             frontier = q[status.levels[q] == level]
             filtered_from = int(q.size)
     elif frontier is None:
-        frontier, records = _queue_gen(status, level, gcd, ratio)
+        with prof.timer("ss_queue_gen"):
+            frontier, records = _queue_gen(status, level, gcd, ratio)
     frontier = np.asarray(frontier, dtype=np.int64)
 
     chunks = split_for_streams(graph, frontier, gcd.config.num_streams)
@@ -156,10 +175,11 @@ def run_level(
     edges = 0
     if len(chunks) <= 1:
         chunk = chunks[0] if chunks else frontier
-        streams, work, new_vertices, e_f, items = _expand_chunk(
-            graph, status, chunk, level, gcd, filtered_from=filtered_from,
-            parents=parents,
-        )
+        with prof.timer("ss_expand"):
+            streams, work, new_vertices, e_f, items = _expand_chunk(
+                graph, status, chunk, level, gcd, filtered_from=filtered_from,
+                parents=parents, scratch=scratch,
+            )
         records.append(
             gcd.launch(
                 "ss_expand",
@@ -176,11 +196,12 @@ def run_level(
     else:
         specs = []
         for i, chunk in enumerate(chunks):
-            streams, work, new_vertices, e_f, items = _expand_chunk(
-                graph, status, chunk, level, gcd,
-                filtered_from=filtered_from if i == 0 else 0,
-                parents=parents,
-            )
+            with prof.timer("ss_expand"):
+                streams, work, new_vertices, e_f, items = _expand_chunk(
+                    graph, status, chunk, level, gcd,
+                    filtered_from=filtered_from if i == 0 else 0,
+                    parents=parents, scratch=scratch,
+                )
             specs.append(
                 KernelSpec(
                     name="ss_expand",

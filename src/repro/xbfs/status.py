@@ -19,12 +19,21 @@ __all__ = ["StatusArray", "UNVISITED"]
 
 
 class StatusArray:
-    """Mutable per-vertex level array with BFS bookkeeping helpers."""
+    """Mutable per-vertex level array with BFS bookkeeping helpers.
+
+    Visited/unvisited totals are maintained *incrementally*: the
+    strategies report discoveries through :meth:`mark` /
+    :meth:`note_visited`, so :meth:`count_unvisited` and
+    :meth:`visited_count` are O(1) reads instead of the O(|V|) rescans
+    the per-level classifier loop used to pay. Code that writes
+    ``levels`` directly (tests, oracles) can call :meth:`resync`.
+    """
 
     def __init__(self, num_vertices: int):
         if num_vertices < 1:
             raise TraversalError("status array needs at least one vertex")
         self.levels = np.full(num_vertices, UNVISITED, dtype=np.int32)
+        self._visited = 0
 
     @property
     def num_vertices(self) -> int:
@@ -39,13 +48,33 @@ class StatusArray:
             )
         self.levels.fill(UNVISITED)
         self.levels[source] = 0
+        self._visited = 1
+
+    # ------------------------------------------------------------------
+    def mark(self, vertices: np.ndarray, level: int) -> None:
+        """Assign ``level`` to (previously unvisited) ``vertices`` and
+        maintain the incremental visited total."""
+        vertices = np.asarray(vertices)
+        if vertices.size == 0:
+            return
+        self.levels[vertices] = level
+        self._visited += int(vertices.size)
+
+    def note_visited(self, count: int) -> None:
+        """Record discoveries applied to ``levels`` out-of-band (the
+        scan-free CAS claims mutate the array in place)."""
+        self._visited += int(count)
+
+    def resync(self) -> None:
+        """Recount after direct ``levels`` writes."""
+        self._visited = int(np.count_nonzero(self.levels != UNVISITED))
 
     # ------------------------------------------------------------------
     def unvisited_mask(self) -> np.ndarray:
         return self.levels == UNVISITED
 
     def count_unvisited(self) -> int:
-        return int(np.count_nonzero(self.levels == UNVISITED))
+        return self.num_vertices - self._visited
 
     def at_level(self, level: int) -> np.ndarray:
         """Vertex ids whose status equals ``level`` (ascending id —
@@ -56,12 +85,13 @@ class StatusArray:
         return int(np.count_nonzero(self.levels == level))
 
     def visited_count(self) -> int:
-        return self.num_vertices - self.count_unvisited()
+        return self._visited
 
     def visited_bitmap(self) -> np.ndarray:
         """Packed visited bits (1 bit per vertex) — the compact
-        representation the bottom-up phase probes; 8x denser than the
-        int32 levels, which is why its status sweeps stay cheap."""
+        representation the bottom-up phase probes; 32x denser than the
+        int32 levels (1 bit vs 32), which is why its status sweeps
+        stay cheap."""
         return np.packbits(self.levels != UNVISITED)
 
     def max_level(self) -> int:
@@ -72,6 +102,7 @@ class StatusArray:
     def copy(self) -> "StatusArray":
         out = StatusArray(self.num_vertices)
         out.levels[:] = self.levels
+        out._visited = self._visited
         return out
 
     # ------------------------------------------------------------------

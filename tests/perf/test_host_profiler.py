@@ -1,0 +1,158 @@
+"""Unit tests for repro.perf: scoped timers, counters, export, no-op mode.
+
+A fake monotonic clock makes every timing assertion exact — the tests
+never sleep and never depend on machine speed.
+"""
+
+import json
+
+import pytest
+
+from repro.perf import NULL_PROFILER, SCOPE_SEP, HostProfiler, TimerStats
+
+
+class FakeClock:
+    """Deterministic perf_counter stand-in; advances only on demand."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def tick(self, seconds):
+        self.now += seconds
+
+
+@pytest.fixture
+def prof():
+    clock = FakeClock()
+    p = HostProfiler(clock=clock)
+    p.clock = clock  # test-side handle
+    return p
+
+
+def test_timer_accumulates_and_counts_calls(prof):
+    for _ in range(3):
+        with prof.timer("probe"):
+            prof.clock.tick(0.5)
+    assert prof.seconds("probe") == 1.5
+    assert prof.timers["probe"].calls == 3
+
+
+def test_nested_timers_scope_with_separator(prof):
+    with prof.timer("run"):
+        prof.clock.tick(1.0)
+        with prof.timer("probe"):
+            prof.clock.tick(2.0)
+    key = f"run{SCOPE_SEP}probe"
+    assert prof.seconds(key) == 2.0
+    # The parent includes child time (wall clock, no double counting:
+    # there is exactly one top-level key).
+    assert prof.seconds("run") == 3.0
+    assert prof.subtree_seconds("run") == 3.0
+
+
+def test_counters_are_scoped(prof):
+    prof.count("rounds", 2)
+    with prof.timer("bu"):
+        prof.clock.tick(0.1)
+        prof.count("rounds", 3)
+    assert prof.counters["rounds"] == 2
+    assert prof.counters[f"bu{SCOPE_SEP}rounds"] == 3
+
+
+def test_subtree_seconds_sums_children_without_parent_key(prof):
+    with prof.timer("a"):
+        with prof.timer("x"):
+            prof.clock.tick(1.0)
+        with prof.timer("y"):
+            prof.clock.tick(2.0)
+    # "a" itself was recorded, so the subtree is its wall time...
+    assert prof.subtree_seconds("a") == 3.0
+    # ...but a prefix that was never directly timed sums its direct
+    # children instead.
+    del prof.timers["a"]
+    assert prof.subtree_seconds("a") == 3.0
+
+
+def test_disabled_profiler_records_nothing():
+    p = HostProfiler(enabled=False)
+    with p.timer("x"):
+        pass
+    p.count("n", 5)
+    assert p.timers == {}
+    assert p.counters == {}
+    assert p.seconds("x") == 0.0
+    # The module singleton is disabled and shared.
+    assert NULL_PROFILER.enabled is False
+
+
+def test_merge_folds_timers_and_counters(prof):
+    other_clock = FakeClock()
+    other = HostProfiler(clock=other_clock)
+    with prof.timer("t"):
+        prof.clock.tick(1.0)
+    with other.timer("t"):
+        other_clock.tick(2.0)
+    with other.timer("u"):
+        other_clock.tick(4.0)
+    other.count("c", 7)
+    prof.merge(other)
+    assert prof.seconds("t") == 3.0
+    assert prof.timers["t"].calls == 2
+    assert prof.seconds("u") == 4.0
+    assert prof.counters["c"] == 7
+
+
+def test_summary_and_json_roundtrip(tmp_path, prof):
+    with prof.timer("k"):
+        prof.clock.tick(0.25)
+    prof.count("n", 2)
+    s = prof.summary()
+    assert s["timers"]["k"] == {"total_s": 0.25, "calls": 1}
+    assert s["counters"]["n"] == 2
+    out = tmp_path / "prof.json"
+    prof.to_json(out)
+    assert json.loads(out.read_text()) == s
+
+
+def test_reset_clears_everything(prof):
+    with prof.timer("k"):
+        prof.clock.tick(1.0)
+    prof.count("n")
+    prof.reset()
+    assert prof.timers == {}
+    assert prof.counters == {}
+
+
+def test_render_tree_groups_children_under_parent(prof):
+    with prof.timer("slow"):
+        prof.clock.tick(5.0)
+        with prof.timer("inner"):
+            prof.clock.tick(1.0)
+    with prof.timer("fast"):
+        prof.clock.tick(0.5)
+    lines = prof.render().splitlines()
+    # Header, then slow (largest subtree), its child indented, then fast.
+    assert lines[1].startswith("slow")
+    assert lines[2].startswith("  inner")
+    assert lines[3].startswith("fast")
+    assert HostProfiler().render() == "(no host timings recorded)"
+
+
+def test_timer_stats_merge():
+    merged = TimerStats(1.0, 2).merge(TimerStats(0.5, 3))
+    assert merged == TimerStats(1.5, 5)
+
+
+def test_timer_exception_still_recorded(prof):
+    with pytest.raises(ValueError):
+        with prof.timer("boom"):
+            prof.clock.tick(1.0)
+            raise ValueError("x")
+    assert prof.seconds("boom") == 1.0
+    # Scope stack unwound: the next timer is top-level again.
+    with prof.timer("after"):
+        prof.clock.tick(1.0)
+    assert prof.seconds("after") == 1.0

@@ -181,3 +181,26 @@ class TestProfileCsv:
         text = out.read_text()
         assert text.startswith("name,")
         assert "init_status" in text
+
+
+class TestHostProfile:
+    def test_run_host_profile_prints_attribution(self, capsys):
+        rc = main(["run", "--graph", "rmat:9", "--sources", "2",
+                   "--host-profile"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "host wall-clock profile" in out
+        assert "scope" in out and "total s" in out
+
+    def test_concurrent_host_profile(self, capsys):
+        rc = main(["run", "--graph", "rmat:9", "--sources", "4",
+                   "--concurrent", "--host-profile"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "host wall-clock profile" in out
+        assert "cb_expand" in out
+
+    def test_run_without_flag_prints_no_host_profile(self, capsys):
+        rc = main(["run", "--graph", "rmat:9", "--sources", "1"])
+        assert rc == 0
+        assert "host wall-clock profile" not in capsys.readouterr().out

@@ -1,0 +1,190 @@
+"""Property tests: the blocked early-termination expand is bit-identical
+to the retained full-gather reference path.
+
+The blocked probe loop only changes *how the host computes* the
+first-match position per bottom-up segment; every modelled quantity
+downstream (scan lengths, promoted/proactive sets, parents, stream
+footprints, kernel records, the virtual clock) is a pure function of
+those positions, so the two implementations must agree exactly — on
+levels, parents, per-level counters, and every KernelRecord field.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TraversalError
+from repro.gcd.kernel import ExecConfig
+from repro.graph.csr import CSRGraph
+from repro.xbfs.common import blocked_first_match, first_match_per_segment
+from repro.xbfs.driver import XBFS
+
+
+@st.composite
+def graph_and_source(draw):
+    n = draw(st.integers(min_value=2, max_value=40))
+    m = draw(st.integers(min_value=0, max_value=160))
+    vertex = st.integers(min_value=0, max_value=n - 1)
+    src = draw(st.lists(vertex, min_size=m, max_size=m))
+    dst = draw(st.lists(vertex, min_size=m, max_size=m))
+    source = draw(vertex)
+    symmetrize = draw(st.booleans())
+    g = CSRGraph.from_edges(
+        np.asarray(src, dtype=np.int64),
+        np.asarray(dst, dtype=np.int64),
+        n,
+        symmetrize=symmetrize,
+    )
+    return g, source
+
+
+def assert_results_identical(a, b):
+    """Full XBFSResult equality, field by field."""
+    assert np.array_equal(a.levels, b.levels)
+    assert a.strategies == b.strategies
+    assert a.elapsed_ms == b.elapsed_ms
+    assert a.sync_ms == b.sync_ms
+    assert a.traversed_edges == b.traversed_edges
+    if a.parents is None or b.parents is None:
+        assert a.parents is None and b.parents is None
+    else:
+        assert np.array_equal(a.parents, b.parents)
+    assert len(a.level_results) == len(b.level_results)
+    for la, lb in zip(a.level_results, b.level_results):
+        assert la.strategy == lb.strategy
+        assert la.edges_inspected == lb.edges_inspected
+        assert np.array_equal(la.new_vertices, lb.new_vertices)
+        assert np.array_equal(la.proactive_vertices, lb.proactive_vertices)
+        assert la.queue_exact == lb.queue_exact
+        if la.queue_for_next is None or lb.queue_for_next is None:
+            assert la.queue_for_next is None and lb.queue_for_next is None
+        else:
+            assert np.array_equal(la.queue_for_next, lb.queue_for_next)
+    # KernelRecord is a frozen dataclass of plain numbers computed by
+    # the pure cost model, so == is exact bit-identity.
+    assert a.records == b.records
+
+
+def run_pair(graph, source, *, probe_block=None, **kwargs):
+    blocked_kw = {} if probe_block is None else {"probe_block": probe_block}
+    run_kw = {
+        k: kwargs.pop(k)
+        for k in ("force_strategy", "max_levels", "record_parents")
+        if k in kwargs
+    }
+    blocked = XBFS(graph, bottom_up_impl="blocked", **blocked_kw, **kwargs)
+    reference = XBFS(graph, bottom_up_impl="reference", **kwargs)
+    return blocked.run(source, **run_kw), reference.run(source, **run_kw)
+
+
+@given(graph_and_source(), st.integers(min_value=1, max_value=9))
+@settings(max_examples=40, deadline=None)
+def test_adaptive_bit_identical(case, probe_block):
+    graph, source = case
+    a, b = run_pair(graph, source, probe_block=probe_block)
+    assert_results_identical(a, b)
+
+
+@given(
+    graph_and_source(),
+    st.booleans(),  # bottom_up_bitmap
+    st.booleans(),  # workload_balanced
+    st.booleans(),  # proactive
+    st.booleans(),  # record_parents
+)
+@settings(max_examples=40, deadline=None)
+def test_forced_bottom_up_bit_identical(
+    case, bitmap, balanced, proactive, record_parents
+):
+    graph, source = case
+    config = ExecConfig(
+        bottom_up_bitmap=bitmap, bottom_up_workload_balancing=balanced
+    )
+    a, b = run_pair(
+        graph,
+        source,
+        config=config,
+        proactive=proactive,
+        force_strategy="bottom_up",
+        record_parents=record_parents,
+    )
+    assert_results_identical(a, b)
+
+
+@given(graph_and_source())
+@settings(max_examples=20, deadline=None)
+def test_rearranged_bit_identical(case):
+    graph, source = case
+    a, b = run_pair(graph, source, rearrange=True)
+    assert_results_identical(a, b)
+
+
+@given(graph_and_source(), st.integers(min_value=1, max_value=17))
+@settings(max_examples=40, deadline=None)
+def test_blocked_first_match_equals_full_gather(case, block):
+    graph, _ = case
+    # An arbitrary but deterministic predicate over column ids.
+    target_mod = 3
+
+    def pred(cols, owners):
+        return (cols + owners) % target_mod == 0
+
+    from repro.xbfs.common import gather_neighbors, segment_ids
+
+    vertices = np.arange(graph.num_vertices, dtype=np.int64)
+    degs = graph.degrees[vertices]
+    neighbors, _ = gather_neighbors(graph, vertices)
+    owners = vertices[segment_ids(degs)]
+    expected = first_match_per_segment(pred(neighbors, owners), degs)
+    got = blocked_first_match(graph, vertices, pred, block=block)
+    assert np.array_equal(got, expected)
+
+
+def test_blocked_first_match_respects_active_subset():
+    g = CSRGraph.from_edges(
+        np.array([0, 0, 1, 2, 2, 2], dtype=np.int64),
+        np.array([1, 2, 2, 0, 1, 3], dtype=np.int64),
+        4,
+        symmetrize=False,
+    )
+    vertices = np.arange(4, dtype=np.int64)
+
+    def always(cols, owners):
+        return np.ones(cols.shape, dtype=bool)
+
+    out = blocked_first_match(
+        g, vertices, always, block=2, active=np.array([2], dtype=np.int64)
+    )
+    # Only segment 2 probed; all others stay -1 even though they match.
+    assert out.tolist() == [-1, -1, 0, -1]
+
+
+def test_unknown_impl_rejected():
+    g = CSRGraph.from_edges(
+        np.array([0], dtype=np.int64), np.array([1], dtype=np.int64), 2
+    )
+    with pytest.raises(TraversalError):
+        XBFS(g, bottom_up_impl="vectorised")
+    from repro.xbfs import bottom_up
+    from repro.gcd.simulator import GCD
+    from repro.gcd.device import MI250X_GCD
+    from repro.xbfs.status import StatusArray
+
+    status = StatusArray(2)
+    status.set_source(0)
+    with pytest.raises(TraversalError):
+        bottom_up.run_level(g, status, 0, GCD(MI250X_GCD, ExecConfig()),
+                            impl="vectorised")
+
+
+def test_bad_probe_block_rejected():
+    g = CSRGraph.from_edges(
+        np.array([0], dtype=np.int64), np.array([1], dtype=np.int64), 2
+    )
+
+    def pred(cols, owners):
+        return np.ones(cols.shape, dtype=bool)
+
+    with pytest.raises(TraversalError):
+        blocked_first_match(g, np.array([0], dtype=np.int64), pred, block=0)

@@ -1,0 +1,117 @@
+"""Unit tests for the ScratchPool and the incremental StatusArray
+visited counters."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraversalError
+from repro.xbfs.scratch import ScratchPool
+from repro.xbfs.status import UNVISITED, StatusArray
+
+
+class TestScratchPool:
+    def test_take_reuses_backing_buffer(self):
+        pool = ScratchPool()
+        a = pool.take("x", 8, np.int32)
+        a[:] = 7
+        b = pool.take("x", 4, np.int32)
+        assert b.base is a.base or b.base is a  # same backing storage
+        assert b.dtype == np.int32
+        assert b.size == 4
+
+    def test_take_grows_geometrically(self):
+        pool = ScratchPool()
+        pool.take("x", 10, np.int64)
+        first = pool.allocated_bytes()
+        pool.take("x", 11, np.int64)  # forces growth to >= 2 * 10
+        assert pool.allocated_bytes() >= 2 * first
+
+    def test_take_distinct_names_are_independent(self):
+        pool = ScratchPool()
+        a = pool.take("a", 4, np.int32)
+        b = pool.take("b", 4, np.int32)
+        a[:] = 1
+        b[:] = 2
+        assert a.tolist() == [1, 1, 1, 1]
+
+    def test_take_dtype_change_reallocates(self):
+        pool = ScratchPool()
+        pool.take("x", 4, np.int32)
+        out = pool.take("x", 4, np.float64)
+        assert out.dtype == np.float64
+
+    def test_take_rejects_negative(self):
+        with pytest.raises(TraversalError):
+            ScratchPool().take("x", -1, np.int32)
+
+    def test_flagged_mask_sets_and_clears(self):
+        pool = ScratchPool()
+        flag = np.array([1, 3], dtype=np.int64)
+        with pool.flagged_mask("m", 5, flag) as mask:
+            assert mask.tolist() == [False, True, False, True, False]
+        # Back to all-False afterwards, reusable at a larger size.
+        with pool.flagged_mask("m", 5, np.zeros(0, dtype=np.int64)) as mask:
+            assert not mask.any()
+
+    def test_flagged_mask_clears_on_exception(self):
+        pool = ScratchPool()
+        flag = np.array([0], dtype=np.int64)
+        with pytest.raises(RuntimeError):
+            with pool.flagged_mask("m", 3, flag):
+                raise RuntimeError("boom")
+        with pool.flagged_mask("m", 3, np.zeros(0, dtype=np.int64)) as mask:
+            assert not mask.any()
+
+
+class TestStatusIncrementalCounts:
+    def test_mark_maintains_visited_total(self):
+        s = StatusArray(10)
+        s.set_source(3)
+        assert s.visited_count() == 1
+        assert s.count_unvisited() == 9
+        s.mark(np.array([4, 5], dtype=np.int64), 1)
+        assert s.visited_count() == 3
+        assert s.count_unvisited() == 7
+        # Matches the O(|V|) recount exactly.
+        assert s.visited_count() == int(np.count_nonzero(s.levels != UNVISITED))
+
+    def test_note_visited_covers_inplace_writes(self):
+        s = StatusArray(6)
+        s.set_source(0)
+        # Simulate the scan-free CAS path: direct levels writes plus an
+        # out-of-band count.
+        s.levels[[1, 2]] = 1
+        s.note_visited(2)
+        assert s.visited_count() == 3
+
+    def test_resync_recounts_after_direct_writes(self):
+        s = StatusArray(6)
+        s.set_source(0)
+        s.levels[4] = 2  # direct write, counter now stale
+        s.resync()
+        assert s.visited_count() == 2
+        assert s.count_unvisited() == 4
+
+    def test_copy_preserves_counter(self):
+        s = StatusArray(5)
+        s.set_source(1)
+        s.mark(np.array([2], dtype=np.int64), 1)
+        c = s.copy()
+        assert c.visited_count() == 2
+        c.mark(np.array([3], dtype=np.int64), 2)
+        assert c.visited_count() == 3
+        assert s.visited_count() == 2
+
+    def test_set_source_resets_counter(self):
+        s = StatusArray(5)
+        s.set_source(1)
+        s.mark(np.array([2, 3], dtype=np.int64), 1)
+        s.set_source(0)
+        assert s.visited_count() == 1
+        assert s.count_unvisited() == 4
+
+    def test_mark_empty_is_noop(self):
+        s = StatusArray(4)
+        s.set_source(0)
+        s.mark(np.zeros(0, dtype=np.int64), 1)
+        assert s.visited_count() == 1

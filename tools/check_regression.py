@@ -39,7 +39,39 @@ def run_matrix() -> list[dict]:
     ]:
         summaries.append(summarize_batch(name, engine.run_many(sources)))
     summaries.append(run_service_fingerprint())
+    summaries.append(run_perf_surface_fingerprint())
     return summaries
+
+
+def run_perf_surface_fingerprint() -> dict:
+    """API-surface fingerprint of :mod:`repro.perf`.
+
+    Host wall-clock *measurements* are machine-dependent and must never
+    enter the numeric fingerprint, but the profiling *surface* the rest
+    of the package programs against should not drift silently. The
+    CRC32 of the exported names and their signatures is deterministic
+    across machines and changes exactly when the API does.
+    """
+    import inspect
+    import zlib
+
+    import repro.perf as perf
+
+    entries = []
+    for name in sorted(perf.__all__):
+        obj = getattr(perf, name)
+        entries.append(name)
+        if inspect.isclass(obj):
+            for attr, member in sorted(vars(obj).items()):
+                if attr.startswith("_") or not callable(member):
+                    continue
+                entries.append(f"{name}.{attr}{inspect.signature(member)}")
+    blob = "\n".join(entries).encode()
+    return {
+        "name": "perf_surface",
+        "symbols": len(entries),
+        "surface_crc32": zlib.crc32(blob),
+    }
 
 
 def run_service_fingerprint() -> dict:
@@ -54,7 +86,11 @@ def run_service_fingerprint() -> dict:
     trace = synthetic_trace(
         list(sizes), sizes, num_queries=96, seed=23, burst=8, mean_gap_ms=1.0
     )
-    return service.replay(trace).summary("service")
+    summary = service.replay(trace).summary("service")
+    # The nested host section is wall-clock (machine-dependent); drop it
+    # so the committed baseline stays byte-reproducible.
+    summary.pop("host", None)
+    return summary
 
 
 def main() -> int:
