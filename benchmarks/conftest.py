@@ -26,6 +26,14 @@ BENCH = ExperimentScale(dataset_scale_factor=128, rmat_scale=17, num_sources=4)
 _SCALES = {"fast": FAST, "bench": BENCH, "default": DEFAULT}
 
 
+def pytest_collection_modifyitems(items):
+    """Every benchmark is tier-2: ``-m "not slow"`` skips this whole
+    directory even when it is passed explicitly."""
+    slow = pytest.mark.slow
+    for item in items:
+        item.add_marker(slow)
+
+
 @pytest.fixture(scope="session")
 def scale() -> ExperimentScale:
     name = os.environ.get("REPRO_BENCH_SCALE", "bench").lower()

@@ -21,6 +21,9 @@ __all__ = [
     "QueueFullError",
     "DeadlineExceededError",
     "GraphTooLargeError",
+    "FaultPlanError",
+    "DeviceFaultError",
+    "RecoveryExhaustedError",
 ]
 
 
@@ -82,3 +85,29 @@ class DeadlineExceededError(AdmissionError):
 class GraphTooLargeError(ServiceError, ValueError):
     """A requested graph exceeds the registry's total memory budget, so
     it could never be cached even after evicting everything else."""
+
+
+class FaultPlanError(ReproError, ValueError):
+    """A fault-injection plan is structurally invalid (unknown site or
+    kind, probability outside [0, 1], non-positive magnitude, ...)."""
+
+
+class DeviceFaultError(ReproError, RuntimeError):
+    """A seeded fault fired on the simulated device: an aborted kernel
+    launch or an ECC-style detected memory corruption. Carries the
+    named injection ``site``, the fault ``kind`` and the event
+    ``detail`` (usually the kernel name) so recovery layers can log
+    exact provenance."""
+
+    def __init__(self, message: str, *, site: str = "", kind: str = "",
+                 detail: str = "") -> None:
+        super().__init__(message)
+        self.site = site
+        self.kind = kind
+        self.detail = detail
+
+
+class RecoveryExhaustedError(ReproError, RuntimeError):
+    """Fault recovery gave up: per-level restarts or dispatch retries
+    hit their budget and no fallback engine was permitted. The service
+    raises this *instead of* ever returning a wrong answer."""

@@ -1,0 +1,63 @@
+"""repro.faults — deterministic, seeded fault injection.
+
+Production Frontier jobs see GCD faults, slow HBM and node-level
+stragglers as a matter of course; a BFS stack that claims to be "the
+basis" for exascale traversal has to keep answering — correctly —
+while they happen. This package is the substrate for that claim:
+
+* :mod:`repro.faults.plan`     — :class:`FaultPlan` / :class:`FaultRule`,
+  the declarative, JSON round-trippable chaos specification (seeded
+  RNG, named injection sites, firing probabilities, trigger budgets).
+* :mod:`repro.faults.injector` — :class:`FaultInjector`, the stateful
+  evaluator the instrumented layers visit (``gcd.launch``,
+  ``gcd.sync``, ``multigcd.exchange``, ``service.*``); deterministic
+  given (plan, visit order).
+* :mod:`repro.faults.recovery` — :class:`RecoveryPolicy`: per-level
+  checkpoint/restart budgets for the drivers, dispatch retry +
+  exponential backoff (virtual time) + circuit-breaker serial fallback
+  for the serving scheduler.
+* :mod:`repro.faults.chaos`    — the chaos-harness building blocks:
+  seeded plan sweeps, level fingerprints, differential verdicts.
+
+The package-wide contract, property-tested in ``tests/faults/``:
+recovered runs are **bit-identical** to fault-free runs; exhausted
+recovery raises a **typed** error; a wrong answer is never returned.
+
+Quick start::
+
+    from repro.faults import FaultPlan, FaultRule
+    from repro.xbfs.driver import XBFS
+
+    plan = FaultPlan(seed=7, rules=(
+        FaultRule(site="gcd.launch", kind="kernel_launch",
+                  probability=0.3, max_triggers=2),
+    ))
+    engine = XBFS(graph, injector=plan.injector())
+    result = engine.run(0)          # recovered: bit-identical levels
+    print(result.level_restarts)    # how many levels replayed
+"""
+
+from repro.faults.chaos import (
+    DEVICE_SITES,
+    differential_outcome,
+    levels_fingerprint,
+    sweep_plans,
+)
+from repro.faults.injector import FaultEvent, FaultInjector
+from repro.faults.plan import FAULT_KINDS, SITES, FaultPlan, FaultRule
+from repro.faults.recovery import DEFAULT_RECOVERY, RecoveryPolicy
+
+__all__ = [
+    "DEFAULT_RECOVERY",
+    "DEVICE_SITES",
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRule",
+    "RecoveryPolicy",
+    "SITES",
+    "differential_outcome",
+    "levels_fingerprint",
+    "sweep_plans",
+]

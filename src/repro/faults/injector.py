@@ -1,0 +1,146 @@
+"""The stateful half of fault injection: RNG, trigger budgets, events.
+
+A :class:`FaultInjector` is created from a :class:`~repro.faults.plan.
+FaultPlan` and threaded through the instrumented layers. Each layer
+calls exactly one method at its named site:
+
+* :meth:`visit` — device-style sites (``gcd.*``, ``multigcd.*``,
+  ``service.worker``): raises :class:`~repro.errors.DeviceFaultError`
+  when a raising rule fires, otherwise returns the combined latency
+  multiplier (1.0 when nothing fired).
+* :meth:`pulse` — service control-plane sites (``service.registry``,
+  ``service.queue``): never raises; returns the fired events so the
+  caller interprets them (evict N graphs, add phantom queue slots).
+
+Determinism contract: every rule that *matches* an event draws from
+the seeded RNG whether or not it fires, and the RNG is consumed in
+rule order. The injected fault sequence is therefore a pure function
+of ``(plan, sequence of visited sites)`` — which is itself
+deterministic because every clock in this package is virtual. Two runs
+with the same plan see byte-identical fault schedules; that is what
+makes chaos runs replayable and their metrics fingerprintable.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import DeviceFaultError
+from repro.faults.plan import FaultPlan, FaultRule
+
+__all__ = ["FaultEvent", "FaultInjector"]
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One fired fault: where, what, and how hard."""
+
+    seq: int          #: Global visit sequence number at firing time.
+    site: str
+    detail: str
+    kind: str
+    magnitude: float
+    rule_index: int
+
+    def describe(self) -> str:
+        return (f"#{self.seq} {self.kind}@{self.site}"
+                + (f"[{self.detail}]" if self.detail else "")
+                + (f" x{self.magnitude:g}" if self.kind == "latency" else ""))
+
+
+class _RuleState:
+    """Mutable per-rule counters."""
+
+    __slots__ = ("matches", "triggers")
+
+    def __init__(self) -> None:
+        self.matches = 0
+        self.triggers = 0
+
+
+class FaultInjector:
+    """Evaluates a plan's rules against the stream of visited sites."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._rng = random.Random(plan.seed)
+        self._state = [_RuleState() for _ in plan.rules]
+        self.visits = 0
+        self.events: list[FaultEvent] = []
+
+    # ------------------------------------------------------------------
+    def _fire(self, rule: FaultRule, state: _RuleState) -> bool:
+        """One matching event against one rule; advances the RNG."""
+        state.matches += 1
+        # Draw unconditionally so firing never perturbs later draws.
+        draw = self._rng.random()
+        if state.matches <= rule.after:
+            return False
+        if rule.max_triggers is not None and state.triggers >= rule.max_triggers:
+            return False
+        if draw >= rule.probability:
+            return False
+        state.triggers += 1
+        return True
+
+    def pulse(self, site: str, detail: str = "") -> list[FaultEvent]:
+        """Evaluate every rule against one event; return fired events.
+
+        Never raises — control-plane callers interpret the events
+        themselves. Device-plane callers use :meth:`visit` instead.
+        """
+        self.visits += 1
+        fired: list[FaultEvent] = []
+        for idx, rule in enumerate(self.plan.rules):
+            if not rule.matches(site, detail):
+                continue
+            if self._fire(rule, self._state[idx]):
+                event = FaultEvent(
+                    seq=self.visits, site=site, detail=detail,
+                    kind=rule.kind, magnitude=rule.magnitude, rule_index=idx,
+                )
+                self.events.append(event)
+                fired.append(event)
+        return fired
+
+    def visit(self, site: str, detail: str = "") -> float:
+        """Device-plane hook: abort or degrade one operation.
+
+        Raises :class:`~repro.errors.DeviceFaultError` for the first
+        fired raising rule; otherwise returns the product of fired
+        latency magnitudes (1.0 when clean).
+        """
+        scale = 1.0
+        for event in self.pulse(site, detail):
+            if event.kind in ("kernel_launch", "memory_corruption"):
+                raise DeviceFaultError(
+                    f"injected {event.describe()}",
+                    site=site, kind=event.kind, detail=detail,
+                )
+            if event.kind == "latency":
+                scale *= event.magnitude
+        return scale
+
+    # ------------------------------------------------------------------
+    @property
+    def faults_injected(self) -> int:
+        """Total fired events of every kind."""
+        return len(self.events)
+
+    def stats(self) -> dict:
+        """JSON-able counter snapshot (deterministic under one plan)."""
+        by_kind: dict[str, int] = {}
+        by_site: dict[str, int] = {}
+        for e in self.events:
+            by_kind[e.kind] = by_kind.get(e.kind, 0) + 1
+            by_site[e.site] = by_site.get(e.site, 0) + 1
+        return {
+            "plan": self.plan.name,
+            "seed": self.plan.seed,
+            "visits": self.visits,
+            "faults_injected": self.faults_injected,
+            "by_kind": dict(sorted(by_kind.items())),
+            "by_site": dict(sorted(by_site.items())),
+            "per_rule_triggers": [s.triggers for s in self._state],
+        }

@@ -1,0 +1,217 @@
+"""Declarative, seeded fault plans.
+
+A :class:`FaultPlan` is the *specification* of a chaos experiment: a
+seed plus an ordered list of :class:`FaultRule` records, each naming a
+site pattern, a fault kind, a firing probability and a trigger budget.
+Plans are pure data — JSON round-trippable, hashable into regression
+fingerprints, and committable next to the test that uses them. The
+stateful half (RNG, trigger counters, the event log) lives in
+:class:`~repro.faults.injector.FaultInjector`, created per run via
+:meth:`FaultPlan.injector`, so one plan can drive any number of
+independent, identically-seeded runs.
+
+Sites are dotted names the instrumented layers visit (see
+:data:`SITES`); rules match them with :func:`fnmatch.fnmatch`, so
+``"gcd.*"`` covers every device-level site. ``detail`` optionally
+narrows a rule to events whose detail string (usually the kernel name)
+contains the given substring — ``detail="bu_expand"`` faults only the
+bottom-up expand kernel.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from fnmatch import fnmatch
+from pathlib import Path
+
+from repro.errors import FaultPlanError
+
+__all__ = ["FaultRule", "FaultPlan", "FAULT_KINDS", "SITES"]
+
+#: Known fault kinds and what a trigger does at the visited site.
+FAULT_KINDS = (
+    #: Abort the kernel launch (`DeviceFaultError`, nothing charged).
+    "kernel_launch",
+    #: ECC-style detected memory-fetch corruption (`DeviceFaultError`).
+    "memory_corruption",
+    #: Straggler: multiply the event's modelled cost by ``magnitude``.
+    "latency",
+    #: Registry eviction storm: evict ``magnitude`` LRU graphs.
+    "evict_storm",
+    #: Queue-pressure spike: ``magnitude`` phantom queue slots.
+    "queue_pressure",
+)
+
+#: Named injection sites the instrumented layers visit, with the layer
+#: that owns each. Rules may use glob patterns over these.
+SITES = {
+    "gcd.launch": "one serial kernel launch (detail = kernel name)",
+    "gcd.launch_concurrent": "a concurrent kernel group (detail = kernel names)",
+    "gcd.sync": "device synchronisation",
+    "multigcd.exchange": "one distributed all-to-all / allgather step",
+    "service.worker": "one scheduler dispatch on a worker (detail = graph spec)",
+    "service.registry": "one registry lookup (detail = graph spec)",
+    "service.queue": "one admission check (detail = graph spec)",
+}
+
+#: Kinds that abort the visited operation with a DeviceFaultError.
+_RAISING_KINDS = ("kernel_launch", "memory_corruption")
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One declarative injection rule.
+
+    Attributes
+    ----------
+    site:
+        Glob pattern over the named sites (``"gcd.launch"``, ``"gcd.*"``).
+    kind:
+        One of :data:`FAULT_KINDS`.
+    probability:
+        Per-matching-event firing probability in [0, 1]. The RNG is
+        drawn for *every* match (fired or not), so the event sequence —
+        and therefore every downstream draw — is a pure function of the
+        plan seed and the visit order.
+    magnitude:
+        Kind-specific strength: latency multiplier for ``latency``,
+        evicted-graph count for ``evict_storm``, phantom queue slots
+        for ``queue_pressure``. Ignored by the raising kinds.
+    max_triggers:
+        Stop firing after this many triggers (``None`` = unbounded).
+        A bounded budget is what makes a plan *recoverable*: retries
+        eventually draw past the budget.
+    after:
+        Skip the first ``after`` matching events before the rule may
+        fire (lets a plan target, say, only deep BFS levels).
+    detail:
+        Substring filter on the event detail; empty matches everything.
+    """
+
+    site: str
+    kind: str
+    probability: float = 1.0
+    magnitude: float = 4.0
+    max_triggers: int | None = None
+    after: int = 0
+    detail: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise FaultPlanError(
+                f"unknown fault kind {self.kind!r}; use one of {FAULT_KINDS}"
+            )
+        if not self.site:
+            raise FaultPlanError("rule needs a non-empty site pattern")
+        if not any(fnmatch(site, self.site) for site in SITES):
+            raise FaultPlanError(
+                f"site pattern {self.site!r} matches no known site; "
+                f"known sites: {sorted(SITES)}"
+            )
+        if not 0.0 <= self.probability <= 1.0:
+            raise FaultPlanError(
+                f"probability must be in [0, 1], got {self.probability}"
+            )
+        if self.magnitude <= 0:
+            raise FaultPlanError(f"magnitude must be positive, got {self.magnitude}")
+        if self.max_triggers is not None and self.max_triggers < 1:
+            raise FaultPlanError(
+                f"max_triggers must be >= 1 or None, got {self.max_triggers}"
+            )
+        if self.after < 0:
+            raise FaultPlanError(f"after must be >= 0, got {self.after}")
+
+    # ------------------------------------------------------------------
+    def matches(self, site: str, detail: str) -> bool:
+        """Whether an event at ``site`` with ``detail`` is in scope."""
+        if not fnmatch(site, self.site):
+            return False
+        return self.detail in detail if self.detail else True
+
+    @property
+    def raises(self) -> bool:
+        """Whether a trigger aborts the operation (vs. degrading it)."""
+        return self.kind in _RAISING_KINDS
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        out: dict = {"site": self.site, "kind": self.kind,
+                     "probability": self.probability}
+        if self.magnitude != 4.0:
+            out["magnitude"] = self.magnitude
+        if self.max_triggers is not None:
+            out["max_triggers"] = self.max_triggers
+        if self.after:
+            out["after"] = self.after
+        if self.detail:
+            out["detail"] = self.detail
+        return out
+
+    @classmethod
+    def from_dict(cls, rec: dict) -> "FaultRule":
+        known = {"site", "kind", "probability", "magnitude",
+                 "max_triggers", "after", "detail"}
+        extra = set(rec) - known
+        if extra:
+            raise FaultPlanError(f"unknown rule fields {sorted(extra)}")
+        if "site" not in rec or "kind" not in rec:
+            raise FaultPlanError(f"rule needs 'site' and 'kind': {rec!r}")
+        return cls(**rec)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seed plus an ordered rule list — one whole chaos experiment."""
+
+    seed: int
+    rules: tuple[FaultRule, ...] = ()
+    name: str = "faultplan"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "rules", tuple(self.rules))
+        for rule in self.rules:
+            if not isinstance(rule, FaultRule):
+                raise FaultPlanError(f"rules must be FaultRule, got {rule!r}")
+
+    # ------------------------------------------------------------------
+    def injector(self):
+        """A fresh, independently-seeded stateful injector."""
+        from repro.faults.injector import FaultInjector
+
+        return FaultInjector(self)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "rules": [r.to_dict() for r in self.rules],
+        }
+
+    @classmethod
+    def from_dict(cls, rec: dict) -> "FaultPlan":
+        known = {"name", "seed", "rules"}
+        extra = set(rec) - known
+        if extra:
+            raise FaultPlanError(f"unknown plan fields {sorted(extra)}")
+        if "seed" not in rec:
+            raise FaultPlanError("plan needs a 'seed'")
+        rules = tuple(FaultRule.from_dict(r) for r in rec.get("rules", ()))
+        return cls(seed=int(rec["seed"]), rules=rules,
+                   name=rec.get("name", "faultplan"))
+
+    def to_json(self, path: str | Path) -> None:
+        Path(path).write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+
+    @classmethod
+    def from_json(cls, path: str | Path) -> "FaultPlan":
+        try:
+            text = Path(path).read_text()
+        except OSError as exc:
+            raise FaultPlanError(f"cannot read fault plan {path}: {exc}") from exc
+        try:
+            rec = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise FaultPlanError(f"bad JSON in fault plan {path}: {exc}") from exc
+        return cls.from_dict(rec)

@@ -1,0 +1,80 @@
+"""Recovery policy: how hard each layer tries before giving up.
+
+One frozen record shared by the BFS drivers (per-level checkpoint
+restarts) and the serving scheduler (dispatch retries with exponential
+backoff in virtual time, then the circuit breaker's fall-back to the
+serial baseline engine). Budgets are what separate a *recoverable*
+fault plan from an *unrecoverable* one; when every budget is spent and
+the fallback is disabled, the layer raises
+:class:`~repro.errors.RecoveryExhaustedError` — a typed failure, never
+a wrong answer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import FaultPlanError
+
+__all__ = ["RecoveryPolicy", "DEFAULT_RECOVERY"]
+
+
+@dataclass(frozen=True)
+class RecoveryPolicy:
+    """Retry/restart budgets and backoff shape.
+
+    max_level_restarts:
+        Per-BFS-level checkpoint restarts inside a driver before the
+        traversal raises. Each restart rolls status/parents back to the
+        level's entry snapshot and re-runs *only the failed level*.
+    max_dispatch_retries:
+        Whole-dispatch retries the scheduler attempts after a driver
+        gave up (or the device faulted outside a recoverable window).
+    backoff_base_ms / backoff_factor:
+        Exponential backoff added to the retried dispatch's start slot,
+        in virtual milliseconds: retry *k* waits
+        ``backoff_base_ms * backoff_factor**(k-1)``.
+    breaker_threshold:
+        Consecutive faulted dispatches that trip the circuit breaker.
+    breaker_cooldown:
+        Dispatches the open breaker routes straight to the serial
+        baseline before probing the simulated device again.
+    serial_fallback:
+        Permit falling back to the serial CPU baseline when retry
+        budgets are spent (or the breaker is open). With this off, an
+        exhausted dispatch raises
+        :class:`~repro.errors.RecoveryExhaustedError`.
+    """
+
+    max_level_restarts: int = 8
+    max_dispatch_retries: int = 3
+    backoff_base_ms: float = 0.5
+    backoff_factor: float = 2.0
+    breaker_threshold: int = 3
+    breaker_cooldown: int = 8
+    serial_fallback: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_level_restarts < 0:
+            raise FaultPlanError("max_level_restarts must be >= 0")
+        if self.max_dispatch_retries < 0:
+            raise FaultPlanError("max_dispatch_retries must be >= 0")
+        if self.backoff_base_ms < 0:
+            raise FaultPlanError("backoff_base_ms must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise FaultPlanError("backoff_factor must be >= 1")
+        if self.breaker_threshold < 1:
+            raise FaultPlanError("breaker_threshold must be >= 1")
+        if self.breaker_cooldown < 0:
+            raise FaultPlanError("breaker_cooldown must be >= 0")
+
+    def backoff_ms(self, attempt: int) -> float:
+        """Virtual-time wait before retry ``attempt`` (1-based)."""
+        if attempt < 1:
+            return 0.0
+        return self.backoff_base_ms * self.backoff_factor ** (attempt - 1)
+
+
+#: The policy every layer defaults to when given an injector but no
+#: explicit policy.
+DEFAULT_RECOVERY = RecoveryPolicy()

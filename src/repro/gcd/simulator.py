@@ -14,9 +14,21 @@ BFS run. It owns a :class:`~repro.gcd.profiler.Profiler`, a wall clock
   paper's consolidation to one stream eliminates.
 
 The first kernel of a run additionally pays the warm-up charge.
+
+An optional :class:`~repro.faults.injector.FaultInjector` makes the
+die *unreliable on schedule*: every launch, concurrent group and sync
+visits its named site (``gcd.launch`` / ``gcd.launch_concurrent`` /
+``gcd.sync``) first. A raising rule aborts the operation with
+:class:`~repro.errors.DeviceFaultError` before any cost is charged or
+any counter row is recorded — the die stays consistent, so a recovery
+layer can simply re-issue the work; a latency rule multiplies the
+operation's modelled cost (an HBM straggler), degrading time but never
+results.
 """
 
 from __future__ import annotations
+
+from dataclasses import replace
 
 from repro.errors import KernelLaunchError
 from repro.gcd.device import DeviceProfile, MI250X_GCD
@@ -43,9 +55,14 @@ class GCD:
         self,
         device: DeviceProfile = MI250X_GCD,
         config: ExecConfig | None = None,
+        *,
+        injector=None,
     ) -> None:
         self.device = device
         self.config = config or ExecConfig()
+        #: Optional :class:`~repro.faults.injector.FaultInjector`; when
+        #: set, every launch/sync visits its fault site first.
+        self.injector = injector
         self.cost_model = KernelCostModel(device)
         self.profiler = Profiler()
         self.elapsed_ms = 0.0
@@ -81,6 +98,11 @@ class GCD:
             raise KernelLaunchError(
                 f"stream {stream_id} out of range for {self.config.num_streams}-stream config"
             )
+        fault_scale = 1.0
+        if self.injector is not None:
+            # May raise DeviceFaultError: the launch aborts with no cost
+            # charged and no record added, leaving the die re-issuable.
+            fault_scale = self.injector.visit("gcd.launch", name)
         record = self.cost_model.evaluate(
             name,
             strategy=strategy,
@@ -94,6 +116,8 @@ class GCD:
             bottom_up=bottom_up,
             ratio=ratio,
         )
+        if fault_scale != 1.0:
+            record = replace(record, runtime_ms=record.runtime_ms * fault_scale)
         if not setup:
             self._warm = True
         self.launches += 1
@@ -118,6 +142,13 @@ class GCD:
                 f"{len(specs)} concurrent kernels need {len(specs)} streams, "
                 f"config has {self.config.num_streams}"
             )
+        fault_scale = 1.0
+        if self.injector is not None:
+            # One visit for the whole group, before any kernel is
+            # evaluated: a fault aborts the group atomically.
+            fault_scale = self.injector.visit(
+                "gcd.launch_concurrent", ",".join(s["name"] for s in specs)
+            )
         records: list[KernelRecord] = []
         for sid, spec in enumerate(specs):
             record = self.cost_model.evaluate(
@@ -141,12 +172,28 @@ class GCD:
         wall = max(r.overhead_ms for r in records) + sum(
             max(r.compute_ms, r.mem_ms) for r in records
         )
-        self.elapsed_ms += wall
+        self.elapsed_ms += wall * fault_scale
         return records
 
     def sync(self) -> float:
         """Device synchronisation: every stream that has work in flight
         must be waited on. Returns the cost charged (ms)."""
+        fault_scale = 1.0
+        if self.injector is not None:
+            fault_scale = self.injector.visit("gcd.sync")
+        active = max(1, len(self._streams_dirty))
+        cost_ms = active * self.device.device_sync_us * 1e-3 * fault_scale
+        self.elapsed_ms += cost_ms
+        self.sync_ms += cost_ms
+        self.syncs += 1
+        self._streams_dirty.clear()
+        return cost_ms
+
+    def quiesce(self) -> float:
+        """Fault-immune synchronisation for recovery paths: settles
+        every in-flight stream (same cost as :meth:`sync`) but never
+        visits the fault injector — a die being *recovered* must not
+        fault again inside its own recovery step."""
         active = max(1, len(self._streams_dirty))
         cost_ms = active * self.device.device_sync_us * 1e-3
         self.elapsed_ms += cost_ms

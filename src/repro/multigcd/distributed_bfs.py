@@ -82,6 +82,7 @@ class MultiGcdBFS:
         partition: Partition1D | None = None,
         direction_alpha: float | None = None,
         straggler_slowdown: dict[int, float] | None = None,
+        injector=None,
     ) -> None:
         if num_gcds < 1:
             raise PartitionError(f"num_gcds must be >= 1, got {num_gcds}")
@@ -109,7 +110,19 @@ class MultiGcdBFS:
         self.partition = partition or partition_by_edges(graph, num_gcds)
         if self.partition.num_vertices != graph.num_vertices:
             raise PartitionError("partition does not cover the graph")
+        #: Optional :class:`~repro.faults.injector.FaultInjector`; every
+        #: member GCD shares it, and the ``multigcd.exchange`` site lets
+        #: plans degrade (or fault) the interconnect itself. This engine
+        #: has no checkpoint layer — an injected device fault surfaces
+        #: as the typed error, never as a wrong level array.
+        self.injector = injector
         self._gcds: list[GCD] | None = None
+
+    def _exchange_scale(self, level: int) -> float:
+        """Latency multiplier for one all-to-all (1.0 without faults)."""
+        if self.injector is None:
+            return 1.0
+        return self.injector.visit("multigcd.exchange", f"level{level}")
 
     @property
     def reverse_graph(self) -> CSRGraph:
@@ -157,6 +170,7 @@ class MultiGcdBFS:
             bytes_matrix[g, :] = slice_bytes
             np.fill_diagonal(bytes_matrix, 0)
         comm_ms = self.interconnect.alltoall_ms(bytes_matrix)
+        comm_ms *= self._exchange_scale(level)
         comm_bytes = int(bytes_matrix.sum())
 
         in_frontier = np.zeros(graph.num_vertices, dtype=bool)
@@ -225,7 +239,10 @@ class MultiGcdBFS:
         if not 0 <= source < graph.num_vertices:
             raise TraversalError(f"source {source} out of range")
         if self._gcds is None:
-            self._gcds = [GCD(self.device, self.config) for _ in range(p)]
+            self._gcds = [
+                GCD(self.device, self.config, injector=self.injector)
+                for _ in range(p)
+            ]
         else:
             for g in self._gcds:
                 g.reset(keep_warm=True)
@@ -311,6 +328,7 @@ class MultiGcdBFS:
                 )
 
             comm_ms = self.interconnect.alltoall_ms(bytes_matrix)
+            comm_ms *= self._exchange_scale(level)
             level_bytes = int(bytes_matrix.sum() - np.trace(bytes_matrix))
             per_level_bytes.append(level_bytes)
             bytes_total += level_bytes

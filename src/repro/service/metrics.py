@@ -58,6 +58,19 @@ class ServiceMetrics:
     #: Host wall-clock seconds per dispatch (perf_counter; one entry
     #: per engine run, machine-dependent — excluded from fingerprints).
     host_dispatch_s: list[float] = field(default_factory=list)
+    # --- degraded-mode (fault recovery) counters; all virtual-time ---
+    #: Fired fault events (every kind), synced from the injector.
+    faults_injected: int = 0
+    #: Dispatch-level retries after a device fault.
+    retries: int = 0
+    #: Dispatches served by the serial baseline fallback.
+    fallbacks: int = 0
+    #: Times the circuit breaker tripped open.
+    breaker_trips: int = 0
+    #: BFS levels replayed from checkpoints inside the engines.
+    level_restarts: int = 0
+    #: Virtual backoff delay per recovered dispatch (ms).
+    recovery_ms: list[float] = field(default_factory=list)
 
     # ------------------------------------------------------------------
     def record_outcome(self, outcome: QueryOutcome) -> None:
@@ -84,6 +97,29 @@ class ServiceMetrics:
     def record_host_dispatch(self, seconds: float) -> None:
         """Record the host wall-clock cost of one dispatch."""
         self.host_dispatch_s.append(float(seconds))
+
+    def record_retry(self) -> None:
+        """One dispatch retry after a device fault."""
+        self.retries += 1
+
+    def record_fallback(self) -> None:
+        """One dispatch served by the serial baseline engine."""
+        self.fallbacks += 1
+
+    def record_breaker_trip(self) -> None:
+        self.breaker_trips += 1
+
+    def record_level_restarts(self, n: int) -> None:
+        """Checkpoint replays an engine performed inside one dispatch."""
+        self.level_restarts += int(n)
+
+    def record_recovery(self, virtual_ms: float) -> None:
+        """Total virtual recovery delay of one recovered dispatch."""
+        self.recovery_ms.append(float(virtual_ms))
+
+    def sync_faults(self, faults_injected: int) -> None:
+        """Adopt the injector's fired-event total (monotone)."""
+        self.faults_injected = max(self.faults_injected, int(faults_injected))
 
     def record_rejection(self, kind: str | None) -> None:
         if kind == "queue_full":
@@ -149,6 +185,17 @@ class ServiceMetrics:
             "makespan_ms": self.makespan_ms,
             "service_gteps": self.gteps,
             "total_traversed_edges": self.total_traversed_edges,
+            # Degraded-mode counters: all virtual-time and therefore
+            # deterministic under a fixed fault plan — they belong in
+            # the fingerprint exactly like the latency percentiles.
+            "faults_injected": self.faults_injected,
+            "retries": self.retries,
+            "fallbacks": self.fallbacks,
+            "breaker_trips": self.breaker_trips,
+            "level_restarts": self.level_restarts,
+            "recoveries": len(self.recovery_ms),
+            "recovery_p50_ms": percentile(self.recovery_ms, 50),
+            "recovery_p95_ms": percentile(self.recovery_ms, 95),
         }
         if registry_stats is not None:
             out["cache_hit_rate"] = registry_stats["hit_rate"]
@@ -182,6 +229,15 @@ class ServiceMetrics:
             f"throughput: {s['service_gteps']:.3f} GTEPS (modelled) over "
             f"{s['makespan_ms']:.3f} ms makespan",
         ]
+        if self.faults_injected or self.retries or self.fallbacks:
+            lines.append(
+                f"faults:     {s['faults_injected']} injected  "
+                f"retries={s['retries']}  fallbacks={s['fallbacks']}  "
+                f"level_restarts={s['level_restarts']}  "
+                f"breaker_trips={s['breaker_trips']}  "
+                f"recovery p50 {s['recovery_p50_ms']:.3f} ms / "
+                f"p95 {s['recovery_p95_ms']:.3f} ms"
+            )
         if self.host_dispatch_s:
             h = s["host"]
             lines.append(

@@ -137,6 +137,23 @@ class GraphRegistry:
         self._entries[spec] = entry
         return entry, False
 
+    def evict(self, count: int = 1) -> list[str]:
+        """Forcibly evict up to ``count`` LRU entries; returns their keys.
+
+        Used by the fault layer's *eviction storms*: a storm drops warm
+        graphs (and their engines), so subsequent queries re-pay the
+        modelled build and warm-up charges — degraded latency, never
+        degraded answers.
+        """
+        dropped: list[str] = []
+        for _ in range(max(0, int(count))):
+            if not self._entries:
+                break
+            key, _entry = self._entries.popitem(last=False)
+            self.evictions += 1
+            dropped.append(key)
+        return dropped
+
     def _evict_for(self, incoming_bytes: int) -> None:
         while (
             self._entries

@@ -16,6 +16,8 @@ from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from repro.errors import AdmissionError
+from repro.faults.plan import FaultPlan
+from repro.faults.recovery import RecoveryPolicy
 from repro.service.admission import AdmissionController, AdmissionPolicy
 from repro.service.metrics import ServiceMetrics
 from repro.service.registry import GraphRegistry
@@ -34,6 +36,9 @@ class ServiceReport:
     metrics: ServiceMetrics
     registry_stats: dict
     worker_stats: list[dict]
+    #: Injector counters (by kind/site/rule), or ``None`` when the
+    #: service ran without a fault plan.
+    fault_stats: dict | None = None
 
     @property
     def served(self) -> list[QueryOutcome]:
@@ -75,6 +80,8 @@ class BFSService:
         seed: int = 0,
         scaled_cache: bool = True,
         registry: GraphRegistry | None = None,
+        fault_plan: FaultPlan | None = None,
+        recovery: RecoveryPolicy | None = None,
     ) -> None:
         # Explicit None-check: an empty GraphRegistry has len() == 0
         # and would read as falsy.
@@ -92,6 +99,12 @@ class BFSService:
             )
         )
         self.metrics = ServiceMetrics()
+        #: The declarative plan (kept for reports); its injector below
+        #: holds all mutable fault state.
+        self.fault_plan = fault_plan
+        self.fault_injector = (
+            fault_plan.injector() if fault_plan is not None else None
+        )
         self.scheduler = CoalescingScheduler(
             self.registry,
             workers=workers,
@@ -100,6 +113,8 @@ class BFSService:
             admission=self.admission,
             metrics=self.metrics,
             scaled_cache=scaled_cache,
+            fault_injector=self.fault_injector,
+            recovery=recovery,
         )
 
     # ------------------------------------------------------------------
@@ -130,9 +145,14 @@ class BFSService:
         return self.report()
 
     def report(self) -> ServiceReport:
+        fault_stats = None
+        if self.fault_injector is not None:
+            self.metrics.sync_faults(self.fault_injector.faults_injected)
+            fault_stats = self.fault_injector.stats()
         return ServiceReport(
             outcomes=list(self.scheduler.outcomes),
             metrics=self.metrics,
             registry_stats=self.registry.stats(),
             worker_stats=self.scheduler.worker_stats(),
+            fault_stats=fault_stats,
         )

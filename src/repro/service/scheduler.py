@@ -29,7 +29,14 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.errors import AdmissionError, DeadlineExceededError, ServiceError
+from repro.errors import (
+    AdmissionError,
+    DeadlineExceededError,
+    DeviceFaultError,
+    RecoveryExhaustedError,
+    ServiceError,
+)
+from repro.faults.recovery import DEFAULT_RECOVERY, RecoveryPolicy
 from repro.gcd.device import MI250X_GCD
 from repro.service.admission import AdmissionController
 from repro.service.metrics import ServiceMetrics
@@ -37,7 +44,12 @@ from repro.service.registry import GraphRegistry, RegistryEntry
 from repro.service.request import Query, QueryOutcome
 from repro.xbfs.concurrent import MAX_CONCURRENT, ConcurrentBFS
 
-__all__ = ["CoalescingScheduler", "WorkerState"]
+__all__ = ["CoalescingScheduler", "WorkerState", "SERIAL_FALLBACK_MS_PER_MEDGE"]
+
+#: Modelled serial-baseline traversal cost charged by the circuit
+#: breaker's fallback path: milliseconds per million traversed edges
+#: (~20 M edges/s of queue-based CPU BFS — slow, but always correct).
+SERIAL_FALLBACK_MS_PER_MEDGE = 50.0
 
 
 @dataclass
@@ -63,6 +75,8 @@ class CoalescingScheduler:
         admission: AdmissionController | None = None,
         metrics: ServiceMetrics | None = None,
         scaled_cache: bool = True,
+        fault_injector=None,
+        recovery: RecoveryPolicy | None = None,
     ) -> None:
         if workers < 1:
             raise ServiceError("scheduler needs at least one worker")
@@ -82,6 +96,15 @@ class CoalescingScheduler:
         self.outcomes: list[QueryOutcome] = []
         self.now_ms = 0.0
         self._pending: list[Query] = []
+        #: Optional :class:`~repro.faults.injector.FaultInjector`;
+        #: threaded into every engine this scheduler builds and visited
+        #: at the service's own sites (queue, registry, worker).
+        self.fault_injector = fault_injector
+        self.recovery = recovery or DEFAULT_RECOVERY
+        #: Consecutive dispatches that exhausted their retries.
+        self._fault_streak = 0
+        #: Dispatches the open circuit breaker still routes serially.
+        self._breaker_cooldown_left = 0
 
     # ------------------------------------------------------------------
     @property
@@ -102,8 +125,17 @@ class CoalescingScheduler:
             )
         self._advance(query.arrival_ms)
         self.now_ms = query.arrival_ms
+        depth = self.queue_depth
+        if self.fault_injector is not None:
+            # Queue-pressure spike: phantom slots shrink the effective
+            # headroom, shedding load early — a typed rejection the
+            # client sees, never a silent drop.
+            for event in self.fault_injector.pulse("service.queue", query.graph):
+                if event.kind == "queue_pressure":
+                    depth += int(event.magnitude)
+            self.metrics.sync_faults(self.fault_injector.faults_injected)
         try:
-            self.admission.admit(query, self.queue_depth)
+            self.admission.admit(query, depth)
         except AdmissionError:
             outcome = QueryOutcome(
                 query=query, levels=None, rejected="queue_full"
@@ -187,21 +219,24 @@ class CoalescingScheduler:
         # actual engine run) — the machine-dependent complement of the
         # virtual ``elapsed``; lands in metrics under the "host" section.
         host_t0 = time.perf_counter()
+        inj = self.fault_injector
+        if inj is not None:
+            # Eviction storm: warm graphs (and their engines) vanish
+            # before the lookup, so this dispatch may re-pay the build.
+            for event in inj.pulse("service.registry", anchor.graph):
+                if event.kind == "evict_storm":
+                    self.registry.evict(int(event.magnitude))
         entry, hit = self.registry.get(anchor.graph)
         build_ms = 0.0 if hit else entry.build_ms
         sources = list(dict.fromkeys(q.source for q in live))
+        batched = key is not None and len(sources) > 1
 
-        if key is not None and len(sources) > 1:
-            result = self._run_concurrent(entry, sources)
-            elapsed = result.elapsed_ms
-            sharing = result.sharing_factor
-            levels_of = result.levels_of
-        else:
-            solo = self._run_solo(entry, live[0])
-            elapsed = solo.elapsed_ms
-            sharing = 1.0
-            levels_of = lambda _s: solo.levels  # noqa: E731
+        elapsed, sharing, levels_of = self._run_dispatch(
+            entry, live, sources, batched, graph_key=anchor.graph
+        )
         self.metrics.record_host_dispatch(time.perf_counter() - host_t0)
+        if inj is not None:
+            self.metrics.sync_faults(inj.faults_injected)
 
         finish = start + build_ms + elapsed
         worker.busy_until_ms = finish
@@ -228,6 +263,116 @@ class CoalescingScheduler:
             self.metrics.record_outcome(outcome)
 
     # ------------------------------------------------------------------
+    def _run_dispatch(
+        self,
+        entry: RegistryEntry,
+        live: list[Query],
+        sources: list[int],
+        batched: bool,
+        *,
+        graph_key: str,
+    ):
+        """Run the engine for one dispatch, recovering from injected
+        faults.
+
+        Returns ``(elapsed_ms, sharing_factor, levels_of)``. The ladder:
+
+        1. per-level checkpoint/restart *inside* the engine (invisible
+           here beyond ``level_restarts``),
+        2. dispatch-level retries with exponential backoff in virtual
+           time when the engine still fails,
+        3. a circuit breaker that, after ``breaker_threshold``
+           consecutive exhausted dispatches, routes the next
+           ``breaker_cooldown`` dispatches to the serial baseline —
+           degraded latency, bit-identical answers.
+        """
+        inj = self.fault_injector
+        if inj is None:
+            return self._run_engine(entry, live, sources, batched)
+
+        recovery = self.recovery
+        if self._breaker_cooldown_left > 0:
+            self._breaker_cooldown_left -= 1
+            if self._breaker_cooldown_left == 0:
+                self._fault_streak = 0  # half-open: next dispatch probes
+            self.metrics.record_fallback()
+            return self._run_serial(entry, live, sources)
+
+        attempt = 0
+        backoff_total = 0.0
+        while True:
+            try:
+                # The worker itself may fault (raising kinds) or run
+                # slow (latency kinds scale the modelled elapsed).
+                fault_scale = inj.visit("service.worker", graph_key)
+                elapsed, sharing, levels_of = self._run_engine(
+                    entry, live, sources, batched
+                )
+            except (DeviceFaultError, RecoveryExhaustedError) as exc:
+                attempt += 1
+                if attempt > recovery.max_dispatch_retries:
+                    self._fault_streak += 1
+                    if self._fault_streak >= recovery.breaker_threshold:
+                        self.metrics.record_breaker_trip()
+                        self._breaker_cooldown_left = recovery.breaker_cooldown
+                    if not recovery.serial_fallback:
+                        raise RecoveryExhaustedError(
+                            f"dispatch on {graph_key!r} still faulting "
+                            f"after {recovery.max_dispatch_retries} "
+                            f"retries and serial fallback is disabled: "
+                            f"{exc}"
+                        ) from exc
+                    self.metrics.record_fallback()
+                    return self._run_serial(entry, live, sources)
+                self.metrics.record_retry()
+                backoff_total += recovery.backoff_ms(attempt)
+            else:
+                self._fault_streak = 0
+                if attempt > 0 or backoff_total > 0.0:
+                    self.metrics.record_recovery(backoff_total)
+                return elapsed * fault_scale + backoff_total, sharing, levels_of
+
+    def _run_engine(self, entry: RegistryEntry, live, sources, batched):
+        if batched:
+            result = self._run_concurrent(entry, sources)
+            if result.level_restarts:
+                self.metrics.record_level_restarts(result.level_restarts)
+            return result.elapsed_ms, result.sharing_factor, result.levels_of
+        solo = self._run_solo(entry, live[0])
+        if solo.level_restarts:
+            self.metrics.record_level_restarts(solo.level_restarts)
+        return solo.elapsed_ms, 1.0, lambda _s: solo.levels
+
+    def _run_serial(self, entry: RegistryEntry, live: list[Query], sources):
+        """Circuit-breaker fallback: queue-based CPU BFS per source.
+
+        ``bfs_levels_reference`` is the same int32 oracle the test suite
+        checks every engine against, so the answers stay bit-identical;
+        only the modelled cost degrades. Runs outside the injector's
+        reach — the whole point is an execution plane faults can't
+        touch.
+        """
+        from repro.graph.stats import bfs_levels_reference
+
+        graph = entry.graph
+        by_source: dict[int, "np.ndarray"] = {}
+        serial_edges = 0
+        for src in sources:
+            levels = bfs_levels_reference(graph, src)
+            max_levels = None
+            if len(sources) == 1:
+                max_levels = live[0].options.max_levels
+            if max_levels is not None:
+                # The engine stops expanding once ``level`` reaches
+                # ``max_levels``: vertices at levels 0..max_levels stay.
+                levels = levels.copy()
+                levels[levels > max_levels] = -1
+            by_source[src] = levels
+            serial_edges += int(graph.degrees[levels >= 0].sum())
+        elapsed = serial_edges / 1e6 * SERIAL_FALLBACK_MS_PER_MEDGE
+        return elapsed, 1.0, lambda s: by_source[s]
+
+    # ------------------------------------------------------------------
     def _device_of(self, entry: RegistryEntry):
         device = entry.engines.get("device")
         if device is None:
@@ -243,7 +388,12 @@ class CoalescingScheduler:
     def _run_concurrent(self, entry: RegistryEntry, sources: list[int]):
         engine = entry.engines.get("concurrent")
         if engine is None:
-            engine = ConcurrentBFS(entry.graph, device=self._device_of(entry))
+            engine = ConcurrentBFS(
+                entry.graph,
+                device=self._device_of(entry),
+                injector=self.fault_injector,
+                recovery=self.recovery,
+            )
             entry.engines["concurrent"] = engine
         return engine.run(np.asarray(sources, dtype=np.int64))
 
@@ -252,7 +402,12 @@ class CoalescingScheduler:
 
         engine = entry.engines.get("solo")
         if engine is None:
-            engine = XBFS(entry.graph, device=self._device_of(entry))
+            engine = XBFS(
+                entry.graph,
+                device=self._device_of(entry),
+                injector=self.fault_injector,
+                recovery=self.recovery,
+            )
             entry.engines["solo"] = engine
         opts = query.options
         return engine.run(

@@ -21,7 +21,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.errors import TraversalError
+from repro.errors import DeviceFaultError, RecoveryExhaustedError, TraversalError
+from repro.faults.recovery import DEFAULT_RECOVERY, RecoveryPolicy
 from repro.gcd.device import DeviceProfile, MI250X_GCD
 from repro.gcd.kernel import ComputeWork, ExecConfig
 from repro.gcd.memory import rand_read, rand_write, segmented_read, seq_read, seq_write
@@ -76,6 +77,9 @@ class ConcurrentResult:
     solo_edges: int
     depth: int
     paid_warmup: bool = False
+    #: Levels replayed from their checkpoint after injected device
+    #: faults (0 on a fault-free run).
+    level_restarts: int = 0
 
     @property
     def sharing_factor(self) -> float:
@@ -114,11 +118,17 @@ class ConcurrentBFS:
         device: DeviceProfile = MI250X_GCD,
         config: ExecConfig | None = None,
         profiler: HostProfiler | None = None,
+        injector=None,
+        recovery: RecoveryPolicy | None = None,
     ) -> None:
         self.graph = graph
         self.device = device
         self.config = config or ExecConfig()
         self.profiler = profiler if profiler is not None else NULL_PROFILER
+        #: Optional fault injector; engages per-level checkpoint/restart
+        #: exactly like :class:`~repro.xbfs.driver.XBFS`.
+        self.injector = injector
+        self.recovery = recovery or DEFAULT_RECOVERY
         self._gcd: GCD | None = None
 
     def run(self, sources: np.ndarray) -> ConcurrentResult:
@@ -138,7 +148,7 @@ class ConcurrentBFS:
             raise TraversalError("sources must be distinct")
 
         if self._gcd is None:
-            self._gcd = GCD(self.device, self.config)
+            self._gcd = GCD(self.device, self.config, injector=self.injector)
         else:
             self._gcd.reset(keep_warm=True)
         gcd = self._gcd
@@ -160,57 +170,87 @@ class ConcurrentBFS:
         degs = graph.degrees
 
         prof = self.profiler
+        level_restarts = 0
         while True:
             active = np.flatnonzero(frontier_bits).astype(np.int64)
             if active.size == 0:
                 break
-            with prof.timer("cb_expand"):
-                neighbors, owner = gather_neighbors(graph, active)
-                e_union = int(neighbors.size)
-                union_edges += e_union
-                # A solo run would expand each (source, vertex) pair
-                # separately.
-                popcounts = np.bitwise_count(frontier_bits[active]).astype(
-                    np.int64
-                )
-                solo_edges += int((popcounts * degs[active]).sum())
+            if self.injector is not None:
+                # Level-entry checkpoint: an injected fault rolls the
+                # bit-status planes and edge counters back and replays
+                # only this level.
+                snap = (visited.copy(), frontier_bits.copy(), levels.copy(),
+                        union_edges, solo_edges)
+            attempts = 0
+            while True:
+                try:
+                    with prof.timer("cb_expand"):
+                        neighbors, owner = gather_neighbors(graph, active)
+                        e_union = int(neighbors.size)
+                        union_edges += e_union
+                        # A solo run would expand each (source, vertex)
+                        # pair separately.
+                        popcounts = np.bitwise_count(
+                            frontier_bits[active]
+                        ).astype(np.int64)
+                        solo_edges += int((popcounts * degs[active]).sum())
 
-                # Propagate the frontier bits along the gathered edges.
-                incoming = np.zeros(n, dtype=np.uint64)
-                np.bitwise_or.at(incoming, neighbors, frontier_bits[active][owner])
-                fresh = incoming & ~visited
-                visited |= fresh
-                newly = np.flatnonzero(fresh).astype(np.int64)
-                for i in range(k):
-                    mine = newly[
-                        (fresh[newly] >> np.uint64(i)) & np.uint64(1) == 1
-                    ]
-                    levels[i, mine] = level + 1
-                frontier_bits = fresh
+                        # Propagate the frontier bits along the gathered
+                        # edges.
+                        incoming = np.zeros(n, dtype=np.uint64)
+                        np.bitwise_or.at(
+                            incoming, neighbors, frontier_bits[active][owner]
+                        )
+                        fresh = incoming & ~visited
+                        visited |= fresh
+                        newly = np.flatnonzero(fresh).astype(np.int64)
+                        for i in range(k):
+                            mine = newly[
+                                (fresh[newly] >> np.uint64(i)) & np.uint64(1)
+                                == 1
+                            ]
+                            levels[i, mine] = level + 1
+
+                    adj_lines = segment_lines_touched(
+                        graph.row_offsets[active], degs[active],
+                        element_bytes=4, line_bytes=line,
+                    )
+                    gcd.launch(
+                        "cb_expand",
+                        strategy="concurrent",
+                        level=level,
+                        streams=[
+                            seq_read("frontier", int(active.size), 8),
+                            rand_read("beg_pos", 2 * int(active.size), 2 * int(active.size), 8),
+                            segmented_read("adj_list", e_union, adj_lines, 4),
+                            # 8-byte bit-status words, read per edge,
+                            # OR-written per fresh discovery.
+                            rand_read("bit_status", e_union, n, 8),
+                            rand_write("bit_status", int(newly.size), int(newly.size), 8),
+                            seq_write("next_frontier", int(newly.size), 8),
+                        ],
+                        work=ComputeWork(flat_ops=float(e_union + active.size)),
+                        work_items=int(active.size),
+                    )
+                    gcd.sync()
+                except DeviceFaultError as exc:
+                    attempts += 1
+                    level_restarts += 1
+                    if attempts > self.recovery.max_level_restarts:
+                        raise RecoveryExhaustedError(
+                            f"concurrent level {level} still faulting after "
+                            f"{self.recovery.max_level_restarts} checkpoint "
+                            f"restarts: {exc}"
+                        ) from exc
+                    visited[:] = snap[0]
+                    frontier_bits[:] = snap[1]
+                    levels[:] = snap[2]
+                    union_edges, solo_edges = snap[3], snap[4]
+                    gcd.quiesce()
+                else:
+                    break
+            frontier_bits = fresh
             prof.count("levels/concurrent")
-
-            adj_lines = segment_lines_touched(
-                graph.row_offsets[active], degs[active],
-                element_bytes=4, line_bytes=line,
-            )
-            gcd.launch(
-                "cb_expand",
-                strategy="concurrent",
-                level=level,
-                streams=[
-                    seq_read("frontier", int(active.size), 8),
-                    rand_read("beg_pos", 2 * int(active.size), 2 * int(active.size), 8),
-                    segmented_read("adj_list", e_union, adj_lines, 4),
-                    # 8-byte bit-status words, read per edge, OR-written
-                    # per fresh discovery.
-                    rand_read("bit_status", e_union, n, 8),
-                    rand_write("bit_status", int(newly.size), int(newly.size), 8),
-                    seq_write("next_frontier", int(newly.size), 8),
-                ],
-                work=ComputeWork(flat_ops=float(e_union + active.size)),
-                work_items=int(active.size),
-            )
-            gcd.sync()
             level += 1
 
         return ConcurrentResult(
@@ -221,4 +261,5 @@ class ConcurrentBFS:
             solo_edges=solo_edges,
             depth=level,
             paid_warmup=paid_warmup,
+            level_restarts=level_restarts,
         )

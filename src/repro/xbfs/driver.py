@@ -17,7 +17,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.errors import TraversalError
+from repro.errors import DeviceFaultError, RecoveryExhaustedError, TraversalError
+from repro.faults.recovery import DEFAULT_RECOVERY, RecoveryPolicy
 from repro.gcd.device import DeviceProfile, MI250X_GCD
 from repro.gcd.kernel import ComputeWork, ExecConfig, KernelRecord
 from repro.gcd.memory import seq_write
@@ -59,6 +60,10 @@ class XBFSResult:
     #: Graph500-style parent array (present when ``record_parents``);
     #: ``parent[source] == source``, -1 for unreachable vertices.
     parents: np.ndarray | None = None
+    #: Levels replayed from their checkpoint after an injected device
+    #: fault (0 on a fault-free run). The replays' kernel time is in
+    #: ``elapsed_ms`` — recovery is paid for, never hidden.
+    level_restarts: int = 0
 
     @property
     def depth(self) -> int:
@@ -150,6 +155,18 @@ class XBFS:
         ``"reference"`` (full-gather oracle) — bit-identical results.
     probe_block:
         Column-block width of the blocked probe loop.
+    injector:
+        Optional :class:`~repro.faults.injector.FaultInjector`; when
+        set, the simulated die faults on the plan's schedule and every
+        level runs under checkpoint/restart: status and parents are
+        snapshotted at level entry, a :class:`~repro.errors.
+        DeviceFaultError` rolls them back and replays *only the failed
+        level* (never the whole traversal), up to
+        ``recovery.max_level_restarts`` times before raising
+        :class:`~repro.errors.RecoveryExhaustedError`.
+    recovery:
+        Restart budget policy (default :data:`repro.faults.recovery.
+        DEFAULT_RECOVERY`); only consulted when ``injector`` is set.
     """
 
     def __init__(
@@ -164,6 +181,8 @@ class XBFS:
         profiler: HostProfiler | None = None,
         bottom_up_impl: str = "blocked",
         probe_block: int = DEFAULT_PROBE_BLOCK,
+        injector=None,
+        recovery: RecoveryPolicy | None = None,
     ) -> None:
         if bottom_up_impl not in bottom_up.IMPLS:
             raise TraversalError(
@@ -180,6 +199,8 @@ class XBFS:
         self.profiler = profiler if profiler is not None else NULL_PROFILER
         self.bottom_up_impl = bottom_up_impl
         self.probe_block = probe_block
+        self.injector = injector
+        self.recovery = recovery or DEFAULT_RECOVERY
         self._scratch = ScratchPool()
         self._gcd: GCD | None = None
         self._reverse: CSRGraph | None = None
@@ -228,7 +249,7 @@ class XBFS:
         # first-launch warm-up, subsequent runs (the n-to-n loop) reuse
         # the warm device — matching back-to-back BFS in one process.
         if self._gcd is None:
-            self._gcd = GCD(self.device, self.config)
+            self._gcd = GCD(self.device, self.config, injector=self.injector)
         else:
             self._gcd.reset(keep_warm=True)
         gcd = self._gcd
@@ -239,15 +260,29 @@ class XBFS:
         if record_parents:
             parents = np.full(graph.num_vertices, -1, dtype=np.int64)
             parents[source] = source
-        gcd.launch(
-            "init_status",
-            strategy="setup",
-            level=-1,
-            streams=[seq_write("status", graph.num_vertices, 4)],
-            work=ComputeWork(flat_ops=float(graph.num_vertices)),
-            work_items=graph.num_vertices,
-            setup=True,
-        )
+        init_restarts = 0
+        while True:
+            try:
+                gcd.launch(
+                    "init_status",
+                    strategy="setup",
+                    level=-1,
+                    streams=[seq_write("status", graph.num_vertices, 4)],
+                    work=ComputeWork(flat_ops=float(graph.num_vertices)),
+                    work_items=graph.num_vertices,
+                    setup=True,
+                )
+                break
+            except DeviceFaultError as exc:
+                # The status init is idempotent: re-issue it like a
+                # faulted level, against the same restart budget.
+                init_restarts += 1
+                if init_restarts > self.recovery.max_level_restarts:
+                    raise RecoveryExhaustedError(
+                        f"status init still faulting after "
+                        f"{self.recovery.max_level_restarts} restarts: {exc}"
+                    ) from exc
+                gcd.quiesce()
 
         total_edges = max(1, graph.num_edges)
         level = 0
@@ -259,6 +294,7 @@ class XBFS:
         strategies: list[str] = []
         decisions: list[Decision] = []
         level_results: list[LevelResult] = []
+        level_restarts = init_restarts
         prof = self.profiler
 
         # The frontier at level L+1 is exactly the vertices this level
@@ -290,61 +326,74 @@ class XBFS:
                 )
             strategy = decision.strategy
 
-            if strategy == BOTTOM_UP:
-                with prof.timer(BOTTOM_UP):
-                    result = bottom_up.run_level(
-                        graph,
-                        status,
-                        level,
-                        gcd,
-                        ratio=ratio,
-                        proactive=self.proactive,
-                        reverse_graph=self.reverse_graph,
-                        parents=parents,
-                        impl=self.bottom_up_impl,
-                        probe_block=self.probe_block,
-                        scratch=self._scratch,
-                        profiler=prof,
-                    )
-            elif strategy == SINGLE_SCAN:
-                reusable = (
-                    handoff_queue
-                    if (self.classifier.use_no_gen and force_strategy is None)
-                    else None
-                )
-                with prof.timer(SINGLE_SCAN):
-                    result = single_scan.run_level(
-                        graph,
-                        status,
-                        None,
-                        level,
-                        gcd,
-                        ratio=ratio,
-                        reusable_queue=reusable,
-                        queue_exact=handoff_exact,
-                        parents=parents,
-                        scratch=self._scratch,
-                        profiler=prof,
-                    )
-            else:  # scan-free
-                with prof.timer(SCAN_FREE):
-                    if handoff_queue is not None and handoff_exact:
-                        queue = handoff_queue
-                    else:
-                        # No usable queue (e.g. after single-scan): one
-                        # status sweep rebuilds it, then scan-free
-                        # self-sustains. The generation record lands in
-                        # the profiler via the shared kernel helper.
-                        queue, _gen_records = single_scan._queue_gen(
-                            status, level, gcd, ratio
+            def attempt_level(
+                strategy=strategy, ratio=ratio,
+                handoff_queue=handoff_queue, handoff_exact=handoff_exact,
+            ):
+                if strategy == BOTTOM_UP:
+                    with prof.timer(BOTTOM_UP):
+                        result = bottom_up.run_level(
+                            graph,
+                            status,
+                            level,
+                            gcd,
+                            ratio=ratio,
+                            proactive=self.proactive,
+                            reverse_graph=self.reverse_graph,
+                            parents=parents,
+                            impl=self.bottom_up_impl,
+                            probe_block=self.probe_block,
+                            scratch=self._scratch,
+                            profiler=prof,
                         )
-                    result = scan_free.run_level(
-                        graph, status, queue, level, gcd, ratio=ratio,
-                        parents=parents,
-                        scratch=self._scratch,
-                        profiler=prof,
+                elif strategy == SINGLE_SCAN:
+                    reusable = (
+                        handoff_queue
+                        if (self.classifier.use_no_gen and force_strategy is None)
+                        else None
                     )
-            gcd.sync()
+                    with prof.timer(SINGLE_SCAN):
+                        result = single_scan.run_level(
+                            graph,
+                            status,
+                            None,
+                            level,
+                            gcd,
+                            ratio=ratio,
+                            reusable_queue=reusable,
+                            queue_exact=handoff_exact,
+                            parents=parents,
+                            scratch=self._scratch,
+                            profiler=prof,
+                        )
+                else:  # scan-free
+                    with prof.timer(SCAN_FREE):
+                        if handoff_queue is not None and handoff_exact:
+                            queue = handoff_queue
+                        else:
+                            # No usable queue (e.g. after single-scan): one
+                            # status sweep rebuilds it, then scan-free
+                            # self-sustains. The generation record lands in
+                            # the profiler via the shared kernel helper.
+                            queue, _gen_records = single_scan._queue_gen(
+                                status, level, gcd, ratio
+                            )
+                        result = scan_free.run_level(
+                            graph, status, queue, level, gcd, ratio=ratio,
+                            parents=parents,
+                            scratch=self._scratch,
+                            profiler=prof,
+                        )
+                gcd.sync()
+                return result
+
+            if self.injector is None:
+                result = attempt_level()
+            else:
+                result, restarts = self._checkpointed_level(
+                    attempt_level, status, parents, level, gcd
+                )
+                level_restarts += restarts
             prof.count("levels/" + strategy)
 
             strategies.append(strategy)
@@ -382,7 +431,49 @@ class XBFS:
             traversed_edges=traversed,
             paid_warmup=paid_warmup,
             parents=parents,
+            level_restarts=level_restarts,
         )
+
+    # ------------------------------------------------------------------
+    def _checkpointed_level(
+        self,
+        attempt_level,
+        status: StatusArray,
+        parents: np.ndarray | None,
+        level: int,
+        gcd: GCD,
+    ):
+        """Run one level under checkpoint/restart.
+
+        Snapshots the mutable traversal state (status levels + visited
+        count, parents) at level entry; an injected
+        :class:`~repro.errors.DeviceFaultError` rolls back to the
+        snapshot, quiesces the die (the settle sync is charged — every
+        replay's cost stays visible in ``elapsed_ms``) and re-runs the
+        level. Gives up with
+        :class:`~repro.errors.RecoveryExhaustedError` after
+        ``recovery.max_level_restarts`` replays.
+        """
+        snap_levels = status.levels.copy()
+        snap_visited = status.visited_count()
+        snap_parents = parents.copy() if parents is not None else None
+        restarts = 0
+        while True:
+            try:
+                return attempt_level(), restarts
+            except DeviceFaultError as exc:
+                restarts += 1
+                if restarts > self.recovery.max_level_restarts:
+                    raise RecoveryExhaustedError(
+                        f"level {level} still faulting after "
+                        f"{self.recovery.max_level_restarts} checkpoint "
+                        f"restarts: {exc}"
+                    ) from exc
+                status.levels[:] = snap_levels
+                status.note_visited(snap_visited - status.visited_count())
+                if parents is not None:
+                    parents[:] = snap_parents
+                gcd.quiesce()
 
     # ------------------------------------------------------------------
     def run_many(

@@ -1,0 +1,76 @@
+"""Golden-fixture regression tests for Tables III-V per-level counters.
+
+The committed fixtures (``tests/fixtures/table*_rmat10.json``, written
+by ``tools/make_golden_fixtures.py``) pin every modelled rocprofiler
+counter of the three strategy profiles on a tiny fixed R-MAT graph.
+A legitimate cost-model change regenerates them; an accidental one
+fails here with the exact counter that moved.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from tools.make_golden_fixtures import (
+    GOLDEN_SCALE,
+    RECORD_FIELDS,
+    TABLES,
+    fixture_for,
+)
+from repro.experiments.profiles import KERNELS_PER_LEVEL
+
+FIXTURE_DIR = Path(__file__).resolve().parent.parent / "fixtures"
+
+INT_FIELDS = {"level", "atomic_ops", "atomic_conflicts", "work_items"}
+STR_FIELDS = {"name", "strategy"}
+
+
+def _load(table: str) -> dict:
+    path = FIXTURE_DIR / f"{table}_rmat{GOLDEN_SCALE.rmat_scale}.json"
+    assert path.exists(), (
+        f"missing golden fixture {path}; regenerate with "
+        f"`python tools/make_golden_fixtures.py`"
+    )
+    return json.loads(path.read_text())
+
+
+@pytest.mark.parametrize("table", sorted(TABLES))
+class TestGoldenProfiles:
+    def test_counters_match_fixture(self, table):
+        golden = _load(table)
+        live = fixture_for(TABLES[table])
+        assert live["depth"] == golden["depth"]
+        assert len(live["records"]) == len(golden["records"])
+        for i, (want, got) in enumerate(
+            zip(golden["records"], live["records"])
+        ):
+            for field in RECORD_FIELDS:
+                if field in STR_FIELDS:
+                    assert got[field] == want[field], (table, i, field)
+                elif field in INT_FIELDS:
+                    assert got[field] == want[field], (table, i, field)
+                else:
+                    assert got[field] == pytest.approx(
+                        want[field], rel=1e-9, abs=1e-12
+                    ), (table, i, field)
+
+    def test_paper_kernel_structure(self, table):
+        """Each strategy shows the paper's kernels-per-level shape."""
+        golden = _load(table)
+        strategy = golden["strategy"]
+        per_level: dict[int, int] = {}
+        for rec in golden["records"]:
+            per_level[rec["level"]] = per_level.get(rec["level"], 0) + 1
+        assert set(per_level) == set(range(golden["depth"]))
+        for level, count in per_level.items():
+            assert count == KERNELS_PER_LEVEL[strategy], (level, count)
+
+    def test_level0_pays_warmup(self, table):
+        """The paper profiles cold runs: level 0 carries the ~20 ms
+        first-launch warm-up in all three tables."""
+        golden = _load(table)
+        level0 = [r for r in golden["records"] if r["level"] == 0]
+        assert max(r["runtime_ms"] for r in level0) > 19.0
+        later = [r for r in golden["records"] if r["level"] > 0]
+        assert all(r["runtime_ms"] < 1.0 for r in later)

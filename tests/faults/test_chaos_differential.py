@@ -1,0 +1,131 @@
+"""The chaos differential suite.
+
+Sweeps families of seeded fault plans over every engine/strategy and
+asserts the package contract via the ``chaos_check`` fixture:
+recovered runs are bit-identical to their fault-free twins; exhausted
+recovery is a typed error; a wrong answer never comes back.
+
+The full sweep (>= 20 plans x 4 strategies + the concurrent engine) is
+marked ``slow``; a 6-plan subset keeps the contract under test in the
+default tier-1 run.
+"""
+
+import numpy as np
+import pytest
+
+from repro.faults import levels_fingerprint, sweep_plans
+from repro.xbfs.concurrent import ConcurrentBFS
+from repro.xbfs.driver import XBFS
+
+STRATEGIES = [None, "scan_free", "single_scan", "bottom_up"]
+
+
+def _solo_runner(graph, source, force):
+    def make_run(injector):
+        return XBFS(graph, injector=injector).run(
+            source, force_strategy=force, record_parents=True
+        )
+
+    return make_run
+
+
+def _concurrent_runner(graph, sources):
+    def make_run(injector):
+        return ConcurrentBFS(graph, injector=injector).run(sources)
+
+    return make_run
+
+
+class TestFastSweep:
+    """Tier-1 subset: 6 plans, adaptive strategy + concurrent engine."""
+
+    def test_solo_adaptive(self, small_rmat, chaos_check):
+        source = int(np.argmax(small_rmat.degrees))
+        verdicts = chaos_check(
+            _solo_runner(small_rmat, source, None), count=6, base_seed=0
+        )
+        assert sum(v["recovered"] for _, v in verdicts) >= 4
+        assert any(v["recovered"] and v["identical"] for _, v in verdicts)
+
+    def test_concurrent(self, small_rmat, chaos_check):
+        sources = np.argsort(small_rmat.degrees)[-6:].astype(np.int64)
+        verdicts = chaos_check(
+            _concurrent_runner(small_rmat, sources), count=6, base_seed=3
+        )
+        assert sum(v["recovered"] for _, v in verdicts) >= 4
+
+    def test_deep_graph_many_levels(self, deep_graph, chaos_check):
+        """High-diameter graph: every level is a checkpoint boundary."""
+        chaos_check(_solo_runner(deep_graph, 0, None), count=4, base_seed=9)
+
+
+@pytest.mark.slow
+class TestFullSweep:
+    """The >= 20-plan differential sweep per strategy and engine."""
+
+    @pytest.mark.parametrize("force", STRATEGIES)
+    def test_solo_strategies(self, small_rmat, chaos_check, force):
+        source = int(np.argmax(small_rmat.degrees))
+        verdicts = chaos_check(
+            _solo_runner(small_rmat, source, force), count=20, base_seed=17
+        )
+        assert len(verdicts) == 20
+        recovered = sum(v["recovered"] for _, v in verdicts)
+        # The sweep's bounded budgets guarantee the default recovery
+        # policy outlasts almost every plan.
+        assert recovered >= 16, f"only {recovered}/20 recovered"
+
+    def test_concurrent_full(self, small_rmat, chaos_check):
+        sources = np.argsort(small_rmat.degrees)[-16:].astype(np.int64)
+        verdicts = chaos_check(
+            _concurrent_runner(small_rmat, sources), count=20, base_seed=23
+        )
+        assert len(verdicts) == 20
+        assert sum(v["recovered"] for _, v in verdicts) >= 16
+
+    def test_power_law_graph(self, social_graph, chaos_check):
+        source = int(np.argmax(social_graph.degrees))
+        chaos_check(_solo_runner(social_graph, source, None),
+                    count=20, base_seed=31)
+
+
+class TestSweepDeterminism:
+    def test_fingerprints_stable_across_sweeps(self, small_rmat):
+        """The whole faulted sweep is replayable: same plans, same
+        levels, same fingerprints — twice."""
+        source = int(np.argmax(small_rmat.degrees))
+        plans = sweep_plans(4, base_seed=41)
+
+        def fingerprints():
+            out = []
+            for plan in plans:
+                try:
+                    result = XBFS(
+                        small_rmat, injector=plan.injector()
+                    ).run(source)
+                except Exception as exc:  # typed failures count too
+                    out.append((plan.name, type(exc).__name__))
+                else:
+                    out.append(
+                        (plan.name, levels_fingerprint(result.levels),
+                         result.level_restarts, result.elapsed_ms)
+                    )
+            return out
+
+        assert fingerprints() == fingerprints()
+
+    def test_fingerprint_discriminates(self, fig1_graph):
+        a = XBFS(fig1_graph).run(0).levels
+        b = a.copy()
+        b[-1] = 99
+        assert levels_fingerprint(a) != levels_fingerprint(b)
+        assert levels_fingerprint(a) == levels_fingerprint(a.copy())
+
+    def test_fingerprint_sees_dtype_and_shape(self):
+        a = np.zeros(4, dtype=np.int32)
+        assert levels_fingerprint(a) != levels_fingerprint(
+            a.astype(np.int64)
+        )
+        assert levels_fingerprint(a) != levels_fingerprint(
+            a.reshape(2, 2)
+        )

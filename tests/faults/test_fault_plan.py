@@ -1,0 +1,274 @@
+"""FaultPlan / FaultRule / FaultInjector unit tests."""
+
+import pytest
+
+from repro.errors import DeviceFaultError, FaultPlanError
+from repro.faults import (
+    FAULT_KINDS,
+    SITES,
+    FaultInjector,
+    FaultPlan,
+    FaultRule,
+    sweep_plans,
+)
+
+
+class TestRuleValidation:
+    def test_unknown_kind(self):
+        with pytest.raises(FaultPlanError, match="unknown fault kind"):
+            FaultRule(site="gcd.launch", kind="cosmic_ray")
+
+    def test_empty_site(self):
+        with pytest.raises(FaultPlanError, match="non-empty site"):
+            FaultRule(site="", kind="latency")
+
+    def test_site_pattern_must_match_a_known_site(self):
+        with pytest.raises(FaultPlanError, match="matches no known site"):
+            FaultRule(site="tpu.launch", kind="latency")
+
+    def test_glob_pattern_accepted(self):
+        rule = FaultRule(site="gcd.*", kind="latency")
+        assert rule.matches("gcd.launch", "anything")
+        assert rule.matches("gcd.sync", "")
+        assert not rule.matches("service.worker", "")
+
+    def test_probability_bounds(self):
+        with pytest.raises(FaultPlanError, match="probability"):
+            FaultRule(site="gcd.launch", kind="latency", probability=1.5)
+        with pytest.raises(FaultPlanError, match="probability"):
+            FaultRule(site="gcd.launch", kind="latency", probability=-0.1)
+
+    def test_magnitude_positive(self):
+        with pytest.raises(FaultPlanError, match="magnitude"):
+            FaultRule(site="gcd.launch", kind="latency", magnitude=0.0)
+
+    def test_max_triggers_bounds(self):
+        with pytest.raises(FaultPlanError, match="max_triggers"):
+            FaultRule(site="gcd.launch", kind="latency", max_triggers=0)
+
+    def test_after_bounds(self):
+        with pytest.raises(FaultPlanError, match="after"):
+            FaultRule(site="gcd.launch", kind="latency", after=-1)
+
+    def test_detail_substring_filter(self):
+        rule = FaultRule(site="gcd.launch", kind="latency", detail="bu_")
+        assert rule.matches("gcd.launch", "bu_expand")
+        assert not rule.matches("gcd.launch", "td_expand")
+
+    def test_raises_property(self):
+        assert FaultRule(site="gcd.launch", kind="kernel_launch").raises
+        assert FaultRule(site="gcd.launch", kind="memory_corruption").raises
+        assert not FaultRule(site="gcd.launch", kind="latency").raises
+
+    def test_every_kind_documented(self):
+        for kind in FAULT_KINDS:
+            site = "service.queue" if kind == "queue_pressure" else "gcd.launch"
+            FaultRule(site=site, kind=kind)  # must construct cleanly
+        assert len(SITES) >= 7
+
+
+class TestPlanJson:
+    def _plan(self):
+        return FaultPlan(seed=99, name="roundtrip", rules=(
+            FaultRule(site="gcd.launch", kind="kernel_launch",
+                      probability=0.5, max_triggers=3, after=1),
+            FaultRule(site="service.*", kind="latency", magnitude=8.0,
+                      detail="rmat"),
+        ))
+
+    def test_dict_roundtrip(self):
+        plan = self._plan()
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+    def test_json_file_roundtrip(self, tmp_path):
+        plan = self._plan()
+        path = tmp_path / "plan.json"
+        plan.to_json(path)
+        assert FaultPlan.from_json(path) == plan
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FaultPlanError, match="cannot read"):
+            FaultPlan.from_json(tmp_path / "nope.json")
+
+    def test_bad_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(FaultPlanError, match="bad JSON"):
+            FaultPlan.from_json(path)
+
+    def test_unknown_plan_field_rejected(self):
+        with pytest.raises(FaultPlanError, match="unknown plan fields"):
+            FaultPlan.from_dict({"seed": 1, "chaos": True})
+
+    def test_unknown_rule_field_rejected(self):
+        with pytest.raises(FaultPlanError, match="unknown rule fields"):
+            FaultPlan.from_dict({"seed": 1, "rules": [
+                {"site": "gcd.launch", "kind": "latency", "severity": 9},
+            ]})
+
+    def test_rule_needs_site_and_kind(self):
+        with pytest.raises(FaultPlanError, match="'site' and 'kind'"):
+            FaultRule.from_dict({"site": "gcd.launch"})
+
+    def test_plan_needs_seed(self):
+        with pytest.raises(FaultPlanError, match="'seed'"):
+            FaultPlan.from_dict({"rules": []})
+
+    def test_rules_must_be_fault_rules(self):
+        with pytest.raises(FaultPlanError, match="FaultRule"):
+            FaultPlan(seed=0, rules=({"site": "gcd.launch"},))
+
+
+class TestInjectorSemantics:
+    def test_visit_raises_for_raising_kind(self):
+        plan = FaultPlan(seed=0, rules=(
+            FaultRule(site="gcd.launch", kind="kernel_launch"),
+        ))
+        inj = plan.injector()
+        with pytest.raises(DeviceFaultError) as exc:
+            inj.visit("gcd.launch", "td_expand")
+        assert exc.value.site == "gcd.launch"
+        assert exc.value.kind == "kernel_launch"
+        assert exc.value.detail == "td_expand"
+
+    def test_visit_returns_latency_product(self):
+        plan = FaultPlan(seed=0, rules=(
+            FaultRule(site="gcd.launch", kind="latency", magnitude=2.0),
+            FaultRule(site="gcd.launch", kind="latency", magnitude=3.0),
+        ))
+        assert plan.injector().visit("gcd.launch") == pytest.approx(6.0)
+
+    def test_visit_clean_returns_one(self):
+        plan = FaultPlan(seed=0, rules=(
+            FaultRule(site="gcd.sync", kind="latency", magnitude=2.0),
+        ))
+        inj = plan.injector()
+        assert inj.visit("gcd.launch", "other_site") == 1.0
+        assert inj.faults_injected == 0
+
+    def test_pulse_never_raises(self):
+        plan = FaultPlan(seed=0, rules=(
+            FaultRule(site="service.registry", kind="evict_storm",
+                      magnitude=2.0),
+        ))
+        events = plan.injector().pulse("service.registry", "rmat:10")
+        assert [e.kind for e in events] == ["evict_storm"]
+        assert events[0].magnitude == 2.0
+
+    def test_max_triggers_budget(self):
+        plan = FaultPlan(seed=0, rules=(
+            FaultRule(site="gcd.sync", kind="latency", magnitude=2.0,
+                      max_triggers=2),
+        ))
+        inj = plan.injector()
+        fired = [inj.visit("gcd.sync") for _ in range(5)]
+        assert fired.count(2.0) == 2
+        assert fired[2:] == [1.0, 1.0, 1.0]  # budget spent in order
+
+    def test_after_skips_first_matches(self):
+        plan = FaultPlan(seed=0, rules=(
+            FaultRule(site="gcd.sync", kind="latency", magnitude=2.0,
+                      after=3),
+        ))
+        inj = plan.injector()
+        fired = [inj.visit("gcd.sync") for _ in range(5)]
+        assert fired[:3] == [1.0, 1.0, 1.0]
+        assert fired[3:] == [2.0, 2.0]
+
+    def test_probability_zero_never_fires(self):
+        plan = FaultPlan(seed=0, rules=(
+            FaultRule(site="gcd.sync", kind="latency", probability=0.0),
+        ))
+        inj = plan.injector()
+        assert all(inj.visit("gcd.sync") == 1.0 for _ in range(50))
+
+    def test_identical_replay(self):
+        """Same plan + same visit order => byte-identical event log."""
+        plan = FaultPlan(seed=1234, rules=(
+            FaultRule(site="gcd.*", kind="latency", probability=0.4,
+                      magnitude=2.0),
+            FaultRule(site="gcd.launch", kind="kernel_launch",
+                      probability=0.3, max_triggers=3),
+        ))
+        logs = []
+        for _ in range(2):
+            inj = plan.injector()
+            log = []
+            for i in range(40):
+                site = "gcd.launch" if i % 3 else "gcd.sync"
+                try:
+                    log.append(inj.visit(site, f"k{i}"))
+                except DeviceFaultError as e:
+                    log.append(str(e))
+            logs.append((log, inj.events))
+        assert logs[0] == logs[1]
+
+    def test_firing_never_perturbs_later_draws(self):
+        """A bounded rule's exhaustion must not shift the RNG stream:
+        the *other* rule fires on the same visits either way."""
+        latency = FaultRule(site="gcd.sync", kind="latency",
+                            probability=0.5, magnitude=2.0)
+        with_budget = FaultPlan(seed=7, rules=(
+            FaultRule(site="gcd.sync", kind="queue_pressure",
+                      probability=0.5, max_triggers=1),
+            latency,
+        ))
+        without = FaultPlan(seed=7, rules=(
+            FaultRule(site="gcd.sync", kind="queue_pressure",
+                      probability=0.5),
+            latency,
+        ))
+        inj_a, inj_b = with_budget.injector(), without.injector()
+        lat_a, lat_b = [], []
+        for _ in range(30):
+            lat_a.append(any(e.kind == "latency"
+                             for e in inj_a.pulse("gcd.sync")))
+            lat_b.append(any(e.kind == "latency"
+                             for e in inj_b.pulse("gcd.sync")))
+        assert lat_a == lat_b
+
+    def test_stats_snapshot(self):
+        plan = FaultPlan(seed=3, name="stats", rules=(
+            FaultRule(site="gcd.launch", kind="latency"),
+        ))
+        inj = plan.injector()
+        inj.visit("gcd.launch")
+        stats = inj.stats()
+        assert stats["plan"] == "stats"
+        assert stats["faults_injected"] == 1
+        assert stats["by_kind"] == {"latency": 1}
+        assert stats["per_rule_triggers"] == [1]
+
+
+class TestSweepPlans:
+    def test_deterministic(self):
+        a = sweep_plans(12, base_seed=5)
+        b = sweep_plans(12, base_seed=5)
+        assert a == b
+        assert sweep_plans(12, base_seed=6) != a
+
+    def test_every_plan_has_a_raising_rule(self):
+        for plan in sweep_plans(20, base_seed=0):
+            assert any(r.raises for r in plan.rules), plan.name
+
+    def test_raising_budgets_bounded(self):
+        for plan in sweep_plans(20, base_seed=1, max_total_raising=12):
+            total = sum(r.max_triggers or 0 for r in plan.rules if r.raises)
+            assert 1 <= total <= 12, plan.name
+            assert all(r.max_triggers is not None
+                       for r in plan.rules if r.raises), plan.name
+
+    def test_names_and_json_roundtrip(self):
+        for plan in sweep_plans(5, base_seed=2, name_prefix="x"):
+            assert plan.name.startswith("x-")
+            assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+
+def test_injector_is_fresh_per_call():
+    plan = FaultPlan(seed=0, rules=(
+        FaultRule(site="gcd.launch", kind="latency", max_triggers=1),
+    ))
+    a, b = plan.injector(), plan.injector()
+    assert isinstance(a, FaultInjector) and a is not b
+    a.visit("gcd.launch")
+    assert a.faults_injected == 1 and b.faults_injected == 0

@@ -156,3 +156,78 @@ def test_timer_exception_still_recorded(prof):
     with prof.timer("after"):
         prof.clock.tick(1.0)
     assert prof.seconds("after") == 1.0
+
+
+class TestExceptionPaths:
+    """A raising timed block must leave the profiler fully usable:
+    stack unwound, time recorded, export still valid JSON."""
+
+    def test_nested_raise_unwinds_every_scope(self, prof):
+        with pytest.raises(RuntimeError):
+            with prof.timer("outer"):
+                prof.clock.tick(1.0)
+                with prof.timer("mid"):
+                    prof.clock.tick(2.0)
+                    with prof.timer("inner"):
+                        prof.clock.tick(4.0)
+                        raise RuntimeError("deep")
+        assert prof._stack == []
+        assert prof.seconds("outer") == 7.0
+        assert prof.seconds(f"outer{SCOPE_SEP}mid") == 6.0
+        assert prof.seconds(f"outer{SCOPE_SEP}mid{SCOPE_SEP}inner") == 4.0
+
+    def test_raise_midway_keeps_sibling_scopes_clean(self, prof):
+        with prof.timer("run"):
+            prof.clock.tick(1.0)
+            with pytest.raises(KeyError):
+                with prof.timer("bad"):
+                    prof.clock.tick(1.0)
+                    raise KeyError("x")
+            # Still inside "run": the next sibling nests correctly.
+            with prof.timer("good"):
+                prof.clock.tick(1.0)
+        assert prof.seconds(f"run{SCOPE_SEP}bad") == 1.0
+        assert prof.seconds(f"run{SCOPE_SEP}good") == 1.0
+        assert prof.seconds("run") == 3.0
+
+    def test_json_export_valid_after_raise(self, prof, tmp_path):
+        with pytest.raises(ValueError):
+            with prof.timer("run"):
+                prof.clock.tick(0.5)
+                prof.count("events")
+                raise ValueError("x")
+        path = tmp_path / "prof.json"
+        prof.to_json(path)
+        data = json.loads(path.read_text())  # must parse cleanly
+        assert data["timers"]["run"] == {"total_s": 0.5, "calls": 1}
+        assert data["counters"] == {"run/events": 1}
+        assert "run" in prof.render()
+
+    def test_repeated_raises_accumulate_like_normal_calls(self, prof):
+        for _ in range(3):
+            with pytest.raises(ValueError):
+                with prof.timer("flaky"):
+                    prof.clock.tick(1.0)
+                    raise ValueError("x")
+        assert prof.timers["flaky"].calls == 3
+        assert prof.seconds("flaky") == 3.0
+
+    def test_profiler_survives_injected_device_faults(self, fig1_graph):
+        """The real exception path: chaos faults raised inside the
+        engines' timed blocks must leave the attached profiler with a
+        balanced stack and an exportable summary."""
+        from repro.errors import RecoveryExhaustedError
+        from repro.faults import FaultPlan, FaultRule, RecoveryPolicy
+        from repro.xbfs.driver import XBFS
+
+        profiler = HostProfiler()
+        plan = FaultPlan(seed=0, rules=(
+            FaultRule(site="gcd.launch", kind="kernel_launch"),
+        ))
+        engine = XBFS(fig1_graph, profiler=profiler,
+                      injector=plan.injector(),
+                      recovery=RecoveryPolicy(max_level_restarts=2))
+        with pytest.raises(RecoveryExhaustedError):
+            engine.run(0)
+        assert profiler._stack == []
+        json.dumps(profiler.summary())  # must serialize

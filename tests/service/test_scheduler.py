@@ -179,6 +179,93 @@ class TestAdmissionIntegration:
         assert by_qid[1].rejected == "deadline"
         assert by_qid[1].levels is None
 
+    def test_default_deadline_enforced_at_dispatch_not_after(self):
+        """A query admitted just under ``default_deadline_ms`` but
+        stuck behind a busy worker must be rejected when its dispatch
+        slot is computed — before any kernel time is charged — not
+        after the batch has already run."""
+        sched = make_scheduler(
+            workers=1,
+            window_ms=0.0,
+            admission=AdmissionController(
+                AdmissionPolicy(default_deadline_ms=5.0)
+            ),
+        )
+        # Occupies the only worker well past 5 ms (cold build + run).
+        sched.submit(Query(qid=0, graph="12", source=1, arrival_ms=0.0))
+        sched.run_until_idle()
+        busy_until = sched.workers[0].busy_until_ms
+        assert busy_until > 5.0
+        busy_before = sched.workers[0].busy_ms
+        dispatches_before = sched.workers[0].dispatches
+
+        # Admitted (queue has room; no deadline check at submit), but
+        # its start slot on the busy worker misses the default deadline.
+        late = Query(qid=1, graph="12", source=2, arrival_ms=0.1)
+        sched.submit(late)  # must NOT raise: deadline is a dispatch gate
+        outcomes = sched.run_until_idle()
+        outcome = {o.query.qid: o for o in outcomes}[1]
+        assert outcome.rejected == "deadline"
+        assert outcome.levels is None
+        # Nothing was charged for it: no new dispatch, no busy time.
+        assert sched.workers[0].busy_ms == busy_before
+        assert sched.workers[0].dispatches == dispatches_before
+        assert sched.metrics.rejected_deadline == 1
+
+    def test_per_query_deadline_overrides_default(self):
+        sched = make_scheduler(
+            workers=1,
+            window_ms=0.0,
+            admission=AdmissionController(
+                AdmissionPolicy(default_deadline_ms=1e-6)
+            ),
+        )
+        # A generous explicit deadline wins over the impossible default.
+        sched.submit(Query(qid=0, graph="9", source=1, arrival_ms=0.0,
+                           deadline_ms=1e9))
+        outcomes = sched.run_until_idle()
+        assert outcomes[0].served
+
+    def test_slow_worker_fault_pushes_query_past_deadline(self):
+        """The fault plane's latency injection interacts with deadlines
+        exactly like a real straggler: the delayed start slot is what
+        gets a later query rejected, still before its batch runs."""
+        from repro.faults import FaultPlan, FaultRule
+
+        plan = FaultPlan(seed=0, rules=(
+            FaultRule(site="service.worker", kind="latency",
+                      magnitude=50.0, max_triggers=1),
+        ))
+        sched = make_scheduler(
+            workers=1,
+            window_ms=0.0,
+            fault_injector=plan.injector(),
+            admission=AdmissionController(
+                AdmissionPolicy(default_deadline_ms=50.0)
+            ),
+        )
+        sched.submit(Query(qid=0, graph="12", source=1, arrival_ms=0.0))
+        sched.run_until_idle()  # 50x slower than modelled
+        late = Query(qid=1, graph="12", source=2, arrival_ms=1.0)
+        sched.submit(late)
+        outcomes = sched.run_until_idle()
+        by_qid = {o.query.qid: o for o in outcomes}
+        assert by_qid[0].served
+        assert by_qid[1].rejected == "deadline"
+
+        # Without the straggler fault the same trace is served in time.
+        clean = make_scheduler(
+            workers=1,
+            window_ms=0.0,
+            admission=AdmissionController(
+                AdmissionPolicy(default_deadline_ms=50.0)
+            ),
+        )
+        clean.submit(Query(qid=0, graph="12", source=1, arrival_ms=0.0))
+        clean.run_until_idle()
+        clean.submit(Query(qid=1, graph="12", source=2, arrival_ms=1.0))
+        assert all(o.served for o in clean.run_until_idle())
+
     def test_out_of_order_arrival_rejected(self):
         sched = make_scheduler()
         sched.submit(Query(qid=0, graph="9", source=1, arrival_ms=10.0))

@@ -40,6 +40,8 @@ def run_matrix() -> list[dict]:
         summaries.append(summarize_batch(name, engine.run_many(sources)))
     summaries.append(run_service_fingerprint())
     summaries.append(run_perf_surface_fingerprint())
+    summaries.append(run_faults_surface_fingerprint())
+    summaries.append(run_chaos_fingerprint())
     return summaries
 
 
@@ -71,6 +73,64 @@ def run_perf_surface_fingerprint() -> dict:
         "name": "perf_surface",
         "symbols": len(entries),
         "surface_crc32": zlib.crc32(blob),
+    }
+
+
+def run_faults_surface_fingerprint() -> dict:
+    """API-surface fingerprint of :mod:`repro.faults`.
+
+    The fault plane is programmed against by the simulator, the
+    drivers, the scheduler and the chaos suite; its public surface
+    drifting silently would strand committed fault plans. Same CRC32
+    scheme as the perf surface.
+    """
+    import inspect
+    import zlib
+
+    import repro.faults as faults
+
+    entries = []
+    for name in sorted(faults.__all__):
+        obj = getattr(faults, name)
+        entries.append(name)
+        if inspect.isclass(obj):
+            for attr, member in sorted(vars(obj).items()):
+                if attr.startswith("_") or not callable(member):
+                    continue
+                entries.append(f"{name}.{attr}{inspect.signature(member)}")
+    blob = "\n".join(entries).encode()
+    return {
+        "name": "faults_surface",
+        "symbols": len(entries),
+        "surface_crc32": zlib.crc32(blob),
+    }
+
+
+def run_chaos_fingerprint() -> dict:
+    """Chaos-plane fingerprint: one seeded fault plan through the solo
+    driver. Everything injected and everything recovered runs on the
+    virtual clock, so fault counts, restart counts and the recovered
+    elapsed time drift exactly when the injection or recovery machinery
+    changes."""
+    from repro.faults import FaultPlan, FaultRule, levels_fingerprint
+    from repro.xbfs.driver import XBFS
+
+    graph = rmat(12, 8, seed=2)
+    plan = FaultPlan(seed=1337, name="gate", rules=(
+        FaultRule(site="gcd.launch", kind="kernel_launch",
+                  probability=0.4, max_triggers=3),
+        FaultRule(site="gcd.*", kind="latency", probability=0.3,
+                  magnitude=2.0),
+    ))
+    injector = plan.injector()
+    result = XBFS(graph, device=scaled_device(graph),
+                  injector=injector).run(0)
+    return {
+        "name": "chaos",
+        "faults_injected": injector.faults_injected,
+        "level_restarts": result.level_restarts,
+        "elapsed_ms": result.elapsed_ms,
+        "levels_crc32": levels_fingerprint(result.levels),
     }
 
 

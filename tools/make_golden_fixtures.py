@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Regenerate the golden per-level counter fixtures for Tables III-V.
+
+The fixtures pin every rocprofiler-style counter the three strategy
+profiles produce on a tiny fixed R-MAT graph. They are committed under
+``tests/fixtures/`` and compared field-for-field by
+``tests/experiments/test_golden_profiles.py`` — any cost-model or
+strategy change that moves a counter must regenerate them (and the
+diff review is the point of the exercise).
+
+Usage:
+    PYTHONPATH=src python tools/make_golden_fixtures.py [outdir]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+from repro.experiments.common import ExperimentScale
+from repro.experiments.profiles import run_strategy_profile
+from repro.xbfs.classifier import BOTTOM_UP, SCAN_FREE, SINGLE_SCAN
+
+#: The fixture operating point: small enough to run in well under a
+#: second, deep enough that every strategy sees several levels.
+GOLDEN_SCALE = ExperimentScale(
+    dataset_scale_factor=64, rmat_scale=10, num_sources=1, seed=0
+)
+
+#: KernelRecord fields that enter the fixture (all modelled, all
+#: deterministic; stream_id is omitted as a pure launch detail).
+RECORD_FIELDS = (
+    "name", "strategy", "level", "runtime_ms", "fetch_kb", "write_kb",
+    "l2_hit_pct", "mem_busy_pct", "compute_ms", "mem_ms", "overhead_ms",
+    "atomic_ops", "atomic_conflicts", "work_items", "ratio",
+)
+
+TABLES = {
+    "table3": SCAN_FREE,
+    "table4": SINGLE_SCAN,
+    "table5": BOTTOM_UP,
+}
+
+
+def fixture_for(strategy: str) -> dict:
+    profile = run_strategy_profile(strategy, GOLDEN_SCALE)
+    return {
+        "strategy": profile.strategy,
+        "rmat_scale": GOLDEN_SCALE.rmat_scale,
+        "seed": GOLDEN_SCALE.seed,
+        "depth": profile.depth,
+        "records": [
+            {field: getattr(r, field) for field in RECORD_FIELDS}
+            for r in profile.records
+        ],
+    }
+
+
+def main() -> int:
+    outdir = Path(sys.argv[1]) if len(sys.argv) > 1 else (
+        Path(__file__).resolve().parent.parent / "tests" / "fixtures"
+    )
+    outdir.mkdir(parents=True, exist_ok=True)
+    for name, strategy in TABLES.items():
+        path = outdir / f"{name}_rmat{GOLDEN_SCALE.rmat_scale}.json"
+        path.write_text(
+            json.dumps(fixture_for(strategy), indent=2, sort_keys=True) + "\n"
+        )
+        print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

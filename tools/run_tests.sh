@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Test-tier wrapper.
+#
+#   tools/run_tests.sh            # tier-1: the fast suite (-m "not slow")
+#   tools/run_tests.sh tier1      # same
+#   tools/run_tests.sh tier2      # slow sweeps + the benchmark harness
+#   tools/run_tests.sh all        # everything: tier-1 + tier-2 + the
+#                                 # regression gate against the committed
+#                                 # baseline fingerprint
+#
+# Extra arguments after the tier name are passed through to pytest,
+# e.g. `tools/run_tests.sh tier1 -k faults -x`.
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo"
+export PYTHONPATH="$repo/src${PYTHONPATH:+:$PYTHONPATH}"
+
+tier="${1:-tier1}"
+shift || true
+
+case "$tier" in
+  tier1)
+    python -m pytest -m "not slow" "$@"
+    ;;
+  tier2)
+    python -m pytest -m slow "$@"
+    python -m pytest benchmarks "$@"
+    ;;
+  all)
+    python -m pytest "$@"
+    python -m pytest benchmarks "$@"
+    python tools/check_regression.py check tools/baseline_fingerprint.json
+    ;;
+  *)
+    echo "usage: tools/run_tests.sh [tier1|tier2|all] [pytest args...]" >&2
+    exit 2
+    ;;
+esac
