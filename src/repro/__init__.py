@@ -22,6 +22,8 @@ Layers:
   and SSSP-style engines on the same substrate.
 * :mod:`repro.multigcd`  — distributed BFS over several GCDs.
 * :mod:`repro.metrics`   — GTEPS, bandwidth efficiency, tables.
+* :mod:`repro.telemetry` — dual-clock tracing, the unified counter
+  registry and the JSONL/Chrome-trace/Prometheus exporters.
 * :mod:`repro.experiments` — one driver per paper table/figure.
 """
 
@@ -55,6 +57,7 @@ from repro.baselines import EnterpriseBFS, GunrockBFS, HierarchicalBFS, LinAlgBF
 from repro.multigcd import MultiGcdBFS
 from repro.perf import HostProfiler
 from repro.service import BFSService, GraphRegistry, Query, QueryOptions, ServiceReport
+from repro.telemetry import CounterRegistry, Tracer, write_chrome_trace
 
 __version__ = "1.0.0"
 
@@ -103,4 +106,7 @@ __all__ = [
     "GraphRegistry",
     "Query",
     "QueryOptions",
+    "Tracer",
+    "CounterRegistry",
+    "write_chrome_trace",
 ]

@@ -1,10 +1,13 @@
 """Command-line interface.
 
-Six subcommands cover the common workflows without writing Python:
+The subcommands cover the common workflows without writing Python:
 
 * ``repro run``          — BFS on a graph spec, print the strategy
   trace and modelled GTEPS (``--concurrent`` batches the sources
   through the iBFS-style engine and reports the sharing factor).
+* ``repro trace``        — the same run with the telemetry tracer on;
+  exports the dual-clock timeline as Chrome/Perfetto ``trace_event``
+  JSON (and optionally raw JSONL).
 * ``repro datasets``     — the Table II inventory at a chosen scale.
 * ``repro experiment``   — regenerate any paper table/figure.
 * ``repro generate``     — materialise a graph spec into a ``.csrbin``.
@@ -72,16 +75,20 @@ def _cmd_run(args: argparse.Namespace) -> int:
         return _run_concurrent(graph, args)
     device = scaled_device(graph) if args.scaled_cache else None
     host_prof = None
+    tracer = None
     if args.host_profile:
         from repro.perf import HostProfiler
+        from repro.telemetry import Tracer
 
         host_prof = HostProfiler()
+        tracer = Tracer()
     engine = XBFS(
         graph,
         rearrange=args.rearrange,
         classifier=AdaptiveClassifier(alpha=args.alpha),
         **({"device": device} if device is not None else {}),
         **({"profiler": host_prof} if host_prof is not None else {}),
+        **({"tracer": tracer} if tracer is not None else {}),
     )
     sources = pick_sources(graph, args.sources, seed=args.seed + 1)
     batch = engine.run_many(sources, force_strategy=args.force)
@@ -102,10 +109,27 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if host_prof is not None:
         print("host wall-clock profile (perf_counter, machine-dependent):")
         print(host_prof.render())
+    if tracer is not None:
+        _print_correlation(tracer, gcd_profiler=engine._gcd.profiler,
+                           host_profiler=host_prof)
     if args.profile_csv:
         engine._gcd.profiler.to_csv(args.profile_csv)
         print(f"wrote kernel counters to {args.profile_csv}")
     return 0
+
+
+def _print_correlation(tracer, *, gcd_profiler=None, host_profiler=None) -> None:
+    """The per-level virtual/host table, read back through the registry."""
+    from repro.telemetry import CounterRegistry
+
+    registry = CounterRegistry()
+    if gcd_profiler is not None:
+        registry.attach("gcd", gcd_profiler)
+    if host_profiler is not None:
+        registry.attach("host", host_profiler)
+    registry.attach_tracer(tracer)
+    print("per-level virtual/host correlation (telemetry registry, last run):")
+    print(registry.render_correlation())
 
 
 def _run_concurrent(graph, args: argparse.Namespace) -> int:
@@ -118,14 +142,18 @@ def _run_concurrent(graph, args: argparse.Namespace) -> int:
                          "(the batched engine has no per-level strategies)")
     device = scaled_device(graph) if args.scaled_cache else None
     host_prof = None
+    tracer = None
     if args.host_profile:
         from repro.perf import HostProfiler
+        from repro.telemetry import Tracer
 
         host_prof = HostProfiler()
+        tracer = Tracer()
     engine = ConcurrentBFS(
         graph,
         **({"device": device} if device is not None else {}),
         **({"profiler": host_prof} if host_prof is not None else {}),
+        **({"tracer": tracer} if tracer is not None else {}),
     )
     sources = pick_sources(graph, args.sources, seed=args.seed + 1)
     result = engine.run(sources)
@@ -143,7 +171,94 @@ def _run_concurrent(graph, args: argparse.Namespace) -> int:
     if host_prof is not None:
         print("host wall-clock profile (perf_counter, machine-dependent):")
         print(host_prof.render())
+    if tracer is not None:
+        _print_correlation(tracer, gcd_profiler=engine._gcd.profiler,
+                           host_profiler=host_prof)
     return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """``repro trace``: one traced BFS run, exported for Perfetto."""
+    from repro.experiments.common import scaled_device
+    from repro.telemetry import Tracer, write_chrome_trace, write_jsonl
+
+    graph = parse_graph_spec(
+        args.graph, scale_factor=args.scale_factor, seed=args.seed
+    )
+    print(f"graph: {graph}")
+    tracer = Tracer(sample_every=args.sample_every)
+    device = scaled_device(graph) if args.scaled_cache else None
+    sources = pick_sources(graph, args.sources, seed=args.seed + 1)
+    if args.concurrent:
+        from repro.xbfs.concurrent import ConcurrentBFS
+
+        engine = ConcurrentBFS(
+            graph,
+            tracer=tracer,
+            **({"device": device} if device is not None else {}),
+        )
+        engine.run(sources)
+    else:
+        from repro.xbfs.driver import XBFS
+
+        engine = XBFS(
+            graph,
+            tracer=tracer,
+            **({"device": device} if device is not None else {}),
+        )
+        for src in sources:
+            engine.run(int(src))
+    write_chrome_trace(tracer, args.out)
+    print(
+        f"wrote Chrome trace to {args.out} "
+        f"({tracer.traces} traces, {len(tracer.spans)} spans, "
+        f"{len(tracer.events)} events) — open in ui.perfetto.dev"
+    )
+    if args.jsonl:
+        write_jsonl(tracer, args.jsonl)
+        print(f"wrote JSONL span/event log to {args.jsonl}")
+    _print_correlation(tracer, gcd_profiler=engine._gcd.profiler)
+    return 0
+
+
+def _export_service_telemetry(service, args: argparse.Namespace) -> None:
+    trace_out = getattr(args, "trace_out", None)
+    metrics_out = getattr(args, "metrics_out", None)
+    if not trace_out and not metrics_out:
+        return
+    from repro.telemetry import (
+        CounterRegistry,
+        write_chrome_trace,
+        write_jsonl,
+        write_prometheus,
+    )
+
+    tracer = service.tracer
+    if trace_out:
+        if str(trace_out).endswith(".jsonl"):
+            write_jsonl(tracer, trace_out)
+        else:
+            write_chrome_trace(tracer, trace_out)
+        print(
+            f"wrote trace to {trace_out} "
+            f"({tracer.traces} traces, {len(tracer.spans)} spans, "
+            f"{len(tracer.events)} events)"
+        )
+    if metrics_out:
+        registry = CounterRegistry()
+        registry.attach("service", service.metrics)
+        registry.attach_tracer(tracer)
+        inj = service.fault_injector
+        if inj is not None:
+            registry.attach(
+                "faults",
+                lambda: {
+                    "injected": inj.faults_injected,
+                    "visits": inj.visits,
+                },
+            )
+        write_prometheus(registry, metrics_out)
+        print(f"wrote Prometheus metrics snapshot to {metrics_out}")
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -160,6 +275,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
               f"the serial oracle: all levels match")
     if args.out:
         _save_service_summary(report, args)
+    _export_service_telemetry(service, args)
     return 0
 
 
@@ -188,6 +304,7 @@ def _cmd_service_bench(args: argparse.Namespace) -> int:
     print(report.render())
     if args.out:
         _save_service_summary(report, args)
+    _export_service_telemetry(service, args)
     return 0
 
 
@@ -197,6 +314,11 @@ def _service_from_args(args: argparse.Namespace, cls):
         from repro.faults import FaultPlan
 
         fault_plan = FaultPlan.from_json(args.fault_plan)
+    tracer = None
+    if getattr(args, "trace_out", None) or getattr(args, "metrics_out", None):
+        from repro.telemetry import Tracer
+
+        tracer = Tracer()
     return cls(
         memory_budget_mb=args.memory_budget_mb,
         workers=args.workers,
@@ -207,6 +329,7 @@ def _service_from_args(args: argparse.Namespace, cls):
         scale_factor=args.scale_factor,
         seed=args.seed,
         fault_plan=fault_plan,
+        **({"tracer": tracer} if tracer is not None else {}),
     )
 
 
@@ -256,6 +379,17 @@ def _add_service_args(parser: argparse.ArgumentParser) -> None:
                         "bit-identical")
     parser.add_argument("--out", default=None, metavar="PATH",
                         help="save the service summary JSON here")
+
+
+def _add_telemetry_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--trace-out", default=None, metavar="PATH",
+                        help="write the correlated dual-clock timeline here "
+                        "(Chrome trace_event JSON for ui.perfetto.dev; a "
+                        ".jsonl suffix writes the raw span/event log "
+                        "instead)")
+    parser.add_argument("--metrics-out", default=None, metavar="PATH",
+                        help="write a Prometheus-style text snapshot of the "
+                        "service counters here")
 
 
 def _cmd_chaos_bench(args: argparse.Namespace) -> int:
@@ -463,7 +597,35 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="check every served level array against the "
                        "serial oracle")
     _add_service_args(serve)
+    _add_telemetry_args(serve)
     serve.set_defaults(func=_cmd_serve)
+
+    trace = sub.add_parser(
+        "trace",
+        help="run BFS with tracing on and export the dual-clock timeline",
+    )
+    trace.add_argument("--graph", required=True,
+                       help="graph spec (see module docs)")
+    trace.add_argument("--sources", type=int, default=1,
+                       help="number of traced runs (or batch size with "
+                       "--concurrent)")
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument("--scale-factor", type=int, default=64,
+                       help="down-scale for dataset specs")
+    trace.add_argument("--concurrent", action="store_true",
+                       help="trace one batched run through the iBFS-style "
+                       "engine instead of solo runs")
+    trace.add_argument("--sample-every", type=int, default=1,
+                       help="keep one trace (top-level run) in every N")
+    trace.add_argument("--no-scaled-cache", dest="scaled_cache",
+                       action="store_false",
+                       help="keep the full 8 MiB L2 instead of scaling it "
+                       "with the graph")
+    trace.add_argument("--out", required=True, metavar="PATH",
+                       help="Chrome trace_event JSON output path")
+    trace.add_argument("--jsonl", default=None, metavar="PATH",
+                       help="also write the raw JSONL span/event log here")
+    trace.set_defaults(func=_cmd_trace)
 
     bench = sub.add_parser(
         "service-bench",
@@ -477,6 +639,7 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--gap-ms", type=float, default=1.0,
                        help="mean inter-burst gap (virtual ms)")
     _add_service_args(bench)
+    _add_telemetry_args(bench)
     bench.set_defaults(func=_cmd_service_bench)
 
     chaos = sub.add_parser(

@@ -68,6 +68,20 @@ class FaultInjector:
         self._state = [_RuleState() for _ in plan.rules]
         self.visits = 0
         self.events: list[FaultEvent] = []
+        #: Optional :class:`~repro.telemetry.tracer.Tracer`; when bound
+        #: (see :meth:`bind_tracer`), every fired fault lands on the
+        #: correlated timeline as a ``fault.<kind>`` point event at the
+        #: virtual time of whatever span is open at the fault site.
+        self.tracer = None
+
+    def bind_tracer(self, tracer) -> None:
+        """Attach a tracer so fired faults become trace point events.
+
+        Binding never perturbs the RNG or the fault schedule — tracing
+        is an observer; the injected sequence stays a pure function of
+        ``(plan, visited sites)``.
+        """
+        self.tracer = tracer
 
     # ------------------------------------------------------------------
     def _fire(self, rule: FaultRule, state: _RuleState) -> bool:
@@ -102,6 +116,16 @@ class FaultInjector:
                 )
                 self.events.append(event)
                 fired.append(event)
+        tr = self.tracer
+        if fired and tr is not None and tr.enabled:
+            for event in fired:
+                tr.event(
+                    f"fault.{event.kind}",
+                    site=event.site,
+                    detail=event.detail,
+                    seq=event.seq,
+                    magnitude=event.magnitude,
+                )
         return fired
 
     def visit(self, site: str, detail: str = "") -> float:

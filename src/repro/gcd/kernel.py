@@ -133,6 +133,19 @@ class KernelRecord:
     def fetch_mb(self) -> float:
         return self.fetch_kb / 1024.0
 
+    def trace_args(self) -> dict:
+        """The compact attribute set kernel trace spans carry — enough
+        to attribute a slice in the Perfetto UI without replaying the
+        run (full counter rows stay in the profiler)."""
+        return {
+            "strategy": self.strategy,
+            "level": self.level,
+            "stream": self.stream_id,
+            "fetch_kb": self.fetch_kb,
+            "work_items": self.work_items,
+            "atomic_ops": self.atomic_ops,
+        }
+
 
 class KernelCostModel:
     """Stateless translator from (streams, work, config) to a record."""

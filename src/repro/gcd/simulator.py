@@ -57,12 +57,17 @@ class GCD:
         config: ExecConfig | None = None,
         *,
         injector=None,
+        tracer=None,
     ) -> None:
         self.device = device
         self.config = config or ExecConfig()
         #: Optional :class:`~repro.faults.injector.FaultInjector`; when
         #: set, every launch/sync visits its fault site first.
         self.injector = injector
+        #: Optional :class:`~repro.telemetry.tracer.Tracer`; every
+        #: kernel launch and device sync lands on its virtual timeline
+        #: as a finished span (one attribute check when tracing is off).
+        self.tracer = tracer
         self.cost_model = KernelCostModel(device)
         self.profiler = Profiler()
         self.elapsed_ms = 0.0
@@ -123,6 +128,15 @@ class GCD:
         self.launches += 1
         self._streams_dirty.add(stream_id)
         self.profiler.add(record)
+        tr = self.tracer
+        if tr is not None and tr.enabled:
+            # Emitted before the clock charge so the rebased span start
+            # equals the die's pre-launch position on the timeline.
+            tr.complete(
+                f"kernel:{name}",
+                duration_ms=record.runtime_ms,
+                **record.trace_args(),
+            )
         self.elapsed_ms += record.runtime_ms
         return record
 
@@ -172,6 +186,16 @@ class GCD:
         wall = max(r.overhead_ms for r in records) + sum(
             max(r.compute_ms, r.mem_ms) for r in records
         )
+        tr = self.tracer
+        if tr is not None and tr.enabled:
+            tr.complete(
+                "kernel:concurrent_group",
+                duration_ms=wall * fault_scale,
+                kernels=",".join(r.name for r in records),
+                level=records[0].level,
+                strategy=records[0].strategy,
+                streams=len(records),
+            )
         self.elapsed_ms += wall * fault_scale
         return records
 
@@ -183,6 +207,9 @@ class GCD:
             fault_scale = self.injector.visit("gcd.sync")
         active = max(1, len(self._streams_dirty))
         cost_ms = active * self.device.device_sync_us * 1e-3 * fault_scale
+        tr = self.tracer
+        if tr is not None and tr.enabled:
+            tr.complete("gcd.sync", duration_ms=cost_ms, streams=active)
         self.elapsed_ms += cost_ms
         self.sync_ms += cost_ms
         self.syncs += 1
@@ -196,6 +223,9 @@ class GCD:
         fault again inside its own recovery step."""
         active = max(1, len(self._streams_dirty))
         cost_ms = active * self.device.device_sync_us * 1e-3
+        tr = self.tracer
+        if tr is not None and tr.enabled:
+            tr.complete("gcd.quiesce", duration_ms=cost_ms, streams=active)
         self.elapsed_ms += cost_ms
         self.sync_ms += cost_ms
         self.syncs += 1

@@ -35,6 +35,7 @@ from repro.gcd.simulator import GCD
 from repro.graph.csr import CSRGraph
 from repro.multigcd.comm import INFINITY_FABRIC, InterconnectModel
 from repro.multigcd.partition import Partition1D, partition_by_edges
+from repro.telemetry.tracer import NULL_TRACER, Tracer
 from repro.xbfs.common import UNVISITED, gather_neighbors, segment_lines_touched
 
 __all__ = ["MultiGcdBFS", "DistributedResult"]
@@ -82,6 +83,7 @@ class MultiGcdBFS:
         partition: Partition1D | None = None,
         direction_alpha: float | None = None,
         straggler_slowdown: dict[int, float] | None = None,
+        tracer: Tracer | None = None,
         injector=None,
     ) -> None:
         if num_gcds < 1:
@@ -116,6 +118,14 @@ class MultiGcdBFS:
         #: has no checkpoint layer — an injected device fault surfaces
         #: as the typed error, never as a wrong level array.
         self.injector = injector
+        #: Optional :class:`~repro.telemetry.tracer.Tracer`. Levels are
+        #: recorded as pre-finished ``dist.level`` spans carrying the
+        #: kernel/comm split; member-GCD kernels stay untraced because
+        #: they run *in parallel* — flattening them onto the single
+        #: cursor timeline would misstate the bulk-synchronous overlap.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        if injector is not None and self.tracer.enabled:
+            injector.bind_tracer(self.tracer)
         self._gcds: list[GCD] | None = None
 
     def _exchange_scale(self, level: int) -> float:
@@ -247,6 +257,16 @@ class MultiGcdBFS:
             for g in self._gcds:
                 g.reset(keep_warm=True)
         gcds = self._gcds
+        with self.tracer.span(
+            "bfs.run", engine="multigcd", source=source, gcds=p
+        ):
+            return self._traverse(gcds, source)
+
+    def _traverse(self, gcds: list[GCD], source: int) -> DistributedResult:
+        graph = self.graph
+        part = self.partition
+        p = self.num_gcds
+        tracer = self.tracer
 
         levels = np.full(graph.num_vertices, -1, dtype=np.int32)
         levels[source] = 0
@@ -275,6 +295,17 @@ class MultiGcdBFS:
                 comm_total += bu_comm_ms
                 compute_total += bu_ms
                 elapsed += bu_ms + bu_comm_ms
+                tracer.complete(
+                    "dist.level",
+                    duration_ms=bu_ms + bu_comm_ms,
+                    level=level,
+                    strategy="multigcd",
+                    direction="bottom_up",
+                    kernel_ms=bu_ms,
+                    comm_ms=bu_comm_ms,
+                    comm_bytes=bu_bytes,
+                    frontier=int(frontier.size),
+                )
                 levels[claim] = level + 1
                 frontier = claim
                 level += 1
@@ -342,9 +373,9 @@ class MultiGcdBFS:
             else:
                 claim = np.zeros(0, dtype=np.int64)
             # Owners deduplicate and claim: a small scatter on each GCD.
+            update_ms = 0.0
             if claim.size:
                 claim_owner = part.owner_of(claim)
-                update_ms = 0.0
                 for g in range(p):
                     mine = claim[claim_owner == g]
                     if not mine.size:
@@ -368,6 +399,17 @@ class MultiGcdBFS:
                     )
                 compute_total += update_ms
                 elapsed += update_ms
+            tracer.complete(
+                "dist.level",
+                duration_ms=level_kernel_ms + comm_ms + update_ms,
+                level=level,
+                strategy="multigcd",
+                direction="top_down",
+                kernel_ms=level_kernel_ms + update_ms,
+                comm_ms=comm_ms,
+                comm_bytes=level_bytes,
+                frontier=int(frontier.size),
+            )
             levels[claim] = level + 1
             frontier = claim
             level += 1

@@ -18,27 +18,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.service.request import QueryOutcome
+from repro.telemetry.stats import percentile
 
 __all__ = ["ServiceMetrics", "percentile"]
-
-
-def percentile(values: list[float], q: float) -> float:
-    """Linear-interpolated percentile (``q`` in [0, 100]) of a list.
-
-    Deterministic and dependency-light; returns 0.0 for empty input.
-    """
-    if not values:
-        return 0.0
-    if not 0.0 <= q <= 100.0:
-        raise ValueError(f"percentile must be in [0, 100], got {q}")
-    ordered = sorted(values)
-    if len(ordered) == 1:
-        return float(ordered[0])
-    pos = q / 100.0 * (len(ordered) - 1)
-    lo = int(pos)
-    hi = min(lo + 1, len(ordered) - 1)
-    frac = pos - lo
-    return float(ordered[lo] * (1.0 - frac) + ordered[hi] * frac)
 
 
 @dataclass

@@ -23,6 +23,7 @@ from repro.service.metrics import ServiceMetrics
 from repro.service.registry import GraphRegistry
 from repro.service.request import Query, QueryOutcome
 from repro.service.scheduler import CoalescingScheduler
+from repro.telemetry.tracer import NULL_TRACER, Tracer
 from repro.xbfs.concurrent import MAX_CONCURRENT
 
 __all__ = ["BFSService", "ServiceReport"]
@@ -82,6 +83,7 @@ class BFSService:
         registry: GraphRegistry | None = None,
         fault_plan: FaultPlan | None = None,
         recovery: RecoveryPolicy | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         # Explicit None-check: an empty GraphRegistry has len() == 0
         # and would read as falsy.
@@ -105,6 +107,10 @@ class BFSService:
         self.fault_injector = (
             fault_plan.injector() if fault_plan is not None else None
         )
+        #: One tracer for the whole service: dispatch spans, engine
+        #: level spans, kernel spans and fault/recovery events all land
+        #: on its correlated timeline (see :mod:`repro.telemetry`).
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.scheduler = CoalescingScheduler(
             self.registry,
             workers=workers,
@@ -115,6 +121,7 @@ class BFSService:
             scaled_cache=scaled_cache,
             fault_injector=self.fault_injector,
             recovery=recovery,
+            tracer=self.tracer,
         )
 
     # ------------------------------------------------------------------

@@ -42,6 +42,7 @@ from repro.service.admission import AdmissionController
 from repro.service.metrics import ServiceMetrics
 from repro.service.registry import GraphRegistry, RegistryEntry
 from repro.service.request import Query, QueryOutcome
+from repro.telemetry.tracer import NULL_TRACER, Tracer
 from repro.xbfs.concurrent import MAX_CONCURRENT, ConcurrentBFS
 
 __all__ = ["CoalescingScheduler", "WorkerState", "SERIAL_FALLBACK_MS_PER_MEDGE"]
@@ -77,6 +78,7 @@ class CoalescingScheduler:
         scaled_cache: bool = True,
         fault_injector=None,
         recovery: RecoveryPolicy | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         if workers < 1:
             raise ServiceError("scheduler needs at least one worker")
@@ -100,7 +102,16 @@ class CoalescingScheduler:
         #: threaded into every engine this scheduler builds and visited
         #: at the service's own sites (queue, registry, worker).
         self.fault_injector = fault_injector
+        #: Optional :class:`~repro.telemetry.tracer.Tracer`. Every
+        #: dispatch opens a top-level ``service.dispatch`` span (one
+        #: trace per dispatch), threads the tracer into the engines it
+        #: builds, and tags recovery decisions as point events.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        if fault_injector is not None and self.tracer.enabled:
+            fault_injector.bind_tracer(self.tracer)
         self.recovery = recovery or DEFAULT_RECOVERY
+        #: Dispatches issued so far (batch id in traces).
+        self._batch_seq = 0
         #: Consecutive dispatches that exhausted their retries.
         self._fault_streak = 0
         #: Dispatches the open circuit breaker still routes serially.
@@ -219,48 +230,68 @@ class CoalescingScheduler:
         # actual engine run) — the machine-dependent complement of the
         # virtual ``elapsed``; lands in metrics under the "host" section.
         host_t0 = time.perf_counter()
-        inj = self.fault_injector
-        if inj is not None:
-            # Eviction storm: warm graphs (and their engines) vanish
-            # before the lookup, so this dispatch may re-pay the build.
-            for event in inj.pulse("service.registry", anchor.graph):
-                if event.kind == "evict_storm":
-                    self.registry.evict(int(event.magnitude))
-        entry, hit = self.registry.get(anchor.graph)
-        build_ms = 0.0 if hit else entry.build_ms
-        sources = list(dict.fromkeys(q.source for q in live))
-        batched = key is not None and len(sources) > 1
+        self._batch_seq += 1
+        with self.tracer.span(
+            "service.dispatch",
+            at=start,
+            track=f"worker{worker.index}",
+            batch=self._batch_seq,
+            graph=anchor.graph,
+            queries=len(live),
+            worker=worker.index,
+        ) as sp:
+            inj = self.fault_injector
+            if inj is not None:
+                # Eviction storm: warm graphs (and their engines) vanish
+                # before the lookup, so this dispatch may re-pay the
+                # build.
+                for event in inj.pulse("service.registry", anchor.graph):
+                    if event.kind == "evict_storm":
+                        self.registry.evict(int(event.magnitude))
+            entry, hit = self.registry.get(anchor.graph)
+            build_ms = 0.0 if hit else entry.build_ms
+            if not hit:
+                self.tracer.event(
+                    "registry.miss", graph=anchor.graph, build_ms=build_ms
+                )
+            sources = list(dict.fromkeys(q.source for q in live))
+            batched = key is not None and len(sources) > 1
+            sp.set(sources=len(sources), cache_hit=hit)
+            # The engines inside rebase their own clocks onto the slot
+            # *after* the modelled CSR build charge.
+            sp.advance_to(start + build_ms)
 
-        elapsed, sharing, levels_of = self._run_dispatch(
-            entry, live, sources, batched, graph_key=anchor.graph
-        )
-        self.metrics.record_host_dispatch(time.perf_counter() - host_t0)
-        if inj is not None:
-            self.metrics.sync_faults(inj.faults_injected)
-
-        finish = start + build_ms + elapsed
-        worker.busy_until_ms = finish
-        worker.busy_ms += build_ms + elapsed
-        worker.dispatches += 1
-
-        degrees = entry.graph.degrees
-        self.metrics.record_batch(len(live), sharing)
-        for q in live:
-            levels = levels_of(q.source)
-            outcome = QueryOutcome(
-                query=q,
-                levels=levels,
-                start_ms=start,
-                finish_ms=finish,
-                worker=worker.index,
-                batch_size=len(live),
-                batch_sources=len(sources),
-                sharing_factor=sharing,
-                cache_hit=hit,
-                traversed_edges=int(degrees[levels >= 0].sum()),
+            elapsed, sharing, levels_of = self._run_dispatch(
+                entry, live, sources, batched, graph_key=anchor.graph
             )
-            self.outcomes.append(outcome)
-            self.metrics.record_outcome(outcome)
+            self.metrics.record_host_dispatch(time.perf_counter() - host_t0)
+            if inj is not None:
+                self.metrics.sync_faults(inj.faults_injected)
+
+            finish = start + build_ms + elapsed
+            sp.end_at(finish)
+            worker.busy_until_ms = finish
+            worker.busy_ms += build_ms + elapsed
+            worker.dispatches += 1
+
+            degrees = entry.graph.degrees
+            self.metrics.record_batch(len(live), sharing)
+            for q in live:
+                levels = levels_of(q.source)
+                outcome = QueryOutcome(
+                    query=q,
+                    levels=levels,
+                    start_ms=start,
+                    finish_ms=finish,
+                    worker=worker.index,
+                    batch_size=len(live),
+                    batch_sources=len(sources),
+                    sharing_factor=sharing,
+                    cache_hit=hit,
+                    traversed_edges=int(degrees[levels >= 0].sum()),
+                )
+                self.outcomes.append(outcome)
+                self.metrics.record_outcome(outcome)
 
     # ------------------------------------------------------------------
     def _run_dispatch(
@@ -296,6 +327,11 @@ class CoalescingScheduler:
             if self._breaker_cooldown_left == 0:
                 self._fault_streak = 0  # half-open: next dispatch probes
             self.metrics.record_fallback()
+            self.tracer.event(
+                "recovery.serial_fallback",
+                graph=graph_key,
+                reason="breaker_open",
+            )
             return self._run_serial(entry, live, sources)
 
         attempt = 0
@@ -315,6 +351,11 @@ class CoalescingScheduler:
                     if self._fault_streak >= recovery.breaker_threshold:
                         self.metrics.record_breaker_trip()
                         self._breaker_cooldown_left = recovery.breaker_cooldown
+                        self.tracer.event(
+                            "recovery.breaker_trip",
+                            graph=graph_key,
+                            streak=self._fault_streak,
+                        )
                     if not recovery.serial_fallback:
                         raise RecoveryExhaustedError(
                             f"dispatch on {graph_key!r} still faulting "
@@ -323,8 +364,19 @@ class CoalescingScheduler:
                             f"{exc}"
                         ) from exc
                     self.metrics.record_fallback()
+                    self.tracer.event(
+                        "recovery.serial_fallback",
+                        graph=graph_key,
+                        reason="retries_exhausted",
+                    )
                     return self._run_serial(entry, live, sources)
                 self.metrics.record_retry()
+                self.tracer.event(
+                    "recovery.dispatch_retry",
+                    graph=graph_key,
+                    attempt=attempt,
+                    backoff_ms=recovery.backoff_ms(attempt),
+                )
                 backoff_total += recovery.backoff_ms(attempt)
             else:
                 self._fault_streak = 0
@@ -391,6 +443,7 @@ class CoalescingScheduler:
             engine = ConcurrentBFS(
                 entry.graph,
                 device=self._device_of(entry),
+                tracer=self.tracer,
                 injector=self.fault_injector,
                 recovery=self.recovery,
             )
@@ -405,6 +458,7 @@ class CoalescingScheduler:
             engine = XBFS(
                 entry.graph,
                 device=self._device_of(entry),
+                tracer=self.tracer,
                 injector=self.fault_injector,
                 recovery=self.recovery,
             )

@@ -1,0 +1,159 @@
+"""Telemetry exporters: JSONL event log, Chrome/Perfetto trace, Prometheus text.
+
+Three machine-readable views of one run:
+
+* :func:`write_jsonl` — every span and point event as one JSON object
+  per line, in record order. Lossless (both clocks, all attributes);
+  the format ``repro.service.trace`` replays are also JSONL, so one
+  toolchain reads both.
+* :func:`write_chrome_trace` — the ``trace_event`` JSON that
+  ``chrome://tracing`` and https://ui.perfetto.dev render: spans become
+  ``X`` (complete) events on the **virtual** timeline (µs), point
+  events become ``i`` (instant) events, and each track gets a
+  ``thread_name`` metadata row. Host wall-clock lands in ``args`` so
+  the two clocks stay side by side in the UI.
+* :func:`render_prometheus` — a text-format snapshot of a
+  :class:`~repro.telemetry.counters.CounterRegistry` (``repro_<ns>_…``
+  gauges), the scrape surface for the service.
+
+Everything virtual-time and structural here is deterministic: two
+identical seeded runs export byte-identical JSONL except for the
+``host_*`` fields (and identical Chrome ``ts``/``dur`` columns).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+
+from repro.telemetry.tracer import Tracer
+
+__all__ = [
+    "chrome_trace",
+    "render_prometheus",
+    "to_jsonl",
+    "write_chrome_trace",
+    "write_jsonl",
+    "write_prometheus",
+]
+
+
+# ----------------------------------------------------------------------
+# JSONL
+# ----------------------------------------------------------------------
+def to_jsonl(tracer: Tracer) -> str:
+    """Spans then events, one compact JSON object per line."""
+    lines = [json.dumps(s.to_dict(), sort_keys=True) for s in tracer.spans]
+    lines += [json.dumps(e.to_dict(), sort_keys=True) for e in tracer.events]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_jsonl(tracer: Tracer, path: str | Path) -> None:
+    Path(path).write_text(to_jsonl(tracer))
+
+
+# ----------------------------------------------------------------------
+# Chrome / Perfetto trace_event
+# ----------------------------------------------------------------------
+def _track_ids(tracer: Tracer) -> dict[str, int]:
+    """Stable track -> tid mapping (first-seen order)."""
+    tids: dict[str, int] = {}
+    for record in [*tracer.spans, *tracer.events]:
+        if record.track not in tids:
+            tids[record.track] = len(tids)
+    return tids
+
+
+def chrome_trace(tracer: Tracer) -> dict:
+    """The run as a ``{"traceEvents": [...]}`` object.
+
+    ``ts``/``dur`` are virtual microseconds; ``args`` carries the span
+    attributes plus trace/span ids and the host wall-clock reading, so
+    the Perfetto UI shows both clocks for every slice.
+    """
+    tids = _track_ids(tracer)
+    events: list[dict] = []
+    for track, tid in tids.items():
+        events.append(
+            {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": 0,
+                "tid": tid,
+                "args": {"name": track},
+            }
+        )
+    for s in tracer.spans:
+        events.append(
+            {
+                "ph": "X",
+                "name": s.name,
+                "cat": "span" if s.status == "ok" else "span,error",
+                "pid": 0,
+                "tid": tids[s.track],
+                "ts": s.virtual_start_ms * 1e3,
+                "dur": s.virtual_ms * 1e3,
+                "args": {
+                    **s.attrs,
+                    "trace_id": s.trace_id,
+                    "span_id": s.span_id,
+                    "host_ms": s.host_s * 1e3,
+                },
+            }
+        )
+    for e in tracer.events:
+        events.append(
+            {
+                "ph": "i",
+                "name": e.name,
+                "cat": "event",
+                "pid": 0,
+                "tid": tids[e.track],
+                "ts": e.virtual_ms * 1e3,
+                "s": "t",  # thread-scoped instant marker
+                "args": {
+                    **e.attrs,
+                    "trace_id": e.trace_id,
+                    "span_id": e.span_id,
+                },
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(tracer: Tracer, path: str | Path) -> None:
+    Path(path).write_text(json.dumps(chrome_trace(tracer), sort_keys=True) + "\n")
+
+
+# ----------------------------------------------------------------------
+# Prometheus text format
+# ----------------------------------------------------------------------
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _metric_name(key: str, prefix: str) -> str:
+    return f"{prefix}_{_NAME_RE.sub('_', key)}"
+
+
+def render_prometheus(registry, *, prefix: str = "repro") -> str:
+    """A :class:`CounterRegistry` snapshot in Prometheus text format.
+
+    Every counter is exposed as an untyped gauge; names are the dotted
+    registry keys with non-alphanumerics folded to ``_``. Duplicate
+    post-sanitisation names keep the last value (registry keys are
+    unique, so this only happens with adversarial key choices).
+    """
+    snapshot = registry.snapshot()
+    lines = []
+    for key in sorted(snapshot):
+        name = _metric_name(key, prefix)
+        value = snapshot[key]
+        lines.append(f"# HELP {name} repro counter {key}")
+        lines.append(f"# TYPE {name} gauge")
+        lines.append(f"{name} {float(value):g}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_prometheus(registry, path: str | Path, *, prefix: str = "repro") -> None:
+    Path(path).write_text(render_prometheus(registry, prefix=prefix))

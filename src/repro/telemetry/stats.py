@@ -1,0 +1,31 @@
+"""Shared, dependency-light statistics helpers.
+
+:func:`percentile` is the single percentile implementation for the
+whole package: :mod:`repro.service.metrics` (latency/recovery
+percentiles), the host wall-clock sections, and the telemetry
+exporters all import it from here, so every summary interpolates the
+same way and the numbers stay bit-identical across surfaces.
+"""
+
+from __future__ import annotations
+
+__all__ = ["percentile"]
+
+
+def percentile(values: list[float], q: float) -> float:
+    """Linear-interpolated percentile (``q`` in [0, 100]) of a list.
+
+    Deterministic and dependency-light; returns 0.0 for empty input.
+    """
+    if not values:
+        return 0.0
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    pos = q / 100.0 * (len(ordered) - 1)
+    lo = int(pos)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = pos - lo
+    return float(ordered[lo] * (1.0 - frac) + ordered[hi] * frac)

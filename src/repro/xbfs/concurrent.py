@@ -29,6 +29,7 @@ from repro.gcd.memory import rand_read, rand_write, segmented_read, seq_read, se
 from repro.gcd.simulator import GCD
 from repro.graph.csr import CSRGraph
 from repro.perf import NULL_PROFILER, HostProfiler
+from repro.telemetry.tracer import NULL_TRACER, Tracer
 from repro.xbfs.common import gather_neighbors, segment_ids, segment_lines_touched
 
 __all__ = [
@@ -118,6 +119,7 @@ class ConcurrentBFS:
         device: DeviceProfile = MI250X_GCD,
         config: ExecConfig | None = None,
         profiler: HostProfiler | None = None,
+        tracer: Tracer | None = None,
         injector=None,
         recovery: RecoveryPolicy | None = None,
     ) -> None:
@@ -125,9 +127,15 @@ class ConcurrentBFS:
         self.device = device
         self.config = config or ExecConfig()
         self.profiler = profiler if profiler is not None else NULL_PROFILER
+        #: Optional :class:`~repro.telemetry.tracer.Tracer`; runs emit
+        #: ``bfs.run``/``bfs.level`` spans like the solo driver, tagged
+        #: ``engine="concurrent"``.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         #: Optional fault injector; engages per-level checkpoint/restart
         #: exactly like :class:`~repro.xbfs.driver.XBFS`.
         self.injector = injector
+        if injector is not None and self.tracer.enabled:
+            injector.bind_tracer(self.tracer)
         self.recovery = recovery or DEFAULT_RECOVERY
         self._gcd: GCD | None = None
 
@@ -148,11 +156,36 @@ class ConcurrentBFS:
             raise TraversalError("sources must be distinct")
 
         if self._gcd is None:
-            self._gcd = GCD(self.device, self.config, injector=self.injector)
+            self._gcd = GCD(
+                self.device,
+                self.config,
+                injector=self.injector,
+                tracer=self.tracer if self.tracer.enabled else None,
+            )
         else:
             self._gcd.reset(keep_warm=True)
         gcd = self._gcd
         paid_warmup = not gcd._warm
+        with self.tracer.span(
+            "bfs.run",
+            clock=lambda: gcd.elapsed_ms,
+            engine="concurrent",
+            sources=k,
+        ):
+            return self._traverse(
+                gcd, sources, k, paid_warmup=paid_warmup
+            )
+
+    def _traverse(
+        self,
+        gcd: GCD,
+        sources: np.ndarray,
+        k: int,
+        *,
+        paid_warmup: bool,
+    ) -> ConcurrentResult:
+        graph = self.graph
+        tracer = self.tracer
 
         n = graph.num_vertices
         visited = np.zeros(n, dtype=np.uint64)
@@ -181,74 +214,86 @@ class ConcurrentBFS:
                 # only this level.
                 snap = (visited.copy(), frontier_bits.copy(), levels.copy(),
                         union_edges, solo_edges)
-            attempts = 0
-            while True:
-                try:
-                    with prof.timer("cb_expand"):
-                        neighbors, owner = gather_neighbors(graph, active)
-                        e_union = int(neighbors.size)
-                        union_edges += e_union
-                        # A solo run would expand each (source, vertex)
-                        # pair separately.
-                        popcounts = np.bitwise_count(
-                            frontier_bits[active]
-                        ).astype(np.int64)
-                        solo_edges += int((popcounts * degs[active]).sum())
+            with tracer.span(
+                "bfs.level",
+                clock=lambda: gcd.elapsed_ms,
+                level=level,
+                strategy="concurrent",
+                frontier=int(active.size),
+            ):
+                attempts = 0
+                while True:
+                    try:
+                        with prof.timer("cb_expand"):
+                            neighbors, owner = gather_neighbors(graph, active)
+                            e_union = int(neighbors.size)
+                            union_edges += e_union
+                            # A solo run would expand each (source,
+                            # vertex) pair separately.
+                            popcounts = np.bitwise_count(
+                                frontier_bits[active]
+                            ).astype(np.int64)
+                            solo_edges += int((popcounts * degs[active]).sum())
 
-                        # Propagate the frontier bits along the gathered
-                        # edges.
-                        incoming = np.zeros(n, dtype=np.uint64)
-                        np.bitwise_or.at(
-                            incoming, neighbors, frontier_bits[active][owner]
+                            # Propagate the frontier bits along the
+                            # gathered edges.
+                            incoming = np.zeros(n, dtype=np.uint64)
+                            np.bitwise_or.at(
+                                incoming, neighbors, frontier_bits[active][owner]
+                            )
+                            fresh = incoming & ~visited
+                            visited |= fresh
+                            newly = np.flatnonzero(fresh).astype(np.int64)
+                            for i in range(k):
+                                mine = newly[
+                                    (fresh[newly] >> np.uint64(i)) & np.uint64(1)
+                                    == 1
+                                ]
+                                levels[i, mine] = level + 1
+
+                        adj_lines = segment_lines_touched(
+                            graph.row_offsets[active], degs[active],
+                            element_bytes=4, line_bytes=line,
                         )
-                        fresh = incoming & ~visited
-                        visited |= fresh
-                        newly = np.flatnonzero(fresh).astype(np.int64)
-                        for i in range(k):
-                            mine = newly[
-                                (fresh[newly] >> np.uint64(i)) & np.uint64(1)
-                                == 1
-                            ]
-                            levels[i, mine] = level + 1
-
-                    adj_lines = segment_lines_touched(
-                        graph.row_offsets[active], degs[active],
-                        element_bytes=4, line_bytes=line,
-                    )
-                    gcd.launch(
-                        "cb_expand",
-                        strategy="concurrent",
-                        level=level,
-                        streams=[
-                            seq_read("frontier", int(active.size), 8),
-                            rand_read("beg_pos", 2 * int(active.size), 2 * int(active.size), 8),
-                            segmented_read("adj_list", e_union, adj_lines, 4),
-                            # 8-byte bit-status words, read per edge,
-                            # OR-written per fresh discovery.
-                            rand_read("bit_status", e_union, n, 8),
-                            rand_write("bit_status", int(newly.size), int(newly.size), 8),
-                            seq_write("next_frontier", int(newly.size), 8),
-                        ],
-                        work=ComputeWork(flat_ops=float(e_union + active.size)),
-                        work_items=int(active.size),
-                    )
-                    gcd.sync()
-                except DeviceFaultError as exc:
-                    attempts += 1
-                    level_restarts += 1
-                    if attempts > self.recovery.max_level_restarts:
-                        raise RecoveryExhaustedError(
-                            f"concurrent level {level} still faulting after "
-                            f"{self.recovery.max_level_restarts} checkpoint "
-                            f"restarts: {exc}"
-                        ) from exc
-                    visited[:] = snap[0]
-                    frontier_bits[:] = snap[1]
-                    levels[:] = snap[2]
-                    union_edges, solo_edges = snap[3], snap[4]
-                    gcd.quiesce()
-                else:
-                    break
+                        gcd.launch(
+                            "cb_expand",
+                            strategy="concurrent",
+                            level=level,
+                            streams=[
+                                seq_read("frontier", int(active.size), 8),
+                                rand_read("beg_pos", 2 * int(active.size), 2 * int(active.size), 8),
+                                segmented_read("adj_list", e_union, adj_lines, 4),
+                                # 8-byte bit-status words, read per edge,
+                                # OR-written per fresh discovery.
+                                rand_read("bit_status", e_union, n, 8),
+                                rand_write("bit_status", int(newly.size), int(newly.size), 8),
+                                seq_write("next_frontier", int(newly.size), 8),
+                            ],
+                            work=ComputeWork(flat_ops=float(e_union + active.size)),
+                            work_items=int(active.size),
+                        )
+                        gcd.sync()
+                    except DeviceFaultError as exc:
+                        attempts += 1
+                        level_restarts += 1
+                        tracer.event(
+                            "recovery.level_restart",
+                            level=level,
+                            attempt=attempts,
+                        )
+                        if attempts > self.recovery.max_level_restarts:
+                            raise RecoveryExhaustedError(
+                                f"concurrent level {level} still faulting after "
+                                f"{self.recovery.max_level_restarts} checkpoint "
+                                f"restarts: {exc}"
+                            ) from exc
+                        visited[:] = snap[0]
+                        frontier_bits[:] = snap[1]
+                        levels[:] = snap[2]
+                        union_edges, solo_edges = snap[3], snap[4]
+                        gcd.quiesce()
+                    else:
+                        break
             frontier_bits = fresh
             prof.count("levels/concurrent")
             level += 1

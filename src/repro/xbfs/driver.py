@@ -26,6 +26,7 @@ from repro.gcd.simulator import GCD
 from repro.graph.csr import CSRGraph
 from repro.graph.rearrange import rearrange_by_degree
 from repro.perf import NULL_PROFILER, HostProfiler
+from repro.telemetry.tracer import NULL_TRACER, Tracer
 from repro.xbfs import bottom_up, scan_free, single_scan
 from repro.xbfs.classifier import (
     BOTTOM_UP,
@@ -149,6 +150,12 @@ class XBFS:
         Optional :class:`repro.perf.HostProfiler` receiving host
         wall-clock attribution (per strategy and per host kernel phase)
         across every run of this engine.
+    tracer:
+        Optional :class:`repro.telemetry.tracer.Tracer`; each run
+        becomes a ``bfs.run`` span containing per-level ``bfs.level``
+        spans, the simulated kernel/sync spans underneath, and any
+        fault/recovery point events — all dual-clocked (virtual +
+        host) on one correlated timeline.
     bottom_up_impl:
         Host implementation of the bottom-up expand: ``"blocked"``
         (early-terminating blocked probe loop, the default) or
@@ -179,6 +186,7 @@ class XBFS:
         rearrange: bool = False,
         proactive: bool = True,
         profiler: HostProfiler | None = None,
+        tracer: Tracer | None = None,
         bottom_up_impl: str = "blocked",
         probe_block: int = DEFAULT_PROBE_BLOCK,
         injector=None,
@@ -197,9 +205,12 @@ class XBFS:
         self.classifier = classifier or AdaptiveClassifier()
         self.proactive = proactive
         self.profiler = profiler if profiler is not None else NULL_PROFILER
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.bottom_up_impl = bottom_up_impl
         self.probe_block = probe_block
         self.injector = injector
+        if injector is not None and self.tracer.enabled:
+            injector.bind_tracer(self.tracer)
         self.recovery = recovery or DEFAULT_RECOVERY
         self._scratch = ScratchPool()
         self._gcd: GCD | None = None
@@ -249,10 +260,41 @@ class XBFS:
         # first-launch warm-up, subsequent runs (the n-to-n loop) reuse
         # the warm device — matching back-to-back BFS in one process.
         if self._gcd is None:
-            self._gcd = GCD(self.device, self.config, injector=self.injector)
+            self._gcd = GCD(
+                self.device, self.config,
+                injector=self.injector,
+                tracer=self.tracer if self.tracer.enabled else None,
+            )
         else:
             self._gcd.reset(keep_warm=True)
         gcd = self._gcd
+        with self.tracer.span(
+            "bfs.run",
+            clock=lambda: gcd.elapsed_ms,
+            engine="xbfs",
+            source=source,
+            forced=force_strategy or "",
+        ):
+            return self._traverse(
+                gcd,
+                source,
+                force_strategy=force_strategy,
+                max_levels=max_levels,
+                record_parents=record_parents,
+            )
+
+    def _traverse(
+        self,
+        gcd: GCD,
+        source: int,
+        *,
+        force_strategy: str | None,
+        max_levels: int | None,
+        record_parents: bool,
+    ) -> XBFSResult:
+        """The traversal body of :meth:`run`, inside its trace span."""
+        graph = self.graph
+        tracer = self.tracer
         paid_warmup = not gcd._warm
         status = StatusArray(graph.num_vertices)
         status.set_source(source)
@@ -277,6 +319,7 @@ class XBFS:
                 # The status init is idempotent: re-issue it like a
                 # faulted level, against the same restart budget.
                 init_restarts += 1
+                tracer.event("recovery.init_restart", attempt=init_restarts)
                 if init_restarts > self.recovery.max_level_restarts:
                     raise RecoveryExhaustedError(
                         f"status init still faulting after "
@@ -387,13 +430,21 @@ class XBFS:
                 gcd.sync()
                 return result
 
-            if self.injector is None:
-                result = attempt_level()
-            else:
-                result, restarts = self._checkpointed_level(
-                    attempt_level, status, parents, level, gcd
-                )
-                level_restarts += restarts
+            with tracer.span(
+                "bfs.level",
+                clock=lambda: gcd.elapsed_ms,
+                level=level,
+                strategy=strategy,
+                ratio=ratio,
+                frontier=int(frontier.size),
+            ):
+                if self.injector is None:
+                    result = attempt_level()
+                else:
+                    result, restarts = self._checkpointed_level(
+                        attempt_level, status, parents, level, gcd
+                    )
+                    level_restarts += restarts
             prof.count("levels/" + strategy)
 
             strategies.append(strategy)
@@ -463,6 +514,9 @@ class XBFS:
                 return attempt_level(), restarts
             except DeviceFaultError as exc:
                 restarts += 1
+                self.tracer.event(
+                    "recovery.level_restart", level=level, attempt=restarts
+                )
                 if restarts > self.recovery.max_level_restarts:
                     raise RecoveryExhaustedError(
                         f"level {level} still faulting after "

@@ -1,0 +1,167 @@
+"""Exporter round-trips: JSONL, Chrome trace_event, Prometheus text.
+
+The contracts under test: every export re-parses; virtual timestamps
+are monotone per track (for leaf spans and instants, which land on the
+timeline in emission order); identical seeded runs export identical
+structural content.
+"""
+
+import json
+import re
+
+import pytest
+
+from repro.graph.generators import rmat
+from repro.telemetry import (
+    CounterRegistry,
+    Tracer,
+    chrome_trace,
+    render_prometheus,
+    to_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.xbfs.driver import XBFS
+
+
+@pytest.fixture(scope="module")
+def traced_run():
+    tracer = Tracer()
+    engine = XBFS(rmat(10, 8, seed=1), tracer=tracer)
+    engine.run(0)
+    engine.run(5)
+    return tracer
+
+
+# ----------------------------------------------------------------------
+# JSONL
+# ----------------------------------------------------------------------
+class TestJsonl:
+    def test_roundtrip(self, traced_run, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        write_jsonl(traced_run, path)
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        spans = [r for r in records if r["type"] == "span"]
+        events = [r for r in records if r["type"] == "event"]
+        assert len(spans) == len(traced_run.spans)
+        assert len(events) == len(traced_run.events)
+        for rec, span in zip(spans, traced_run.spans):
+            assert rec["name"] == span.name
+            assert rec["trace_id"] == span.trace_id
+            assert rec["virtual_start_ms"] == span.virtual_start_ms
+            assert rec["virtual_end_ms"] == span.virtual_end_ms
+
+    def test_virtual_columns_stable_across_identical_runs(self):
+        def export():
+            tracer = Tracer()
+            XBFS(rmat(10, 8, seed=1), tracer=tracer).run(0)
+            lines = to_jsonl(tracer).splitlines()
+            rows = [json.loads(line) for line in lines]
+            for row in rows:  # host columns are machine wall-clock
+                row.pop("host_start_s", None)
+                row.pop("host_end_s", None)
+                row.pop("host_s", None)
+            return rows
+
+        assert export() == export()
+
+    def test_empty_tracer_exports_empty_string(self):
+        assert to_jsonl(Tracer()) == ""
+
+
+# ----------------------------------------------------------------------
+# Chrome trace_event
+# ----------------------------------------------------------------------
+class TestChromeTrace:
+    def test_file_reparses_and_has_all_records(self, traced_run, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_trace(traced_run, path)
+        doc = json.loads(path.read_text())
+        events = doc["traceEvents"]
+        assert doc["displayTimeUnit"] == "ms"
+        xs = [e for e in events if e["ph"] == "X"]
+        instants = [e for e in events if e["ph"] == "i"]
+        metas = [e for e in events if e["ph"] == "M"]
+        assert len(xs) == len(traced_run.spans)
+        assert len(instants) == len(traced_run.events)
+        tracks = {s.track for s in traced_run.spans} | {
+            e.track for e in traced_run.events
+        }
+        assert {m["args"]["name"] for m in metas} == tracks
+
+    def test_spans_carry_both_clocks_and_ids(self, traced_run):
+        doc = chrome_trace(traced_run)
+        for ev in doc["traceEvents"]:
+            if ev["ph"] != "X":
+                continue
+            assert ev["dur"] >= 0
+            assert "trace_id" in ev["args"]
+            assert "span_id" in ev["args"]
+            assert "host_ms" in ev["args"]
+
+    def test_leaf_timestamps_monotone_per_track(self, traced_run):
+        """Kernel/sync spans and instants are emitted in timeline order:
+        within one track of one trace, their ts never decreases.
+        (Enclosing spans are excluded — they open before and close
+        after their children; separate traces each rebase at zero.)"""
+        doc = chrome_trace(traced_run)
+        leaf = re.compile(r"^(kernel:|gcd\.|dist\.|fault\.|recovery\.)")
+        last: dict[tuple, float] = {}
+        checked = 0
+        for ev in doc["traceEvents"]:
+            if ev["ph"] not in ("X", "i") or not leaf.match(ev["name"]):
+                continue
+            key = (ev["tid"], ev["args"]["trace_id"])
+            assert ev["ts"] >= last.get(key, 0.0), ev["name"]
+            last[key] = ev["ts"]
+            checked += 1
+        assert checked > 0
+        assert len(last) >= 2  # both runs contributed
+
+    def test_structure_stable_across_identical_runs(self):
+        def structure():
+            tracer = Tracer()
+            XBFS(rmat(10, 8, seed=1), tracer=tracer).run(0)
+            doc = chrome_trace(tracer)
+            out = []
+            for ev in doc["traceEvents"]:
+                args = {k: v for k, v in ev.get("args", {}).items()
+                        if k != "host_ms"}
+                out.append((ev["ph"], ev["name"], ev.get("ts"),
+                            ev.get("dur"), ev["tid"], tuple(sorted(args))))
+            return out
+
+        assert structure() == structure()
+
+
+# ----------------------------------------------------------------------
+# Prometheus text
+# ----------------------------------------------------------------------
+class TestPrometheus:
+    def _registry(self, traced_run):
+        reg = CounterRegistry()
+        reg.attach_tracer(traced_run)
+        reg.attach("app", lambda: {"weird-key.v2": 1.5})
+        return reg
+
+    def test_format(self, traced_run):
+        text = render_prometheus(self._registry(traced_run))
+        lines = text.splitlines()
+        assert len(lines) % 3 == 0
+        name_re = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+        for help_line, type_line, sample in zip(
+            lines[0::3], lines[1::3], lines[2::3]
+        ):
+            assert help_line.startswith("# HELP ")
+            assert type_line.startswith("# TYPE ") and type_line.endswith(" gauge")
+            name, value = sample.split(" ", 1)
+            assert name_re.match(name), name
+            float(value)  # parses
+
+    def test_names_are_sanitised_and_prefixed(self, traced_run):
+        text = render_prometheus(self._registry(traced_run), prefix="xbfs")
+        assert "xbfs_app_weird_key_v2 1.5" in text
+        assert "xbfs_trace_spans" in text
+
+    def test_empty_registry(self):
+        assert render_prometheus(CounterRegistry()) == ""

@@ -42,6 +42,7 @@ def run_matrix() -> list[dict]:
     summaries.append(run_perf_surface_fingerprint())
     summaries.append(run_faults_surface_fingerprint())
     summaries.append(run_chaos_fingerprint())
+    summaries.append(run_telemetry_fingerprint())
     return summaries
 
 
@@ -131,6 +132,46 @@ def run_chaos_fingerprint() -> dict:
         "level_restarts": result.level_restarts,
         "elapsed_ms": result.elapsed_ms,
         "levels_crc32": levels_fingerprint(result.levels),
+    }
+
+
+def run_telemetry_fingerprint() -> dict:
+    """Observability fingerprint: the public surface of
+    :mod:`repro.telemetry` plus the counter namespace a canonical
+    seeded traced run exposes. Host clocks never enter the blob — the
+    virtual span count, event count and dotted counter names are pure
+    functions of the model, so the CRC drifts exactly when the
+    telemetry API or the instrumentation points change."""
+    import inspect
+    import zlib
+
+    import repro.telemetry as telemetry
+    from repro.telemetry import CounterRegistry, Tracer
+
+    entries = []
+    for name in sorted(telemetry.__all__):
+        obj = getattr(telemetry, name)
+        entries.append(name)
+        if inspect.isclass(obj):
+            for attr, member in sorted(vars(obj).items()):
+                if attr.startswith("_") or not callable(member):
+                    continue
+                entries.append(f"{name}.{attr}{inspect.signature(member)}")
+    surface_blob = "\n".join(entries).encode()
+
+    tracer = Tracer()
+    XBFS(rmat(12, 8, seed=2), tracer=tracer).run(0)
+    registry = CounterRegistry()
+    registry.attach_tracer(tracer)
+    names_blob = "\n".join(registry.names()).encode()
+    return {
+        "name": "telemetry",
+        "symbols": len(entries),
+        "surface_crc32": zlib.crc32(surface_blob),
+        "counters": len(registry.names()),
+        "counter_names_crc32": zlib.crc32(names_blob),
+        "spans": len(tracer.spans),
+        "events": len(tracer.events),
     }
 
 

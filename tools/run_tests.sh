@@ -4,6 +4,8 @@
 #   tools/run_tests.sh            # tier-1: the fast suite (-m "not slow")
 #   tools/run_tests.sh tier1      # same
 #   tools/run_tests.sh tier2      # slow sweeps + the benchmark harness
+#   tools/run_tests.sh telemetry  # the observability suite + the
+#                                 # disabled-tracer overhead bench
 #   tools/run_tests.sh all        # everything: tier-1 + tier-2 + the
 #                                 # regression gate against the committed
 #                                 # baseline fingerprint
@@ -26,6 +28,10 @@ case "$tier" in
   tier2)
     python -m pytest -m slow "$@"
     python -m pytest benchmarks "$@"
+    ;;
+  telemetry)
+    python -m pytest tests/telemetry "$@"
+    python -m pytest benchmarks/bench_telemetry_overhead.py -s "$@"
     ;;
   all)
     python -m pytest "$@"
