@@ -29,6 +29,7 @@ Layers:
 
 from repro.errors import (
     AdmissionError,
+    BatchSourceError,
     DeadlineExceededError,
     DeviceModelError,
     ExperimentError,
@@ -68,6 +69,7 @@ __all__ = [
     "DeviceModelError",
     "KernelLaunchError",
     "TraversalError",
+    "BatchSourceError",
     "ExperimentError",
     "PartitionError",
     "ServiceError",

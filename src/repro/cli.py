@@ -328,6 +328,8 @@ def _service_from_args(args: argparse.Namespace, cls):
         default_deadline_ms=args.deadline_ms,
         scale_factor=args.scale_factor,
         seed=args.seed,
+        num_gcds=args.num_gcds,
+        distributed_threshold_mb=args.distributed_threshold,
         fault_plan=fault_plan,
         **({"tracer": tracer} if tracer is not None else {}),
     )
@@ -371,6 +373,14 @@ def _add_service_args(parser: argparse.ArgumentParser) -> None:
                         help="default per-query deadline (virtual ms)")
     parser.add_argument("--memory-budget-mb", type=float, default=256.0,
                         help="graph-registry LRU budget")
+    parser.add_argument("--num-gcds", type=int, default=4,
+                        help="pod width of the distributed engine (2/4/8 "
+                        "simulated GCDs) used above the routing threshold")
+    parser.add_argument("--distributed-threshold", type=float, default=None,
+                        metavar="MB",
+                        help="CSR footprint (MiB) above which a graph is "
+                        "served by the multi-GCD engine instead of a "
+                        "single simulated GCD (default: never)")
     parser.add_argument("--scale-factor", type=int, default=64)
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--fault-plan", default=None, metavar="PATH",
@@ -413,6 +423,8 @@ def _cmd_chaos_bench(args: argparse.Namespace) -> int:
             default_deadline_ms=args.deadline_ms,
             scale_factor=args.scale_factor,
             seed=args.seed,
+            num_gcds=args.num_gcds,
+            distributed_threshold_mb=args.distributed_threshold,
             fault_plan=fault_plan,
         )
         return service

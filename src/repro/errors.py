@@ -14,6 +14,7 @@ __all__ = [
     "DeviceModelError",
     "KernelLaunchError",
     "TraversalError",
+    "BatchSourceError",
     "ExperimentError",
     "PartitionError",
     "ServiceError",
@@ -49,6 +50,14 @@ class KernelLaunchError(ReproError, RuntimeError):
 class TraversalError(ReproError, RuntimeError):
     """A BFS engine detected an internal inconsistency (frontier overflow,
     status/queue disagreement, source out of range)."""
+
+
+class BatchSourceError(TraversalError, ValueError):
+    """A multi-source batch is malformed: empty, larger than the
+    engine's capacity, sources out of range, or duplicate sources that
+    would silently alias one status bit. Raised *before* any kernel
+    cost is charged, so a rejected batch never perturbs the virtual
+    clock."""
 
 
 class ExperimentError(ReproError, RuntimeError):

@@ -3,7 +3,11 @@ simulated GCDs with an α–β interconnect model (the paper's Graph500
 motivation carried one step further)."""
 
 from repro.multigcd.comm import INFINITY_FABRIC, SLINGSHOT, InterconnectModel
-from repro.multigcd.distributed_bfs import DistributedResult, MultiGcdBFS
+from repro.multigcd.distributed_bfs import (
+    DistributedBatchResult,
+    DistributedResult,
+    MultiGcdBFS,
+)
 from repro.multigcd.grid2d import Grid2dBFS, Grid2dResult
 from repro.multigcd.topology import FRONTIER_NODE_GCDS, TwoTierInterconnect
 from repro.multigcd.partition import (
@@ -22,6 +26,7 @@ __all__ = [
     "Grid2dBFS",
     "Grid2dResult",
     "DistributedResult",
+    "DistributedBatchResult",
     "Partition1D",
     "partition_by_edges",
     "partition_by_vertices",

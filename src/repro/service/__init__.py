@@ -45,7 +45,7 @@ Quick start::
 """
 
 from repro.service.admission import AdmissionController, AdmissionPolicy
-from repro.service.metrics import ServiceMetrics, percentile
+from repro.service.metrics import ENGINE_NAMES, ServiceMetrics, percentile
 from repro.service.registry import GraphRegistry, RegistryEntry
 from repro.service.request import Query, QueryOptions, QueryOutcome
 from repro.service.runtime import BFSService, ServiceReport
@@ -56,6 +56,7 @@ __all__ = [
     "AdmissionController",
     "AdmissionPolicy",
     "BFSService",
+    "ENGINE_NAMES",
     "CoalescingScheduler",
     "GraphRegistry",
     "Query",

@@ -20,7 +20,10 @@ from dataclasses import dataclass, field
 from repro.service.request import QueryOutcome
 from repro.telemetry.stats import percentile
 
-__all__ = ["ServiceMetrics", "percentile"]
+__all__ = ["ServiceMetrics", "ENGINE_NAMES", "percentile"]
+
+#: Serving engines a dispatch may land on, in reporting order.
+ENGINE_NAMES = ("solo", "concurrent", "multigcd", "serial")
 
 
 @dataclass
@@ -40,6 +43,9 @@ class ServiceMetrics:
     #: Host wall-clock seconds per dispatch (perf_counter; one entry
     #: per engine run, machine-dependent — excluded from fingerprints).
     host_dispatch_s: list[float] = field(default_factory=list)
+    #: Dispatches per serving engine (``solo`` / ``concurrent`` /
+    #: ``multigcd`` / ``serial``) — the routing policy's observable.
+    engine_dispatches: dict[str, int] = field(default_factory=dict)
     # --- degraded-mode (fault recovery) counters; all virtual-time ---
     #: Fired fault events (every kind), synced from the injector.
     faults_injected: int = 0
@@ -79,6 +85,12 @@ class ServiceMetrics:
     def record_host_dispatch(self, seconds: float) -> None:
         """Record the host wall-clock cost of one dispatch."""
         self.host_dispatch_s.append(float(seconds))
+
+    def record_engine(self, engine: str) -> None:
+        """Count one dispatch against the engine that served it."""
+        self.engine_dispatches[engine] = (
+            self.engine_dispatches.get(engine, 0) + 1
+        )
 
     def record_retry(self) -> None:
         """One dispatch retry after a device fault."""
@@ -145,6 +157,21 @@ class ServiceMetrics:
         return sum(self.batch_sizes) / len(self.batch_sizes)
 
     # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Engine-routing snapshot: dispatch counts per serving engine
+        (every known engine present, zero when unused) plus the
+        dispatch total. JSON-able and deterministic under replay."""
+        out = {
+            f"dispatches_{engine}": self.engine_dispatches.get(engine, 0)
+            for engine in ENGINE_NAMES
+        }
+        for engine in sorted(self.engine_dispatches):
+            if engine not in ENGINE_NAMES:
+                out[f"dispatches_{engine}"] = self.engine_dispatches[engine]
+        out["dispatches"] = len(self.batch_sizes)
+        out["engine_dispatches"] = dict(self.engine_dispatches)
+        return out
+
     def summary(self, name: str, *, registry_stats: dict | None = None) -> dict:
         """JSON-able record, save/diff-able via
         :mod:`repro.metrics.results_io`."""
@@ -162,6 +189,13 @@ class ServiceMetrics:
                 else 0.0
             ),
             "dispatches": len(self.batch_sizes),
+            # Per-engine dispatch counts sit at the top level so the
+            # routing policy itself is fingerprinted by
+            # tools/check_regression.py.
+            **{
+                f"dispatches_{engine}": self.engine_dispatches.get(engine, 0)
+                for engine in ENGINE_NAMES
+            },
             "mean_batch_size": self.mean_batch_size,
             "mean_sharing_factor": self.mean_sharing_factor,
             "makespan_ms": self.makespan_ms,
@@ -211,6 +245,15 @@ class ServiceMetrics:
             f"throughput: {s['service_gteps']:.3f} GTEPS (modelled) over "
             f"{s['makespan_ms']:.3f} ms makespan",
         ]
+        if self.engine_dispatches:
+            lines.append(
+                "engines:    "
+                + "  ".join(
+                    f"{engine}={self.engine_dispatches[engine]}"
+                    for engine in ENGINE_NAMES
+                    if engine in self.engine_dispatches
+                )
+            )
         if self.faults_injected or self.retries or self.fallbacks:
             lines.append(
                 f"faults:     {s['faults_injected']} injected  "

@@ -78,9 +78,16 @@ class GraphRegistry:
         self.seed = seed
         self._builder = builder or self._default_builder
         self._entries: OrderedDict[str, RegistryEntry] = OrderedDict()
+        #: Running byte total of every cached entry, updated on insert
+        #: and evict — eviction loops must stay O(evicted), not O(n²).
+        self._bytes_cached = 0
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        #: Builds refused with :class:`GraphTooLargeError`. Tracked
+        #: apart from ``misses`` so unservable specs never depress the
+        #: hit rate of the queries the registry *can* serve.
+        self.rejections = 0
 
     def _default_builder(self, spec: str) -> CSRGraph:
         from repro.cli import parse_graph_spec  # local: avoid cycle
@@ -92,6 +99,11 @@ class GraphRegistry:
     # ------------------------------------------------------------------
     @property
     def bytes_cached(self) -> int:
+        return self._bytes_cached
+
+    def recompute_bytes_cached(self) -> int:
+        """O(n) ground truth for the running total (tests assert the
+        two never diverge)."""
         return sum(e.memory_bytes for e in self._entries.values())
 
     @property
@@ -124,17 +136,21 @@ class GraphRegistry:
             self.hits += 1
             return entry, True
 
-        self.misses += 1
         graph = self._builder(spec)
         if graph.memory_bytes > self.memory_budget_bytes:
+            # A rejected build is not a miss: the spec can never be
+            # served, so it must not depress the hit rate.
+            self.rejections += 1
             raise GraphTooLargeError(
                 f"graph {spec!r} needs {graph.memory_bytes:,} B but the "
                 f"registry budget is {self.memory_budget_bytes:,} B"
             )
+        self.misses += 1
         build_ms = graph.num_edges / 1e6 * BUILD_MS_PER_MEDGE
         entry = RegistryEntry(key=spec, graph=graph, build_ms=build_ms)
         self._evict_for(graph.memory_bytes)
         self._entries[spec] = entry
+        self._bytes_cached += entry.memory_bytes
         return entry, False
 
     def evict(self, count: int = 1) -> list[str]:
@@ -149,7 +165,8 @@ class GraphRegistry:
         for _ in range(max(0, int(count))):
             if not self._entries:
                 break
-            key, _entry = self._entries.popitem(last=False)
+            key, entry = self._entries.popitem(last=False)
+            self._bytes_cached -= entry.memory_bytes
             self.evictions += 1
             dropped.append(key)
         return dropped
@@ -157,9 +174,10 @@ class GraphRegistry:
     def _evict_for(self, incoming_bytes: int) -> None:
         while (
             self._entries
-            and self.bytes_cached + incoming_bytes > self.memory_budget_bytes
+            and self._bytes_cached + incoming_bytes > self.memory_budget_bytes
         ):
-            self._entries.popitem(last=False)
+            _key, entry = self._entries.popitem(last=False)
+            self._bytes_cached -= entry.memory_bytes
             self.evictions += 1
 
     def stats(self) -> dict:
@@ -171,5 +189,6 @@ class GraphRegistry:
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
+            "rejections": self.rejections,
             "hit_rate": self.hit_rate,
         }

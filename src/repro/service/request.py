@@ -73,6 +73,10 @@ class QueryOutcome:
     sharing_factor: float = 1.0
     #: Whether the graph came out of the registry cache.
     cache_hit: bool = False
+    #: Engine that served the dispatch: ``"solo"`` (XBFS),
+    #: ``"concurrent"`` (iBFS batch), ``"multigcd"`` (distributed pod)
+    #: or ``"serial"`` (circuit-breaker fallback).
+    engine: str = "solo"
     #: Edges a solo traversal from this source expands (Graph500 credit).
     traversed_edges: int = 0
     #: ``None`` for served queries, else the typed-rejection reason

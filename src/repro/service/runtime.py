@@ -66,6 +66,14 @@ class BFSService:
     set the admission policy, and ``scale_factor``/``seed`` fix how
     graph specs resolve (one spec string → one graph for the service's
     lifetime).
+
+    ``distributed_threshold_mb``/``num_gcds`` set the engine-routing
+    policy: dispatches against graphs whose CSR footprint exceeds the
+    threshold are served by the multi-GCD distributed engine (a
+    simulated 2/4/8-GCD pod) instead of a single simulated GCD; the 1D
+    partition is computed once per cached graph and answers stay
+    bit-identical to solo XBFS. ``None`` (the default) keeps every
+    dispatch on the single-GCD engines.
     """
 
     def __init__(
@@ -80,6 +88,8 @@ class BFSService:
         scale_factor: int = 64,
         seed: int = 0,
         scaled_cache: bool = True,
+        num_gcds: int = 4,
+        distributed_threshold_mb: float | None = None,
         registry: GraphRegistry | None = None,
         fault_plan: FaultPlan | None = None,
         recovery: RecoveryPolicy | None = None,
@@ -122,6 +132,12 @@ class BFSService:
             fault_injector=self.fault_injector,
             recovery=recovery,
             tracer=self.tracer,
+            num_gcds=num_gcds,
+            distributed_threshold_bytes=(
+                int(distributed_threshold_mb * 1024 * 1024)
+                if distributed_threshold_mb is not None
+                else None
+            ),
         )
 
     # ------------------------------------------------------------------

@@ -17,6 +17,19 @@ clock models real queueing delay: a batch starts when both its window
 has closed *and* its worker is free, and a registry miss additionally
 pays the modelled CSR build charge before the traversal.
 
+Engine routing is size-aware: graphs whose CSR footprint exceeds
+``distributed_threshold_bytes`` no longer fit a single GCD's residency
+budget, so their dispatches are served by
+:class:`~repro.multigcd.distributed_bfs.MultiGcdBFS` across a simulated
+``num_gcds``-GCD pod (1D partition computed once and cached on the
+registry entry, exchange time charged by the α–β interconnect model).
+Queries with engine-specific options (a pinned strategy, parents, a
+truncated run) stay on solo XBFS regardless of size — only the default
+option surface is distributed-compatible. Routed answers are
+bit-identical to solo XBFS by contract, including under fault plans:
+a pod fault surfaces as a typed error and rides the same dispatch
+retry / serial-fallback ladder as every other engine.
+
 Everything — grouping, worker choice, timing — is a pure function of
 the submitted queries, so a replayed trace is bit-for-bit
 reproducible.
@@ -79,9 +92,18 @@ class CoalescingScheduler:
         fault_injector=None,
         recovery: RecoveryPolicy | None = None,
         tracer: Tracer | None = None,
+        num_gcds: int = 4,
+        distributed_threshold_bytes: int | None = None,
     ) -> None:
         if workers < 1:
             raise ServiceError("scheduler needs at least one worker")
+        if num_gcds < 1:
+            raise ServiceError(f"num_gcds must be >= 1, got {num_gcds}")
+        if (
+            distributed_threshold_bytes is not None
+            and distributed_threshold_bytes < 0
+        ):
+            raise ServiceError("distributed_threshold_bytes must be >= 0")
         if not 1 <= max_batch <= MAX_CONCURRENT:
             raise ServiceError(
                 f"max_batch must be in 1..{MAX_CONCURRENT}, got {max_batch}"
@@ -91,6 +113,12 @@ class CoalescingScheduler:
         self.registry = registry
         self.max_batch = max_batch
         self.window_ms = window_ms
+        #: Pod width of the distributed engine (2/4/8 model one, two or
+        #: four MI250X cards' worth of GCDs).
+        self.num_gcds = num_gcds
+        #: CSR byte footprint above which a graph routes to the
+        #: multi-GCD engine; ``None`` disables distributed routing.
+        self.distributed_threshold_bytes = distributed_threshold_bytes
         self.admission = admission or AdmissionController()
         self.metrics = metrics or ServiceMetrics()
         self.scaled_cache = scaled_cache
@@ -261,9 +289,11 @@ class CoalescingScheduler:
             # *after* the modelled CSR build charge.
             sp.advance_to(start + build_ms)
 
-            elapsed, sharing, levels_of = self._run_dispatch(
+            elapsed, sharing, levels_of, engine = self._run_dispatch(
                 entry, live, sources, batched, graph_key=anchor.graph
             )
+            sp.set(engine=engine)
+            self.metrics.record_engine(engine)
             self.metrics.record_host_dispatch(time.perf_counter() - host_t0)
             if inj is not None:
                 self.metrics.sync_faults(inj.faults_injected)
@@ -289,6 +319,7 @@ class CoalescingScheduler:
                     sharing_factor=sharing,
                     cache_hit=hit,
                     traversed_edges=int(degrees[levels >= 0].sum()),
+                    engine=engine,
                 )
                 self.outcomes.append(outcome)
                 self.metrics.record_outcome(outcome)
@@ -306,7 +337,8 @@ class CoalescingScheduler:
         """Run the engine for one dispatch, recovering from injected
         faults.
 
-        Returns ``(elapsed_ms, sharing_factor, levels_of)``. The ladder:
+        Returns ``(elapsed_ms, sharing_factor, levels_of, engine)``.
+        The ladder:
 
         1. per-level checkpoint/restart *inside* the engine (invisible
            here beyond ``level_restarts``),
@@ -341,7 +373,7 @@ class CoalescingScheduler:
                 # The worker itself may fault (raising kinds) or run
                 # slow (latency kinds scale the modelled elapsed).
                 fault_scale = inj.visit("service.worker", graph_key)
-                elapsed, sharing, levels_of = self._run_engine(
+                elapsed, sharing, levels_of, engine = self._run_engine(
                     entry, live, sources, batched
                 )
             except (DeviceFaultError, RecoveryExhaustedError) as exc:
@@ -382,18 +414,45 @@ class CoalescingScheduler:
                 self._fault_streak = 0
                 if attempt > 0 or backoff_total > 0.0:
                     self.metrics.record_recovery(backoff_total)
-                return elapsed * fault_scale + backoff_total, sharing, levels_of
+                return (
+                    elapsed * fault_scale + backoff_total,
+                    sharing,
+                    levels_of,
+                    engine,
+                )
+
+    def _routes_distributed(self, entry: RegistryEntry, live) -> bool:
+        """Size-aware routing policy: a dispatch goes to the multi-GCD
+        pod when the graph's CSR footprint exceeds the single-GCD
+        residency threshold *and* every member query carries the
+        default option surface (the distributed engine honours neither
+        pinned strategies, parent arrays nor truncated runs — those
+        stay solo, whatever the size)."""
+        threshold = self.distributed_threshold_bytes
+        if threshold is None or self.num_gcds < 2:
+            return False
+        if entry.graph.memory_bytes <= threshold:
+            return False
+        return all(q.options.coalescing_key() is not None for q in live)
 
     def _run_engine(self, entry: RegistryEntry, live, sources, batched):
+        if self._routes_distributed(entry, live):
+            result = self._run_distributed(entry, sources)
+            return result.elapsed_ms, 1.0, result.levels_of, "multigcd"
         if batched:
             result = self._run_concurrent(entry, sources)
             if result.level_restarts:
                 self.metrics.record_level_restarts(result.level_restarts)
-            return result.elapsed_ms, result.sharing_factor, result.levels_of
+            return (
+                result.elapsed_ms,
+                result.sharing_factor,
+                result.levels_of,
+                "concurrent",
+            )
         solo = self._run_solo(entry, live[0])
         if solo.level_restarts:
             self.metrics.record_level_restarts(solo.level_restarts)
-        return solo.elapsed_ms, 1.0, lambda _s: solo.levels
+        return solo.elapsed_ms, 1.0, lambda _s: solo.levels, "solo"
 
     def _run_serial(self, entry: RegistryEntry, live: list[Query], sources):
         """Circuit-breaker fallback: queue-based CPU BFS per source.
@@ -422,7 +481,7 @@ class CoalescingScheduler:
             by_source[src] = levels
             serial_edges += int(graph.degrees[levels >= 0].sum())
         elapsed = serial_edges / 1e6 * SERIAL_FALLBACK_MS_PER_MEDGE
-        return elapsed, 1.0, lambda s: by_source[s]
+        return elapsed, 1.0, lambda s: by_source[s], "serial"
 
     # ------------------------------------------------------------------
     def _device_of(self, entry: RegistryEntry):
@@ -449,6 +508,29 @@ class CoalescingScheduler:
             )
             entry.engines["concurrent"] = engine
         return engine.run(np.asarray(sources, dtype=np.int64))
+
+    def _run_distributed(self, entry: RegistryEntry, sources: list[int]):
+        """Serve one routed dispatch on the multi-GCD pod.
+
+        The engine — and with it the 1D edge-balanced partition — is
+        built once per registry entry and cached in the ``engines``
+        slot, so repeated dispatches pay the partitioning exactly as
+        often as they pay CSR construction: on a cold (or evicted)
+        graph only.
+        """
+        from repro.multigcd.distributed_bfs import MultiGcdBFS
+
+        engine = entry.engines.get("multigcd")
+        if engine is None or engine.num_gcds != self.num_gcds:
+            engine = MultiGcdBFS(
+                entry.graph,
+                self.num_gcds,
+                device=self._device_of(entry),
+                tracer=self.tracer,
+                injector=self.fault_injector,
+            )
+            entry.engines["multigcd"] = engine
+        return engine.run_batch(np.asarray(sources, dtype=np.int64))
 
     def _run_solo(self, entry: RegistryEntry, query: Query):
         from repro.xbfs.driver import XBFS

@@ -21,7 +21,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.errors import DeviceFaultError, RecoveryExhaustedError, TraversalError
+from repro.errors import (
+    BatchSourceError,
+    DeviceFaultError,
+    RecoveryExhaustedError,
+    TraversalError,
+)
 from repro.faults.recovery import DEFAULT_RECOVERY, RecoveryPolicy
 from repro.gcd.device import DeviceProfile, MI250X_GCD
 from repro.gcd.kernel import ComputeWork, ExecConfig
@@ -37,10 +42,45 @@ __all__ = [
     "ConcurrentResult",
     "MAX_CONCURRENT",
     "coalescing_key",
+    "validate_batch_sources",
 ]
 
 #: One status bit per source in a 64-bit word.
 MAX_CONCURRENT = 64
+
+
+def validate_batch_sources(
+    sources: np.ndarray,
+    num_vertices: int,
+    *,
+    max_batch: int | None = MAX_CONCURRENT,
+    engine: str = "concurrent",
+) -> None:
+    """Reject malformed multi-source batches with a typed error.
+
+    A duplicate source would alias one status bit (two queries sharing
+    a level array is fine — two *slots* sharing a bit is a silent
+    wrong-cost answer), and an out-of-range source would index the
+    status planes out of bounds. Both raise
+    :class:`~repro.errors.BatchSourceError` before any modelled cost is
+    charged. ``max_batch=None`` skips the capacity check (engines that
+    serve sources back to back have no slot limit).
+    """
+    k = int(sources.size)
+    if k < 1 or (max_batch is not None and k > max_batch):
+        cap = "1.." + (str(max_batch) if max_batch is not None else "n")
+        raise BatchSourceError(
+            f"{engine} batch must hold {cap} sources, got {k}"
+        )
+    if sources.min() < 0 or sources.max() >= num_vertices:
+        raise BatchSourceError(
+            f"{engine} batch source out of range [0, {num_vertices})"
+        )
+    if np.unique(sources).size != k:
+        raise BatchSourceError(
+            f"{engine} batch sources must be distinct (got {k} slots, "
+            f"{int(np.unique(sources).size)} distinct)"
+        )
 
 
 def coalescing_key(
@@ -143,17 +183,11 @@ class ConcurrentBFS:
         """Traverse from up to 64 sources simultaneously."""
         graph = self.graph
         sources = np.asarray(sources, dtype=np.int64).ravel()
+        validate_batch_sources(
+            sources, graph.num_vertices, max_batch=MAX_CONCURRENT,
+            engine="concurrent",
+        )
         k = int(sources.size)
-        if not 1 <= k <= MAX_CONCURRENT:
-            raise TraversalError(
-                f"concurrent batch must hold 1..{MAX_CONCURRENT} sources, got {k}"
-            )
-        if sources.size and (
-            sources.min() < 0 or sources.max() >= graph.num_vertices
-        ):
-            raise TraversalError("source out of range")
-        if np.unique(sources).size != k:
-            raise TraversalError("sources must be distinct")
 
         if self._gcd is None:
             self._gcd = GCD(

@@ -259,3 +259,51 @@ class TestStraggler:
             MultiGcdBFS(small_rmat, 2, straggler_slowdown={5: 2.0})
         with pytest.raises(PartitionError, match=">= 1"):
             MultiGcdBFS(small_rmat, 2, straggler_slowdown={0: 0.5})
+
+
+class TestRunBatch:
+    """The serving layer's batch entry point."""
+
+    def test_batch_matches_oracle_and_solo_runs(self, small_rmat):
+        engine = MultiGcdBFS(small_rmat, 4)
+        sources = np.array([0, 3, 17, 42], dtype=np.int64)
+        batch = engine.run_batch(sources)
+        assert batch.num_gcds == 4
+        for s in sources.tolist():
+            assert np.array_equal(
+                batch.levels_of(s), bfs_levels_reference(small_rmat, s)
+            )
+
+    def test_batch_cost_is_sum_of_member_runs(self, small_rmat):
+        engine = MultiGcdBFS(small_rmat, 2)
+        sources = np.array([1, 9], dtype=np.int64)
+        batch = engine.run_batch(sources)
+        assert batch.elapsed_ms == pytest.approx(
+            sum(r.elapsed_ms for r in batch.runs)
+        )
+        assert batch.bytes_exchanged == sum(
+            r.bytes_exchanged for r in batch.runs
+        )
+        assert batch.traversed_edges == sum(
+            r.traversed_edges for r in batch.runs
+        )
+        assert batch.comm_ms + batch.compute_ms <= batch.elapsed_ms + 1e-9
+
+    def test_batch_validation_is_typed(self, small_rmat):
+        from repro.errors import BatchSourceError
+
+        engine = MultiGcdBFS(small_rmat, 2)
+        n = small_rmat.num_vertices
+        with pytest.raises(BatchSourceError, match="distinct"):
+            engine.run_batch(np.array([4, 4]))
+        with pytest.raises(BatchSourceError, match="out of range"):
+            engine.run_batch(np.array([n]))
+        with pytest.raises(BatchSourceError):
+            engine.run_batch(np.array([], dtype=np.int64))
+
+    def test_unknown_source_lookup_raises(self, small_rmat):
+        from repro.errors import TraversalError
+
+        batch = MultiGcdBFS(small_rmat, 2).run_batch(np.array([0, 1]))
+        with pytest.raises(TraversalError, match="not in this batch"):
+            batch.levels_of(99)

@@ -1,0 +1,110 @@
+"""Property test for the registry's accounting invariants.
+
+A seeded random interleaving of cache fills, forced eviction storms
+and over-budget admissions must never break:
+
+* ``bytes_cached`` (the O(1) running total) equals the O(n) recomputed
+  sum after every operation,
+* ``bytes_cached <= memory_budget_bytes`` always holds,
+* hits + misses never drift (rejections are counted apart), and
+* engines never outlive their entry: once a key is evicted, the old
+  entry object — engines attached — is gone for good; a re-admission
+  hands back a fresh entry with an empty engines slot.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphTooLargeError
+from repro.graph.generators import rmat
+from repro.service.registry import GraphRegistry
+
+#: Spec pool: small servable scales plus one spec that can never fit.
+SERVABLE = ("6", "7", "8", "9")
+TOO_LARGE = "12"
+
+GRAPHS = {spec: rmat(int(spec), 8, seed=0) for spec in (*SERVABLE, TOO_LARGE)}
+
+
+def _builder(spec: str):
+    return GRAPHS[spec]
+
+
+def _check_invariants(reg: GraphRegistry) -> None:
+    assert reg.bytes_cached == reg.recompute_bytes_cached()
+    assert reg.bytes_cached <= reg.memory_budget_bytes
+    assert len(reg) == len(reg.keys())
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+def test_interleaved_storms_hold_invariants(seed):
+    rng = np.random.default_rng(seed)
+    budget = int(
+        GRAPHS["8"].memory_bytes + GRAPHS["9"].memory_bytes
+    )  # roughly two of the larger graphs
+    reg = GraphRegistry(memory_budget_bytes=budget, builder=_builder)
+    assert GRAPHS[TOO_LARGE].memory_bytes > budget
+
+    live_entries: dict[str, object] = {}
+    dead_entries: list[tuple[str, object]] = []
+
+    for step in range(300):
+        op = rng.random()
+        if op < 0.6:
+            spec = SERVABLE[int(rng.integers(len(SERVABLE)))]
+            entry, hit = reg.get(spec)
+            if hit:
+                assert live_entries.get(spec) is entry
+            else:
+                # An evicted entry must never be resurrected.
+                assert all(e is not entry for _, e in dead_entries)
+                entry.engines["probe"] = ("engine-of", spec, step)
+            live_entries[spec] = entry
+        elif op < 0.75:
+            # Over-budget admission: typed rejection, no accounting
+            # drift, nothing cached.
+            with pytest.raises(GraphTooLargeError):
+                reg.get(TOO_LARGE)
+            assert TOO_LARGE not in reg
+        else:
+            # Forced eviction storm (the fault layer's move).
+            reg.evict(int(rng.integers(1, 4)))
+
+        # Reconcile the shadow model with what the registry kept.
+        for spec in list(live_entries):
+            if spec not in reg:
+                dead_entries.append((spec, live_entries.pop(spec)))
+        _check_invariants(reg)
+
+    stats = reg.stats()
+    assert stats["rejections"] > 0
+    assert stats["hits"] + stats["misses"] > 0
+    # Rejections are excluded from the hit-rate denominator.
+    assert stats["hit_rate"] == pytest.approx(
+        stats["hits"] / (stats["hits"] + stats["misses"])
+    )
+
+
+def test_evict_everything_zeroes_running_total():
+    reg = GraphRegistry(memory_budget_bytes=1 << 30, builder=_builder)
+    for spec in SERVABLE:
+        reg.get(spec)
+    assert reg.bytes_cached == reg.recompute_bytes_cached() > 0
+    reg.evict(len(SERVABLE))
+    assert len(reg) == 0
+    assert reg.bytes_cached == 0 == reg.recompute_bytes_cached()
+
+
+def test_rejections_do_not_depress_hit_rate():
+    budget = int(GRAPHS["8"].memory_bytes * 1.5)
+    reg = GraphRegistry(memory_budget_bytes=budget, builder=_builder)
+    reg.get("8")
+    reg.get("8")
+    assert reg.hit_rate == pytest.approx(0.5)
+    for _ in range(10):
+        with pytest.raises(GraphTooLargeError):
+            reg.get(TOO_LARGE)
+    # Ten unservable probes later the hit rate is untouched.
+    assert reg.hit_rate == pytest.approx(0.5)
+    assert reg.rejections == 10
+    assert reg.misses == 1

@@ -3,9 +3,13 @@
 import numpy as np
 import pytest
 
-from repro.errors import TraversalError
+from repro.errors import BatchSourceError, TraversalError
 from repro.graph.stats import bfs_levels_reference, pick_sources
-from repro.xbfs.concurrent import MAX_CONCURRENT, ConcurrentBFS
+from repro.xbfs.concurrent import (
+    MAX_CONCURRENT,
+    ConcurrentBFS,
+    validate_batch_sources,
+)
 from repro.xbfs.driver import XBFS
 
 
@@ -42,6 +46,35 @@ class TestCorrectness:
             engine.run(np.array([1, 1]))
         with pytest.raises(TraversalError, match="out of range"):
             engine.run(np.array([-1]))
+
+    def test_validation_errors_are_typed(self, small_rmat):
+        """Malformed batches raise BatchSourceError (a TraversalError
+        *and* a ValueError) before any modelled cost is charged."""
+        engine = ConcurrentBFS(small_rmat)
+        n = small_rmat.num_vertices
+        for bad in (
+            np.array([], dtype=np.int64),          # empty
+            np.arange(MAX_CONCURRENT + 1),         # over capacity
+            np.array([0, 5, 5]),                   # duplicate → bit alias
+            np.array([0, n]),                      # past the last vertex
+            np.array([-3]),                        # negative
+        ):
+            with pytest.raises(BatchSourceError):
+                engine.run(bad)
+            assert issubclass(BatchSourceError, ValueError)
+        assert engine._gcd is None or engine._gcd.elapsed_ms == 0.0
+
+    def test_validate_batch_sources_uncapped(self, small_rmat):
+        n = small_rmat.num_vertices
+        # max_batch=None lifts the slot cap (back-to-back engines) but
+        # keeps the range/distinct checks.
+        validate_batch_sources(
+            np.arange(n, dtype=np.int64), n, max_batch=None
+        )
+        with pytest.raises(BatchSourceError, match="distinct"):
+            validate_batch_sources(
+                np.zeros(2, dtype=np.int64), n, max_batch=None
+            )
 
 
 class TestSharing:

@@ -39,6 +39,7 @@ def run_matrix() -> list[dict]:
     ]:
         summaries.append(summarize_batch(name, engine.run_many(sources)))
     summaries.append(run_service_fingerprint())
+    summaries.append(run_routing_fingerprint())
     summaries.append(run_perf_surface_fingerprint())
     summaries.append(run_faults_surface_fingerprint())
     summaries.append(run_chaos_fingerprint())
@@ -191,6 +192,47 @@ def run_service_fingerprint() -> dict:
     # The nested host section is wall-clock (machine-dependent); drop it
     # so the committed baseline stays byte-reproducible.
     summary.pop("host", None)
+    return summary
+
+
+def run_routing_fingerprint() -> dict:
+    """Engine-selection fingerprint: a fixed synthetic trace replayed
+    through a service whose distributed threshold forces the larger
+    graphs onto the multi-GCD pod. Which engine serves which dispatch
+    — and the routed latency/GTEPS — are pure functions of the routing
+    policy, so this summary drifts exactly when the policy (or the
+    distributed cost model under it) changes. Routed levels are also
+    CRC'd against the answer the replay actually returned."""
+    from repro.faults import levels_fingerprint
+    from repro.service import BFSService, synthetic_trace
+
+    service = BFSService(
+        workers=2,
+        window_ms=5.0,
+        seed=0,
+        num_gcds=4,
+        # rmat:11/rmat:12 land above ~0.15 MiB of CSR; rmat:10 stays on
+        # the single-GCD engines.
+        distributed_threshold_mb=0.15,
+    )
+    sizes = {"rmat:10": 1024, "rmat:11": 2048, "rmat:12": 4096}
+    trace = synthetic_trace(
+        list(sizes), sizes, num_queries=72, seed=31, burst=6, mean_gap_ms=1.0
+    )
+    report = service.replay(trace)
+    summary = report.summary("routing")
+    summary.pop("host", None)
+    routed = [o for o in report.served if o.engine == "multigcd"]
+    assert routed, "routing fingerprint trace never reached the pod"
+    import zlib
+
+    crc = 0
+    for o in routed:
+        crc = zlib.crc32(
+            levels_fingerprint(o.levels).to_bytes(8, "little"), crc
+        )
+    summary["routed_queries"] = len(routed)
+    summary["routed_levels_crc32"] = crc
     return summary
 
 

@@ -6,6 +6,11 @@
 #   tools/run_tests.sh tier2      # slow sweeps + the benchmark harness
 #   tools/run_tests.sh telemetry  # the observability suite + the
 #                                 # disabled-tracer overhead bench
+#   tools/run_tests.sh multigcd-service
+#                                 # the distributed engine + the serving
+#                                 # layer that routes onto it (engine
+#                                 # routing, registry accounting, the
+#                                 # routing differential contract)
 #   tools/run_tests.sh all        # everything: tier-1 + tier-2 + the
 #                                 # regression gate against the committed
 #                                 # baseline fingerprint
@@ -33,13 +38,16 @@ case "$tier" in
     python -m pytest tests/telemetry "$@"
     python -m pytest benchmarks/bench_telemetry_overhead.py -s "$@"
     ;;
+  multigcd-service)
+    python -m pytest tests/multigcd tests/service -m "not slow" "$@"
+    ;;
   all)
     python -m pytest "$@"
     python -m pytest benchmarks "$@"
     python tools/check_regression.py check tools/baseline_fingerprint.json
     ;;
   *)
-    echo "usage: tools/run_tests.sh [tier1|tier2|all] [pytest args...]" >&2
+    echo "usage: tools/run_tests.sh [tier1|tier2|telemetry|multigcd-service|all] [pytest args...]" >&2
     exit 2
     ;;
 esac
