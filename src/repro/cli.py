@@ -15,6 +15,11 @@ The subcommands cover the common workflows without writing Python:
   serving runtime (registry + coalescing scheduler + admission).
 * ``repro service-bench``— synthetic open-loop load through the same
   runtime.
+* ``repro chaos-bench``  — seeded fault-plan sweep; recovered answers
+  must stay bit-identical.
+* ``repro cluster-bench``— replica-count scale-out sweep of the
+  sharded multi-tenant cluster (``repro.cluster``) with optional
+  replica-death storms, checked against the single-service oracle.
 
 Graph specs (the ``--graph`` argument):
 
@@ -486,6 +491,167 @@ def _cmd_chaos_bench(args: argparse.Namespace) -> int:
     return 0 if identical == len(plans) else 1
 
 
+def _cmd_cluster_bench(args: argparse.Namespace) -> int:
+    """Sweep replica counts over one open-loop multi-tenant trace.
+
+    Every sweep point replays the *same* trace through a fresh
+    :class:`~repro.cluster.router.ClusterRouter`; a fault-free
+    single-service replay provides the answer oracle, so the sweep
+    doubles as the cluster's differential check (sharding, stealing
+    and replica deaths must never change an answer).
+    """
+    from repro.cluster import TenantQuota, death_plan, run_scaleout_sweep
+    from repro.metrics.tables import render_table
+
+    counts = [int(c) for c in args.replicas.split(",") if c.strip()]
+    if not counts or any(c < 1 for c in counts):
+        raise ReproError(f"--replicas must be positive ints, got {args.replicas!r}")
+    specs = [s.strip() for s in args.graphs.split(",") if s.strip()]
+    sizes = {
+        spec: parse_graph_spec(
+            spec, scale_factor=args.scale_factor, seed=args.seed
+        ).num_vertices
+        for spec in specs
+    }
+
+    fault_plan = None
+    if getattr(args, "fault_plan", None):
+        from repro.faults import FaultPlan
+
+        fault_plan = FaultPlan.from_json(args.fault_plan)
+    elif args.death_probability > 0:
+        fault_plan = death_plan(
+            seed=args.death_seed,
+            probability=args.death_probability,
+            restart_ms=args.restart_ms,
+            max_triggers=args.max_deaths if args.max_deaths >= 0 else None,
+        )
+
+    quotas = None
+    if args.quota_rate is not None:
+        quotas = {
+            f"t{i}": TenantQuota(
+                rate_per_s=args.quota_rate, burst=args.quota_burst
+            )
+            for i in range(args.tenants)
+        }
+
+    router_kwargs = dict(
+        memory_budget_mb=args.memory_budget_mb,
+        workers=args.workers,
+        max_batch=args.max_batch,
+        window_ms=args.window_ms,
+        max_queue_depth=args.queue_depth,
+        scale_factor=args.scale_factor,
+        seed=args.seed,
+        num_gcds=args.num_gcds,
+        distributed_threshold_mb=args.distributed_threshold,
+        steal_threshold=args.steal_threshold,
+        balance_factor=args.balance_factor,
+        quotas=quotas,
+    )
+
+    tracers: dict[int, object] = {}
+    tracer_factory = None
+    if getattr(args, "trace_out", None) or getattr(args, "metrics_out", None):
+        from repro.telemetry import Tracer
+
+        def tracer_factory(count):
+            tracers[count] = Tracer()
+            return tracers[count]
+
+    summaries = run_scaleout_sweep(
+        counts,
+        graphs=specs,
+        num_vertices=sizes,
+        num_queries=args.queries,
+        seed=args.seed,
+        tenants=args.tenants,
+        interactive_frac=args.interactive_frac,
+        mean_gap_ms=args.gap_ms,
+        burst=args.burst,
+        deadline_ms=args.deadline_ms,
+        fault_plan=fault_plan,
+        router_kwargs=router_kwargs,
+        tracer_factory=tracer_factory,
+    )
+
+    rows = []
+    for s in summaries:
+        rows.append([
+            s["replicas"],
+            s["queries_served"],
+            s["rejected_quota"],
+            f"{s.get('qos_interactive_p99_ms', 0.0):.3f}",
+            f"{s.get('qos_batch_p99_ms', 0.0):.3f}",
+            f"{s['balance_ratio']:.2f}",
+            s["steals"],
+            s["deaths"],
+            s["redispatched_queries"],
+            f"{s['cluster_gteps']:.3f}",
+            "yes" if s["bit_identical"] else "NO",
+        ])
+    print(render_table(
+        ["replicas", "served", "quota rej", "int p99 ms", "batch p99 ms",
+         "balance", "steals", "deaths", "redisp", "GTEPS", "identical"],
+        rows,
+        title=(
+            f"cluster scale-out: {args.queries} queries, "
+            f"{args.tenants} tenants over {specs}"
+            + (f", fault plan {fault_plan.name!r}" if fault_plan else "")
+        ),
+    ))
+    identical = sum(s["bit_identical"] for s in summaries)
+    print(f"bit-identical to the single-service oracle: "
+          f"{identical}/{len(summaries)} sweep points")
+    if args.out:
+        from repro.metrics.results_io import save_results
+
+        save_results(summaries, args.out)
+        print(f"wrote cluster sweep summaries to {args.out}")
+    _export_cluster_telemetry(summaries, tracers, args)
+    return 0 if identical == len(summaries) else 1
+
+
+def _export_cluster_telemetry(summaries, tracers, args) -> None:
+    """Export the *last* sweep point's timeline + counter snapshot."""
+    trace_out = getattr(args, "trace_out", None)
+    metrics_out = getattr(args, "metrics_out", None)
+    if not tracers or not (trace_out or metrics_out):
+        return
+    from repro.telemetry import (
+        CounterRegistry,
+        write_chrome_trace,
+        write_jsonl,
+        write_prometheus,
+    )
+
+    last_count = max(tracers)
+    tracer = tracers[last_count]
+    if trace_out:
+        if str(trace_out).endswith(".jsonl"):
+            write_jsonl(tracer, trace_out)
+        else:
+            write_chrome_trace(tracer, trace_out)
+        print(
+            f"wrote {last_count}-replica trace to {trace_out} "
+            f"({tracer.traces} traces, {len(tracer.spans)} spans, "
+            f"{len(tracer.events)} events)"
+        )
+    if metrics_out:
+        summary = next(
+            s for s in summaries if s["replicas"] == last_count
+        )
+        numeric = {
+            k: v for k, v in summary.items() if isinstance(v, (int, float))
+        }
+        registry = CounterRegistry()
+        registry.attach("cluster", lambda: numeric)
+        registry.attach_tracer(tracer)
+        write_prometheus(registry, metrics_out)
+        print(f"wrote Prometheus metrics snapshot to {metrics_out}")
+
+
 def _cmd_datasets(args: argparse.Namespace) -> int:
     from repro.experiments import table2
     from repro.experiments.common import ExperimentScale
@@ -672,6 +838,50 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="base seed of the plan sweep")
     _add_service_args(chaos)
     chaos.set_defaults(func=_cmd_chaos_bench)
+
+    cluster = sub.add_parser(
+        "cluster-bench",
+        help="sweep replica counts over an open-loop multi-tenant trace "
+        "and check every answer against the single-service oracle",
+    )
+    cluster.add_argument("--replicas", default="1,2,4,8",
+                         help="comma-separated replica counts to sweep")
+    cluster.add_argument("--graphs", default="rmat:10,rmat:11,rmat:12",
+                         help="comma-separated graph specs")
+    cluster.add_argument("--queries", type=int, default=160)
+    cluster.add_argument("--tenants", type=int, default=4,
+                         help="tenants drawing queries (t0..tN-1)")
+    cluster.add_argument("--interactive-frac", type=float, default=0.7,
+                         help="fraction of queries in the interactive "
+                         "QoS class (rest are batch)")
+    cluster.add_argument("--burst", type=int, default=8,
+                         help="same-graph queries per arrival burst")
+    cluster.add_argument("--gap-ms", type=float, default=1.0,
+                         help="mean inter-burst gap (virtual ms)")
+    cluster.add_argument("--steal-threshold", type=int, default=8,
+                         help="queue-depth gap that triggers cross-replica "
+                         "work stealing")
+    cluster.add_argument("--balance-factor", type=float, default=1.5,
+                         help="placed-bytes overshoot (x fair share) that "
+                         "overrides the hash-ring owner")
+    cluster.add_argument("--quota-rate", type=float, default=None,
+                         metavar="PER_S",
+                         help="token-bucket refill rate applied to every "
+                         "tenant (default: no quotas)")
+    cluster.add_argument("--quota-burst", type=float, default=8.0,
+                         help="token-bucket burst size per tenant")
+    cluster.add_argument("--death-probability", type=float, default=0.0,
+                         help="per-liveness-probe replica-death probability "
+                         "(builds a seeded cluster.replica fault plan; "
+                         "ignored when --fault-plan is given)")
+    cluster.add_argument("--death-seed", type=int, default=0)
+    cluster.add_argument("--restart-ms", type=float, default=200.0,
+                         help="virtual ms a dead replica takes to restart")
+    cluster.add_argument("--max-deaths", type=int, default=2,
+                         help="cap on injected deaths (-1 = unlimited)")
+    _add_service_args(cluster)
+    _add_telemetry_args(cluster)
+    cluster.set_defaults(func=_cmd_cluster_bench)
     return parser
 
 

@@ -21,6 +21,8 @@ __all__ = [
     "AdmissionError",
     "QueueFullError",
     "DeadlineExceededError",
+    "QuotaExceededError",
+    "ClusterError",
     "GraphTooLargeError",
     "FaultPlanError",
     "DeviceFaultError",
@@ -78,17 +80,40 @@ class ServiceError(ReproError, RuntimeError):
 class AdmissionError(ServiceError):
     """Base class for typed admission-control rejections. A request
     refused with an :class:`AdmissionError` was never executed; callers
-    distinguish the reason via the concrete subclass."""
+    distinguish the reason via the concrete subclass (or its ``kind``,
+    the string recorded on the rejected outcome)."""
+
+    #: Rejection kind recorded in :class:`QueryOutcome.rejected`.
+    kind = "admission"
 
 
 class QueueFullError(AdmissionError):
     """The bounded request queue was at capacity when the query
     arrived; backpressure instead of unbounded queueing."""
 
+    kind = "queue_full"
+
 
 class DeadlineExceededError(AdmissionError):
     """The query could not be scheduled (or would only start) after its
     per-request deadline had already elapsed."""
+
+    kind = "deadline"
+
+
+class QuotaExceededError(AdmissionError):
+    """The submitting tenant's token-bucket quota had no capacity left
+    at the query's arrival stamp. Distinct from :class:`QueueFullError`:
+    the *cluster front door* refused the tenant, not a full replica
+    queue."""
+
+    kind = "quota"
+
+
+class ClusterError(ServiceError):
+    """The multi-replica cluster layer (:mod:`repro.cluster`) hit an
+    invalid configuration or request (no live replica, unknown QoS
+    class, unplaced graph, ...)."""
 
 
 class GraphTooLargeError(ServiceError, ValueError):

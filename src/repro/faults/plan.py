@@ -41,6 +41,10 @@ FAULT_KINDS = (
     "evict_storm",
     #: Queue-pressure spike: ``magnitude`` phantom queue slots.
     "queue_pressure",
+    #: Replica death: the probed cluster replica dies, its graphs are
+    #: re-placed and its in-flight queries re-dispatched; it restarts
+    #: (cold caches) ``magnitude`` virtual ms later.
+    "replica_death",
 )
 
 #: Named injection sites the instrumented layers visit, with the layer
@@ -53,6 +57,7 @@ SITES = {
     "service.worker": "one scheduler dispatch on a worker (detail = graph spec)",
     "service.registry": "one registry lookup (detail = graph spec)",
     "service.queue": "one admission check (detail = graph spec)",
+    "cluster.replica": "one router liveness probe (detail = replica id)",
 }
 
 #: Kinds that abort the visited operation with a DeviceFaultError.

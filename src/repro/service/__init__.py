@@ -16,6 +16,11 @@ async backends, multi-GCD serving) plugs into:
   :class:`~repro.xbfs.concurrent.ConcurrentBFS` batches, and
   dispatches them across a pool of simulated GCD workers in virtual
   time.
+* :mod:`repro.service.execution` — the execution engine: picks the
+  serving engine for one ready batch (solo / concurrent / multi-GCD /
+  serial fallback) and recovers injected faults, so the scheduler
+  stays a pure dispatch layer and a cluster replica is a composable
+  unit.
 * :mod:`repro.service.metrics`   — per-query latency percentiles,
   batch sharing factors, cache hit rates, modelled GTEPS.
 * :mod:`repro.service.trace`     — JSONL query traces (replay and
@@ -45,6 +50,10 @@ Quick start::
 """
 
 from repro.service.admission import AdmissionController, AdmissionPolicy
+from repro.service.execution import (
+    SERIAL_FALLBACK_MS_PER_MEDGE,
+    ExecutionEngine,
+)
 from repro.service.metrics import ENGINE_NAMES, ServiceMetrics, percentile
 from repro.service.registry import GraphRegistry, RegistryEntry
 from repro.service.request import Query, QueryOptions, QueryOutcome
@@ -58,11 +67,13 @@ __all__ = [
     "BFSService",
     "ENGINE_NAMES",
     "CoalescingScheduler",
+    "ExecutionEngine",
     "GraphRegistry",
     "Query",
     "QueryOptions",
     "QueryOutcome",
     "RegistryEntry",
+    "SERIAL_FALLBACK_MS_PER_MEDGE",
     "ServiceMetrics",
     "ServiceReport",
     "WorkerState",

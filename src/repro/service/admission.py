@@ -8,7 +8,9 @@ queueing without bound. Two typed rejections, both subclasses of
   its depth limit when the query arrived (checked at submit time).
 * :class:`~repro.errors.DeadlineExceededError` — the query's start
   slot on the virtual clock falls past its deadline (checked at
-  dispatch time, before any kernel cost is charged).
+  dispatch time, before any kernel cost is charged). A deadline that
+  has *already elapsed when the query arrives* (``deadline_ms <= 0``)
+  is rejected at admission instead — queueing it could never help.
 """
 
 from __future__ import annotations
@@ -60,7 +62,15 @@ class AdmissionController:
         return self.policy.default_deadline_ms
 
     def admit(self, query: Query, queue_depth: int) -> None:
-        """Gate one submission against the current queue depth."""
+        """Gate one submission against the current queue depth and an
+        already-expired deadline (a non-positive budget at arrival)."""
+        deadline = self.deadline_of(query)
+        if deadline is not None and deadline <= 0:
+            self.rejected_deadline += 1
+            raise DeadlineExceededError(
+                f"query {query.qid} rejected at admission: deadline "
+                f"{deadline:.3f} ms already elapsed on arrival"
+            )
         if queue_depth >= self.policy.max_queue_depth:
             self.rejected_queue_full += 1
             raise QueueFullError(

@@ -1,0 +1,320 @@
+"""The execution engine: one dispatch → one (recovered) engine run.
+
+This module is the *execution* third of the serving stack's
+placement / dispatch / execution split:
+
+* placement — which replica owns a graph
+  (:mod:`repro.cluster.placement`);
+* dispatch — queueing, coalescing, worker slots and deadlines
+  (:mod:`repro.service.scheduler`);
+* execution — this module: pick the engine for one ready batch, run
+  it, and recover from injected faults without ever returning a wrong
+  answer.
+
+:class:`ExecutionEngine` owns the size-aware engine-routing policy
+(solo XBFS / concurrent iBFS / multi-GCD pod), the per-entry engine
+cache on :class:`~repro.service.registry.RegistryEntry`, and the
+recovery ladder: per-level checkpoint/restart inside the engines,
+dispatch-level retries with virtual-time backoff, and a circuit
+breaker that routes cooldown dispatches to the serial CPU baseline.
+It holds no queue and no clock — the scheduler hands it a ready batch
+and charges whatever virtual elapsed time it returns.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import (
+    DeviceFaultError,
+    RecoveryExhaustedError,
+    ServiceError,
+)
+from repro.faults.recovery import DEFAULT_RECOVERY, RecoveryPolicy
+from repro.gcd.device import MI250X_GCD
+from repro.service.metrics import ServiceMetrics
+from repro.service.registry import RegistryEntry
+from repro.service.request import Query
+from repro.telemetry.tracer import NULL_TRACER, Tracer
+from repro.xbfs.concurrent import ConcurrentBFS
+
+__all__ = ["ExecutionEngine", "SERIAL_FALLBACK_MS_PER_MEDGE"]
+
+#: Modelled serial-baseline traversal cost charged by the circuit
+#: breaker's fallback path: milliseconds per million traversed edges
+#: (~20 M edges/s of queue-based CPU BFS — slow, but always correct).
+SERIAL_FALLBACK_MS_PER_MEDGE = 50.0
+
+
+class ExecutionEngine:
+    """Runs one ready dispatch on the right engine, recovering faults.
+
+    Stateful only where recovery demands it: the consecutive-failure
+    streak and the open circuit breaker's remaining cooldown. Engine
+    instances themselves are cached on the registry entry (so they are
+    evicted with the graph), never here.
+    """
+
+    def __init__(
+        self,
+        *,
+        metrics: ServiceMetrics | None = None,
+        scaled_cache: bool = True,
+        num_gcds: int = 4,
+        distributed_threshold_bytes: int | None = None,
+        fault_injector=None,
+        recovery: RecoveryPolicy | None = None,
+        tracer: Tracer | None = None,
+    ) -> None:
+        if num_gcds < 1:
+            raise ServiceError(f"num_gcds must be >= 1, got {num_gcds}")
+        if (
+            distributed_threshold_bytes is not None
+            and distributed_threshold_bytes < 0
+        ):
+            raise ServiceError("distributed_threshold_bytes must be >= 0")
+        self.metrics = metrics or ServiceMetrics()
+        self.scaled_cache = scaled_cache
+        #: Pod width of the distributed engine (2/4/8 model one, two or
+        #: four MI250X cards' worth of GCDs).
+        self.num_gcds = num_gcds
+        #: CSR byte footprint above which a graph routes to the
+        #: multi-GCD engine; ``None`` disables distributed routing.
+        self.distributed_threshold_bytes = distributed_threshold_bytes
+        self.fault_injector = fault_injector
+        self.recovery = recovery or DEFAULT_RECOVERY
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: Consecutive dispatches that exhausted their retries.
+        self._fault_streak = 0
+        #: Dispatches the open circuit breaker still routes serially.
+        self._breaker_cooldown_left = 0
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        entry: RegistryEntry,
+        live: list[Query],
+        sources: list[int],
+        batched: bool,
+        *,
+        graph_key: str,
+    ):
+        """Run the engine for one dispatch, recovering from injected
+        faults.
+
+        Returns ``(elapsed_ms, sharing_factor, levels_of, engine)``.
+        The ladder:
+
+        1. per-level checkpoint/restart *inside* the engine (invisible
+           here beyond ``level_restarts``),
+        2. dispatch-level retries with exponential backoff in virtual
+           time when the engine still fails,
+        3. a circuit breaker that, after ``breaker_threshold``
+           consecutive exhausted dispatches, routes the next
+           ``breaker_cooldown`` dispatches to the serial baseline —
+           degraded latency, bit-identical answers.
+        """
+        inj = self.fault_injector
+        if inj is None:
+            return self._run_engine(entry, live, sources, batched)
+
+        recovery = self.recovery
+        if self._breaker_cooldown_left > 0:
+            self._breaker_cooldown_left -= 1
+            if self._breaker_cooldown_left == 0:
+                self._fault_streak = 0  # half-open: next dispatch probes
+            self.metrics.record_fallback()
+            self.tracer.event(
+                "recovery.serial_fallback",
+                graph=graph_key,
+                reason="breaker_open",
+            )
+            return self._run_serial(entry, live, sources)
+
+        attempt = 0
+        backoff_total = 0.0
+        while True:
+            try:
+                # The worker itself may fault (raising kinds) or run
+                # slow (latency kinds scale the modelled elapsed).
+                fault_scale = inj.visit("service.worker", graph_key)
+                elapsed, sharing, levels_of, engine = self._run_engine(
+                    entry, live, sources, batched
+                )
+            except (DeviceFaultError, RecoveryExhaustedError) as exc:
+                attempt += 1
+                if attempt > recovery.max_dispatch_retries:
+                    self._fault_streak += 1
+                    if self._fault_streak >= recovery.breaker_threshold:
+                        self.metrics.record_breaker_trip()
+                        self._breaker_cooldown_left = recovery.breaker_cooldown
+                        self.tracer.event(
+                            "recovery.breaker_trip",
+                            graph=graph_key,
+                            streak=self._fault_streak,
+                        )
+                    if not recovery.serial_fallback:
+                        raise RecoveryExhaustedError(
+                            f"dispatch on {graph_key!r} still faulting "
+                            f"after {recovery.max_dispatch_retries} "
+                            f"retries and serial fallback is disabled: "
+                            f"{exc}"
+                        ) from exc
+                    self.metrics.record_fallback()
+                    self.tracer.event(
+                        "recovery.serial_fallback",
+                        graph=graph_key,
+                        reason="retries_exhausted",
+                    )
+                    return self._run_serial(entry, live, sources)
+                self.metrics.record_retry()
+                self.tracer.event(
+                    "recovery.dispatch_retry",
+                    graph=graph_key,
+                    attempt=attempt,
+                    backoff_ms=recovery.backoff_ms(attempt),
+                )
+                backoff_total += recovery.backoff_ms(attempt)
+            else:
+                self._fault_streak = 0
+                if attempt > 0 or backoff_total > 0.0:
+                    self.metrics.record_recovery(backoff_total)
+                return (
+                    elapsed * fault_scale + backoff_total,
+                    sharing,
+                    levels_of,
+                    engine,
+                )
+
+    # ------------------------------------------------------------------
+    def routes_distributed(self, entry: RegistryEntry, live) -> bool:
+        """Size-aware routing policy: a dispatch goes to the multi-GCD
+        pod when the graph's CSR footprint exceeds the single-GCD
+        residency threshold *and* every member query carries the
+        default option surface (the distributed engine honours neither
+        pinned strategies, parent arrays nor truncated runs — those
+        stay solo, whatever the size)."""
+        threshold = self.distributed_threshold_bytes
+        if threshold is None or self.num_gcds < 2:
+            return False
+        if entry.graph.memory_bytes <= threshold:
+            return False
+        return all(q.options.coalescing_key() is not None for q in live)
+
+    def _run_engine(self, entry: RegistryEntry, live, sources, batched):
+        if self.routes_distributed(entry, live):
+            result = self._run_distributed(entry, sources)
+            return result.elapsed_ms, 1.0, result.levels_of, "multigcd"
+        if batched:
+            result = self._run_concurrent(entry, sources)
+            if result.level_restarts:
+                self.metrics.record_level_restarts(result.level_restarts)
+            return (
+                result.elapsed_ms,
+                result.sharing_factor,
+                result.levels_of,
+                "concurrent",
+            )
+        solo = self._run_solo(entry, live[0])
+        if solo.level_restarts:
+            self.metrics.record_level_restarts(solo.level_restarts)
+        return solo.elapsed_ms, 1.0, lambda _s: solo.levels, "solo"
+
+    def _run_serial(self, entry: RegistryEntry, live: list[Query], sources):
+        """Circuit-breaker fallback: queue-based CPU BFS per source.
+
+        ``bfs_levels_reference`` is the same int32 oracle the test suite
+        checks every engine against, so the answers stay bit-identical;
+        only the modelled cost degrades. Runs outside the injector's
+        reach — the whole point is an execution plane faults can't
+        touch.
+        """
+        from repro.graph.stats import bfs_levels_reference
+
+        graph = entry.graph
+        by_source: dict[int, "np.ndarray"] = {}
+        serial_edges = 0
+        for src in sources:
+            levels = bfs_levels_reference(graph, src)
+            max_levels = None
+            if len(sources) == 1:
+                max_levels = live[0].options.max_levels
+            if max_levels is not None:
+                # The engine stops expanding once ``level`` reaches
+                # ``max_levels``: vertices at levels 0..max_levels stay.
+                levels = levels.copy()
+                levels[levels > max_levels] = -1
+            by_source[src] = levels
+            serial_edges += int(graph.degrees[levels >= 0].sum())
+        elapsed = serial_edges / 1e6 * SERIAL_FALLBACK_MS_PER_MEDGE
+        return elapsed, 1.0, lambda s: by_source[s], "serial"
+
+    # ------------------------------------------------------------------
+    def _device_of(self, entry: RegistryEntry):
+        device = entry.engines.get("device")
+        if device is None:
+            if self.scaled_cache:
+                from repro.experiments.common import scaled_device
+
+                device = scaled_device(entry.graph)
+            else:
+                device = MI250X_GCD
+            entry.engines["device"] = device
+        return device
+
+    def _run_concurrent(self, entry: RegistryEntry, sources: list[int]):
+        engine = entry.engines.get("concurrent")
+        if engine is None:
+            engine = ConcurrentBFS(
+                entry.graph,
+                device=self._device_of(entry),
+                tracer=self.tracer,
+                injector=self.fault_injector,
+                recovery=self.recovery,
+            )
+            entry.engines["concurrent"] = engine
+        return engine.run(np.asarray(sources, dtype=np.int64))
+
+    def _run_distributed(self, entry: RegistryEntry, sources: list[int]):
+        """Serve one routed dispatch on the multi-GCD pod.
+
+        The engine — and with it the 1D edge-balanced partition — is
+        built once per registry entry and cached in the ``engines``
+        slot, so repeated dispatches pay the partitioning exactly as
+        often as they pay CSR construction: on a cold (or evicted)
+        graph only.
+        """
+        from repro.multigcd.distributed_bfs import MultiGcdBFS
+
+        engine = entry.engines.get("multigcd")
+        if engine is None or engine.num_gcds != self.num_gcds:
+            engine = MultiGcdBFS(
+                entry.graph,
+                self.num_gcds,
+                device=self._device_of(entry),
+                tracer=self.tracer,
+                injector=self.fault_injector,
+            )
+            entry.engines["multigcd"] = engine
+        return engine.run_batch(np.asarray(sources, dtype=np.int64))
+
+    def _run_solo(self, entry: RegistryEntry, query: Query):
+        from repro.xbfs.driver import XBFS
+
+        engine = entry.engines.get("solo")
+        if engine is None:
+            engine = XBFS(
+                entry.graph,
+                device=self._device_of(entry),
+                tracer=self.tracer,
+                injector=self.fault_injector,
+                recovery=self.recovery,
+            )
+            entry.engines["solo"] = engine
+        opts = query.options
+        return engine.run(
+            query.source,
+            force_strategy=opts.force_strategy,
+            max_levels=opts.max_levels,
+            record_parents=opts.record_parents,
+        )

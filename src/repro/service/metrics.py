@@ -37,7 +37,13 @@ class ServiceMetrics:
     served: int = 0
     rejected_queue_full: int = 0
     rejected_deadline: int = 0
+    rejected_quota: int = 0
     total_traversed_edges: int = 0
+    #: Latencies bucketed by the query's QoS class (virtual ms).
+    latencies_by_qos: dict[str, list] = field(default_factory=dict)
+    #: Served / rejected query counts per tenant.
+    served_by_tenant: dict[str, int] = field(default_factory=dict)
+    rejected_by_tenant: dict[str, int] = field(default_factory=dict)
     first_arrival_ms: float | None = None
     last_finish_ms: float = 0.0
     #: Host wall-clock seconds per dispatch (perf_counter; one entry
@@ -69,11 +75,19 @@ class ServiceMetrics:
             self.first_arrival_ms = min(
                 self.first_arrival_ms, outcome.query.arrival_ms
             )
+        tenant = outcome.query.tenant
         if not outcome.served:
             self.record_rejection(outcome.rejected)
+            self.rejected_by_tenant[tenant] = (
+                self.rejected_by_tenant.get(tenant, 0) + 1
+            )
             return
         self.served += 1
         self.latencies_ms.append(outcome.latency_ms)
+        self.latencies_by_qos.setdefault(outcome.query.qos, []).append(
+            outcome.latency_ms
+        )
+        self.served_by_tenant[tenant] = self.served_by_tenant.get(tenant, 0) + 1
         self.total_traversed_edges += outcome.traversed_edges
         self.last_finish_ms = max(self.last_finish_ms, outcome.finish_ms)
 
@@ -120,13 +134,19 @@ class ServiceMetrics:
             self.rejected_queue_full += 1
         elif kind == "deadline":
             self.rejected_deadline += 1
+        elif kind == "quota":
+            self.rejected_quota += 1
         else:
             raise ValueError(f"unknown rejection kind {kind!r}")
 
     # ------------------------------------------------------------------
     @property
     def rejected(self) -> int:
-        return self.rejected_queue_full + self.rejected_deadline
+        return (
+            self.rejected_queue_full
+            + self.rejected_deadline
+            + self.rejected_quota
+        )
 
     @property
     def makespan_ms(self) -> float:
@@ -180,6 +200,7 @@ class ServiceMetrics:
             "queries_served": self.served,
             "rejected_queue_full": self.rejected_queue_full,
             "rejected_deadline": self.rejected_deadline,
+            "rejected_quota": self.rejected_quota,
             "p50_ms": percentile(self.latencies_ms, 50),
             "p95_ms": percentile(self.latencies_ms, 95),
             "p99_ms": percentile(self.latencies_ms, 99),
@@ -213,6 +234,28 @@ class ServiceMetrics:
             "recovery_p50_ms": percentile(self.recovery_ms, 50),
             "recovery_p95_ms": percentile(self.recovery_ms, 95),
         }
+        # Per-QoS tails and per-tenant counts ride in nested dicts:
+        # flattened into dotted Prometheus counters by the telemetry
+        # CounterRegistry, skipped by the top-level-numeric fingerprint
+        # (class membership varies with the trace, not the model).
+        out["per_qos"] = {
+            qos: {
+                "served": len(lat),
+                "p50_ms": percentile(lat, 50),
+                "p95_ms": percentile(lat, 95),
+                "p99_ms": percentile(lat, 99),
+            }
+            for qos, lat in sorted(self.latencies_by_qos.items())
+        }
+        out["per_tenant"] = {
+            tenant: {
+                "served": self.served_by_tenant.get(tenant, 0),
+                "rejected": self.rejected_by_tenant.get(tenant, 0),
+            }
+            for tenant in sorted(
+                set(self.served_by_tenant) | set(self.rejected_by_tenant)
+            )
+        }
         if registry_stats is not None:
             out["cache_hit_rate"] = registry_stats["hit_rate"]
             out["cache_evictions"] = registry_stats["evictions"]
@@ -238,7 +281,8 @@ class ServiceMetrics:
             f"sharing {s['mean_sharing_factor']:.2f}x)",
             f"rejected:   {self.rejected} "
             f"(queue_full={s['rejected_queue_full']}, "
-            f"deadline={s['rejected_deadline']})",
+            f"deadline={s['rejected_deadline']}, "
+            f"quota={s['rejected_quota']})",
             f"latency:    p50 {s['p50_ms']:.3f} ms  "
             f"p95 {s['p95_ms']:.3f} ms  p99 {s['p99_ms']:.3f} ms  "
             f"(mean {s['mean_latency_ms']:.3f} ms)",
@@ -253,6 +297,15 @@ class ServiceMetrics:
                     for engine in ENGINE_NAMES
                     if engine in self.engine_dispatches
                 )
+            )
+        if len(self.latencies_by_qos) > 1 or len(self.served_by_tenant) > 1:
+            lines.append(
+                "qos:        "
+                + "  ".join(
+                    f"{qos} p99 {percentile(lat, 99):.3f} ms ({len(lat)})"
+                    for qos, lat in sorted(self.latencies_by_qos.items())
+                )
+                + f"  tenants={len(set(self.served_by_tenant) | set(self.rejected_by_tenant))}"
             )
         if self.faults_injected or self.retries or self.fallbacks:
             lines.append(

@@ -44,7 +44,15 @@ class QueryOptions:
 
 @dataclass(frozen=True)
 class Query:
-    """One BFS request submitted to the service."""
+    """One BFS request submitted to the service.
+
+    ``tenant`` and ``qos`` attribute the query for multi-tenant
+    serving: the cluster front door charges the tenant's quota and
+    applies the QoS class's default deadline; metrics and telemetry
+    spans are tagged with both so load is attributable per tenant.
+    A single :class:`~repro.service.runtime.BFSService` treats them
+    as opaque labels.
+    """
 
     qid: int
     graph: str
@@ -52,6 +60,8 @@ class Query:
     arrival_ms: float = 0.0
     deadline_ms: float | None = None
     options: QueryOptions = field(default_factory=QueryOptions)
+    tenant: str = "default"
+    qos: str = "interactive"
 
 
 @dataclass
@@ -80,7 +90,8 @@ class QueryOutcome:
     #: Edges a solo traversal from this source expands (Graph500 credit).
     traversed_edges: int = 0
     #: ``None`` for served queries, else the typed-rejection reason
-    #: (``"queue_full"`` or ``"deadline"``).
+    #: (``"queue_full"``, ``"deadline"`` or ``"quota"``) — the ``kind``
+    #: of the :class:`~repro.errors.AdmissionError` that refused it.
     rejected: str | None = None
 
     @property

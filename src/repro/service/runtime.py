@@ -15,7 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
-from repro.errors import AdmissionError
+from repro.errors import AdmissionError, ServiceError
 from repro.faults.plan import FaultPlan
 from repro.faults.recovery import RecoveryPolicy
 from repro.service.admission import AdmissionController, AdmissionPolicy
@@ -92,8 +92,10 @@ class BFSService:
         distributed_threshold_mb: float | None = None,
         registry: GraphRegistry | None = None,
         fault_plan: FaultPlan | None = None,
+        fault_injector=None,
         recovery: RecoveryPolicy | None = None,
         tracer: Tracer | None = None,
+        track_prefix: str = "",
     ) -> None:
         # Explicit None-check: an empty GraphRegistry has len() == 0
         # and would read as falsy.
@@ -112,10 +114,16 @@ class BFSService:
         )
         self.metrics = ServiceMetrics()
         #: The declarative plan (kept for reports); its injector below
-        #: holds all mutable fault state.
+        #: holds all mutable fault state. A cluster passes one shared
+        #: ``fault_injector`` to every replica instead — one RNG stream,
+        #: one deterministic global fault schedule.
+        if fault_plan is not None and fault_injector is not None:
+            raise ServiceError(
+                "pass either fault_plan or fault_injector, not both"
+            )
         self.fault_plan = fault_plan
         self.fault_injector = (
-            fault_plan.injector() if fault_plan is not None else None
+            fault_plan.injector() if fault_plan is not None else fault_injector
         )
         #: One tracer for the whole service: dispatch spans, engine
         #: level spans, kernel spans and fault/recovery events all land
@@ -138,7 +146,12 @@ class BFSService:
                 if distributed_threshold_mb is not None
                 else None
             ),
+            track_prefix=track_prefix,
         )
+        #: The execution plane (engine routing + fault recovery) the
+        #: scheduler dispatches onto — the third concern of the
+        #: placement / dispatch / execution split.
+        self.executor = self.scheduler.executor
 
     # ------------------------------------------------------------------
     def submit(self, query: Query) -> None:

@@ -1,14 +1,17 @@
 """The coalescing scheduler: bounded queue → batches → GCD workers.
 
-The scheduler runs in *virtual time*. Queries arrive with millisecond
-stamps; the scheduler holds them in a bounded pending queue for at most
-``window_ms`` (the coalescing window), then groups every compatible
-same-graph query — same spec string, equal
-:func:`~repro.xbfs.concurrent.coalescing_key` — into one
-:class:`~repro.xbfs.concurrent.ConcurrentBFS` dispatch of up to
-``max_batch`` (≤64) distinct sources. Duplicate sources ride along for
-free: they map onto one status bit and share its level array.
-Singleton groups and solo-only options fall back to a plain
+The scheduler is the *dispatch* third of the serving stack's
+placement / dispatch / execution split (see
+:mod:`repro.service.execution` for execution and
+:mod:`repro.cluster.placement` for placement). It runs in *virtual
+time*. Queries arrive with millisecond stamps; the scheduler holds
+them in a bounded pending queue for at most ``window_ms`` (the
+coalescing window), then groups every compatible same-graph query —
+same spec string, equal :func:`~repro.xbfs.concurrent.coalescing_key`
+— into one :class:`~repro.xbfs.concurrent.ConcurrentBFS` dispatch of
+up to ``max_batch`` (≤64) distinct sources. Duplicate sources ride
+along for free: they map onto one status bit and share its level
+array. Singleton groups and solo-only options fall back to a plain
 :class:`~repro.xbfs.driver.XBFS` run.
 
 Dispatches land on the least-loaded of ``workers`` simulated GCDs
@@ -17,18 +20,13 @@ clock models real queueing delay: a batch starts when both its window
 has closed *and* its worker is free, and a registry miss additionally
 pays the modelled CSR build charge before the traversal.
 
-Engine routing is size-aware: graphs whose CSR footprint exceeds
-``distributed_threshold_bytes`` no longer fit a single GCD's residency
-budget, so their dispatches are served by
-:class:`~repro.multigcd.distributed_bfs.MultiGcdBFS` across a simulated
-``num_gcds``-GCD pod (1D partition computed once and cached on the
-registry entry, exchange time charged by the α–β interconnect model).
-Queries with engine-specific options (a pinned strategy, parents, a
-truncated run) stay on solo XBFS regardless of size — only the default
-option surface is distributed-compatible. Routed answers are
-bit-identical to solo XBFS by contract, including under fault plans:
-a pod fault surfaces as a typed error and rides the same dispatch
-retry / serial-fallback ladder as every other engine.
+Which engine serves a ready batch — solo XBFS, the concurrent iBFS
+batch engine, the size-routed multi-GCD pod or the circuit breaker's
+serial fallback — is the :class:`~repro.service.execution.ExecutionEngine`'s
+concern; the scheduler charges whatever virtual elapsed time the
+executor returns and stamps the outcome with the engine that served
+it. Routed answers are bit-identical to solo XBFS by contract,
+including under fault plans.
 
 Everything — grouping, worker choice, timing — is a pure function of
 the submitted queries, so a replayed trace is bit-for-bit
@@ -40,30 +38,24 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 
-import numpy as np
-
 from repro.errors import (
     AdmissionError,
     DeadlineExceededError,
-    DeviceFaultError,
-    RecoveryExhaustedError,
     ServiceError,
 )
-from repro.faults.recovery import DEFAULT_RECOVERY, RecoveryPolicy
-from repro.gcd.device import MI250X_GCD
+from repro.faults.recovery import RecoveryPolicy
 from repro.service.admission import AdmissionController
+from repro.service.execution import (
+    SERIAL_FALLBACK_MS_PER_MEDGE,
+    ExecutionEngine,
+)
 from repro.service.metrics import ServiceMetrics
-from repro.service.registry import GraphRegistry, RegistryEntry
+from repro.service.registry import GraphRegistry
 from repro.service.request import Query, QueryOutcome
 from repro.telemetry.tracer import NULL_TRACER, Tracer
-from repro.xbfs.concurrent import MAX_CONCURRENT, ConcurrentBFS
+from repro.xbfs.concurrent import MAX_CONCURRENT
 
 __all__ = ["CoalescingScheduler", "WorkerState", "SERIAL_FALLBACK_MS_PER_MEDGE"]
-
-#: Modelled serial-baseline traversal cost charged by the circuit
-#: breaker's fallback path: milliseconds per million traversed edges
-#: (~20 M edges/s of queue-based CPU BFS — slow, but always correct).
-SERIAL_FALLBACK_MS_PER_MEDGE = 50.0
 
 
 @dataclass
@@ -94,16 +86,11 @@ class CoalescingScheduler:
         tracer: Tracer | None = None,
         num_gcds: int = 4,
         distributed_threshold_bytes: int | None = None,
+        executor: ExecutionEngine | None = None,
+        track_prefix: str = "",
     ) -> None:
         if workers < 1:
             raise ServiceError("scheduler needs at least one worker")
-        if num_gcds < 1:
-            raise ServiceError(f"num_gcds must be >= 1, got {num_gcds}")
-        if (
-            distributed_threshold_bytes is not None
-            and distributed_threshold_bytes < 0
-        ):
-            raise ServiceError("distributed_threshold_bytes must be >= 0")
         if not 1 <= max_batch <= MAX_CONCURRENT:
             raise ServiceError(
                 f"max_batch must be in 1..{MAX_CONCURRENT}, got {max_batch}"
@@ -113,21 +100,14 @@ class CoalescingScheduler:
         self.registry = registry
         self.max_batch = max_batch
         self.window_ms = window_ms
-        #: Pod width of the distributed engine (2/4/8 model one, two or
-        #: four MI250X cards' worth of GCDs).
-        self.num_gcds = num_gcds
-        #: CSR byte footprint above which a graph routes to the
-        #: multi-GCD engine; ``None`` disables distributed routing.
-        self.distributed_threshold_bytes = distributed_threshold_bytes
         self.admission = admission or AdmissionController()
         self.metrics = metrics or ServiceMetrics()
-        self.scaled_cache = scaled_cache
         self.workers = [WorkerState(i) for i in range(workers)]
         self.outcomes: list[QueryOutcome] = []
         self.now_ms = 0.0
         self._pending: list[Query] = []
         #: Optional :class:`~repro.faults.injector.FaultInjector`;
-        #: threaded into every engine this scheduler builds and visited
+        #: threaded into every engine the executor builds and visited
         #: at the service's own sites (queue, registry, worker).
         self.fault_injector = fault_injector
         #: Optional :class:`~repro.telemetry.tracer.Tracer`. Every
@@ -137,24 +117,64 @@ class CoalescingScheduler:
         self.tracer = tracer if tracer is not None else NULL_TRACER
         if fault_injector is not None and self.tracer.enabled:
             fault_injector.bind_tracer(self.tracer)
-        self.recovery = recovery or DEFAULT_RECOVERY
+        #: Span-track namespace, e.g. ``"replica3."`` in a cluster —
+        #: dispatch spans land on ``"<prefix>worker<i>"`` so every
+        #: replica's workers get their own telemetry tracks.
+        self.track_prefix = track_prefix
+        #: The execution plane this scheduler dispatches onto. Built
+        #: here unless the caller composes one explicitly (the cluster
+        #: layer does, to share pieces across replicas).
+        self.executor = executor or ExecutionEngine(
+            metrics=self.metrics,
+            scaled_cache=scaled_cache,
+            num_gcds=num_gcds,
+            distributed_threshold_bytes=distributed_threshold_bytes,
+            fault_injector=fault_injector,
+            recovery=recovery,
+            tracer=self.tracer,
+        )
         #: Dispatches issued so far (batch id in traces).
         self._batch_seq = 0
-        #: Consecutive dispatches that exhausted their retries.
-        self._fault_streak = 0
-        #: Dispatches the open circuit breaker still routes serially.
-        self._breaker_cooldown_left = 0
 
     # ------------------------------------------------------------------
+    # Execution-policy attributes live on the executor; mirror them so
+    # scheduler-level callers (and older call sites) keep one facade.
+    @property
+    def num_gcds(self) -> int:
+        return self.executor.num_gcds
+
+    @property
+    def distributed_threshold_bytes(self) -> int | None:
+        return self.executor.distributed_threshold_bytes
+
+    @property
+    def recovery(self):
+        return self.executor.recovery
+
+    @property
+    def scaled_cache(self) -> bool:
+        return self.executor.scaled_cache
+
     @property
     def queue_depth(self) -> int:
         return len(self._pending)
+
+    def take_pending(self) -> list[Query]:
+        """Remove and return every admitted-but-undispatched query.
+
+        The cluster layer uses this on replica death: in-flight work is
+        pulled back from the dead replica and re-dispatched to the
+        survivors, so no admitted query is silently lost.
+        """
+        pending, self._pending = self._pending, []
+        return pending
 
     def submit(self, query: Query) -> None:
         """Admit one query at its arrival stamp.
 
         Raises a typed :class:`~repro.errors.AdmissionError` (after
-        recording the rejection) when the bounded queue is full.
+        recording the rejection under the error's ``kind``) when the
+        bounded queue is full or the deadline has already elapsed.
         Arrivals must be submitted in non-decreasing time order.
         """
         if query.arrival_ms < self.now_ms:
@@ -175,9 +195,9 @@ class CoalescingScheduler:
             self.metrics.sync_faults(self.fault_injector.faults_injected)
         try:
             self.admission.admit(query, depth)
-        except AdmissionError:
+        except AdmissionError as exc:
             outcome = QueryOutcome(
-                query=query, levels=None, rejected="queue_full"
+                query=query, levels=None, rejected=exc.kind
             )
             self.outcomes.append(outcome)
             self.metrics.record_outcome(outcome)
@@ -262,11 +282,13 @@ class CoalescingScheduler:
         with self.tracer.span(
             "service.dispatch",
             at=start,
-            track=f"worker{worker.index}",
+            track=f"{self.track_prefix}worker{worker.index}",
             batch=self._batch_seq,
             graph=anchor.graph,
             queries=len(live),
             worker=worker.index,
+            tenant=",".join(sorted({q.tenant for q in live})),
+            qos=",".join(sorted({q.qos for q in live})),
         ) as sp:
             inj = self.fault_injector
             if inj is not None:
@@ -289,7 +311,7 @@ class CoalescingScheduler:
             # *after* the modelled CSR build charge.
             sp.advance_to(start + build_ms)
 
-            elapsed, sharing, levels_of, engine = self._run_dispatch(
+            elapsed, sharing, levels_of, engine = self.executor.run(
                 entry, live, sources, batched, graph_key=anchor.graph
             )
             sp.set(engine=engine)
@@ -323,235 +345,6 @@ class CoalescingScheduler:
                 )
                 self.outcomes.append(outcome)
                 self.metrics.record_outcome(outcome)
-
-    # ------------------------------------------------------------------
-    def _run_dispatch(
-        self,
-        entry: RegistryEntry,
-        live: list[Query],
-        sources: list[int],
-        batched: bool,
-        *,
-        graph_key: str,
-    ):
-        """Run the engine for one dispatch, recovering from injected
-        faults.
-
-        Returns ``(elapsed_ms, sharing_factor, levels_of, engine)``.
-        The ladder:
-
-        1. per-level checkpoint/restart *inside* the engine (invisible
-           here beyond ``level_restarts``),
-        2. dispatch-level retries with exponential backoff in virtual
-           time when the engine still fails,
-        3. a circuit breaker that, after ``breaker_threshold``
-           consecutive exhausted dispatches, routes the next
-           ``breaker_cooldown`` dispatches to the serial baseline —
-           degraded latency, bit-identical answers.
-        """
-        inj = self.fault_injector
-        if inj is None:
-            return self._run_engine(entry, live, sources, batched)
-
-        recovery = self.recovery
-        if self._breaker_cooldown_left > 0:
-            self._breaker_cooldown_left -= 1
-            if self._breaker_cooldown_left == 0:
-                self._fault_streak = 0  # half-open: next dispatch probes
-            self.metrics.record_fallback()
-            self.tracer.event(
-                "recovery.serial_fallback",
-                graph=graph_key,
-                reason="breaker_open",
-            )
-            return self._run_serial(entry, live, sources)
-
-        attempt = 0
-        backoff_total = 0.0
-        while True:
-            try:
-                # The worker itself may fault (raising kinds) or run
-                # slow (latency kinds scale the modelled elapsed).
-                fault_scale = inj.visit("service.worker", graph_key)
-                elapsed, sharing, levels_of, engine = self._run_engine(
-                    entry, live, sources, batched
-                )
-            except (DeviceFaultError, RecoveryExhaustedError) as exc:
-                attempt += 1
-                if attempt > recovery.max_dispatch_retries:
-                    self._fault_streak += 1
-                    if self._fault_streak >= recovery.breaker_threshold:
-                        self.metrics.record_breaker_trip()
-                        self._breaker_cooldown_left = recovery.breaker_cooldown
-                        self.tracer.event(
-                            "recovery.breaker_trip",
-                            graph=graph_key,
-                            streak=self._fault_streak,
-                        )
-                    if not recovery.serial_fallback:
-                        raise RecoveryExhaustedError(
-                            f"dispatch on {graph_key!r} still faulting "
-                            f"after {recovery.max_dispatch_retries} "
-                            f"retries and serial fallback is disabled: "
-                            f"{exc}"
-                        ) from exc
-                    self.metrics.record_fallback()
-                    self.tracer.event(
-                        "recovery.serial_fallback",
-                        graph=graph_key,
-                        reason="retries_exhausted",
-                    )
-                    return self._run_serial(entry, live, sources)
-                self.metrics.record_retry()
-                self.tracer.event(
-                    "recovery.dispatch_retry",
-                    graph=graph_key,
-                    attempt=attempt,
-                    backoff_ms=recovery.backoff_ms(attempt),
-                )
-                backoff_total += recovery.backoff_ms(attempt)
-            else:
-                self._fault_streak = 0
-                if attempt > 0 or backoff_total > 0.0:
-                    self.metrics.record_recovery(backoff_total)
-                return (
-                    elapsed * fault_scale + backoff_total,
-                    sharing,
-                    levels_of,
-                    engine,
-                )
-
-    def _routes_distributed(self, entry: RegistryEntry, live) -> bool:
-        """Size-aware routing policy: a dispatch goes to the multi-GCD
-        pod when the graph's CSR footprint exceeds the single-GCD
-        residency threshold *and* every member query carries the
-        default option surface (the distributed engine honours neither
-        pinned strategies, parent arrays nor truncated runs — those
-        stay solo, whatever the size)."""
-        threshold = self.distributed_threshold_bytes
-        if threshold is None or self.num_gcds < 2:
-            return False
-        if entry.graph.memory_bytes <= threshold:
-            return False
-        return all(q.options.coalescing_key() is not None for q in live)
-
-    def _run_engine(self, entry: RegistryEntry, live, sources, batched):
-        if self._routes_distributed(entry, live):
-            result = self._run_distributed(entry, sources)
-            return result.elapsed_ms, 1.0, result.levels_of, "multigcd"
-        if batched:
-            result = self._run_concurrent(entry, sources)
-            if result.level_restarts:
-                self.metrics.record_level_restarts(result.level_restarts)
-            return (
-                result.elapsed_ms,
-                result.sharing_factor,
-                result.levels_of,
-                "concurrent",
-            )
-        solo = self._run_solo(entry, live[0])
-        if solo.level_restarts:
-            self.metrics.record_level_restarts(solo.level_restarts)
-        return solo.elapsed_ms, 1.0, lambda _s: solo.levels, "solo"
-
-    def _run_serial(self, entry: RegistryEntry, live: list[Query], sources):
-        """Circuit-breaker fallback: queue-based CPU BFS per source.
-
-        ``bfs_levels_reference`` is the same int32 oracle the test suite
-        checks every engine against, so the answers stay bit-identical;
-        only the modelled cost degrades. Runs outside the injector's
-        reach — the whole point is an execution plane faults can't
-        touch.
-        """
-        from repro.graph.stats import bfs_levels_reference
-
-        graph = entry.graph
-        by_source: dict[int, "np.ndarray"] = {}
-        serial_edges = 0
-        for src in sources:
-            levels = bfs_levels_reference(graph, src)
-            max_levels = None
-            if len(sources) == 1:
-                max_levels = live[0].options.max_levels
-            if max_levels is not None:
-                # The engine stops expanding once ``level`` reaches
-                # ``max_levels``: vertices at levels 0..max_levels stay.
-                levels = levels.copy()
-                levels[levels > max_levels] = -1
-            by_source[src] = levels
-            serial_edges += int(graph.degrees[levels >= 0].sum())
-        elapsed = serial_edges / 1e6 * SERIAL_FALLBACK_MS_PER_MEDGE
-        return elapsed, 1.0, lambda s: by_source[s], "serial"
-
-    # ------------------------------------------------------------------
-    def _device_of(self, entry: RegistryEntry):
-        device = entry.engines.get("device")
-        if device is None:
-            if self.scaled_cache:
-                from repro.experiments.common import scaled_device
-
-                device = scaled_device(entry.graph)
-            else:
-                device = MI250X_GCD
-            entry.engines["device"] = device
-        return device
-
-    def _run_concurrent(self, entry: RegistryEntry, sources: list[int]):
-        engine = entry.engines.get("concurrent")
-        if engine is None:
-            engine = ConcurrentBFS(
-                entry.graph,
-                device=self._device_of(entry),
-                tracer=self.tracer,
-                injector=self.fault_injector,
-                recovery=self.recovery,
-            )
-            entry.engines["concurrent"] = engine
-        return engine.run(np.asarray(sources, dtype=np.int64))
-
-    def _run_distributed(self, entry: RegistryEntry, sources: list[int]):
-        """Serve one routed dispatch on the multi-GCD pod.
-
-        The engine — and with it the 1D edge-balanced partition — is
-        built once per registry entry and cached in the ``engines``
-        slot, so repeated dispatches pay the partitioning exactly as
-        often as they pay CSR construction: on a cold (or evicted)
-        graph only.
-        """
-        from repro.multigcd.distributed_bfs import MultiGcdBFS
-
-        engine = entry.engines.get("multigcd")
-        if engine is None or engine.num_gcds != self.num_gcds:
-            engine = MultiGcdBFS(
-                entry.graph,
-                self.num_gcds,
-                device=self._device_of(entry),
-                tracer=self.tracer,
-                injector=self.fault_injector,
-            )
-            entry.engines["multigcd"] = engine
-        return engine.run_batch(np.asarray(sources, dtype=np.int64))
-
-    def _run_solo(self, entry: RegistryEntry, query: Query):
-        from repro.xbfs.driver import XBFS
-
-        engine = entry.engines.get("solo")
-        if engine is None:
-            engine = XBFS(
-                entry.graph,
-                device=self._device_of(entry),
-                tracer=self.tracer,
-                injector=self.fault_injector,
-                recovery=self.recovery,
-            )
-            entry.engines["solo"] = engine
-        opts = query.options
-        return engine.run(
-            query.source,
-            force_strategy=opts.force_strategy,
-            max_levels=opts.max_levels,
-            record_parents=opts.record_parents,
-        )
 
     def worker_stats(self) -> list[dict]:
         """Per-worker utilisation snapshot (JSON-able)."""

@@ -9,7 +9,9 @@ Trace format — one JSON object per line, in arrival order::
 ``t_ms`` is the virtual arrival stamp, ``graph`` any CLI graph spec,
 ``source`` the BFS root. Optional fields: ``deadline_ms`` (admission
 deadline), ``force`` (pin a strategy — makes the query solo-only),
-``max_levels``, ``record_parents``. Query ids are assigned from line
+``max_levels``, ``record_parents``, ``tenant`` and ``qos``
+(multi-tenant attribution for the cluster front door; defaults
+``"default"`` / ``"interactive"``). Query ids are assigned from line
 order, so a trace file fully determines a replay.
 """
 
@@ -40,6 +42,10 @@ def save_trace(queries: Iterable[Query], path: str | Path) -> None:
             rec["max_levels"] = q.options.max_levels
         if q.options.record_parents:
             rec["record_parents"] = True
+        if q.tenant != "default":
+            rec["tenant"] = q.tenant
+        if q.qos != "interactive":
+            rec["qos"] = q.qos
         lines.append(json.dumps(rec, sort_keys=True))
     Path(path).write_text("\n".join(lines) + ("\n" if lines else ""))
 
@@ -87,6 +93,8 @@ def load_trace(path: str | Path) -> list[Query]:
                 arrival_ms=t_ms,
                 deadline_ms=rec.get("deadline_ms"),
                 options=options,
+                tenant=str(rec.get("tenant", "default")),
+                qos=str(rec.get("qos", "interactive")),
             )
         )
     return queries

@@ -1,0 +1,153 @@
+"""Consistent hashing + the size-aware placement override."""
+
+import zlib
+
+import pytest
+
+from repro.cluster import HashRing, PlacementMap, stable_hash
+from repro.errors import ClusterError
+
+
+class TestStableHash:
+    def test_is_crc32(self):
+        # Python's hash() is salted per process; placement must never
+        # depend on it. crc32 is the process-independent contract.
+        assert stable_hash("rmat:10") == zlib.crc32(b"rmat:10")
+
+    def test_deterministic_across_calls(self):
+        assert stable_hash("x") == stable_hash("x")
+
+
+class TestHashRing:
+    def test_owner_is_deterministic(self):
+        a, b = HashRing(), HashRing()
+        for rid in range(4):
+            a.add(rid)
+            b.add(rid)
+        keys = [f"graph{i}" for i in range(100)]
+        assert [a.owner(k) for k in keys] == [b.owner(k) for k in keys]
+
+    def test_removal_only_moves_the_dead_replicas_keys(self):
+        ring = HashRing()
+        for rid in range(4):
+            ring.add(rid)
+        keys = [f"graph{i}" for i in range(200)]
+        before = {k: ring.owner(k) for k in keys}
+        assert set(before.values()) == {0, 1, 2, 3}  # all replicas used
+        ring.remove(2)
+        for k in keys:
+            if before[k] != 2:
+                assert ring.owner(k) == before[k], (
+                    f"{k} moved off a live replica when 2 was removed"
+                )
+            else:
+                assert ring.owner(k) != 2
+
+    def test_rejoin_restores_ownership(self):
+        ring = HashRing()
+        for rid in range(3):
+            ring.add(rid)
+        keys = [f"g{i}" for i in range(64)]
+        before = {k: ring.owner(k) for k in keys}
+        ring.remove(1)
+        ring.add(1)
+        assert {k: ring.owner(k) for k in keys} == before
+
+    def test_empty_ring_raises(self):
+        with pytest.raises(ClusterError, match="empty"):
+            HashRing().owner("g")
+
+    def test_vnodes_validated(self):
+        with pytest.raises(ClusterError, match="vnodes"):
+            HashRing(vnodes=0)
+
+    def test_add_is_idempotent(self):
+        ring = HashRing(vnodes=8)
+        ring.add(0)
+        points = list(ring._points)
+        ring.add(0)
+        assert ring._points == points
+
+
+def _specs_same_owner(pmap: PlacementMap, count: int) -> list[str]:
+    """``count`` spec names whose ring owner coincides (pure hashing)."""
+    by_owner: dict[int, list[str]] = {}
+    for i in range(2000):
+        spec = f"g{i}"
+        owner = pmap.ring.owner(spec)
+        by_owner.setdefault(owner, []).append(spec)
+        if len(by_owner[owner]) == count:
+            return by_owner[owner]
+    raise AssertionError(f"no {count}-way hash collision in 2000 specs")
+
+
+class TestPlacementMap:
+    def test_sticky_assignment(self):
+        pmap = PlacementMap(range(3))
+        rid, new = pmap.place("rmat:10")
+        assert new
+        rid2, new2 = pmap.place("rmat:10")
+        assert (rid2, new2) == (rid, False)
+
+    def test_size_override_redirects_hot_owner(self):
+        # Bounded load with factor 1.5 and 2 replicas: after the same
+        # ring owner accumulates k graphs of 100 bytes, graph k+1
+        # overrides once 100k > 1.5 x (100(k+1)/2), i.e. from k=4.
+        pmap = PlacementMap(range(2), size_of=lambda spec: 100,
+                            balance_factor=1.5)
+        specs = _specs_same_owner(pmap, 5)
+        owners = [pmap.place(s)[0] for s in specs]
+        assert owners[:4] == [owners[0]] * 4  # ring owner keeps them
+        assert pmap.overrides == 1
+        assert owners[4] != owners[0]  # the 5th goes to the idle one
+        assert pmap.placed_bytes[owners[4]] == 100
+
+    def test_ring_owner_wins_while_balanced(self):
+        pmap = PlacementMap(range(2), size_of=lambda spec: 100,
+                            balance_factor=1.5)
+        a, b = _specs_same_owner(pmap, 2)
+        assert pmap.place(a)[0] == pmap.place(b)[0]
+        assert pmap.overrides == 0
+
+    def test_no_override_without_size_of(self):
+        pmap = PlacementMap(range(2))
+        specs = _specs_same_owner(pmap, 5)
+        assert len({pmap.place(s)[0] for s in specs}) == 1
+        assert pmap.overrides == 0
+
+    def test_remove_replica_orphans_sorted(self):
+        pmap = PlacementMap(range(2), size_of=lambda s: 10)
+        owned: dict[int, list[str]] = {0: [], 1: []}
+        for i in range(12):
+            spec = f"g{i}"
+            rid, _ = pmap.place(spec)
+            owned[rid].append(spec)
+        orphans = pmap.remove_replica(0)
+        assert orphans == sorted(owned[0])
+        assert 0 not in pmap.placed_bytes
+        for spec in orphans:
+            assert pmap.owner_of(spec) is None
+        for spec in owned[1]:
+            assert pmap.owner_of(spec) == 1
+        # Re-placement lands everything on the survivor.
+        for spec in orphans:
+            assert pmap.place(spec) == (1, True)
+
+    def test_balance_snapshot(self):
+        pmap = PlacementMap(range(2), size_of=lambda s: 50)
+        for i in range(4):
+            pmap.place(f"g{i}")
+        b = pmap.balance()
+        assert b["replicas"] == 2
+        assert b["graphs_placed"] == 4
+        assert sum(b["graphs"].values()) == 4
+        assert sum(b["placed_bytes"].values()) == 200
+        assert b["balance_ratio"] >= 1.0
+
+    def test_balance_factor_validated(self):
+        with pytest.raises(ClusterError, match="balance_factor"):
+            PlacementMap(range(2), balance_factor=0.5)
+
+    def test_needs_a_replica(self):
+        with pytest.raises(ClusterError):
+            PlacementMap([])

@@ -44,6 +44,7 @@ def run_matrix() -> list[dict]:
     summaries.append(run_faults_surface_fingerprint())
     summaries.append(run_chaos_fingerprint())
     summaries.append(run_telemetry_fingerprint())
+    summaries.append(run_cluster_fingerprint())
     return summaries
 
 
@@ -233,6 +234,69 @@ def run_routing_fingerprint() -> dict:
         )
     summary["routed_queries"] = len(routed)
     summary["routed_levels_crc32"] = crc
+    return summary
+
+
+def run_cluster_fingerprint() -> dict:
+    """Cluster-layer fingerprint: the :mod:`repro.cluster` public
+    surface (same CRC32 scheme as the perf/faults surfaces) plus one
+    seeded multi-tenant replay through a 3-replica cluster with a
+    replica-death storm. Placement, stealing, quota decisions, QoS
+    tails and the recovery counters are all pure functions of the
+    model, so the numbers drift exactly when the cluster layer (or
+    anything it routes onto) changes — and the served answers are
+    CRC'd, so a drifting answer can never hide behind stable timing."""
+    import inspect
+    import zlib
+
+    import repro.cluster as cluster
+    from repro.cluster import (
+        ClusterRouter,
+        TenantQuota,
+        death_plan,
+        multi_tenant_trace,
+    )
+    from repro.faults import levels_fingerprint
+
+    entries = []
+    for name in sorted(cluster.__all__):
+        obj = getattr(cluster, name)
+        entries.append(name)
+        if inspect.isclass(obj):
+            for attr, member in sorted(vars(obj).items()):
+                if attr.startswith("_") or not callable(member):
+                    continue
+                entries.append(f"{name}.{attr}{inspect.signature(member)}")
+    surface_blob = "\n".join(entries).encode()
+
+    sizes = {"rmat:10": 1024, "rmat:11": 2048, "rmat:12": 4096}
+    trace = multi_tenant_trace(
+        list(sizes), sizes, num_queries=96, seed=23, tenants=3,
+        interactive_frac=0.7, mean_gap_ms=1.0, burst=8,
+    )
+    router = ClusterRouter(
+        replicas=3,
+        workers=2,
+        window_ms=5.0,
+        seed=0,
+        quotas={"t0": TenantQuota(rate_per_s=500, burst=4)},
+        fault_plan=death_plan(seed=1, probability=0.05, restart_ms=150.0,
+                              max_triggers=2),
+    )
+    report = router.replay(trace)
+    summary = report.summary("cluster")
+    # Keep the committed baseline flat: nested per-replica/placement/
+    # quota detail is exercised by the cluster test tier, not the gate.
+    for key in ("per_replica", "placement", "quota"):
+        summary.pop(key, None)
+    crc = 0
+    for o in report.served:
+        crc = zlib.crc32(
+            levels_fingerprint(o.levels).to_bytes(8, "little"), crc
+        )
+    summary["served_levels_crc32"] = crc
+    summary["symbols"] = len(entries)
+    summary["surface_crc32"] = zlib.crc32(surface_blob)
     return summary
 
 

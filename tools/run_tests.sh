@@ -11,6 +11,10 @@
 #                                 # layer that routes onto it (engine
 #                                 # routing, registry accounting, the
 #                                 # routing differential contract)
+#   tools/run_tests.sh cluster    # the sharded multi-replica layer
+#                                 # (placement, QoS/quotas, replica
+#                                 # death, work stealing) + the
+#                                 # scale-out bench
 #   tools/run_tests.sh all        # everything: tier-1 + tier-2 + the
 #                                 # regression gate against the committed
 #                                 # baseline fingerprint
@@ -40,6 +44,10 @@ case "$tier" in
     ;;
   multigcd-service)
     python -m pytest tests/multigcd tests/service -m "not slow" "$@"
+    ;;
+  cluster)
+    python -m pytest tests/cluster "$@"
+    python -m pytest benchmarks/bench_cluster_scaleout.py benchmarks/bench_routing.py -s "$@"
     ;;
   all)
     python -m pytest "$@"
