@@ -53,7 +53,14 @@ from repro.graph import (
     rearrange_by_degree,
     rmat,
 )
-from repro.xbfs import XBFS, AdaptiveClassifier, BatchResult, ConcurrentBFS, XBFSResult
+from repro.xbfs import (
+    XBFS,
+    AdaptiveClassifier,
+    BatchResult,
+    ConcurrentBFS,
+    LinAlgBatchBFS,
+    XBFSResult,
+)
 from repro.baselines import EnterpriseBFS, GunrockBFS, HierarchicalBFS, LinAlgBFS, SsspBFS
 from repro.multigcd import MultiGcdBFS
 from repro.perf import HostProfiler
@@ -97,6 +104,7 @@ __all__ = [
     "BatchResult",
     "AdaptiveClassifier",
     "ConcurrentBFS",
+    "LinAlgBatchBFS",
     "GunrockBFS",
     "EnterpriseBFS",
     "HierarchicalBFS",

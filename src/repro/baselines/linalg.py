@@ -16,16 +16,20 @@ and no direction switch* — the masked SpMV touches every edge out of
 the frontier no matter how redundant, so deep graphs (many SpMV
 launches) and peak levels (huge mask traffic) both hurt.
 
-The functional computation uses ``scipy.sparse`` (the natural host-side
-stand-in for a GraphBLAS); costs are charged to the same GCD substrate
-as every other engine: one SpMV kernel + one mask/assign kernel per
-level.
+The functional computation is the one-column (``k = 1``) case of the
+shared bit-packed frontier ops in :mod:`repro.xbfs.bitmap` — the same
+scatter-OR semiring product the batched
+:class:`~repro.xbfs.linalg_batch.LinAlgBatchBFS` engine widens to
+hundreds of sources per word-packed row. The baseline keeps its
+fixed-direction cost story: one push SpMV kernel + one mask/assign
+kernel per level, charged to the same GCD substrate as every other
+engine, with dense |V|-length vector traffic (the simple programming
+model the paper credits GraphBLAST with).
 """
 
 from __future__ import annotations
 
 import numpy as np
-import scipy.sparse as sp
 
 from repro.errors import TraversalError
 from repro.gcd.device import DeviceProfile, MI250X_GCD
@@ -33,7 +37,8 @@ from repro.gcd.kernel import ComputeWork, ExecConfig
 from repro.gcd.memory import rand_read, rand_write, segmented_read, seq_read, seq_write
 from repro.gcd.simulator import GCD
 from repro.graph.csr import CSRGraph
-from repro.xbfs.common import segment_lines_touched
+from repro.xbfs import bitmap as bm
+from repro.xbfs.common import gather_neighbors, segment_lines_touched
 from repro.baselines.base import BaselineBatch, BaselineResult
 
 __all__ = ["LinAlgBFS"]
@@ -55,13 +60,6 @@ class LinAlgBFS:
         self.device = device
         self.config = config or ExecConfig()
         self._gcd: GCD | None = None
-        # A^T in CSR so that frontier * A gathers out-neighbours; scipy
-        # does the functional work, the cost model sees the streams.
-        src, dst = graph.to_edge_arrays()
-        n = graph.num_vertices
-        self._matrix = sp.csr_matrix(
-            (np.ones(src.size, dtype=np.int8), (src, dst)), shape=(n, n)
-        )
 
     def run(self, source: int) -> BaselineResult:
         graph = self.graph
@@ -77,17 +75,21 @@ class LinAlgBFS:
 
         levels = np.full(n, -1, dtype=np.int32)
         levels[source] = 0
-        frontier = np.zeros(n, dtype=bool)
-        frontier[source] = True
+        # One-column bitmap planes: bit 0 of row v is "v on the frontier".
+        frontier = bm.make_bitmap(n, 1)
+        bm.set_source_bits(frontier, np.array([source], dtype=np.int64))
         visited = frontier.copy()
         level = 0
         line = gcd.device.cache_line_bytes
 
         while frontier.any():
-            idx = np.flatnonzero(frontier).astype(np.int64)
+            idx = bm.occupied_rows(frontier)
             e_f = int(graph.degrees[idx].sum())
-            # SpMV: y = frontier * A over the Boolean semiring.
-            product = (frontier.astype(np.int8) @ self._matrix).astype(bool)
+            # SpMV: y = Aᵀ · frontier over the Boolean semiring — the
+            # k = 1 scatter-OR product from the shared bitmap kernels.
+            neighbors, owner = gather_neighbors(graph, idx)
+            incoming = np.zeros_like(visited)
+            bm.scatter_or_rows(incoming, neighbors, frontier[idx][owner])
             adj_lines = segment_lines_touched(
                 graph.row_offsets[idx], graph.degrees[idx],
                 element_bytes=4, line_bytes=line,
@@ -111,8 +113,9 @@ class LinAlgBFS:
                 work=ComputeWork(flat_ops=float(e_f + n)),
                 work_items=int(idx.size),
             )
-            # Mask & assign: next = y & ~visited; levels[next] = level+1.
-            next_frontier = product & ~visited
+            # Mask & assign: next = y ⊙ ¬visited; levels[next] = level+1.
+            next_frontier = bm.fresh_mask(incoming, visited)
+            newly = bm.occupied_rows(next_frontier)
             gcd.launch(
                 "la_mask_assign",
                 strategy=self.ENGINE,
@@ -121,15 +124,13 @@ class LinAlgBFS:
                     seq_read("y_vec", n, 4),
                     seq_read("visited_vec", n, 4),
                     seq_write("frontier_vec", n, 4),
-                    rand_write(
-                        "levels", int(next_frontier.sum()), int(next_frontier.sum()), 4
-                    ),
+                    rand_write("levels", int(newly.size), int(newly.size), 4),
                 ],
                 work=ComputeWork(flat_ops=float(2 * n)),
                 work_items=n,
             )
             gcd.sync()
-            levels[next_frontier] = level + 1
+            levels[newly] = level + 1
             visited |= next_frontier
             frontier = next_frontier
             level += 1

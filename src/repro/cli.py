@@ -335,6 +335,7 @@ def _service_from_args(args: argparse.Namespace, cls):
         seed=args.seed,
         num_gcds=args.num_gcds,
         distributed_threshold_mb=args.distributed_threshold,
+        linalg_batch_threshold=args.linalg_batch_threshold,
         fault_plan=fault_plan,
         **({"tracer": tracer} if tracer is not None else {}),
     )
@@ -368,8 +369,12 @@ def _save_service_summary(report, args: argparse.Namespace) -> None:
 def _add_service_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--workers", type=int, default=2,
                         help="simulated GCD workers in the dispatch pool")
-    parser.add_argument("--max-batch", type=int, default=64,
-                        help="max distinct sources per concurrent batch")
+    parser.add_argument("--max-batch", type=int, default=None,
+                        help="max distinct sources per coalesced batch "
+                        "(default: the active engine's cap — 64 "
+                        "concurrent, lifted to the linalg-batch "
+                        "engine's cap when --linalg-batch-threshold "
+                        "is set)")
     parser.add_argument("--window-ms", type=float, default=5.0,
                         help="coalescing window (virtual ms)")
     parser.add_argument("--queue-depth", type=int, default=256,
@@ -386,6 +391,12 @@ def _add_service_args(parser: argparse.ArgumentParser) -> None:
                         help="CSR footprint (MiB) above which a graph is "
                         "served by the multi-GCD engine instead of a "
                         "single simulated GCD (default: never)")
+    parser.add_argument("--linalg-batch-threshold", type=int, default=None,
+                        metavar="K",
+                        help="same-graph batches of >= K distinct sources "
+                        "run as one masked CSR x matrix product on the "
+                        "bitmap linear-algebra engine instead of 64-source "
+                        "concurrent batches (default: tier disabled)")
     parser.add_argument("--scale-factor", type=int, default=64)
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--fault-plan", default=None, metavar="PATH",
@@ -430,6 +441,7 @@ def _cmd_chaos_bench(args: argparse.Namespace) -> int:
             seed=args.seed,
             num_gcds=args.num_gcds,
             distributed_threshold_mb=args.distributed_threshold,
+            linalg_batch_threshold=args.linalg_batch_threshold,
             fault_plan=fault_plan,
         )
         return service
@@ -546,6 +558,7 @@ def _cmd_cluster_bench(args: argparse.Namespace) -> int:
         seed=args.seed,
         num_gcds=args.num_gcds,
         distributed_threshold_mb=args.distributed_threshold,
+        linalg_batch_threshold=args.linalg_batch_threshold,
         steal_threshold=args.steal_threshold,
         balance_factor=args.balance_factor,
         quotas=quotas,

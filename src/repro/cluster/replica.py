@@ -40,12 +40,13 @@ class Replica:
         tracer=None,
         memory_budget_mb: float = 256.0,
         workers: int = 2,
-        max_batch: int = 64,
+        max_batch: int | None = None,
         window_ms: float = 5.0,
         max_queue_depth: int = 256,
         scaled_cache: bool = True,
         num_gcds: int = 4,
         distributed_threshold_mb: float | None = None,
+        linalg_batch_threshold: int | None = None,
         scale_factor: int = 64,
         seed: int = 0,
     ) -> None:
@@ -65,6 +66,7 @@ class Replica:
             scaled_cache=scaled_cache,
             num_gcds=num_gcds,
             distributed_threshold_mb=distributed_threshold_mb,
+            linalg_batch_threshold=linalg_batch_threshold,
             fault_injector=fault_injector,
             recovery=recovery,
             tracer=tracer,

@@ -66,7 +66,7 @@ class ClusterRouter:
         vnodes: int = 64,
         memory_budget_mb: float = 256.0,
         workers: int = 2,
-        max_batch: int = 64,
+        max_batch: int | None = None,
         window_ms: float = 5.0,
         max_queue_depth: int = 256,
         scale_factor: int = 64,
@@ -74,6 +74,7 @@ class ClusterRouter:
         scaled_cache: bool = True,
         num_gcds: int = 4,
         distributed_threshold_mb: float | None = None,
+        linalg_batch_threshold: int | None = None,
         builder=None,
         fault_plan: FaultPlan | None = None,
         recovery=None,
@@ -127,6 +128,7 @@ class ClusterRouter:
                 scaled_cache=scaled_cache,
                 num_gcds=num_gcds,
                 distributed_threshold_mb=distributed_threshold_mb,
+                linalg_batch_threshold=linalg_batch_threshold,
                 scale_factor=scale_factor,
                 seed=seed,
             )

@@ -18,6 +18,7 @@ __all__ = [
     "ExperimentError",
     "PartitionError",
     "ServiceError",
+    "BatchLimitError",
     "AdmissionError",
     "QueueFullError",
     "DeadlineExceededError",
@@ -75,6 +76,16 @@ class ServiceError(ReproError, RuntimeError):
     """The query-serving runtime (:mod:`repro.service`) hit an invalid
     configuration or request (unknown graph spec, out-of-order arrival,
     bad trace record, ...)."""
+
+
+class BatchLimitError(ServiceError, ValueError):
+    """A scheduler ``max_batch`` exceeds the batch capacity of the
+    engine tier that would serve it. The cap is *engine-aware*: 64
+    distinct sources on the bit-parallel concurrent path (one status
+    bit per source in a 64-bit word), lifted to the linear-algebra
+    batch engine's word-extensible cap when ``linalg_batch_threshold``
+    enables that tier. The message names the active engine and its
+    cap."""
 
 
 class AdmissionError(ServiceError):

@@ -11,10 +11,15 @@ placement / dispatch / execution split:
   it, and recover from injected faults without ever returning a wrong
   answer.
 
-:class:`ExecutionEngine` owns the size-aware engine-routing policy
-(solo XBFS / concurrent iBFS / multi-GCD pod), the per-entry engine
-cache on :class:`~repro.service.registry.RegistryEntry`, and the
-recovery ladder: per-level checkpoint/restart inside the engines,
+:class:`ExecutionEngine` owns the engine-routing policy — by graph
+size (solo XBFS / concurrent iBFS vs the multi-GCD pod) and by batch
+width (the linear-algebra batch tier: same-graph dispatches of
+``linalg_batch_threshold``+ distinct sources run as one masked
+CSR×matrix product on :class:`~repro.xbfs.linalg_batch.LinAlgBatchBFS`
+instead of a stream of ≤64-source concurrent batches) — plus the
+per-entry engine cache on
+:class:`~repro.service.registry.RegistryEntry` and the recovery
+ladder: per-level checkpoint/restart inside the engines,
 dispatch-level retries with virtual-time backoff, and a circuit
 breaker that routes cooldown dispatches to the serial CPU baseline.
 It holds no queue and no clock — the scheduler hands it a ready batch
@@ -36,7 +41,8 @@ from repro.service.metrics import ServiceMetrics
 from repro.service.registry import RegistryEntry
 from repro.service.request import Query
 from repro.telemetry.tracer import NULL_TRACER, Tracer
-from repro.xbfs.concurrent import ConcurrentBFS
+from repro.xbfs.concurrent import MAX_CONCURRENT, ConcurrentBFS
+from repro.xbfs.linalg_batch import MAX_LINALG_BATCH, LinAlgBatchBFS
 
 __all__ = ["ExecutionEngine", "SERIAL_FALLBACK_MS_PER_MEDGE"]
 
@@ -62,6 +68,7 @@ class ExecutionEngine:
         scaled_cache: bool = True,
         num_gcds: int = 4,
         distributed_threshold_bytes: int | None = None,
+        linalg_batch_threshold: int | None = None,
         fault_injector=None,
         recovery: RecoveryPolicy | None = None,
         tracer: Tracer | None = None,
@@ -73,6 +80,13 @@ class ExecutionEngine:
             and distributed_threshold_bytes < 0
         ):
             raise ServiceError("distributed_threshold_bytes must be >= 0")
+        if linalg_batch_threshold is not None and not (
+            2 <= linalg_batch_threshold <= MAX_LINALG_BATCH
+        ):
+            raise ServiceError(
+                f"linalg_batch_threshold must be in 2..{MAX_LINALG_BATCH}, "
+                f"got {linalg_batch_threshold}"
+            )
         self.metrics = metrics or ServiceMetrics()
         self.scaled_cache = scaled_cache
         #: Pod width of the distributed engine (2/4/8 model one, two or
@@ -81,6 +95,11 @@ class ExecutionEngine:
         #: CSR byte footprint above which a graph routes to the
         #: multi-GCD engine; ``None`` disables distributed routing.
         self.distributed_threshold_bytes = distributed_threshold_bytes
+        #: Distinct-source count at which a same-graph dispatch routes
+        #: to the linear-algebra batch engine; ``None`` disables the
+        #: tier (and keeps the scheduler's batch cap at
+        #: :data:`~repro.xbfs.concurrent.MAX_CONCURRENT`).
+        self.linalg_batch_threshold = linalg_batch_threshold
         self.fault_injector = fault_injector
         self.recovery = recovery or DEFAULT_RECOVERY
         self.tracer = tracer if tracer is not None else NULL_TRACER
@@ -187,6 +206,37 @@ class ExecutionEngine:
                 )
 
     # ------------------------------------------------------------------
+    @property
+    def batch_cap(self) -> int:
+        """Distinct sources one dispatch may carry — engine-aware: the
+        concurrent engine's 64-bit status word without the linalg tier,
+        the bitmap engine's word-extensible cap with it."""
+        if self.linalg_batch_threshold is not None:
+            return MAX_LINALG_BATCH
+        return MAX_CONCURRENT
+
+    @property
+    def batch_cap_engine(self) -> str:
+        """Name of the engine whose capacity sets :attr:`batch_cap`."""
+        if self.linalg_batch_threshold is not None:
+            return "linalg_batch"
+        return "concurrent"
+
+    def routes_linalg(self, entry: RegistryEntry, live, sources) -> bool:
+        """Batch-width routing policy: a same-graph dispatch runs as one
+        masked CSR×matrix product when the tier is enabled and the
+        distinct-source count reaches ``linalg_batch_threshold`` — or
+        exceeds the concurrent engine's 64-slot word outright, which no
+        other batched engine could serve. Solo-only option surfaces
+        (pinned strategy, parents, truncation) never route."""
+        threshold = self.linalg_batch_threshold
+        if threshold is None:
+            return False
+        k = len(sources)
+        if k < 2 or (k < threshold and k <= MAX_CONCURRENT):
+            return False
+        return all(q.options.coalescing_key() is not None for q in live)
+
     def routes_distributed(self, entry: RegistryEntry, live) -> bool:
         """Size-aware routing policy: a dispatch goes to the multi-GCD
         pod when the graph's CSR footprint exceeds the single-GCD
@@ -203,8 +253,20 @@ class ExecutionEngine:
 
     def _run_engine(self, entry: RegistryEntry, live, sources, batched):
         if self.routes_distributed(entry, live):
+            # Graph size dominates: a CSR that outgrows one GCD's
+            # residency also outgrows the single-GCD bitmap engine.
             result = self._run_distributed(entry, sources)
             return result.elapsed_ms, 1.0, result.levels_of, "multigcd"
+        if self.routes_linalg(entry, live, sources):
+            result = self._run_linalg(entry, sources)
+            if result.level_restarts:
+                self.metrics.record_level_restarts(result.level_restarts)
+            return (
+                result.elapsed_ms,
+                result.sharing_factor,
+                result.levels_of,
+                "linalg_batch",
+            )
         if batched:
             result = self._run_concurrent(entry, sources)
             if result.level_restarts:
@@ -273,6 +335,19 @@ class ExecutionEngine:
                 recovery=self.recovery,
             )
             entry.engines["concurrent"] = engine
+        return engine.run(np.asarray(sources, dtype=np.int64))
+
+    def _run_linalg(self, entry: RegistryEntry, sources: list[int]):
+        engine = entry.engines.get("linalg_batch")
+        if engine is None:
+            engine = LinAlgBatchBFS(
+                entry.graph,
+                device=self._device_of(entry),
+                tracer=self.tracer,
+                injector=self.fault_injector,
+                recovery=self.recovery,
+            )
+            entry.engines["linalg_batch"] = engine
         return engine.run(np.asarray(sources, dtype=np.int64))
 
     def _run_distributed(self, entry: RegistryEntry, sources: list[int]):

@@ -22,8 +22,10 @@ from repro.telemetry.stats import percentile
 
 __all__ = ["ServiceMetrics", "ENGINE_NAMES", "percentile"]
 
-#: Serving engines a dispatch may land on, in reporting order.
-ENGINE_NAMES = ("solo", "concurrent", "multigcd", "serial")
+#: Serving engines a dispatch may land on, in reporting order (the
+#: routing tiers: solo → concurrent → linalg-batch → multi-GCD, plus
+#: the circuit breaker's serial fallback).
+ENGINE_NAMES = ("solo", "concurrent", "linalg_batch", "multigcd", "serial")
 
 
 @dataclass
@@ -50,7 +52,8 @@ class ServiceMetrics:
     #: per engine run, machine-dependent — excluded from fingerprints).
     host_dispatch_s: list[float] = field(default_factory=list)
     #: Dispatches per serving engine (``solo`` / ``concurrent`` /
-    #: ``multigcd`` / ``serial``) — the routing policy's observable.
+    #: ``linalg_batch`` / ``multigcd`` / ``serial``) — the routing
+    #: policy's observable.
     engine_dispatches: dict[str, int] = field(default_factory=dict)
     # --- degraded-mode (fault recovery) counters; all virtual-time ---
     #: Fired fault events (every kind), synced from the injector.

@@ -24,7 +24,6 @@ from repro.service.registry import GraphRegistry
 from repro.service.request import Query, QueryOutcome
 from repro.service.scheduler import CoalescingScheduler
 from repro.telemetry.tracer import NULL_TRACER, Tracer
-from repro.xbfs.concurrent import MAX_CONCURRENT
 
 __all__ = ["BFSService", "ServiceReport"]
 
@@ -74,6 +73,17 @@ class BFSService:
     partition is computed once per cached graph and answers stay
     bit-identical to solo XBFS. ``None`` (the default) keeps every
     dispatch on the single-GCD engines.
+
+    ``linalg_batch_threshold`` enables the third routing tier: a
+    same-graph dispatch of that many distinct sources (or more) runs
+    as one masked CSR×matrix product on
+    :class:`~repro.xbfs.linalg_batch.LinAlgBatchBFS` instead of a
+    stream of ≤64-source concurrent batches, and the scheduler's batch
+    cap lifts from 64 to the bitmap engine's
+    :data:`~repro.xbfs.linalg_batch.MAX_LINALG_BATCH`. ``max_batch=None``
+    (the default) adopts whichever cap is active; an explicit value is
+    validated against it with a typed
+    :class:`~repro.errors.BatchLimitError`.
     """
 
     def __init__(
@@ -81,7 +91,7 @@ class BFSService:
         *,
         memory_budget_mb: float = 256.0,
         workers: int = 2,
-        max_batch: int = MAX_CONCURRENT,
+        max_batch: int | None = None,
         window_ms: float = 5.0,
         max_queue_depth: int = 256,
         default_deadline_ms: float | None = None,
@@ -90,6 +100,7 @@ class BFSService:
         scaled_cache: bool = True,
         num_gcds: int = 4,
         distributed_threshold_mb: float | None = None,
+        linalg_batch_threshold: int | None = None,
         registry: GraphRegistry | None = None,
         fault_plan: FaultPlan | None = None,
         fault_injector=None,
@@ -146,6 +157,7 @@ class BFSService:
                 if distributed_threshold_mb is not None
                 else None
             ),
+            linalg_batch_threshold=linalg_batch_threshold,
             track_prefix=track_prefix,
         )
         #: The execution plane (engine routing + fault recovery) the

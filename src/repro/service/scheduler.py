@@ -8,10 +8,15 @@ time*. Queries arrive with millisecond stamps; the scheduler holds
 them in a bounded pending queue for at most ``window_ms`` (the
 coalescing window), then groups every compatible same-graph query —
 same spec string, equal :func:`~repro.xbfs.concurrent.coalescing_key`
-— into one :class:`~repro.xbfs.concurrent.ConcurrentBFS` dispatch of
-up to ``max_batch`` (≤64) distinct sources. Duplicate sources ride
-along for free: they map onto one status bit and share its level
-array. Singleton groups and solo-only options fall back to a plain
+— into one batched dispatch of up to ``max_batch`` distinct sources.
+The cap is *engine-aware*: it defaults to (and is validated against)
+the executor's :attr:`~repro.service.execution.ExecutionEngine.batch_cap`
+— 64 sources on the bit-parallel
+:class:`~repro.xbfs.concurrent.ConcurrentBFS` path, lifted to the
+:class:`~repro.xbfs.linalg_batch.LinAlgBatchBFS` bitmap engine's cap
+when the linalg tier is enabled. Duplicate sources ride along for
+free: they map onto one status bit and share its level array.
+Singleton groups and solo-only options fall back to a plain
 :class:`~repro.xbfs.driver.XBFS` run.
 
 Dispatches land on the least-loaded of ``workers`` simulated GCDs
@@ -40,6 +45,7 @@ from dataclasses import dataclass
 
 from repro.errors import (
     AdmissionError,
+    BatchLimitError,
     DeadlineExceededError,
     ServiceError,
 )
@@ -53,7 +59,6 @@ from repro.service.metrics import ServiceMetrics
 from repro.service.registry import GraphRegistry
 from repro.service.request import Query, QueryOutcome
 from repro.telemetry.tracer import NULL_TRACER, Tracer
-from repro.xbfs.concurrent import MAX_CONCURRENT
 
 __all__ = ["CoalescingScheduler", "WorkerState", "SERIAL_FALLBACK_MS_PER_MEDGE"]
 
@@ -76,7 +81,7 @@ class CoalescingScheduler:
         registry: GraphRegistry,
         *,
         workers: int = 2,
-        max_batch: int = MAX_CONCURRENT,
+        max_batch: int | None = None,
         window_ms: float = 5.0,
         admission: AdmissionController | None = None,
         metrics: ServiceMetrics | None = None,
@@ -86,19 +91,15 @@ class CoalescingScheduler:
         tracer: Tracer | None = None,
         num_gcds: int = 4,
         distributed_threshold_bytes: int | None = None,
+        linalg_batch_threshold: int | None = None,
         executor: ExecutionEngine | None = None,
         track_prefix: str = "",
     ) -> None:
         if workers < 1:
             raise ServiceError("scheduler needs at least one worker")
-        if not 1 <= max_batch <= MAX_CONCURRENT:
-            raise ServiceError(
-                f"max_batch must be in 1..{MAX_CONCURRENT}, got {max_batch}"
-            )
         if window_ms < 0:
             raise ServiceError("window_ms must be >= 0")
         self.registry = registry
-        self.max_batch = max_batch
         self.window_ms = window_ms
         self.admission = admission or AdmissionController()
         self.metrics = metrics or ServiceMetrics()
@@ -129,10 +130,24 @@ class CoalescingScheduler:
             scaled_cache=scaled_cache,
             num_gcds=num_gcds,
             distributed_threshold_bytes=distributed_threshold_bytes,
+            linalg_batch_threshold=linalg_batch_threshold,
             fault_injector=fault_injector,
             recovery=recovery,
             tracer=self.tracer,
         )
+        # The batch cap is engine-aware: ``None`` adopts the executor's
+        # cap (64 on the concurrent path, the bitmap engine's cap with
+        # the linalg tier enabled); an explicit value is validated
+        # against it with a typed error naming the active engine.
+        cap = self.executor.batch_cap
+        if max_batch is None:
+            max_batch = cap
+        elif not 1 <= max_batch <= cap:
+            raise BatchLimitError(
+                f"max_batch must be in 1..{cap} (the {self.executor.batch_cap_engine} "
+                f"engine's batch capacity), got {max_batch}"
+            )
+        self.max_batch = max_batch
         #: Dispatches issued so far (batch id in traces).
         self._batch_seq = 0
 
@@ -146,6 +161,10 @@ class CoalescingScheduler:
     @property
     def distributed_threshold_bytes(self) -> int | None:
         return self.executor.distributed_threshold_bytes
+
+    @property
+    def linalg_batch_threshold(self) -> int | None:
+        return self.executor.linalg_batch_threshold
 
     @property
     def recovery(self):

@@ -18,6 +18,11 @@ from repro.xbfs.common import UNVISITED
 from repro.xbfs.autotune import PARAMETER_GRID, TuneResult, autotune_classifier
 from repro.xbfs.concurrent import MAX_CONCURRENT, ConcurrentBFS, ConcurrentResult
 from repro.xbfs.driver import BatchResult, XBFS, XBFSResult
+from repro.xbfs.linalg_batch import (
+    MAX_LINALG_BATCH,
+    LinAlgBatchBFS,
+    LinAlgBatchResult,
+)
 from repro.xbfs.frontier import FrontierQueue, sorted_queue_from_mask
 from repro.xbfs.level import LevelResult
 from repro.xbfs.predictor import LevelPrediction, predict_level_costs, predict_schedule
@@ -48,6 +53,9 @@ __all__ = [
     "ConcurrentBFS",
     "ConcurrentResult",
     "MAX_CONCURRENT",
+    "LinAlgBatchBFS",
+    "LinAlgBatchResult",
+    "MAX_LINALG_BATCH",
     "autotune_classifier",
     "TuneResult",
     "PARAMETER_GRID",

@@ -40,6 +40,7 @@ def run_matrix() -> list[dict]:
         summaries.append(summarize_batch(name, engine.run_many(sources)))
     summaries.append(run_service_fingerprint())
     summaries.append(run_routing_fingerprint())
+    summaries.append(run_linalg_batch_fingerprint())
     summaries.append(run_perf_surface_fingerprint())
     summaries.append(run_faults_surface_fingerprint())
     summaries.append(run_chaos_fingerprint())
@@ -227,6 +228,57 @@ def run_routing_fingerprint() -> dict:
     assert routed, "routing fingerprint trace never reached the pod"
     import zlib
 
+    crc = 0
+    for o in routed:
+        crc = zlib.crc32(
+            levels_fingerprint(o.levels).to_bytes(8, "little"), crc
+        )
+    summary["routed_queries"] = len(routed)
+    summary["routed_levels_crc32"] = crc
+    return summary
+
+
+def run_linalg_batch_fingerprint() -> dict:
+    """Batch-width routing fingerprint: wide same-graph bursts replayed
+    through a service with the linear-algebra tier armed. Which bursts
+    clear the threshold, the bitmap engine's per-level direction
+    schedule and the word-wide kernel costs are all pure functions of
+    the model, so the summary drifts exactly when the tier's policy or
+    the masked-SpMM cost model changes. Served levels are CRC'd so a
+    wrong answer can never hide behind stable timing."""
+    import zlib
+
+    import numpy as np
+
+    from repro.faults import levels_fingerprint
+    from repro.service import BFSService, Query
+
+    service = BFSService(
+        workers=2,
+        window_ms=5.0,
+        seed=0,
+        linalg_batch_threshold=96,
+    )
+    rng = np.random.default_rng(41)
+    queries = []
+    t = 0.0
+    # Wide bursts clear the threshold and run on the bitmap engine; the
+    # narrow burst stays on the concurrent path — both tiers in one
+    # fingerprint.
+    for spec, width in (("rmat:11", 150), ("rmat:10", 24),
+                        ("rmat:12", 200), ("rmat:11", 150)):
+        n = 1 << int(spec.rsplit(":", 1)[1])
+        for s in rng.choice(n, size=width, replace=False):
+            queries.append(
+                Query(qid=len(queries), graph=spec, source=int(s),
+                      arrival_ms=t)
+            )
+        t += 50.0
+    report = service.replay(queries)
+    summary = report.summary("linalg_batch")
+    summary.pop("host", None)
+    routed = [o for o in report.served if o.engine == "linalg_batch"]
+    assert routed, "linalg fingerprint trace never reached the bitmap tier"
     crc = 0
     for o in routed:
         crc = zlib.crc32(

@@ -15,6 +15,10 @@
 #                                 # (placement, QoS/quotas, replica
 #                                 # death, work stealing) + the
 #                                 # scale-out bench
+#   tools/run_tests.sh linalg     # the bitmap linear-algebra tier: the
+#                                 # batch engine, its routing contract
+#                                 # and the batch-width bench vs the
+#                                 # concurrent engine
 #   tools/run_tests.sh all        # everything: tier-1 + tier-2 + the
 #                                 # regression gate against the committed
 #                                 # baseline fingerprint
@@ -49,13 +53,17 @@ case "$tier" in
     python -m pytest tests/cluster "$@"
     python -m pytest benchmarks/bench_cluster_scaleout.py benchmarks/bench_routing.py -s "$@"
     ;;
+  linalg)
+    python -m pytest tests/xbfs/test_linalg_batch.py tests/service/test_linalg_routing.py "$@"
+    python -m pytest benchmarks/bench_linalg_batch.py -s "$@"
+    ;;
   all)
     python -m pytest "$@"
     python -m pytest benchmarks "$@"
     python tools/check_regression.py check tools/baseline_fingerprint.json
     ;;
   *)
-    echo "usage: tools/run_tests.sh [tier1|tier2|telemetry|multigcd-service|all] [pytest args...]" >&2
+    echo "usage: tools/run_tests.sh [tier1|tier2|telemetry|multigcd-service|cluster|linalg|all] [pytest args...]" >&2
     exit 2
     ;;
 esac
