@@ -336,6 +336,7 @@ def _service_from_args(args: argparse.Namespace, cls):
         num_gcds=args.num_gcds,
         distributed_threshold_mb=args.distributed_threshold,
         linalg_batch_threshold=args.linalg_batch_threshold,
+        partition=args.partition,
         fault_plan=fault_plan,
         **({"tracer": tracer} if tracer is not None else {}),
     )
@@ -397,6 +398,11 @@ def _add_service_args(parser: argparse.ArgumentParser) -> None:
                         "run as one masked CSR x matrix product on the "
                         "bitmap linear-algebra engine instead of 64-source "
                         "concurrent batches (default: tier disabled)")
+    parser.add_argument("--partition", choices=("1d", "2d"), default="1d",
+                        help="decomposition of the distributed tier: 1d "
+                        "(edge-balanced rows, naive exchange) or 2d "
+                        "(checkerboard grid with the compressed frontier-"
+                        "exchange codec and comm/compute overlap)")
     parser.add_argument("--scale-factor", type=int, default=64)
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--fault-plan", default=None, metavar="PATH",
@@ -442,6 +448,7 @@ def _cmd_chaos_bench(args: argparse.Namespace) -> int:
             num_gcds=args.num_gcds,
             distributed_threshold_mb=args.distributed_threshold,
             linalg_batch_threshold=args.linalg_batch_threshold,
+            partition=args.partition,
             fault_plan=fault_plan,
         )
         return service
@@ -559,6 +566,7 @@ def _cmd_cluster_bench(args: argparse.Namespace) -> int:
         num_gcds=args.num_gcds,
         distributed_threshold_mb=args.distributed_threshold,
         linalg_batch_threshold=args.linalg_batch_threshold,
+        partition=args.partition,
         steal_threshold=args.steal_threshold,
         balance_factor=args.balance_factor,
         quotas=quotas,

@@ -47,6 +47,7 @@ class Replica:
         num_gcds: int = 4,
         distributed_threshold_mb: float | None = None,
         linalg_batch_threshold: int | None = None,
+        partition: str = "1d",
         scale_factor: int = 64,
         seed: int = 0,
     ) -> None:
@@ -67,6 +68,7 @@ class Replica:
             num_gcds=num_gcds,
             distributed_threshold_mb=distributed_threshold_mb,
             linalg_batch_threshold=linalg_batch_threshold,
+            partition=partition,
             fault_injector=fault_injector,
             recovery=recovery,
             tracer=tracer,

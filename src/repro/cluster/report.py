@@ -21,7 +21,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.service.metrics import ENGINE_NAMES, percentile
+from repro.service.metrics import (
+    ENGINE_NAMES,
+    FINGERPRINT_ENGINE_NAMES,
+    percentile,
+)
 from repro.service.request import QueryOutcome
 
 __all__ = ["ClusterReport"]
@@ -96,9 +100,17 @@ class ClusterReport:
             "p50_ms": percentile(lat, 50),
             "p95_ms": percentile(lat, 95),
             "p99_ms": percentile(lat, 99),
+            # The frozen engine tuple is zero-filled (fingerprint key
+            # set must not drift); later engines appear once they serve.
             **{
                 f"dispatches_{engine}": engine_totals.get(engine, 0)
+                for engine in FINGERPRINT_ENGINE_NAMES
+            },
+            **{
+                f"dispatches_{engine}": engine_totals[engine]
                 for engine in ENGINE_NAMES
+                if engine not in FINGERPRINT_ENGINE_NAMES
+                and engine in engine_totals
             },
             "makespan_ms": makespan,
             "cluster_gteps": (

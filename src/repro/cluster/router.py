@@ -75,6 +75,7 @@ class ClusterRouter:
         num_gcds: int = 4,
         distributed_threshold_mb: float | None = None,
         linalg_batch_threshold: int | None = None,
+        partition: str = "1d",
         builder=None,
         fault_plan: FaultPlan | None = None,
         recovery=None,
@@ -129,6 +130,7 @@ class ClusterRouter:
                 num_gcds=num_gcds,
                 distributed_threshold_mb=distributed_threshold_mb,
                 linalg_batch_threshold=linalg_batch_threshold,
+                partition=partition,
                 scale_factor=scale_factor,
                 seed=seed,
             )

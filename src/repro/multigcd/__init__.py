@@ -8,6 +8,12 @@ from repro.multigcd.distributed_bfs import (
     DistributedResult,
     MultiGcdBFS,
 )
+from repro.multigcd.exchange import (
+    FORMAT_BITMAP,
+    FORMAT_SPARSE,
+    EncodedFrontier,
+    ExchangeCodec,
+)
 from repro.multigcd.grid2d import Grid2dBFS, Grid2dResult
 from repro.multigcd.topology import FRONTIER_NODE_GCDS, TwoTierInterconnect
 from repro.multigcd.partition import (
@@ -23,6 +29,10 @@ __all__ = [
     "TwoTierInterconnect",
     "FRONTIER_NODE_GCDS",
     "MultiGcdBFS",
+    "ExchangeCodec",
+    "EncodedFrontier",
+    "FORMAT_SPARSE",
+    "FORMAT_BITMAP",
     "Grid2dBFS",
     "Grid2dResult",
     "DistributedResult",

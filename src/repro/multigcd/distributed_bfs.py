@@ -18,6 +18,22 @@ exchange instead of a frontier-proportional one), then scans its own
 unvisited vertices' incoming edges against the replicated bitmap —
 discoveries are locally owned by construction, so no second exchange
 is needed.
+
+Two scalability levers are opt-in (both default off, keeping the
+naive exchange bit-for-bit as committed):
+
+* ``codec`` — an :class:`~repro.multigcd.exchange.ExchangeCodec` that
+  compresses every peer-to-peer message, choosing per message between
+  the sparse id-list and a bitmap over the receiver's owned range.
+  Discoveries that cross the wire are round-tripped through the codec
+  (``decode(encode(...))``), so a codec can change modelled bytes and
+  exchange time but never the level array.
+* ``overlap`` — charge each top-down level's exchange and its local
+  expand to overlapping virtual-time intervals (``max`` instead of
+  sum), the comm/compute pipelining of Pan/Pearce/Owens. Bottom-up
+  levels stay sequential: the allgather is a data dependency of the
+  scan. Overlap changes *accounting only* — the kernel launch stream
+  is identical either way.
 """
 
 from __future__ import annotations
@@ -34,6 +50,7 @@ from repro.gcd.memory import rand_read, rand_write, segmented_read, seq_read, se
 from repro.gcd.simulator import GCD
 from repro.graph.csr import CSRGraph
 from repro.multigcd.comm import INFINITY_FABRIC, InterconnectModel
+from repro.multigcd.exchange import ExchangeCodec
 from repro.multigcd.partition import Partition1D, partition_by_edges
 from repro.telemetry.tracer import NULL_TRACER, Tracer
 from repro.xbfs.common import UNVISITED, gather_neighbors, segment_lines_touched
@@ -58,6 +75,14 @@ class DistributedResult:
     traversed_edges: int
     num_gcds: int
     per_level_comm_bytes: list[int] = field(default_factory=list)
+    #: What the uncompressed id-list exchange would have shipped
+    #: (equals ``bytes_exchanged`` when no codec is attached).
+    bytes_raw: int = 0
+    per_level_raw_bytes: list[int] = field(default_factory=list)
+    #: Wire messages per format for this run (empty without a codec).
+    exchange_formats: dict[str, int] = field(default_factory=dict)
+    #: Virtual time hidden by comm/compute overlap (0 without overlap).
+    overlap_saved_ms: float = 0.0
 
     @property
     def gteps(self) -> float:
@@ -68,6 +93,13 @@ class DistributedResult:
     @property
     def comm_fraction(self) -> float:
         return self.comm_ms / self.elapsed_ms if self.elapsed_ms > 0 else 0.0
+
+    @property
+    def compression_ratio(self) -> float:
+        """Raw over wire exchange bytes (1.0 when nothing shipped)."""
+        if self.bytes_exchanged <= 0:
+            return 1.0
+        return self.bytes_raw / self.bytes_exchanged
 
 
 @dataclass
@@ -102,6 +134,14 @@ class DistributedBatchResult:
         return sum(r.bytes_exchanged for r in self.runs)
 
     @property
+    def bytes_raw(self) -> int:
+        return sum(r.bytes_raw for r in self.runs)
+
+    @property
+    def overlap_saved_ms(self) -> float:
+        return sum(r.overlap_saved_ms for r in self.runs)
+
+    @property
     def traversed_edges(self) -> int:
         return sum(r.traversed_edges for r in self.runs)
 
@@ -130,6 +170,8 @@ class MultiGcdBFS:
         straggler_slowdown: dict[int, float] | None = None,
         tracer: Tracer | None = None,
         injector=None,
+        codec: ExchangeCodec | None = None,
+        overlap: bool = False,
     ) -> None:
         if num_gcds < 1:
             raise PartitionError(f"num_gcds must be >= 1, got {num_gcds}")
@@ -171,6 +213,14 @@ class MultiGcdBFS:
         self.tracer = tracer if tracer is not None else NULL_TRACER
         if injector is not None and self.tracer.enabled:
             injector.bind_tracer(self.tracer)
+        #: Optional :class:`~repro.multigcd.exchange.ExchangeCodec`;
+        #: when attached every peer-to-peer frontier message is encoded
+        #: (and discoveries round-tripped through ``decode``) so the
+        #: cost model charges wire bytes instead of raw id-list bytes.
+        self.codec = codec
+        #: Overlap each top-down level's exchange with its local expand
+        #: (virtual-time accounting only — launch order is unchanged).
+        self.overlap = overlap
         self._gcds: list[GCD] | None = None
 
     def _exchange_scale(self, level: int) -> float:
@@ -197,12 +247,16 @@ class MultiGcdBFS:
         """One distributed bottom-up level.
 
         Phase 1: allgather the frontier bitmap — every GCD ships its
-        owned slice (|owned|/8 bytes) to every peer. Phase 2: each GCD
-        scans its owned unvisited vertices' incoming edges against the
-        replicated bitmap with early termination; discoveries are owned
-        locally, so there is no discovery exchange.
+        owned slice (|owned|/8 bytes) to every peer; with a codec
+        attached each slice message is encoded instead (sparse on
+        near-empty slices), and the replicated bitmap is rebuilt from
+        the *decoded* messages. Phase 2: each GCD scans its owned
+        unvisited vertices' incoming edges against the replicated
+        bitmap with early termination; discoveries are owned locally,
+        so there is no discovery exchange.
 
-        Returns (kernel_ms, comm_ms, comm_bytes, claimed_vertices).
+        Returns (kernel_ms, comm_ms, comm_bytes, raw_bytes,
+        claimed_vertices).
         """
         from repro.xbfs.common import (
             first_match_per_segment,
@@ -219,17 +273,39 @@ class MultiGcdBFS:
 
         # Phase 1: bitmap allgather.
         bytes_matrix = np.zeros((p, p), dtype=np.int64)
-        for g in range(p):
-            lo, hi = part.owned_range(g)
-            slice_bytes = -(-(hi - lo) // 8)
-            bytes_matrix[g, :] = slice_bytes
-            np.fill_diagonal(bytes_matrix, 0)
+        in_frontier = np.zeros(graph.num_vertices, dtype=bool)
+        raw_bytes = 0
+        if self.codec is None:
+            for g in range(p):
+                lo, hi = part.owned_range(g)
+                slice_bytes = -(-(hi - lo) // 8)
+                bytes_matrix[g, :] = slice_bytes
+                np.fill_diagonal(bytes_matrix, 0)
+            in_frontier[frontier] = True
+            raw_bytes = int(bytes_matrix.sum())
+        else:
+            frontier_owner = part.owner_of(frontier)
+            for g in range(p):
+                lo, hi = part.owned_range(g)
+                mine = np.sort(frontier[frontier_owner == g])
+                if p == 1:
+                    in_frontier[mine] = True
+                    continue
+                # The allgather ships the same encoded slice to every
+                # peer; one round-trip feeds the replicated bitmap.
+                decoded: np.ndarray | None = None
+                for d in range(p):
+                    if d == g:
+                        continue
+                    msg = self.codec.encode(mine, lo, hi)
+                    bytes_matrix[g, d] = msg.wire_bytes
+                    raw_bytes += msg.raw_bytes
+                    if decoded is None:
+                        decoded = self.codec.decode(msg)
+                in_frontier[decoded] = True
         comm_ms = self.interconnect.alltoall_ms(bytes_matrix)
         comm_ms *= self._exchange_scale(level)
         comm_bytes = int(bytes_matrix.sum())
-
-        in_frontier = np.zeros(graph.num_vertices, dtype=bool)
-        in_frontier[frontier] = True
 
         # Phase 2: local bottom-up expands.
         kernel_ms = 0.0
@@ -284,7 +360,7 @@ class MultiGcdBFS:
         claim = (
             np.concatenate(claimed) if claimed else np.zeros(0, dtype=np.int64)
         )
-        return kernel_ms, comm_ms, comm_bytes, np.sort(claim)
+        return kernel_ms, comm_ms, comm_bytes, raw_bytes, np.sort(claim)
 
     # ------------------------------------------------------------------
     def run(self, source: int) -> DistributedResult:
@@ -344,7 +420,13 @@ class MultiGcdBFS:
         comm_total = 0.0
         compute_total = 0.0
         bytes_total = 0
+        raw_total = 0
+        overlap_saved = 0.0
         per_level_bytes: list[int] = []
+        per_level_raw: list[int] = []
+        formats_before = (
+            self.codec.counters() if self.codec is not None else None
+        )
         line = self.device.cache_line_bytes
         wf = self.device.wavefront_size
 
@@ -355,14 +437,22 @@ class MultiGcdBFS:
                 self.direction_alpha is not None
                 and ratio > self.direction_alpha
             ):
-                bu_ms, bu_comm_ms, bu_bytes, claim = self._bottom_up_level(
-                    gcds, levels, frontier, level
+                bu_ms, bu_comm_ms, bu_bytes, bu_raw, claim = (
+                    self._bottom_up_level(gcds, levels, frontier, level)
                 )
                 per_level_bytes.append(bu_bytes)
+                per_level_raw.append(bu_raw)
                 bytes_total += bu_bytes
+                raw_total += bu_raw
                 comm_total += bu_comm_ms
                 compute_total += bu_ms
+                # Bottom-up stays sequential even under ``overlap``:
+                # the scan consumes the allgathered bitmap, so the
+                # exchange cannot hide behind it.
                 elapsed += bu_ms + bu_comm_ms
+                extra = (
+                    {"comm_raw_bytes": bu_raw} if self.codec is not None else {}
+                )
                 tracer.complete(
                     "dist.level",
                     duration_ms=bu_ms + bu_comm_ms,
@@ -373,6 +463,7 @@ class MultiGcdBFS:
                     comm_ms=bu_comm_ms,
                     comm_bytes=bu_bytes,
                     frontier=int(frontier.size),
+                    **extra,
                 )
                 levels[claim] = level + 1
                 frontier = claim
@@ -380,6 +471,7 @@ class MultiGcdBFS:
                 continue
             owners = part.owner_of(frontier)
             level_kernel_ms = 0.0
+            level_raw = 0
             bytes_matrix = np.zeros((p, p), dtype=np.int64)
             discoveries: list[np.ndarray] = []
             for g in range(p):
@@ -418,9 +510,29 @@ class MultiGcdBFS:
                     )
                     gcds[g].sync()
                     dest = part.owner_of(fresh)
-                    counts = np.bincount(dest, minlength=p)
-                    bytes_matrix[g, :] = counts * _ID_BYTES
-                    discoveries.append(fresh)
+                    if self.codec is None:
+                        counts = np.bincount(dest, minlength=p)
+                        bytes_matrix[g, :] = counts * _ID_BYTES
+                        discoveries.append(fresh)
+                    else:
+                        # Encode one message per remote owner; locally
+                        # owned discoveries never touch the wire.
+                        # Remote discoveries feed the claim through a
+                        # decode round-trip, so the codec provably
+                        # cannot change the answer.
+                        for d in range(p):
+                            mine = fresh[dest == d]
+                            if d == g:
+                                if mine.size:
+                                    discoveries.append(mine)
+                                continue
+                            if not mine.size:
+                                continue
+                            d_lo, d_hi = part.owned_range(d)
+                            msg = self.codec.encode(mine, d_lo, d_hi)
+                            bytes_matrix[g, d] = msg.wire_bytes
+                            level_raw += msg.raw_bytes
+                            discoveries.append(self.codec.decode(msg))
                 factor = self.straggler_slowdown.get(g, 1.0)
                 level_kernel_ms = max(
                     level_kernel_ms, (gcds[g].elapsed_ms - before) * factor
@@ -429,11 +541,24 @@ class MultiGcdBFS:
             comm_ms = self.interconnect.alltoall_ms(bytes_matrix)
             comm_ms *= self._exchange_scale(level)
             level_bytes = int(bytes_matrix.sum() - np.trace(bytes_matrix))
+            if self.codec is None:
+                level_raw = level_bytes
             per_level_bytes.append(level_bytes)
+            per_level_raw.append(level_raw)
             bytes_total += level_bytes
+            raw_total += level_raw
             comm_total += comm_ms
             compute_total += level_kernel_ms
-            elapsed += level_kernel_ms + comm_ms
+            if self.overlap:
+                # Pipelined exchange: sub-frontier buckets ship while
+                # the remaining expand work runs, so the level's
+                # expand+exchange interval is the longer of the two.
+                saved_ms = min(level_kernel_ms, comm_ms)
+                overlap_saved += saved_ms
+                elapsed += max(level_kernel_ms, comm_ms)
+            else:
+                saved_ms = 0.0
+                elapsed += level_kernel_ms + comm_ms
 
             if discoveries:
                 incoming = np.unique(np.concatenate(discoveries))
@@ -467,9 +592,19 @@ class MultiGcdBFS:
                     )
                 compute_total += update_ms
                 elapsed += update_ms
+            extra = {}
+            if self.codec is not None:
+                extra["comm_raw_bytes"] = level_raw
+            if self.overlap:
+                extra["overlap_saved_ms"] = saved_ms
+            duration_ms = (
+                max(level_kernel_ms, comm_ms) + update_ms
+                if self.overlap
+                else level_kernel_ms + comm_ms + update_ms
+            )
             tracer.complete(
                 "dist.level",
-                duration_ms=level_kernel_ms + comm_ms + update_ms,
+                duration_ms=duration_ms,
                 level=level,
                 strategy="multigcd",
                 direction="top_down",
@@ -477,11 +612,19 @@ class MultiGcdBFS:
                 comm_ms=comm_ms,
                 comm_bytes=level_bytes,
                 frontier=int(frontier.size),
+                **extra,
             )
             levels[claim] = level + 1
             frontier = claim
             level += 1
 
+        formats: dict[str, int] = {}
+        if formats_before is not None:
+            after = self.codec.counters()
+            formats = {
+                fmt: after[f"messages_{fmt}"] - formats_before[f"messages_{fmt}"]
+                for fmt in ("sparse", "bitmap")
+            }
         reached = levels >= 0
         return DistributedResult(
             source=source,
@@ -493,4 +636,8 @@ class MultiGcdBFS:
             traversed_edges=int(graph.degrees[reached].sum()),
             num_gcds=p,
             per_level_comm_bytes=per_level_bytes,
+            bytes_raw=raw_total,
+            per_level_raw_bytes=per_level_raw,
+            exchange_formats=formats,
+            overlap_saved_ms=overlap_saved,
         )

@@ -1,0 +1,221 @@
+"""Compressed frontier-exchange codec for the multi-GCD pod.
+
+The naive distributed exchange ships every remote discovery as an
+uncompressed vertex id — 4 bytes per vertex, however dense the level.
+GPU-cluster BFS codes (Pan/Pearce/Owens "Scalable BFS on a GPU
+Cluster"; Bisson et al.'s Kepler-cluster work) compress the exchange
+instead: once a peer's share of the frontier is dense, a bitmap over
+that peer's owned vertex range is far smaller than the id list, and on
+sparse levels the id list wins back. This module is that decision,
+factored out of the engines:
+
+* :class:`EncodedFrontier` — one peer-to-peer message: the chosen wire
+  format, the payload, and both the wire and the raw (uncompressed
+  id-list) byte counts.
+* :class:`ExchangeCodec` — picks per message between the ``sparse``
+  id-list and the ``bitmap`` format using the
+  :class:`~repro.multigcd.comm.InterconnectModel` α–β cost model, and
+  accumulates exchange counters (messages per format, wire vs raw
+  bytes) that flow into :mod:`repro.telemetry` via
+  :meth:`ExchangeCodec.counters`.
+
+The bitmap format reuses the bit-packing helpers the linear-algebra
+engines standardised in :mod:`repro.xbfs.bitmap` — one
+``pack_rows``/``unpack_rows`` pair per message, 64 vertices to a word,
+byte-granular on the wire. Both formats round-trip exactly
+(``decode(encode(v)) == v``), so a codec can never change a level
+array — only the modelled bytes and the modelled exchange time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import PartitionError
+from repro.multigcd.comm import INFINITY_FABRIC, InterconnectModel
+from repro.xbfs.bitmap import pack_rows, unpack_rows
+
+__all__ = [
+    "FORMAT_SPARSE",
+    "FORMAT_BITMAP",
+    "WIRE_FORMATS",
+    "ID_BYTES",
+    "sparse_bytes",
+    "bitmap_bytes",
+    "EncodedFrontier",
+    "ExchangeCodec",
+]
+
+#: Wire format shipping one vertex id per discovery (the naive format).
+FORMAT_SPARSE = "sparse"
+#: Wire format shipping one bit per vertex of the peer's owned range.
+FORMAT_BITMAP = "bitmap"
+#: Every format a codec may put on the wire.
+WIRE_FORMATS = (FORMAT_SPARSE, FORMAT_BITMAP)
+
+#: Bytes per vertex id in the sparse wire format.
+ID_BYTES = 4
+
+
+def sparse_bytes(count: int) -> int:
+    """Wire bytes of a ``count``-vertex sparse id-list message."""
+    return int(count) * ID_BYTES
+
+
+def bitmap_bytes(span: int) -> int:
+    """Wire bytes of a bitmap over a ``span``-vertex owned range
+    (byte-granular: the 64-bit pack words are trimmed on the wire)."""
+    return -(-int(span) // 8)
+
+
+@dataclass(frozen=True)
+class EncodedFrontier:
+    """One encoded peer-to-peer frontier message.
+
+    ``payload`` is the wire representation: an int64 id array for
+    ``sparse``, a ``(1, words)`` uint64 pack for ``bitmap``. ``lo``/
+    ``hi`` delimit the receiving peer's owned vertex range — the
+    bitmap's address space. ``raw_bytes`` is what the naive
+    uncompressed id-list would have shipped for the same message.
+    """
+
+    fmt: str
+    lo: int
+    hi: int
+    count: int
+    payload: np.ndarray
+    wire_bytes: int
+    raw_bytes: int
+
+    @property
+    def span(self) -> int:
+        return self.hi - self.lo
+
+
+class ExchangeCodec:
+    """Per-message wire-format selection plus exchange accounting.
+
+    ``mode`` pins the decision: ``"auto"`` (default) picks the format
+    with the lower modelled transfer time under ``interconnect``;
+    ``"sparse"`` / ``"bitmap"`` force one format — the differential
+    tests replay the same traversal under all three and demand
+    bit-identical levels. The codec is shared by every peer pair of a
+    pod, so its counters are the pod's whole exchange story.
+    """
+
+    def __init__(
+        self,
+        interconnect: InterconnectModel = INFINITY_FABRIC,
+        *,
+        mode: str = "auto",
+    ) -> None:
+        if mode != "auto" and mode not in WIRE_FORMATS:
+            raise PartitionError(
+                f"exchange mode must be 'auto' or one of {WIRE_FORMATS}, "
+                f"got {mode!r}"
+            )
+        self.interconnect = interconnect
+        self.mode = mode
+        self._messages = {fmt: 0 for fmt in WIRE_FORMATS}
+        self._bytes_wire = 0
+        self._bytes_raw = 0
+
+    # ------------------------------------------------------------------
+    def message_ms(self, count: int, span: int, fmt: str) -> float:
+        """α–β time of one message in ``fmt``: payload over link
+        bandwidth plus one per-message latency."""
+        if fmt == FORMAT_SPARSE:
+            size = sparse_bytes(count)
+        elif fmt == FORMAT_BITMAP:
+            size = bitmap_bytes(span)
+        else:
+            raise PartitionError(f"unknown wire format {fmt!r}")
+        model = self.interconnect
+        return size / model.bandwidth * 1e3 + model.latency_us * 1e-3
+
+    def choose_format(self, count: int, span: int) -> str:
+        """The cheaper wire format under the interconnect cost model
+        (``mode`` pins it). Both formats pay one message latency, so
+        the decision reduces to payload bytes; ties keep the sparse
+        id-list (the raw format — nothing to undo at the receiver)."""
+        if self.mode != "auto":
+            return self.mode
+        if self.message_ms(count, span, FORMAT_BITMAP) < self.message_ms(
+            count, span, FORMAT_SPARSE
+        ):
+            return FORMAT_BITMAP
+        return FORMAT_SPARSE
+
+    def wire_bytes(self, count: int, span: int) -> int:
+        """Wire bytes the codec would ship for one message (no
+        counters touched — sizing-only callers use this)."""
+        fmt = self.choose_format(count, span)
+        return sparse_bytes(count) if fmt == FORMAT_SPARSE else bitmap_bytes(span)
+
+    # ------------------------------------------------------------------
+    def encode(self, vertices: np.ndarray, lo: int, hi: int) -> EncodedFrontier:
+        """Encode the frontier vertices owned by one peer.
+
+        ``vertices`` must lie in ``[lo, hi)`` and be duplicate-free
+        (the engines hand over per-owner buckets, which are). The
+        counters are advanced here — one call is one wire message.
+        """
+        vertices = np.asarray(vertices, dtype=np.int64).ravel()
+        if lo < 0 or hi < lo:
+            raise PartitionError(f"bad owned range [{lo}, {hi})")
+        if vertices.size and (
+            vertices.min() < lo or vertices.max() >= hi
+        ):
+            raise PartitionError(
+                f"frontier vertex outside the owned range [{lo}, {hi})"
+            )
+        count = int(vertices.size)
+        span = hi - lo
+        fmt = self.choose_format(count, span)
+        if fmt == FORMAT_BITMAP:
+            bools = np.zeros((1, max(span, 1)), dtype=bool)
+            bools[0, vertices - lo] = True
+            payload = pack_rows(bools)
+            wire = bitmap_bytes(span)
+        else:
+            payload = np.sort(vertices)
+            wire = sparse_bytes(count)
+        raw = sparse_bytes(count)
+        self._messages[fmt] += 1
+        self._bytes_wire += wire
+        self._bytes_raw += raw
+        return EncodedFrontier(
+            fmt=fmt, lo=int(lo), hi=int(hi), count=count,
+            payload=payload, wire_bytes=wire, raw_bytes=raw,
+        )
+
+    def decode(self, message: EncodedFrontier) -> np.ndarray:
+        """Recover the sorted vertex ids of one message (exact
+        round-trip of :meth:`encode`)."""
+        if message.fmt == FORMAT_BITMAP:
+            span = max(message.span, 1)
+            bits = unpack_rows(message.payload, span)[0]
+            return np.flatnonzero(bits).astype(np.int64) + message.lo
+        return np.asarray(message.payload, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    def counters(self) -> dict:
+        """Flat counter dict for
+        :meth:`repro.telemetry.counters.CounterRegistry.attach`."""
+        return {
+            "messages": sum(self._messages.values()),
+            "messages_sparse": self._messages[FORMAT_SPARSE],
+            "messages_bitmap": self._messages[FORMAT_BITMAP],
+            "bytes_wire": self._bytes_wire,
+            "bytes_raw": self._bytes_raw,
+            "bytes_saved": self._bytes_raw - self._bytes_wire,
+        }
+
+    def reset(self) -> None:
+        """Zero the counters (engines reset per run)."""
+        for fmt in self._messages:
+            self._messages[fmt] = 0
+        self._bytes_wire = 0
+        self._bytes_raw = 0

@@ -17,7 +17,17 @@ than all P peers — the classic volume argument (O(|V|/√P) words per
 GCD per level instead of O(|V|)).
 
 Functionally the engine is exact (validated against the oracle); the
-cost model charges each phase on its sub-communicator.
+cost model charges each phase on its sub-communicator. As of the
+exchange-plane work the engine is a full routing citizen: it takes the
+:class:`~repro.multigcd.exchange.ExchangeCodec` (per-block-message
+bitmap/sparse selection, with frontier and discovery sets round-tripped
+through ``decode`` so the codec provably cannot change the answer),
+comm/compute ``overlap`` (the reduce-scatter of early discovery bits
+hides behind the remaining tile expansion; the allgather stays
+sequential — tiles consume it), a :class:`~repro.telemetry.tracer`
+(pre-finished ``dist.level`` spans, ``strategy="grid2d"``), the
+``multigcd.exchange`` fault site on both collective phases, and a
+``run_batch`` entry point for the serving dispatcher.
 """
 
 from __future__ import annotations
@@ -30,18 +40,30 @@ import numpy as np
 from repro.errors import PartitionError, TraversalError
 from repro.gcd.device import DeviceProfile, MI250X_GCD
 from repro.gcd.kernel import ComputeWork, ExecConfig
-from repro.gcd.memory import rand_read, rand_write, segmented_read, seq_read, seq_write
+from repro.gcd.memory import rand_read, rand_write, segmented_read, seq_read
 from repro.gcd.simulator import GCD
 from repro.graph.csr import CSRGraph
 from repro.multigcd.comm import INFINITY_FABRIC, InterconnectModel
+from repro.multigcd.distributed_bfs import DistributedBatchResult
+from repro.multigcd.exchange import ExchangeCodec
+from repro.telemetry.tracer import NULL_TRACER, Tracer
 from repro.xbfs.common import gather_neighbors, segment_lines_touched
+from repro.xbfs.concurrent import validate_batch_sources
 
 __all__ = ["Grid2dBFS", "Grid2dResult"]
 
 
 @dataclass
 class Grid2dResult:
-    """Outcome of one 2D-partitioned BFS run."""
+    """Outcome of one 2D-partitioned BFS run.
+
+    Exposes the same surface the serving layer reads off
+    :class:`~repro.multigcd.distributed_bfs.DistributedResult`
+    (``bytes_exchanged``, ``traversed_edges``, ``comm_fraction``,
+    ``gteps``…), so routed dispatches and
+    :class:`~repro.multigcd.distributed_bfs.DistributedBatchResult`
+    treat the two engines interchangeably.
+    """
 
     source: int
     levels: np.ndarray
@@ -54,20 +76,42 @@ class Grid2dResult:
     reduce_bytes: int
     grid: tuple[int, int]
     per_level_comm_bytes: list[int] = field(default_factory=list)
+    #: What the uncompressed id-list exchange would have shipped
+    #: (equals ``bytes_exchanged`` when no codec is attached).
+    bytes_raw: int = 0
+    per_level_raw_bytes: list[int] = field(default_factory=list)
+    #: Wire messages per format for this run (empty without a codec).
+    exchange_formats: dict[str, int] = field(default_factory=dict)
+    #: Virtual time hidden by comm/compute overlap (0 without overlap).
+    overlap_saved_ms: float = 0.0
+
+    _traversed: int = 0
 
     @property
     def gteps(self) -> float:
         if self.elapsed_ms <= 0:
             return 0.0
-        reached = self.levels >= 0
-        # traversed edges are attached by the engine via _traversed.
         return self._traversed / (self.elapsed_ms * 1e-3) / 1e9
-
-    _traversed: int = 0
 
     @property
     def comm_fraction(self) -> float:
         return self.comm_ms / self.elapsed_ms if self.elapsed_ms > 0 else 0.0
+
+    @property
+    def bytes_exchanged(self) -> int:
+        """Total wire bytes (both collective phases)."""
+        return self.allgather_bytes + self.reduce_bytes
+
+    @property
+    def traversed_edges(self) -> int:
+        return self._traversed
+
+    @property
+    def compression_ratio(self) -> float:
+        """Raw over wire exchange bytes (1.0 when nothing shipped)."""
+        if self.bytes_exchanged <= 0:
+            return 1.0
+        return self.bytes_raw / self.bytes_exchanged
 
 
 def _square_grid(p: int) -> tuple[int, int]:
@@ -95,6 +139,10 @@ class Grid2dBFS:
         device: DeviceProfile = MI250X_GCD,
         config: ExecConfig | None = None,
         interconnect: InterconnectModel = INFINITY_FABRIC,
+        tracer: Tracer | None = None,
+        injector=None,
+        codec: ExchangeCodec | None = None,
+        overlap: bool = False,
     ) -> None:
         if num_gcds < 1:
             raise PartitionError(f"num_gcds must be >= 1, got {num_gcds}")
@@ -108,6 +156,22 @@ class Grid2dBFS:
         #: Vertex block boundaries along each grid dimension.
         self.row_bounds = np.linspace(0, n, self.rows + 1).astype(np.int64)
         self.col_bounds = np.linspace(0, n, self.cols + 1).astype(np.int64)
+        #: Optional :class:`~repro.faults.injector.FaultInjector`;
+        #: member GCDs share it, and the ``multigcd.exchange`` site
+        #: covers both collective phases (detail
+        #: ``level<k>.allgather`` / ``level<k>.reduce_scatter``).
+        self.injector = injector
+        #: Optional tracer; levels are pre-finished ``dist.level``
+        #: spans carrying the kernel/comm split, tagged
+        #: ``strategy="grid2d"``.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        if injector is not None and self.tracer.enabled:
+            injector.bind_tracer(self.tracer)
+        #: Optional exchange codec shared by every block message.
+        self.codec = codec
+        #: Overlap the row reduce-scatter with tile expansion
+        #: (accounting only — launch order is unchanged).
+        self.overlap = overlap
         self._gcds: list[GCD] | None = None
 
     # ------------------------------------------------------------------
@@ -119,17 +183,94 @@ class Grid2dBFS:
         np.fill_diagonal(m, 0.0)
         return self.interconnect.alltoall_ms(m)
 
+    def _exchange_scale(self, level: int, phase: str) -> float:
+        """Latency multiplier for one collective (1.0 without faults)."""
+        if self.injector is None:
+            return 1.0
+        return self.injector.visit("multigcd.exchange", f"level{level}.{phase}")
+
+    def _block_exchange(
+        self, vertices: np.ndarray, bounds: np.ndarray, fan: int
+    ) -> tuple[np.ndarray, int, int, float]:
+        """Run one codec-compressed block collective.
+
+        Splits ``vertices`` into the blocks delimited by ``bounds``,
+        encodes each block's message, ships ``fan`` copies of it (the
+        sub-communicator's peer-pair count), and rebuilds the vertex
+        set from the *decoded* messages. Returns
+        ``(vertices_roundtripped, wire_bytes, raw_bytes, slowest_ms)``
+        where ``slowest_ms`` is the busiest block's modelled message
+        size (the concurrent sub-communicators run in parallel).
+        """
+        codec = self.codec
+        pieces: list[np.ndarray] = []
+        wire = raw = 0
+        worst = 0
+        for b in range(len(bounds) - 1):
+            lo, hi = int(bounds[b]), int(bounds[b + 1])
+            mine = vertices[(vertices >= lo) & (vertices < hi)]
+            if fan == 0:
+                pieces.append(mine)
+                continue
+            decoded: np.ndarray | None = None
+            per_msg = 0
+            for _ in range(fan):
+                msg = codec.encode(mine, lo, hi)
+                per_msg = msg.wire_bytes
+                wire += msg.wire_bytes
+                raw += msg.raw_bytes
+                if decoded is None:
+                    decoded = codec.decode(msg)
+            worst = max(worst, per_msg)
+            pieces.append(decoded)
+        joined = (
+            np.concatenate(pieces) if pieces else np.zeros(0, dtype=np.int64)
+        )
+        return joined.astype(np.int64), wire, raw, float(worst)
+
+    # ------------------------------------------------------------------
     def run(self, source: int) -> Grid2dResult:
         graph = self.graph
         n = graph.num_vertices
         if not 0 <= source < n:
             raise TraversalError(f"source {source} out of range")
         if self._gcds is None:
-            self._gcds = [GCD(self.device, self.config) for _ in range(self.num_gcds)]
+            self._gcds = [
+                GCD(self.device, self.config, injector=self.injector)
+                for _ in range(self.num_gcds)
+            ]
         else:
             for g in self._gcds:
                 g.reset(keep_warm=True)
         gcds = self._gcds
+        with self.tracer.span(
+            "bfs.run", engine="grid2d", source=source, gcds=self.num_gcds
+        ):
+            return self._traverse(gcds, source)
+
+    def run_batch(self, sources: np.ndarray) -> DistributedBatchResult:
+        """Serve a batch of sources back to back on this grid.
+
+        Mirrors :meth:`MultiGcdBFS.run_batch
+        <repro.multigcd.distributed_bfs.MultiGcdBFS.run_batch>`: each
+        source is a full bulk-synchronous traversal, batch cost is the
+        sum of member runs, validation raises the typed
+        :class:`~repro.errors.BatchSourceError`, and an injected fault
+        fails the whole batch for the dispatch-retry ladder to replay.
+        """
+        sources = np.asarray(sources, dtype=np.int64).ravel()
+        validate_batch_sources(
+            sources, self.graph.num_vertices, max_batch=None, engine="grid2d"
+        )
+        runs = [self.run(int(s)) for s in sources]
+        return DistributedBatchResult(
+            sources=sources, runs=runs, num_gcds=self.num_gcds
+        )
+
+    def _traverse(self, gcds: list[GCD], source: int) -> Grid2dResult:
+        graph = self.graph
+        n = graph.num_vertices
+        tracer = self.tracer
 
         levels = np.full(n, -1, dtype=np.int32)
         levels[source] = 0
@@ -137,15 +278,31 @@ class Grid2dBFS:
         level = 0
         elapsed = comm_total = compute_total = 0.0
         allgather_bytes = reduce_bytes = 0
+        raw_total = 0
+        overlap_saved = 0.0
         per_level: list[int] = []
+        per_level_raw: list[int] = []
+        formats_before = (
+            self.codec.counters() if self.codec is not None else None
+        )
         line = self.device.cache_line_bytes
 
         while frontier.size:
             # Phase 1: column allgather of frontier bits — every tile
             # column shares the frontier slice of its vertex block.
-            slice_bits = -(-n // self.cols) // 8
-            ag_ms = self._subcomm_cost(self.rows, slice_bits)
-            ag_bytes = slice_bits * self.rows * (self.rows - 1) * self.cols
+            ag_fan = self.rows * (self.rows - 1)
+            if self.codec is None:
+                slice_bits = -(-n // self.cols) // 8
+                ag_ms = self._subcomm_cost(self.rows, slice_bits)
+                ag_bytes = slice_bits * ag_fan * self.cols
+                ag_raw = ag_bytes
+            else:
+                slice_bits = -(-n // self.cols) // 8
+                frontier, ag_bytes, ag_raw, worst = self._block_exchange(
+                    frontier, self.col_bounds, ag_fan
+                )
+                ag_ms = self._subcomm_cost(self.rows, worst)
+            ag_ms *= self._exchange_scale(level, "allgather")
             allgather_bytes += ag_bytes
 
             # Phase 2: local tile expansion. Tile (i, j) expands the
@@ -203,21 +360,68 @@ class Grid2dBFS:
                     tile_ms = max(tile_ms, gcds[g].elapsed_ms - before)
 
             # Phase 3: row reduce-scatter of discovery bits to owners.
-            row_bits = -(-n // self.rows) // 8
-            rs_ms = self._subcomm_cost(self.cols, row_bits)
-            rs_bytes = row_bits * self.cols * (self.cols - 1) * self.rows
+            rs_fan = self.cols * (self.cols - 1)
+            if self.codec is None:
+                row_bits = -(-n // self.rows) // 8
+                rs_ms = self._subcomm_cost(self.cols, row_bits)
+                rs_bytes = row_bits * rs_fan * self.rows
+                rs_raw = rs_bytes
+            else:
+                discovered, rs_bytes, rs_raw, worst = self._block_exchange(
+                    discovered, self.row_bounds, rs_fan
+                )
+                rs_ms = self._subcomm_cost(self.cols, worst)
+            rs_ms *= self._exchange_scale(level, "reduce_scatter")
             reduce_bytes += rs_bytes
 
             comm_ms = ag_ms + rs_ms
             comm_total += comm_ms
             compute_total += tile_ms
-            elapsed += comm_ms + tile_ms
+            if self.overlap:
+                # The allgather gates the tiles, but the reduce-scatter
+                # of early discovery bits hides behind the remaining
+                # tile expansion.
+                saved_ms = min(tile_ms, rs_ms)
+                overlap_saved += saved_ms
+                level_ms = ag_ms + max(tile_ms, rs_ms)
+            else:
+                saved_ms = 0.0
+                level_ms = ag_ms + tile_ms + rs_ms
+            elapsed += level_ms
+            level_raw = ag_raw + rs_raw
             per_level.append(ag_bytes + rs_bytes)
+            per_level_raw.append(level_raw)
+            raw_total += level_raw
+
+            extra = {}
+            if self.codec is not None:
+                extra["comm_raw_bytes"] = level_raw
+            if self.overlap:
+                extra["overlap_saved_ms"] = saved_ms
+            tracer.complete(
+                "dist.level",
+                duration_ms=level_ms,
+                level=level,
+                strategy="grid2d",
+                direction="top_down",
+                kernel_ms=tile_ms,
+                comm_ms=comm_ms,
+                comm_bytes=ag_bytes + rs_bytes,
+                frontier=int(frontier.size),
+                **extra,
+            )
 
             levels[discovered] = level + 1
             frontier = discovered
             level += 1
 
+        formats: dict[str, int] = {}
+        if formats_before is not None:
+            after = self.codec.counters()
+            formats = {
+                fmt: after[f"messages_{fmt}"] - formats_before[f"messages_{fmt}"]
+                for fmt in ("sparse", "bitmap")
+            }
         reached = levels >= 0
         result = Grid2dResult(
             source=source,
@@ -229,6 +433,10 @@ class Grid2dBFS:
             reduce_bytes=reduce_bytes,
             grid=(self.rows, self.cols),
             per_level_comm_bytes=per_level,
+            bytes_raw=raw_total,
+            per_level_raw_bytes=per_level_raw,
+            exchange_formats=formats,
+            overlap_saved_ms=overlap_saved,
         )
         result._traversed = int(graph.degrees[reached].sum())
         return result

@@ -69,12 +69,17 @@ class ExecutionEngine:
         num_gcds: int = 4,
         distributed_threshold_bytes: int | None = None,
         linalg_batch_threshold: int | None = None,
+        partition: str = "1d",
         fault_injector=None,
         recovery: RecoveryPolicy | None = None,
         tracer: Tracer | None = None,
     ) -> None:
         if num_gcds < 1:
             raise ServiceError(f"num_gcds must be >= 1, got {num_gcds}")
+        if partition not in ("1d", "2d"):
+            raise ServiceError(
+                f"partition must be '1d' or '2d', got {partition!r}"
+            )
         if (
             distributed_threshold_bytes is not None
             and distributed_threshold_bytes < 0
@@ -100,6 +105,14 @@ class ExecutionEngine:
         #: tier (and keeps the scheduler's batch cap at
         #: :data:`~repro.xbfs.concurrent.MAX_CONCURRENT`).
         self.linalg_batch_threshold = linalg_batch_threshold
+        #: Decomposition of the distributed tier: ``"1d"`` is the
+        #: edge-balanced row partition (:class:`MultiGcdBFS
+        #: <repro.multigcd.distributed_bfs.MultiGcdBFS>`, naive
+        #: exchange — the committed-fingerprint default), ``"2d"`` the
+        #: checkerboard grid (:class:`~repro.multigcd.grid2d.Grid2dBFS`)
+        #: with the compressed exchange codec and comm/compute overlap
+        #: enabled.
+        self.partition = partition
         self.fault_injector = fault_injector
         self.recovery = recovery or DEFAULT_RECOVERY
         self.tracer = tracer if tracer is not None else NULL_TRACER
@@ -256,7 +269,8 @@ class ExecutionEngine:
             # Graph size dominates: a CSR that outgrows one GCD's
             # residency also outgrows the single-GCD bitmap engine.
             result = self._run_distributed(entry, sources)
-            return result.elapsed_ms, 1.0, result.levels_of, "multigcd"
+            engine = "grid2d" if self.partition == "2d" else "multigcd"
+            return result.elapsed_ms, 1.0, result.levels_of, engine
         if self.routes_linalg(entry, live, sources):
             result = self._run_linalg(entry, sources)
             if result.level_restarts:
@@ -353,12 +367,33 @@ class ExecutionEngine:
     def _run_distributed(self, entry: RegistryEntry, sources: list[int]):
         """Serve one routed dispatch on the multi-GCD pod.
 
-        The engine — and with it the 1D edge-balanced partition — is
-        built once per registry entry and cached in the ``engines``
-        slot, so repeated dispatches pay the partitioning exactly as
-        often as they pay CSR construction: on a cold (or evicted)
-        graph only.
+        The engine — and with it the partition (1D edge-balanced rows
+        or the 2D checkerboard grid) — is built once per registry entry
+        and cached in the ``engines`` slot, so repeated dispatches pay
+        the partitioning exactly as often as they pay CSR construction:
+        on a cold (or evicted) graph only. The 1D path keeps the naive
+        exchange (its routing fingerprint is committed); the 2D path is
+        new surface and ships with the compressed exchange codec and
+        comm/compute overlap on.
         """
+        if self.partition == "2d":
+            from repro.multigcd.exchange import ExchangeCodec
+            from repro.multigcd.grid2d import Grid2dBFS
+
+            engine = entry.engines.get("grid2d")
+            if engine is None or engine.num_gcds != self.num_gcds:
+                engine = Grid2dBFS(
+                    entry.graph,
+                    self.num_gcds,
+                    device=self._device_of(entry),
+                    tracer=self.tracer,
+                    injector=self.fault_injector,
+                    codec=ExchangeCodec(),
+                    overlap=True,
+                )
+                entry.engines["grid2d"] = engine
+            return engine.run_batch(np.asarray(sources, dtype=np.int64))
+
         from repro.multigcd.distributed_bfs import MultiGcdBFS
 
         engine = entry.engines.get("multigcd")

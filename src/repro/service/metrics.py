@@ -20,12 +20,28 @@ from dataclasses import dataclass, field
 from repro.service.request import QueryOutcome
 from repro.telemetry.stats import percentile
 
-__all__ = ["ServiceMetrics", "ENGINE_NAMES", "percentile"]
+__all__ = [
+    "ServiceMetrics",
+    "ENGINE_NAMES",
+    "FINGERPRINT_ENGINE_NAMES",
+    "percentile",
+]
 
 #: Serving engines a dispatch may land on, in reporting order (the
-#: routing tiers: solo → concurrent → linalg-batch → multi-GCD, plus
-#: the circuit breaker's serial fallback).
-ENGINE_NAMES = ("solo", "concurrent", "linalg_batch", "multigcd", "serial")
+#: routing tiers: solo → concurrent → linalg-batch → the 1D or 2D
+#: multi-GCD pod, plus the circuit breaker's serial fallback).
+ENGINE_NAMES = (
+    "solo", "concurrent", "linalg_batch", "multigcd", "grid2d", "serial",
+)
+
+#: Engines zero-filled into every summary since the first routing
+#: fingerprint was recorded. Frozen on purpose: re-recording the
+#: baseline must keep prior entries byte-identical, so engines added
+#: later (``grid2d``) appear in a summary only when they actually
+#: served a dispatch.
+FINGERPRINT_ENGINE_NAMES = (
+    "solo", "concurrent", "linalg_batch", "multigcd", "serial",
+)
 
 
 @dataclass
@@ -215,10 +231,17 @@ class ServiceMetrics:
             "dispatches": len(self.batch_sizes),
             # Per-engine dispatch counts sit at the top level so the
             # routing policy itself is fingerprinted by
-            # tools/check_regression.py.
+            # tools/check_regression.py. Engines outside the frozen
+            # tuple only appear once they have served a dispatch.
             **{
                 f"dispatches_{engine}": self.engine_dispatches.get(engine, 0)
+                for engine in FINGERPRINT_ENGINE_NAMES
+            },
+            **{
+                f"dispatches_{engine}": self.engine_dispatches[engine]
                 for engine in ENGINE_NAMES
+                if engine not in FINGERPRINT_ENGINE_NAMES
+                and engine in self.engine_dispatches
             },
             "mean_batch_size": self.mean_batch_size,
             "mean_sharing_factor": self.mean_sharing_factor,

@@ -69,10 +69,15 @@ class BFSService:
     ``distributed_threshold_mb``/``num_gcds`` set the engine-routing
     policy: dispatches against graphs whose CSR footprint exceeds the
     threshold are served by the multi-GCD distributed engine (a
-    simulated 2/4/8-GCD pod) instead of a single simulated GCD; the 1D
+    simulated 2/4/8-GCD pod) instead of a single simulated GCD; the
     partition is computed once per cached graph and answers stay
     bit-identical to solo XBFS. ``None`` (the default) keeps every
-    dispatch on the single-GCD engines.
+    dispatch on the single-GCD engines. ``partition`` selects the
+    pod's decomposition: ``"1d"`` (default) is the edge-balanced row
+    partition with the naive exchange, ``"2d"`` the checkerboard
+    :class:`~repro.multigcd.grid2d.Grid2dBFS` grid with the compressed
+    frontier-exchange codec and comm/compute overlap enabled
+    (dispatches count under the ``grid2d`` engine).
 
     ``linalg_batch_threshold`` enables the third routing tier: a
     same-graph dispatch of that many distinct sources (or more) runs
@@ -101,6 +106,7 @@ class BFSService:
         num_gcds: int = 4,
         distributed_threshold_mb: float | None = None,
         linalg_batch_threshold: int | None = None,
+        partition: str = "1d",
         registry: GraphRegistry | None = None,
         fault_plan: FaultPlan | None = None,
         fault_injector=None,
@@ -158,6 +164,7 @@ class BFSService:
                 else None
             ),
             linalg_batch_threshold=linalg_batch_threshold,
+            partition=partition,
             track_prefix=track_prefix,
         )
         #: The execution plane (engine routing + fault recovery) the

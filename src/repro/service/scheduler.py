@@ -92,6 +92,7 @@ class CoalescingScheduler:
         num_gcds: int = 4,
         distributed_threshold_bytes: int | None = None,
         linalg_batch_threshold: int | None = None,
+        partition: str = "1d",
         executor: ExecutionEngine | None = None,
         track_prefix: str = "",
     ) -> None:
@@ -131,6 +132,7 @@ class CoalescingScheduler:
             num_gcds=num_gcds,
             distributed_threshold_bytes=distributed_threshold_bytes,
             linalg_batch_threshold=linalg_batch_threshold,
+            partition=partition,
             fault_injector=fault_injector,
             recovery=recovery,
             tracer=self.tracer,
@@ -165,6 +167,10 @@ class CoalescingScheduler:
     @property
     def linalg_batch_threshold(self) -> int | None:
         return self.executor.linalg_batch_threshold
+
+    @property
+    def partition(self) -> str:
+        return self.executor.partition
 
     @property
     def recovery(self):

@@ -1,0 +1,131 @@
+"""Overlap-accounting invariants.
+
+``overlap=True`` charges each top-down level's exchange and expand to
+overlapping virtual-time intervals. That is pure *accounting*: the
+kernel launch stream must be byte-identical with the flag on or off,
+and the books must balance exactly —
+``elapsed + overlap_saved == non_overlapped_elapsed``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import chung_lu_power_law, rmat
+from repro.multigcd import ExchangeCodec, Grid2dBFS, MultiGcdBFS
+from repro.telemetry.tracer import Tracer
+
+GRAPH = rmat(10, 8, seed=42)
+# Vertex 0 of this seed is isolated; 579 reaches most of the graph.
+SOURCE = 579
+
+
+def pair(engine_cls, **kw):
+    """The same machine with overlap accounting off and on."""
+    base = engine_cls(GRAPH, 4, **kw)
+    over = engine_cls(GRAPH, 4, overlap=True, **kw)
+    return base.run(SOURCE), over.run(SOURCE)
+
+
+class TestBooksBalance:
+    @pytest.mark.parametrize("engine_cls", [MultiGcdBFS, Grid2dBFS])
+    @pytest.mark.parametrize(
+        "kw", [{}, {"codec": ExchangeCodec()}], ids=["naive", "codec"]
+    )
+    def test_elapsed_plus_saved_is_baseline(self, engine_cls, kw):
+        base, over = pair(engine_cls, **kw)
+        assert over.overlap_saved_ms > 0
+        assert over.elapsed_ms < base.elapsed_ms
+        assert over.elapsed_ms + over.overlap_saved_ms == pytest.approx(
+            base.elapsed_ms, rel=1e-12
+        )
+        # Overlap hides latency; it never touches either cost pool.
+        assert over.comm_ms == base.comm_ms
+        assert over.compute_ms == base.compute_ms
+        assert np.array_equal(over.levels, base.levels)
+
+    @pytest.mark.parametrize("engine_cls", [MultiGcdBFS, Grid2dBFS])
+    def test_elapsed_bounds(self, engine_cls):
+        _, over = pair(engine_cls, codec=ExchangeCodec())
+        # Hidden latency can't beat the larger of the two pools, and
+        # accounting never goes below it.
+        assert over.elapsed_ms >= max(over.comm_ms, over.compute_ms)
+        assert over.elapsed_ms <= over.comm_ms + over.compute_ms
+        assert 0 <= over.comm_fraction <= 1
+
+    def test_batch_sums_saved(self):
+        engine = MultiGcdBFS(GRAPH, 4, codec=ExchangeCodec(), overlap=True)
+        batch = engine.run_batch(np.array([SOURCE, 3, 17]))
+        assert batch.overlap_saved_ms == pytest.approx(
+            sum(r.overlap_saved_ms for r in batch.runs)
+        )
+        assert batch.overlap_saved_ms > 0
+
+
+class TestPerLevelSpans:
+    def _level_spans(self, engine_cls, **kw):
+        tracer = Tracer()
+        engine_cls(GRAPH, 4, tracer=tracer, overlap=True, **kw).run(SOURCE)
+        return tracer.spans_named("dist.level")
+
+    @pytest.mark.parametrize("engine_cls", [MultiGcdBFS, Grid2dBFS])
+    def test_level_duration_dominates_both_pools(self, engine_cls):
+        spans = self._level_spans(engine_cls, codec=ExchangeCodec())
+        assert spans
+        for s in spans:
+            a = s.attrs
+            assert s.virtual_ms >= a["comm_ms"] - 1e-12
+            assert s.virtual_ms >= a["kernel_ms"] - 1e-12
+            saved = a["overlap_saved_ms"]
+            assert 0 <= saved <= min(a["kernel_ms"], a["comm_ms"]) + 1e-12
+
+    def test_bottom_up_levels_stay_sequential(self):
+        """The allgather is a data dependency of the bottom-up scan,
+        so direction-switched levels never report hidden latency."""
+        tracer = Tracer()
+        MultiGcdBFS(
+            GRAPH, 4, direction_alpha=0.05, overlap=True, tracer=tracer
+        ).run(SOURCE)
+        spans = tracer.spans_named("dist.level")
+        bu = [s for s in spans if s.attrs["direction"] == "bottom_up"]
+        td = [s for s in spans if s.attrs["direction"] == "top_down"]
+        assert bu and td
+        for s in bu:
+            assert "overlap_saved_ms" not in s.attrs
+            assert s.virtual_ms == pytest.approx(
+                s.attrs["kernel_ms"] + s.attrs["comm_ms"]
+            )
+        assert any(s.attrs["overlap_saved_ms"] > 0 for s in td)
+
+    def test_span_attrs_unchanged_without_flags(self):
+        """Feature-gated keys must not leak into default-config traces
+        (the chrome-trace fingerprint depends on it)."""
+        tracer = Tracer()
+        MultiGcdBFS(GRAPH, 4, tracer=tracer).run(SOURCE)
+        for s in tracer.spans_named("dist.level"):
+            assert "overlap_saved_ms" not in s.attrs
+            assert "comm_raw_bytes" not in s.attrs
+
+
+class TestLaunchStreamUnchanged:
+    @pytest.mark.parametrize("engine_cls", [MultiGcdBFS, Grid2dBFS])
+    def test_identical_kernel_records(self, engine_cls):
+        base = engine_cls(GRAPH, 4, codec=ExchangeCodec())
+        over = engine_cls(GRAPH, 4, codec=ExchangeCodec(), overlap=True)
+        base.run(SOURCE)
+        over.run(SOURCE)
+        base_gcds, over_gcds = base._gcds, over._gcds
+        assert base_gcds is not None and over_gcds is not None
+        assert len(base_gcds) == len(over_gcds)
+        for b, o in zip(base_gcds, over_gcds):
+            assert b.launches == o.launches
+            assert b.elapsed_ms == o.elapsed_ms
+            assert b.profiler.records == o.profiler.records
+
+    def test_overlap_orthogonal_to_graph(self):
+        g = chung_lu_power_law(1500, 10, seed=7)
+        base = MultiGcdBFS(g, 4).run(0)
+        over = MultiGcdBFS(g, 4, overlap=True).run(0)
+        assert np.array_equal(base.levels, over.levels)
+        assert over.elapsed_ms + over.overlap_saved_ms == pytest.approx(
+            base.elapsed_ms, rel=1e-12
+        )

@@ -41,6 +41,7 @@ def run_matrix() -> list[dict]:
     summaries.append(run_service_fingerprint())
     summaries.append(run_routing_fingerprint())
     summaries.append(run_linalg_batch_fingerprint())
+    summaries.append(run_exchange_plane_fingerprint())
     summaries.append(run_perf_surface_fingerprint())
     summaries.append(run_faults_surface_fingerprint())
     summaries.append(run_chaos_fingerprint())
@@ -287,6 +288,46 @@ def run_linalg_batch_fingerprint() -> dict:
     summary["routed_queries"] = len(routed)
     summary["routed_levels_crc32"] = crc
     return summary
+
+
+def run_exchange_plane_fingerprint() -> dict:
+    """Exchange-plane fingerprint: one seeded graph through the 1D pod
+    (codec + overlap) and the 2D grid. Wire/raw byte totals, the
+    per-format message mix, hidden-latency accounting and the routed
+    2D service summary are all pure functions of the cost model, so
+    they drift exactly when the codec's format choice, the overlap
+    accounting or the grid collectives change. Levels are CRC'd so a
+    wrong answer can never hide behind stable byte counts."""
+    import numpy as np
+
+    from repro.faults import levels_fingerprint
+    from repro.multigcd import ExchangeCodec, Grid2dBFS, MultiGcdBFS
+
+    graph = rmat(12, 8, seed=2)
+    source = 0
+    one_d = MultiGcdBFS(
+        graph, 4, codec=ExchangeCodec(), overlap=True
+    ).run(source)
+    two_d = Grid2dBFS(
+        graph, 9, codec=ExchangeCodec(), overlap=True
+    ).run(source)
+    assert np.array_equal(one_d.levels, two_d.levels)
+    return {
+        "name": "exchange_plane",
+        "levels_crc32": levels_fingerprint(one_d.levels),
+        "1d_bytes_wire": one_d.bytes_exchanged,
+        "1d_bytes_raw": one_d.bytes_raw,
+        "1d_messages_sparse": one_d.exchange_formats["sparse"],
+        "1d_messages_bitmap": one_d.exchange_formats["bitmap"],
+        "1d_elapsed_ms": one_d.elapsed_ms,
+        "1d_overlap_saved_ms": one_d.overlap_saved_ms,
+        "2d_bytes_wire": two_d.bytes_exchanged,
+        "2d_bytes_raw": two_d.bytes_raw,
+        "2d_messages_sparse": two_d.exchange_formats["sparse"],
+        "2d_messages_bitmap": two_d.exchange_formats["bitmap"],
+        "2d_elapsed_ms": two_d.elapsed_ms,
+        "2d_overlap_saved_ms": two_d.overlap_saved_ms,
+    }
 
 
 def run_cluster_fingerprint() -> dict:

@@ -19,6 +19,12 @@
 #                                 # batch engine, its routing contract
 #                                 # and the batch-width bench vs the
 #                                 # concurrent engine
+#   tools/run_tests.sh multigcd-scaling
+#                                 # the exchange plane: codec property
+#                                 # tests, overlap accounting, the 2D
+#                                 # grid differential wall, partition
+#                                 # routing and the 2->64 GCD scaling
+#                                 # bench
 #   tools/run_tests.sh all        # everything: tier-1 + tier-2 + the
 #                                 # regression gate against the committed
 #                                 # baseline fingerprint
@@ -57,13 +63,18 @@ case "$tier" in
     python -m pytest tests/xbfs/test_linalg_batch.py tests/service/test_linalg_routing.py "$@"
     python -m pytest benchmarks/bench_linalg_batch.py -s "$@"
     ;;
+  multigcd-scaling)
+    python -m pytest tests/multigcd/test_exchange.py tests/multigcd/test_overlap.py \
+      tests/multigcd/test_grid2d_differential.py tests/service/test_partition_routing.py "$@"
+    python -m pytest benchmarks/bench_multigcd_scaling.py -s "$@"
+    ;;
   all)
     python -m pytest "$@"
     python -m pytest benchmarks "$@"
     python tools/check_regression.py check tools/baseline_fingerprint.json
     ;;
   *)
-    echo "usage: tools/run_tests.sh [tier1|tier2|telemetry|multigcd-service|cluster|linalg|all] [pytest args...]" >&2
+    echo "usage: tools/run_tests.sh [tier1|tier2|telemetry|multigcd-service|cluster|linalg|multigcd-scaling|all] [pytest args...]" >&2
     exit 2
     ;;
 esac
