@@ -1,0 +1,177 @@
+"""Observability overhead: the full obs plane must stay cheap.
+
+The contract ``repro.obs`` makes to the serving path is that the
+decision audit, the SLO engine, and bounded-memory sketch metrics are
+observers: enabling all three never changes a level array, and costs
+only the append work of the records themselves. This bench replays the
+same service trace three ways — no obs at all, obs objects attached
+but disabled, and the full plane enabled — and compares host
+wall-clock. The enabled-overhead threshold is *warn-only* (wall-clock
+numbers are machine-dependent; a loaded box warns instead of failing),
+but the machine-independent sanity checks always hold: the disabled
+run records nothing, the enabled run audits every query, and all three
+serve bit-identical BFS levels.
+
+Results land in ``BENCH_obs_overhead.json`` at the repo root.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_obs_overhead.py
+
+or under the bench harness::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_obs_overhead.py -s
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.obs import AuditLog, SloEngine, SloSpec
+from repro.service.runtime import BFSService
+from repro.service.trace import synthetic_trace
+
+SIZES = {"rmat:11": 2048, "rmat:12": 4096}
+NUM_QUERIES = 96
+#: Trials per config; the minimum is reported (noise floor).
+TRIALS = 3
+#: Max tolerated enabled-obs slowdown over bare runs (warn-only).
+OVERHEAD_THRESHOLD = 0.05
+
+_OUT = Path(__file__).resolve().parents[1] / "BENCH_obs_overhead.json"
+
+
+def _obs_kwargs(mode: str) -> dict:
+    if mode == "baseline":
+        return {}
+    enabled = mode == "enabled"
+    return {
+        "audit": AuditLog(enabled=enabled),
+        "slo": SloEngine(
+            [SloSpec(name="all", latency_target_ms=50.0, objective=0.9)],
+            enabled=enabled,
+        ),
+        "bounded_metrics": enabled,
+    }
+
+
+def _workload(mode: str):
+    """Host seconds for one full trace replay, plus audit + levels."""
+    kwargs = _obs_kwargs(mode)
+    service = BFSService(workers=2, window_ms=5.0, seed=0, **kwargs)
+    trace = synthetic_trace(
+        list(SIZES), SIZES, num_queries=NUM_QUERIES, seed=17
+    )
+    t0 = time.perf_counter()
+    report = service.replay(trace)
+    elapsed = time.perf_counter() - t0
+    levels = [
+        o.levels for o in report.outcomes if o.levels is not None
+    ]
+    audit = kwargs.get("audit")
+    return elapsed, levels, 0 if audit is None else len(audit.records)
+
+
+def run_obs_overhead() -> dict:
+    _workload("baseline")  # allocator/registry warm-up pass
+
+    seconds: dict[str, float] = {}
+    levels: dict[str, list] = {}
+    recorded: dict[str, int] = {}
+    for mode in ("baseline", "disabled", "enabled"):
+        best = float("inf")
+        for _ in range(TRIALS):
+            elapsed, lv, n_records = _workload(mode)
+            best = min(best, elapsed)
+            levels[mode] = lv
+            recorded[mode] = n_records
+        seconds[mode] = best
+
+    overhead = seconds["enabled"] / seconds["baseline"] - 1.0
+    report = {
+        "name": "obs_overhead",
+        "graphs": sorted(SIZES),
+        "num_queries": NUM_QUERIES,
+        "trials": TRIALS,
+        "seconds": seconds,
+        "audit_records": recorded,
+        "disabled_overhead": seconds["disabled"] / seconds["baseline"] - 1.0,
+        "enabled_overhead": overhead,
+        "overhead_threshold": OVERHEAD_THRESHOLD,
+        "threshold_warn_only": True,
+        "threshold_met": overhead < OVERHEAD_THRESHOLD,
+        "levels_identical": bool(
+            len(levels["baseline"]) == len(levels["disabled"]) == len(levels["enabled"])
+            and all(
+                np.array_equal(b, d) and np.array_equal(b, e)
+                for b, d, e in zip(
+                    levels["baseline"], levels["disabled"], levels["enabled"]
+                )
+            )
+        ),
+        "note": (
+            "host wall-clock (time.perf_counter) — machine-dependent; "
+            "never compared by tools/check_regression.py"
+        ),
+    }
+    _OUT.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return report
+
+
+def _render(report: dict) -> str:
+    s = report["seconds"]
+    lines = [
+        f"graphs {','.join(report['graphs'])}  "
+        f"queries {report['num_queries']}  "
+        f"best of {report['trials']} trials",
+        f"baseline (no obs):  {s['baseline'] * 1e3:8.2f} ms",
+        f"obs attached, off:  {s['disabled'] * 1e3:8.2f} ms "
+        f"({report['disabled_overhead'] * 100:+.1f}%)",
+        f"full plane enabled: {s['enabled'] * 1e3:8.2f} ms "
+        f"({report['enabled_overhead'] * 100:+.1f}%, "
+        f"{report['audit_records']['enabled']} audit records)",
+        f"enabled-overhead threshold: "
+        f"<{report['overhead_threshold'] * 100:.0f}% (warn-only)",
+        f"wrote {_OUT.name}",
+    ]
+    return "\n".join(lines)
+
+
+def _warn(report: dict) -> None:
+    if not report["threshold_met"]:
+        print(
+            f"WARNING: enabled-obs overhead "
+            f"{report['enabled_overhead'] * 100:+.1f}% above the "
+            f"{OVERHEAD_THRESHOLD * 100:.0f}% target "
+            f"(machine-dependent, warn-only)",
+            file=sys.stderr,
+        )
+
+
+def test_obs_overhead():
+    report = run_obs_overhead()
+    print()
+    print(_render(report))
+    # Sanity (machine-independent): the disabled plane recorded
+    # nothing, the enabled plane audited real decisions, and the
+    # answers agree bit for bit.
+    assert report["audit_records"]["disabled"] == 0
+    assert report["audit_records"]["enabled"] >= report["num_queries"]
+    assert report["levels_identical"]
+    _warn(report)
+
+
+def main() -> int:
+    report = run_obs_overhead()
+    print(_render(report))
+    _warn(report)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

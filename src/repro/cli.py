@@ -281,6 +281,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.out:
         _save_service_summary(report, args)
     _export_service_telemetry(service, args)
+    _export_obs(service, args)
     return 0
 
 
@@ -310,6 +311,7 @@ def _cmd_service_bench(args: argparse.Namespace) -> int:
     if args.out:
         _save_service_summary(report, args)
     _export_service_telemetry(service, args)
+    _export_obs(service, args)
     return 0
 
 
@@ -324,6 +326,7 @@ def _service_from_args(args: argparse.Namespace, cls):
         from repro.telemetry import Tracer
 
         tracer = Tracer()
+    audit, slo = _obs_from_args(args, tracer)
     return cls(
         memory_budget_mb=args.memory_budget_mb,
         workers=args.workers,
@@ -338,6 +341,9 @@ def _service_from_args(args: argparse.Namespace, cls):
         linalg_batch_threshold=args.linalg_batch_threshold,
         partition=args.partition,
         fault_plan=fault_plan,
+        audit=audit,
+        slo=slo,
+        bounded_metrics=getattr(args, "bounded_metrics", False),
         **({"tracer": tracer} if tracer is not None else {}),
     )
 
@@ -422,6 +428,54 @@ def _add_telemetry_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--metrics-out", default=None, metavar="PATH",
                         help="write a Prometheus-style text snapshot of the "
                         "service counters here")
+
+
+def _add_obs_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--audit-out", default=None, metavar="PATH",
+                        help="record every admission / placement / routing-"
+                        "tier / direction / codec decision and write the "
+                        "audit log here as JSONL (render chains with "
+                        "'repro explain')")
+    parser.add_argument("--slo", action="append", default=None, metavar="SPEC",
+                        help="attach an SLO, e.g. 'name=interactive,"
+                        "target_ms=50,objective=0.99,qos=interactive'; "
+                        "repeatable. Burn-rate alerts print after the "
+                        "replay")
+    parser.add_argument("--bounded-metrics", action="store_true",
+                        help="replace exact per-class latency lists with "
+                        "mergeable log-bucket sketches (O(buckets) memory; "
+                        "percentiles within ~1%%)")
+
+
+def _obs_from_args(args: argparse.Namespace, tracer=None):
+    """(audit, slo) observers requested on the command line."""
+    audit = None
+    if getattr(args, "audit_out", None):
+        from repro.obs import AuditLog
+
+        audit = AuditLog()
+    slo = None
+    specs = getattr(args, "slo", None)
+    if specs:
+        from repro.obs import SloEngine, parse_slo_spec
+
+        try:
+            slo = SloEngine([parse_slo_spec(s) for s in specs], tracer=tracer)
+        except ValueError as exc:
+            raise ReproError(str(exc)) from exc
+    return audit, slo
+
+
+def _export_obs(service, args: argparse.Namespace) -> None:
+    audit = getattr(service, "audit", None)
+    if audit is not None and getattr(args, "audit_out", None):
+        audit.write(args.audit_out)
+        print(f"wrote {len(audit)} audit records for "
+              f"{len(audit.queries())} queries to {args.audit_out} "
+              f"(inspect with: repro explain <qid> --audit {args.audit_out})")
+    slo = getattr(service, "slo", None)
+    if slo is not None:
+        print(slo.render())
 
 
 def _cmd_chaos_bench(args: argparse.Namespace) -> int:
@@ -570,6 +624,7 @@ def _cmd_cluster_bench(args: argparse.Namespace) -> int:
         steal_threshold=args.steal_threshold,
         balance_factor=args.balance_factor,
         quotas=quotas,
+        bounded_metrics=getattr(args, "bounded_metrics", False),
     )
 
     tracers: dict[int, object] = {}
@@ -729,6 +784,64 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_explain(args: argparse.Namespace) -> int:
+    """Render the decision chain of one query from an audit JSONL."""
+    from repro.obs import AuditLog
+
+    audit = AuditLog.load(args.audit)
+    for qid in args.qids:
+        print(audit.render_chain(qid))
+    return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    """One-screen cluster health: replay a deterministic synthetic
+    multi-tenant load through a cluster and snapshot its state."""
+    from repro.cluster import ClusterRouter, TenantQuota, multi_tenant_trace
+    from repro.obs import cluster_health, render_health, write_health
+
+    _, slo = _obs_from_args(args)
+    specs = [s.strip() for s in args.graphs.split(",") if s.strip()]
+    sizes = {
+        spec: parse_graph_spec(
+            spec, scale_factor=args.scale_factor, seed=args.seed
+        ).num_vertices
+        for spec in specs
+    }
+    quotas = None
+    if args.quota_rate is not None:
+        quotas = {
+            f"t{i}": TenantQuota(rate_per_s=args.quota_rate,
+                                 burst=args.quota_burst)
+            for i in range(args.tenants)
+        }
+    router = ClusterRouter(
+        replicas=args.replicas,
+        workers=args.workers,
+        window_ms=args.window_ms,
+        scale_factor=args.scale_factor,
+        seed=args.seed,
+        quotas=quotas,
+        slo=slo,
+        bounded_metrics=getattr(args, "bounded_metrics", False),
+    )
+    trace = multi_tenant_trace(
+        specs, sizes,
+        num_queries=args.queries,
+        seed=args.seed,
+        tenants=args.tenants,
+        mean_gap_ms=args.gap_ms,
+        burst=args.burst,
+    )
+    router.replay(trace)
+    snapshot = cluster_health(router, slo=slo)
+    print(render_health(snapshot))
+    if args.json:
+        write_health(snapshot, args.json)
+        print(f"wrote health snapshot JSON to {args.json}")
+    return 0
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -797,6 +910,7 @@ def _build_parser() -> argparse.ArgumentParser:
                        "serial oracle")
     _add_service_args(serve)
     _add_telemetry_args(serve)
+    _add_obs_args(serve)
     serve.set_defaults(func=_cmd_serve)
 
     trace = sub.add_parser(
@@ -839,6 +953,7 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="mean inter-burst gap (virtual ms)")
     _add_service_args(bench)
     _add_telemetry_args(bench)
+    _add_obs_args(bench)
     bench.set_defaults(func=_cmd_service_bench)
 
     chaos = sub.add_parser(
@@ -902,7 +1017,45 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="cap on injected deaths (-1 = unlimited)")
     _add_service_args(cluster)
     _add_telemetry_args(cluster)
+    cluster.add_argument("--bounded-metrics", action="store_true",
+                         help="bounded-memory latency sketches on every "
+                         "replica instead of exact per-class lists")
     cluster.set_defaults(func=_cmd_cluster_bench)
+
+    explain = sub.add_parser(
+        "explain",
+        help="render the decision-audit chain of one or more queries",
+    )
+    explain.add_argument("qids", type=int, nargs="+",
+                         help="query id(s) to explain")
+    explain.add_argument("--audit", required=True, metavar="PATH",
+                         help="audit JSONL written by --audit-out")
+    explain.set_defaults(func=_cmd_explain)
+
+    top = sub.add_parser(
+        "top",
+        help="one-screen cluster health snapshot over a synthetic load",
+    )
+    top.add_argument("--replicas", type=int, default=3)
+    top.add_argument("--graphs", default="rmat:10,rmat:11",
+                     help="comma-separated graph specs of the load")
+    top.add_argument("--queries", type=int, default=96)
+    top.add_argument("--tenants", type=int, default=3)
+    top.add_argument("--burst", type=int, default=8)
+    top.add_argument("--gap-ms", type=float, default=1.0)
+    top.add_argument("--workers", type=int, default=2)
+    top.add_argument("--window-ms", type=float, default=5.0)
+    top.add_argument("--quota-rate", type=float, default=None,
+                     help="per-tenant token rate/s (default: no quotas)")
+    top.add_argument("--quota-burst", type=float, default=8.0)
+    top.add_argument("--scale-factor", type=int, default=64)
+    top.add_argument("--seed", type=int, default=0)
+    top.add_argument("--slo", action="append", default=None, metavar="SPEC",
+                     help="attach an SLO (same syntax as service --slo)")
+    top.add_argument("--bounded-metrics", action="store_true")
+    top.add_argument("--json", default=None, metavar="PATH",
+                     help="also write the snapshot as JSON here")
+    top.set_defaults(func=_cmd_top)
     return parser
 
 

@@ -50,6 +50,9 @@ class Replica:
         partition: str = "1d",
         scale_factor: int = 64,
         seed: int = 0,
+        audit=None,
+        slo=None,
+        bounded_metrics: bool = False,
     ) -> None:
         self.rid = rid
         registry = GraphRegistry(
@@ -73,6 +76,9 @@ class Replica:
             recovery=recovery,
             tracer=tracer,
             track_prefix=f"replica{rid}.",
+            audit=audit,
+            slo=slo,
+            bounded_metrics=bounded_metrics,
         )
         self.alive = True
         #: Virtual restart stamp while dead, ``None`` when alive.

@@ -50,6 +50,10 @@ class ClusterReport:
     #: qid → original client arrival (ms); re-dispatched queries carry
     #: a later re-stamped arrival on their outcome's query.
     arrival0: dict
+    #: :meth:`~repro.obs.slo.SloEngine.status` snapshot when the router
+    #: ran with an SLO engine attached, else ``None`` (not part of the
+    #: fingerprinted summary).
+    slo_status: list | None = None
 
     @property
     def served(self) -> list[QueryOutcome]:

@@ -42,6 +42,7 @@ from typing import Iterable, Mapping, Sequence
 
 from repro.errors import AdmissionError, ClusterError, QuotaExceededError
 from repro.faults.plan import FaultPlan
+from repro.obs.audit import NULL_AUDIT
 from repro.service.request import Query, QueryOutcome
 from repro.telemetry.tracer import NULL_TRACER, Tracer
 from repro.cluster.placement import PlacementMap
@@ -80,6 +81,9 @@ class ClusterRouter:
         fault_plan: FaultPlan | None = None,
         recovery=None,
         tracer: Tracer | None = None,
+        audit=None,
+        slo=None,
+        bounded_metrics: bool = False,
     ) -> None:
         if replicas < 1:
             raise ClusterError(f"cluster needs >= 1 replica, got {replicas}")
@@ -88,6 +92,12 @@ class ClusterRouter:
                 f"steal_threshold must be >= 1 or None, got {steal_threshold}"
             )
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: Decision-audit log shared by the front door and every
+        #: replica's admission/scheduler/executor (observer-only).
+        self.audit = audit if audit is not None else NULL_AUDIT
+        #: Optional :class:`~repro.obs.slo.SloEngine`; replicas feed it
+        #: per terminal outcome, the front door on quota rejections.
+        self.slo = slo
         self.fault_plan = fault_plan
         self.fault_injector = (
             fault_plan.injector() if fault_plan is not None else None
@@ -133,6 +143,9 @@ class ClusterRouter:
                 partition=partition,
                 scale_factor=scale_factor,
                 seed=seed,
+                audit=audit,
+                slo=slo,
+                bounded_metrics=bounded_metrics,
             )
             for rid in range(replicas)
         ]
@@ -202,6 +215,24 @@ class ClusterRouter:
         if not self.quotas.admit(query.tenant, query.arrival_ms):
             outcome = QueryOutcome(query=query, levels=None, rejected="quota")
             self.rejected_outcomes.append(outcome)
+            if self.audit.enabled:
+                self.audit.record(
+                    "admission",
+                    query.qid,
+                    "rejected:quota",
+                    at_ms=query.arrival_ms,
+                    tenant=query.tenant,
+                    tokens=self.quotas.tokens(query.tenant),
+                )
+            if self.slo is not None and self.slo.enabled:
+                self.slo.observe(
+                    at_ms=query.arrival_ms,
+                    latency_ms=0.0,
+                    served=False,
+                    qos=query.qos,
+                    tenant=query.tenant,
+                    qid=query.qid,
+                )
             self.tracer.event(
                 "cluster.quota_reject",
                 tenant=query.tenant,
@@ -334,6 +365,15 @@ class ClusterRouter:
         """Owning replica for ``query``, possibly stolen when hot."""
         rid, _ = self.placement.place(query.graph)
         owner = self.replicas[rid]
+        if self.audit.enabled:
+            self.audit.record(
+                "placement",
+                query.qid,
+                f"replica{rid}",
+                at_ms=query.arrival_ms,
+                graph=query.graph,
+                owner_depth=owner.queue_depth,
+            )
         if self.steal_threshold is not None:
             live = self.live_replicas
             if len(live) > 1:
@@ -352,6 +392,17 @@ class ClusterRouter:
                         owner_depth=owner.queue_depth,
                         thief_depth=least.queue_depth,
                     )
+                    if self.audit.enabled:
+                        self.audit.record(
+                            "steal",
+                            query.qid,
+                            f"replica{least.rid}",
+                            at_ms=query.arrival_ms,
+                            owner=rid,
+                            owner_depth=owner.queue_depth,
+                            thief_depth=least.queue_depth,
+                            steal_threshold=self.steal_threshold,
+                        )
                     return least.rid
         return rid
 
@@ -431,4 +482,5 @@ class ClusterRouter:
             quota_stats=self.quotas.stats(),
             fault_stats=fault_stats,
             arrival0=dict(self._arrival0),
+            slo_status=self.slo.status() if self.slo is not None else None,
         )

@@ -83,6 +83,10 @@ class DistributedResult:
     exchange_formats: dict[str, int] = field(default_factory=dict)
     #: Virtual time hidden by comm/compute overlap (0 without overlap).
     overlap_saved_ms: float = 0.0
+    #: Per-level decision records for the audit plane: the direction
+    #: choice with its ratio/alpha signals plus the codec's wire-format
+    #: picks for that level. Purely descriptive.
+    level_decisions: list = field(default_factory=list)
 
     @property
     def gteps(self) -> float:
@@ -429,10 +433,26 @@ class MultiGcdBFS:
         )
         line = self.device.cache_line_bytes
         wf = self.device.wavefront_size
+        level_decisions: list[dict] = []
+
+        def _fmt_counts():
+            if self.codec is None:
+                return None
+            c = self.codec.counters()
+            return (c["messages_sparse"], c["messages_bitmap"])
+
+        def _fmt_delta(before, after):
+            if before is None:
+                return {}
+            return {
+                "sparse": after[0] - before[0],
+                "bitmap": after[1] - before[1],
+            }
 
         while frontier.size:
             frontier_edges = int(graph.degrees[frontier].sum())
             ratio = frontier_edges / max(1, graph.num_edges)
+            fmt_before = _fmt_counts()
             if (
                 self.direction_alpha is not None
                 and ratio > self.direction_alpha
@@ -464,6 +484,21 @@ class MultiGcdBFS:
                     comm_bytes=bu_bytes,
                     frontier=int(frontier.size),
                     **extra,
+                )
+                level_decisions.append(
+                    {
+                        "level": level,
+                        "direction": "bottom_up",
+                        "reason": (
+                            f"ratio {ratio:.3g} > direction_alpha "
+                            f"{self.direction_alpha:g}"
+                        ),
+                        "ratio": ratio,
+                        "alpha": self.direction_alpha,
+                        "frontier": int(frontier.size),
+                        "comm_bytes": bu_bytes,
+                        "formats": _fmt_delta(fmt_before, _fmt_counts()),
+                    }
                 )
                 levels[claim] = level + 1
                 frontier = claim
@@ -614,6 +649,25 @@ class MultiGcdBFS:
                 frontier=int(frontier.size),
                 **extra,
             )
+            level_decisions.append(
+                {
+                    "level": level,
+                    "direction": "top_down",
+                    "reason": (
+                        "direction switching disabled"
+                        if self.direction_alpha is None
+                        else (
+                            f"ratio {ratio:.3g} <= direction_alpha "
+                            f"{self.direction_alpha:g}"
+                        )
+                    ),
+                    "ratio": ratio,
+                    "alpha": self.direction_alpha,
+                    "frontier": int(frontier.size),
+                    "comm_bytes": level_bytes,
+                    "formats": _fmt_delta(fmt_before, _fmt_counts()),
+                }
+            )
             levels[claim] = level + 1
             frontier = claim
             level += 1
@@ -640,4 +694,5 @@ class MultiGcdBFS:
             per_level_raw_bytes=per_level_raw,
             exchange_formats=formats,
             overlap_saved_ms=overlap_saved,
+            level_decisions=level_decisions,
         )

@@ -154,6 +154,23 @@ class ExchangeCodec:
         fmt = self.choose_format(count, span)
         return sparse_bytes(count) if fmt == FORMAT_SPARSE else bitmap_bytes(span)
 
+    def explain(self, count: int, span: int) -> dict:
+        """Side-by-side cost breakdown behind one format pick.
+
+        Read-only (no counters advanced) — the decision-audit plane
+        renders this so an operator can see exactly why a message went
+        sparse or bitmap."""
+        return {
+            "format": self.choose_format(count, span),
+            "mode": self.mode,
+            "count": int(count),
+            "span": int(span),
+            "sparse_bytes": sparse_bytes(count),
+            "bitmap_bytes": bitmap_bytes(span),
+            "sparse_ms": self.message_ms(count, span, FORMAT_SPARSE),
+            "bitmap_ms": self.message_ms(count, span, FORMAT_BITMAP),
+        }
+
     # ------------------------------------------------------------------
     def encode(self, vertices: np.ndarray, lo: int, hi: int) -> EncodedFrontier:
         """Encode the frontier vertices owned by one peer.

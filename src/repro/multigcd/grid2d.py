@@ -84,6 +84,11 @@ class Grid2dResult:
     exchange_formats: dict[str, int] = field(default_factory=dict)
     #: Virtual time hidden by comm/compute overlap (0 without overlap).
     overlap_saved_ms: float = 0.0
+    #: Per-level decision records for the audit plane: the 2D engine is
+    #: always top-down (both collectives are bitmap-width-bounded), so
+    #: each entry explains the collective pair plus the codec's
+    #: wire-format picks for that level.
+    level_decisions: list = field(default_factory=list)
 
     _traversed: int = 0
 
@@ -286,8 +291,16 @@ class Grid2dBFS:
             self.codec.counters() if self.codec is not None else None
         )
         line = self.device.cache_line_bytes
+        level_decisions: list[dict] = []
+
+        def _fmt_counts():
+            if self.codec is None:
+                return None
+            c = self.codec.counters()
+            return (c["messages_sparse"], c["messages_bitmap"])
 
         while frontier.size:
+            fmt_before = _fmt_counts()
             # Phase 1: column allgather of frontier bits — every tile
             # column shares the frontier slice of its vertex block.
             ag_fan = self.rows * (self.rows - 1)
@@ -411,6 +424,27 @@ class Grid2dBFS:
                 **extra,
             )
 
+            fmt_after = _fmt_counts()
+            level_decisions.append(
+                {
+                    "level": level,
+                    "direction": "top_down",
+                    "reason": (
+                        "2D tiles consume the column allgather; both "
+                        "collectives are bitmap-width-bounded"
+                    ),
+                    "frontier": int(frontier.size),
+                    "comm_bytes": ag_bytes + rs_bytes,
+                    "formats": (
+                        {
+                            "sparse": fmt_after[0] - fmt_before[0],
+                            "bitmap": fmt_after[1] - fmt_before[1],
+                        }
+                        if fmt_before is not None
+                        else {}
+                    ),
+                }
+            )
             levels[discovered] = level + 1
             frontier = discovered
             level += 1
@@ -437,6 +471,7 @@ class Grid2dBFS:
             per_level_raw_bytes=per_level_raw,
             exchange_formats=formats,
             overlap_saved_ms=overlap_saved,
+            level_decisions=level_decisions,
         )
         result._traversed = int(graph.degrees[reached].sum())
         return result

@@ -1,0 +1,355 @@
+"""Declarative SLO engine with multi-window burn-rate alerting.
+
+An :class:`SloSpec` states a latency objective for a slice of traffic
+("99% of interactive queries finish within 50 virtual ms") plus an
+error budget; the :class:`SloEngine` folds every query outcome in on
+the **virtual clock** and evaluates classic multi-window burn-rate
+rules (Google SRE workbook style): an alert fires when the error
+budget is being consumed ``burn_threshold`` times faster than the
+objective allows, measured over a bounded time window.
+
+Everything is deterministic — outcomes arrive in virtual-time order
+from a seeded trace, windows are bucketed on the virtual clock, and
+alerts are emitted as tracer point events (``slo.alert`` /
+``slo.resolve``) so they land in the same JSONL/Chrome exports as the
+rest of the run. The engine is an observer: it never feeds back into
+admission, placement, or routing.
+
+``counters()`` exposes the whole surface as labelled Prometheus
+gauges (``repro_slo_*{slo="..."}``) via
+:func:`repro.telemetry.export.labelled`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.telemetry.export import labelled
+from repro.telemetry.tracer import NULL_TRACER
+
+__all__ = [
+    "BurnRule",
+    "DEFAULT_BURN_RULES",
+    "SloEngine",
+    "SloSpec",
+    "parse_slo_spec",
+]
+
+
+@dataclass(frozen=True)
+class BurnRule:
+    """Alert when the error budget burns ``burn_threshold`` times
+    faster than sustainable, measured over ``window_ms``."""
+
+    window_ms: float
+    burn_threshold: float
+
+    def __post_init__(self):
+        if self.window_ms <= 0:
+            raise ValueError(f"window_ms must be positive, got {self.window_ms}")
+        if self.burn_threshold <= 0:
+            raise ValueError(
+                f"burn_threshold must be positive, got {self.burn_threshold}"
+            )
+
+
+#: Fast-burn (page) and slow-burn (ticket) defaults, scaled to the
+#: short virtual timelines of replayed traces.
+DEFAULT_BURN_RULES = (
+    BurnRule(window_ms=50.0, burn_threshold=14.4),
+    BurnRule(window_ms=400.0, burn_threshold=6.0),
+)
+
+
+@dataclass(frozen=True)
+class SloSpec:
+    """One latency SLO over a slice of traffic.
+
+    A query is *good* when it was served and its latency is at most
+    ``latency_target_ms``; rejected/dropped queries in the slice are
+    bad events. ``objective`` is the good fraction promised (0.99 →
+    1% error budget). ``qos``/``tenant`` of ``None`` match everything.
+    """
+
+    name: str
+    latency_target_ms: float
+    objective: float = 0.99
+    qos: str | None = None
+    tenant: str | None = None
+    rules: tuple = DEFAULT_BURN_RULES
+
+    def __post_init__(self):
+        if not self.name:
+            raise ValueError("an SLO needs a non-empty name")
+        if not 0.0 < self.objective < 1.0:
+            raise ValueError(f"objective must be in (0, 1), got {self.objective}")
+        if self.latency_target_ms <= 0:
+            raise ValueError(
+                f"latency_target_ms must be positive, got {self.latency_target_ms}"
+            )
+        if not self.rules:
+            raise ValueError("an SLO needs at least one burn rule")
+
+    @property
+    def error_budget(self) -> float:
+        return 1.0 - self.objective
+
+    def matches(self, qos: str, tenant: str) -> bool:
+        if self.qos is not None and qos != self.qos:
+            return False
+        if self.tenant is not None and tenant != self.tenant:
+            return False
+        return True
+
+
+def parse_slo_spec(text: str) -> SloSpec:
+    """Parse a CLI ``--slo`` spec.
+
+    Comma-separated ``key=value`` pairs, e.g.
+    ``name=interactive,qos=interactive,target_ms=50,objective=0.999``.
+    Recognised keys: ``name`` (required), ``target_ms`` (required),
+    ``objective``, ``qos``, ``tenant``, ``fast_window_ms``,
+    ``fast_burn``, ``slow_window_ms``, ``slow_burn``.
+    """
+    fields: dict[str, str] = {}
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if "=" not in part:
+            raise ValueError(f"malformed SLO spec field {part!r} (want key=value)")
+        key, value = part.split("=", 1)
+        fields[key.strip()] = value.strip()
+    known = {
+        "name", "target_ms", "objective", "qos", "tenant",
+        "fast_window_ms", "fast_burn", "slow_window_ms", "slow_burn",
+    }
+    unknown = sorted(set(fields) - known)
+    if unknown:
+        raise ValueError(
+            f"unknown SLO spec field(s) {unknown}; known: {sorted(known)}"
+        )
+    if "name" not in fields or "target_ms" not in fields:
+        raise ValueError(f"SLO spec needs name= and target_ms=: {text!r}")
+    fast = BurnRule(
+        window_ms=float(fields.get("fast_window_ms", DEFAULT_BURN_RULES[0].window_ms)),
+        burn_threshold=float(fields.get("fast_burn", DEFAULT_BURN_RULES[0].burn_threshold)),
+    )
+    slow = BurnRule(
+        window_ms=float(fields.get("slow_window_ms", DEFAULT_BURN_RULES[1].window_ms)),
+        burn_threshold=float(fields.get("slow_burn", DEFAULT_BURN_RULES[1].burn_threshold)),
+    )
+    return SloSpec(
+        name=fields["name"],
+        latency_target_ms=float(fields["target_ms"]),
+        objective=float(fields.get("objective", 0.99)),
+        qos=fields.get("qos"),
+        tenant=fields.get("tenant"),
+        rules=(fast, slow),
+    )
+
+
+class _SloState:
+    """Mutable per-spec accumulator with a bounded bucketed window."""
+
+    __slots__ = (
+        "spec",
+        "total",
+        "bad",
+        "buckets",
+        "bucket_ms",
+        "max_window_ms",
+        "alerting",
+        "alerts_fired",
+    )
+
+    def __init__(self, spec: SloSpec):
+        self.spec = spec
+        self.total = 0
+        self.bad = 0
+        # Time-bucketed (bucket_index -> [total, bad]) sliding window;
+        # memory is O(max_window / bucket_ms), independent of traffic.
+        self.bucket_ms = max(min(r.window_ms for r in spec.rules) / 16.0, 1e-6)
+        self.max_window_ms = max(r.window_ms for r in spec.rules)
+        self.buckets: dict[int, list] = {}
+        self.alerting: dict[BurnRule, bool] = {rule: False for rule in spec.rules}
+        self.alerts_fired = 0
+
+    def observe(self, at_ms: float, good: bool) -> None:
+        self.total += 1
+        if not good:
+            self.bad += 1
+        idx = int(at_ms // self.bucket_ms)
+        bucket = self.buckets.get(idx)
+        if bucket is None:
+            bucket = self.buckets[idx] = [0, 0]
+            self._evict(at_ms)
+        bucket[0] += 1
+        if not good:
+            bucket[1] += 1
+
+    def _evict(self, now_ms: float) -> None:
+        horizon = int((now_ms - self.max_window_ms) // self.bucket_ms) - 1
+        for idx in [i for i in self.buckets if i < horizon]:
+            del self.buckets[idx]
+
+    def window_counts(self, window_ms: float, now_ms: float) -> tuple[int, int]:
+        """(total, bad) over the trailing ``window_ms`` at ``now_ms``."""
+        lo = int((now_ms - window_ms) // self.bucket_ms)
+        total = bad = 0
+        for idx, (t, b) in self.buckets.items():
+            if idx > lo:
+                total += t
+                bad += b
+        return total, bad
+
+    def burn_rate(self, window_ms: float, now_ms: float) -> float:
+        total, bad = self.window_counts(window_ms, now_ms)
+        if total == 0:
+            return 0.0
+        return (bad / total) / self.spec.error_budget
+
+    def budget_remaining(self) -> float:
+        """Fraction of the total error budget still unspent."""
+        if self.total == 0:
+            return 1.0
+        allowed = self.total * self.spec.error_budget
+        return 1.0 - min(self.bad / allowed, 1.0) if allowed > 0 else 0.0
+
+
+class SloEngine:
+    """Evaluates a set of :class:`SloSpec` against the outcome stream."""
+
+    def __init__(self, specs, *, tracer=None, enabled: bool = True):
+        self.enabled = enabled
+        specs = tuple(specs)
+        if len({s.name for s in specs}) != len(specs):
+            raise ValueError("SLO spec names must be unique")
+        self.specs = specs
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._states = {spec.name: _SloState(spec) for spec in specs}
+        self._last_ms = 0.0
+
+    # ------------------------------------------------------------------
+    def observe(
+        self,
+        *,
+        at_ms: float,
+        latency_ms: float | None,
+        served: bool,
+        qos: str,
+        tenant: str,
+        qid: int | None = None,
+    ) -> None:
+        """Fold one query outcome in and evaluate the burn rules."""
+        if not self.enabled:
+            return
+        self._last_ms = max(self._last_ms, at_ms)
+        for spec in self.specs:
+            if not spec.matches(qos, tenant):
+                continue
+            good = served and latency_ms is not None and (
+                latency_ms <= spec.latency_target_ms
+            )
+            state = self._states[spec.name]
+            state.observe(at_ms, good)
+            for rule in spec.rules:
+                burn = state.burn_rate(rule.window_ms, at_ms)
+                firing = burn >= rule.burn_threshold
+                was_firing = state.alerting[rule]
+                if firing and not was_firing:
+                    state.alerts_fired += 1
+                    self.tracer.event(
+                        "slo.alert",
+                        at=at_ms,
+                        slo=spec.name,
+                        window_ms=rule.window_ms,
+                        burn_threshold=rule.burn_threshold,
+                        burn=burn,
+                        qid=qid,
+                    )
+                elif was_firing and not firing:
+                    self.tracer.event(
+                        "slo.resolve",
+                        at=at_ms,
+                        slo=spec.name,
+                        window_ms=rule.window_ms,
+                        burn=burn,
+                    )
+                state.alerting[rule] = firing
+
+    # ------------------------------------------------------------------
+    def burn_rate(self, name: str, window_ms: float, *, now_ms: float | None = None) -> float:
+        state = self._states[name]
+        return state.burn_rate(window_ms, self._last_ms if now_ms is None else now_ms)
+
+    def alerting(self, name: str) -> bool:
+        return any(self._states[name].alerting.values())
+
+    def status(self) -> list[dict]:
+        """One JSON-able dict per SLO, at the last observed time."""
+        out = []
+        for spec in self.specs:
+            state = self._states[spec.name]
+            out.append(
+                {
+                    "slo": spec.name,
+                    "qos": spec.qos,
+                    "tenant": spec.tenant,
+                    "latency_target_ms": spec.latency_target_ms,
+                    "objective": spec.objective,
+                    "total": state.total,
+                    "bad": state.bad,
+                    "error_rate": state.bad / state.total if state.total else 0.0,
+                    "budget_remaining": state.budget_remaining(),
+                    "alerts_fired": state.alerts_fired,
+                    "alerting": any(state.alerting.values()),
+                    "burn": {
+                        f"{rule.window_ms:g}ms": state.burn_rate(
+                            rule.window_ms, self._last_ms
+                        )
+                        for rule in spec.rules
+                    },
+                }
+            )
+        return out
+
+    def counters(self) -> dict:
+        """Labelled gauges for the ``repro_slo_*`` Prometheus surface."""
+        out: dict[str, float] = {}
+        for spec in self.specs:
+            state = self._states[spec.name]
+            out[labelled("total", slo=spec.name)] = state.total
+            out[labelled("bad", slo=spec.name)] = state.bad
+            out[labelled("budget_remaining", slo=spec.name)] = state.budget_remaining()
+            out[labelled("alerts_fired", slo=spec.name)] = state.alerts_fired
+            out[labelled("alerting", slo=spec.name)] = int(
+                any(state.alerting.values())
+            )
+            for rule in spec.rules:
+                out[
+                    labelled(
+                        "burn_rate",
+                        slo=spec.name,
+                        window_ms=f"{rule.window_ms:g}",
+                    )
+                ] = state.burn_rate(rule.window_ms, self._last_ms)
+        return out
+
+    def render(self) -> str:
+        """Human-readable status block, one line per SLO."""
+        lines = []
+        for st in self.status():
+            slice_desc = ",".join(
+                f"{k}={v}" for k, v in (("qos", st["qos"]), ("tenant", st["tenant"]))
+                if v is not None
+            ) or "all traffic"
+            burn = "  ".join(f"burn[{w}]={b:.2f}" for w, b in st["burn"].items())
+            flag = " ALERTING" if st["alerting"] else ""
+            lines.append(
+                f"slo {st['slo']} ({slice_desc}, p<{st['latency_target_ms']:g}ms "
+                f"@ {st['objective']:.2%}): {st['total'] - st['bad']}/{st['total']} good, "
+                f"budget {st['budget_remaining']:.1%}  {burn}  "
+                f"alerts={st['alerts_fired']}{flag}"
+            )
+        return "\n".join(lines)

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import DeadlineExceededError, QueueFullError
+from repro.obs.audit import NULL_AUDIT
 from repro.service.request import Query
 
 __all__ = ["AdmissionPolicy", "AdmissionController"]
@@ -47,10 +48,16 @@ class AdmissionPolicy:
 
 
 class AdmissionController:
-    """Applies an :class:`AdmissionPolicy` and counts its decisions."""
+    """Applies an :class:`AdmissionPolicy` and counts its decisions.
 
-    def __init__(self, policy: AdmissionPolicy | None = None) -> None:
+    ``audit`` (default :data:`~repro.obs.audit.NULL_AUDIT`) receives
+    one ``admission`` record per verdict with the inputs that drove it
+    — observer-only, never part of the decision.
+    """
+
+    def __init__(self, policy: AdmissionPolicy | None = None, *, audit=None) -> None:
         self.policy = policy or AdmissionPolicy()
+        self.audit = audit if audit is not None else NULL_AUDIT
         self.admitted = 0
         self.rejected_queue_full = 0
         self.rejected_deadline = 0
@@ -67,17 +74,41 @@ class AdmissionController:
         deadline = self.deadline_of(query)
         if deadline is not None and deadline <= 0:
             self.rejected_deadline += 1
+            self.audit.record(
+                "admission",
+                query.qid,
+                "rejected:deadline",
+                at_ms=query.arrival_ms,
+                deadline_ms=deadline,
+            )
             raise DeadlineExceededError(
                 f"query {query.qid} rejected at admission: deadline "
                 f"{deadline:.3f} ms already elapsed on arrival"
             )
         if queue_depth >= self.policy.max_queue_depth:
             self.rejected_queue_full += 1
+            self.audit.record(
+                "admission",
+                query.qid,
+                "rejected:queue_full",
+                at_ms=query.arrival_ms,
+                queue_depth=queue_depth,
+                limit=self.policy.max_queue_depth,
+            )
             raise QueueFullError(
                 f"query {query.qid} rejected: queue depth "
                 f"{queue_depth} >= limit {self.policy.max_queue_depth}"
             )
         self.admitted += 1
+        self.audit.record(
+            "admission",
+            query.qid,
+            "admitted",
+            at_ms=query.arrival_ms,
+            queue_depth=queue_depth,
+            limit=self.policy.max_queue_depth,
+            deadline_ms=deadline,
+        )
 
     def check_deadline(self, query: Query, start_ms: float) -> None:
         """Reject a query whose dispatch slot already misses its
@@ -88,6 +119,14 @@ class AdmissionController:
         wait = start_ms - query.arrival_ms
         if wait > deadline:
             self.rejected_deadline += 1
+            self.audit.record(
+                "admission",
+                query.qid,
+                "rejected:deadline_at_dispatch",
+                at_ms=start_ms,
+                wait_ms=wait,
+                deadline_ms=deadline,
+            )
             raise DeadlineExceededError(
                 f"query {query.qid} waited {wait:.3f} ms "
                 f"> deadline {deadline:.3f} ms"

@@ -37,6 +37,7 @@ from repro.errors import (
 )
 from repro.faults.recovery import DEFAULT_RECOVERY, RecoveryPolicy
 from repro.gcd.device import MI250X_GCD
+from repro.obs.audit import NULL_AUDIT
 from repro.service.metrics import ServiceMetrics
 from repro.service.registry import RegistryEntry
 from repro.service.request import Query
@@ -73,6 +74,7 @@ class ExecutionEngine:
         fault_injector=None,
         recovery: RecoveryPolicy | None = None,
         tracer: Tracer | None = None,
+        audit=None,
     ) -> None:
         if num_gcds < 1:
             raise ServiceError(f"num_gcds must be >= 1, got {num_gcds}")
@@ -116,6 +118,8 @@ class ExecutionEngine:
         self.fault_injector = fault_injector
         self.recovery = recovery or DEFAULT_RECOVERY
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: Decision-audit log (observer-only; NULL_AUDIT = disabled).
+        self.audit = audit if audit is not None else NULL_AUDIT
         #: Consecutive dispatches that exhausted their retries.
         self._fault_streak = 0
         #: Dispatches the open circuit breaker still routes serially.
@@ -130,6 +134,7 @@ class ExecutionEngine:
         batched: bool,
         *,
         graph_key: str,
+        now_ms: float = 0.0,
     ):
         """Run the engine for one dispatch, recovering from injected
         faults.
@@ -148,7 +153,7 @@ class ExecutionEngine:
         """
         inj = self.fault_injector
         if inj is None:
-            return self._run_engine(entry, live, sources, batched)
+            return self._run_engine(entry, live, sources, batched, now_ms=now_ms)
 
         recovery = self.recovery
         if self._breaker_cooldown_left > 0:
@@ -161,6 +166,15 @@ class ExecutionEngine:
                 graph=graph_key,
                 reason="breaker_open",
             )
+            if self.audit.enabled:
+                self.audit.record(
+                    "routing",
+                    [q.qid for q in live],
+                    "serial",
+                    at_ms=now_ms,
+                    reason="breaker_open",
+                    cooldown_left=self._breaker_cooldown_left,
+                )
             return self._run_serial(entry, live, sources)
 
         attempt = 0
@@ -171,7 +185,7 @@ class ExecutionEngine:
                 # slow (latency kinds scale the modelled elapsed).
                 fault_scale = inj.visit("service.worker", graph_key)
                 elapsed, sharing, levels_of, engine = self._run_engine(
-                    entry, live, sources, batched
+                    entry, live, sources, batched, now_ms=now_ms
                 )
             except (DeviceFaultError, RecoveryExhaustedError) as exc:
                 attempt += 1
@@ -198,6 +212,15 @@ class ExecutionEngine:
                         graph=graph_key,
                         reason="retries_exhausted",
                     )
+                    if self.audit.enabled:
+                        self.audit.record(
+                            "routing",
+                            [q.qid for q in live],
+                            "serial",
+                            at_ms=now_ms,
+                            reason="retries_exhausted",
+                            attempts=attempt,
+                        )
                     return self._run_serial(entry, live, sources)
                 self.metrics.record_retry()
                 self.tracer.event(
@@ -264,17 +287,47 @@ class ExecutionEngine:
             return False
         return all(q.options.coalescing_key() is not None for q in live)
 
-    def _run_engine(self, entry: RegistryEntry, live, sources, batched):
+    def _run_engine(self, entry: RegistryEntry, live, sources, batched, *, now_ms=0.0):
         if self.routes_distributed(entry, live):
             # Graph size dominates: a CSR that outgrows one GCD's
             # residency also outgrows the single-GCD bitmap engine.
             result = self._run_distributed(entry, sources)
             engine = "grid2d" if self.partition == "2d" else "multigcd"
+            if self.audit.enabled:
+                self._audit_routing(
+                    live, engine, now_ms,
+                    footprint_bytes=entry.graph.memory_bytes,
+                    distributed_threshold_bytes=self.distributed_threshold_bytes,
+                    num_gcds=self.num_gcds,
+                    partition=self.partition,
+                    batch=len(sources),
+                )
+                self._audit_distributed(live, result, now_ms)
             return result.elapsed_ms, 1.0, result.levels_of, engine
         if self.routes_linalg(entry, live, sources):
             result = self._run_linalg(entry, sources)
             if result.level_restarts:
                 self.metrics.record_level_restarts(result.level_restarts)
+            if self.audit.enabled:
+                self._audit_routing(
+                    live, "linalg_batch", now_ms,
+                    batch=len(sources),
+                    linalg_batch_threshold=self.linalg_batch_threshold,
+                    max_concurrent=MAX_CONCURRENT,
+                    footprint_bytes=entry.graph.memory_bytes,
+                )
+                qids = [q.qid for q in live]
+                for level, dec in enumerate(result.decisions):
+                    signals = {k: v for k, v in dec.signals if k != "level"}
+                    self.audit.record(
+                        "direction",
+                        qids,
+                        dec.strategy,
+                        at_ms=now_ms,
+                        level=level,
+                        reason=dec.reason,
+                        **signals,
+                    )
             return (
                 result.elapsed_ms,
                 result.sharing_factor,
@@ -285,6 +338,12 @@ class ExecutionEngine:
             result = self._run_concurrent(entry, sources)
             if result.level_restarts:
                 self.metrics.record_level_restarts(result.level_restarts)
+            if self.audit.enabled:
+                self._audit_routing(
+                    live, "concurrent", now_ms,
+                    batch=len(sources),
+                    footprint_bytes=entry.graph.memory_bytes,
+                )
             return (
                 result.elapsed_ms,
                 result.sharing_factor,
@@ -294,7 +353,71 @@ class ExecutionEngine:
         solo = self._run_solo(entry, live[0])
         if solo.level_restarts:
             self.metrics.record_level_restarts(solo.level_restarts)
+        if self.audit.enabled:
+            self._audit_routing(
+                live, "solo", now_ms,
+                batch=1,
+                footprint_bytes=entry.graph.memory_bytes,
+            )
+            for level, dec in enumerate(solo.decisions):
+                signals = {k: v for k, v in dec.signals if k != "level"}
+                self.audit.record(
+                    "direction",
+                    live[0].qid,
+                    dec.strategy,
+                    at_ms=now_ms,
+                    level=level,
+                    reason=dec.reason,
+                    **signals,
+                )
         return solo.elapsed_ms, 1.0, lambda _s: solo.levels, "solo"
+
+    # ------------------------------------------------------------------
+    def _audit_routing(self, live, engine, now_ms, **detail):
+        # One "routing" record per live query of the dispatch, carrying
+        # the footprint/threshold inputs behind the tier pick.
+        self.audit.record(
+            "routing",
+            [q.qid for q in live],
+            engine,
+            at_ms=now_ms,
+            **detail,
+        )
+
+    def _audit_distributed(self, live, batch_result, now_ms):
+        # Per-level direction + codec records for a pod dispatch:
+        # run_batch returns one run per distinct source, and each
+        # query's chain shows the decisions of its own run.
+        run_of = {run.source: run for run in batch_result.runs}
+        for q in live:
+            run = run_of.get(q.source)
+            if run is None:
+                continue
+            for entry_rec in run.level_decisions:
+                detail = {
+                    k: v
+                    for k, v in entry_rec.items()
+                    if k not in ("direction", "formats") and v is not None
+                }
+                self.audit.record(
+                    "direction",
+                    q.qid,
+                    entry_rec["direction"],
+                    at_ms=now_ms,
+                    **detail,
+                )
+                formats = entry_rec.get("formats") or {}
+                if sum(formats.values()):
+                    self.audit.record(
+                        "codec",
+                        q.qid,
+                        " ".join(
+                            f"{fmt}:{n}" for fmt, n in sorted(formats.items()) if n
+                        ),
+                        at_ms=now_ms,
+                        level=entry_rec["level"],
+                        comm_bytes=entry_rec.get("comm_bytes", 0),
+                    )
 
     def _run_serial(self, entry: RegistryEntry, live: list[Query], sources):
         """Circuit-breaker fallback: queue-based CPU BFS per source.

@@ -16,14 +16,17 @@ values :func:`repro.metrics.results_io.diff_results` never compares
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable
 
 from repro.service.request import QueryOutcome
+from repro.telemetry.sketch import LatencySketch
 from repro.telemetry.stats import percentile
 
 __all__ = [
     "ServiceMetrics",
     "ENGINE_NAMES",
     "FINGERPRINT_ENGINE_NAMES",
+    "merge_latency_sketches",
     "percentile",
 ]
 
@@ -84,6 +87,30 @@ class ServiceMetrics:
     level_restarts: int = 0
     #: Virtual backoff delay per recovered dispatch (ms).
     recovery_ms: list[float] = field(default_factory=list)
+    #: When False the raw per-sample lists above stay empty and every
+    #: percentile comes from the bounded log-bucket sketches instead —
+    #: O(buckets) memory regardless of trace length. The default True
+    #: keeps the historical exact-percentile behaviour (and the
+    #: recorded fingerprints) byte-identical.
+    exact_percentiles: bool = True
+    #: Mergeable bounded sketches, maintained in *both* modes so
+    #: cross-replica aggregation works regardless of the flag.
+    latency_sketch: LatencySketch = field(default_factory=LatencySketch)
+    sketch_by_qos: dict[str, LatencySketch] = field(default_factory=dict)
+    recovery_sketch: LatencySketch = field(default_factory=LatencySketch)
+    host_sketch: LatencySketch = field(default_factory=LatencySketch)
+    #: Served query count per QoS class (kept in both modes).
+    served_by_qos: dict[str, int] = field(default_factory=dict)
+    # Running totals that stand in for len()/sum() over the raw lists;
+    # accumulated in sample order, so in exact mode they equal the
+    # list aggregates bit-for-bit.
+    dispatches: int = 0
+    batch_size_sum: int = 0
+    sharing_sum: float = 0.0
+    latency_sum: float = 0.0
+    recoveries_count: int = 0
+    host_dispatches: int = 0
+    host_total_s: float = 0.0
 
     # ------------------------------------------------------------------
     def record_outcome(self, outcome: QueryOutcome) -> None:
@@ -102,22 +129,39 @@ class ServiceMetrics:
             )
             return
         self.served += 1
-        self.latencies_ms.append(outcome.latency_ms)
-        self.latencies_by_qos.setdefault(outcome.query.qos, []).append(
-            outcome.latency_ms
-        )
+        latency = outcome.latency_ms
+        qos = outcome.query.qos
+        self.latency_sum += latency
+        self.latency_sketch.record(latency)
+        self.served_by_qos[qos] = self.served_by_qos.get(qos, 0) + 1
+        qos_sketch = self.sketch_by_qos.get(qos)
+        if qos_sketch is None:
+            qos_sketch = self.sketch_by_qos[qos] = LatencySketch()
+        qos_sketch.record(latency)
+        if self.exact_percentiles:
+            self.latencies_ms.append(latency)
+            self.latencies_by_qos.setdefault(qos, []).append(latency)
         self.served_by_tenant[tenant] = self.served_by_tenant.get(tenant, 0) + 1
         self.total_traversed_edges += outcome.traversed_edges
         self.last_finish_ms = max(self.last_finish_ms, outcome.finish_ms)
 
     def record_batch(self, num_queries: int, sharing_factor: float) -> None:
         """Record one dispatch (solo runs count with sharing 1.0)."""
-        self.batch_sizes.append(num_queries)
-        self.sharing_factors.append(sharing_factor)
+        self.dispatches += 1
+        self.batch_size_sum += int(num_queries)
+        self.sharing_sum += sharing_factor
+        if self.exact_percentiles:
+            self.batch_sizes.append(num_queries)
+            self.sharing_factors.append(sharing_factor)
 
     def record_host_dispatch(self, seconds: float) -> None:
         """Record the host wall-clock cost of one dispatch."""
-        self.host_dispatch_s.append(float(seconds))
+        seconds = float(seconds)
+        self.host_dispatches += 1
+        self.host_total_s += seconds
+        self.host_sketch.record(seconds)
+        if self.exact_percentiles:
+            self.host_dispatch_s.append(seconds)
 
     def record_engine(self, engine: str) -> None:
         """Count one dispatch against the engine that served it."""
@@ -142,7 +186,11 @@ class ServiceMetrics:
 
     def record_recovery(self, virtual_ms: float) -> None:
         """Total virtual recovery delay of one recovered dispatch."""
-        self.recovery_ms.append(float(virtual_ms))
+        virtual_ms = float(virtual_ms)
+        self.recoveries_count += 1
+        self.recovery_sketch.record(virtual_ms)
+        if self.exact_percentiles:
+            self.recovery_ms.append(virtual_ms)
 
     def sync_faults(self, faults_injected: int) -> None:
         """Adopt the injector's fired-event total (monotone)."""
@@ -185,15 +233,40 @@ class ServiceMetrics:
 
     @property
     def mean_sharing_factor(self) -> float:
-        if not self.sharing_factors:
+        if not self.dispatches:
             return 1.0
-        return sum(self.sharing_factors) / len(self.sharing_factors)
+        return self.sharing_sum / self.dispatches
 
     @property
     def mean_batch_size(self) -> float:
-        if not self.batch_sizes:
+        if not self.dispatches:
             return 0.0
-        return sum(self.batch_sizes) / len(self.batch_sizes)
+        return self.batch_size_sum / self.dispatches
+
+    # ------------------------------------------------------------------
+    # Percentile helpers: exact order statistics from the raw lists in
+    # the default mode, the bounded sketch estimate (<=2% relative
+    # error) in bounded mode.
+    def latency_percentile(self, q: float) -> float:
+        if self.exact_percentiles:
+            return percentile(self.latencies_ms, q)
+        return self.latency_sketch.percentile(q)
+
+    def qos_latency_percentile(self, qos: str, q: float) -> float:
+        if self.exact_percentiles:
+            return percentile(self.latencies_by_qos.get(qos, []), q)
+        sketch = self.sketch_by_qos.get(qos)
+        return sketch.percentile(q) if sketch is not None else 0.0
+
+    def recovery_percentile(self, q: float) -> float:
+        if self.exact_percentiles:
+            return percentile(self.recovery_ms, q)
+        return self.recovery_sketch.percentile(q)
+
+    def host_percentile_ms(self, q: float) -> float:
+        if self.exact_percentiles:
+            return percentile(self.host_dispatch_s, q) * 1e3
+        return self.host_sketch.percentile(q) * 1e3
 
     # ------------------------------------------------------------------
     def stats(self) -> dict:
@@ -207,7 +280,7 @@ class ServiceMetrics:
         for engine in sorted(self.engine_dispatches):
             if engine not in ENGINE_NAMES:
                 out[f"dispatches_{engine}"] = self.engine_dispatches[engine]
-        out["dispatches"] = len(self.batch_sizes)
+        out["dispatches"] = self.dispatches
         out["engine_dispatches"] = dict(self.engine_dispatches)
         return out
 
@@ -220,15 +293,13 @@ class ServiceMetrics:
             "rejected_queue_full": self.rejected_queue_full,
             "rejected_deadline": self.rejected_deadline,
             "rejected_quota": self.rejected_quota,
-            "p50_ms": percentile(self.latencies_ms, 50),
-            "p95_ms": percentile(self.latencies_ms, 95),
-            "p99_ms": percentile(self.latencies_ms, 99),
+            "p50_ms": self.latency_percentile(50),
+            "p95_ms": self.latency_percentile(95),
+            "p99_ms": self.latency_percentile(99),
             "mean_latency_ms": (
-                sum(self.latencies_ms) / len(self.latencies_ms)
-                if self.latencies_ms
-                else 0.0
+                self.latency_sum / self.served if self.served else 0.0
             ),
-            "dispatches": len(self.batch_sizes),
+            "dispatches": self.dispatches,
             # Per-engine dispatch counts sit at the top level so the
             # routing policy itself is fingerprinted by
             # tools/check_regression.py. Engines outside the frozen
@@ -256,9 +327,9 @@ class ServiceMetrics:
             "fallbacks": self.fallbacks,
             "breaker_trips": self.breaker_trips,
             "level_restarts": self.level_restarts,
-            "recoveries": len(self.recovery_ms),
-            "recovery_p50_ms": percentile(self.recovery_ms, 50),
-            "recovery_p95_ms": percentile(self.recovery_ms, 95),
+            "recoveries": self.recoveries_count,
+            "recovery_p50_ms": self.recovery_percentile(50),
+            "recovery_p95_ms": self.recovery_percentile(95),
         }
         # Per-QoS tails and per-tenant counts ride in nested dicts:
         # flattened into dotted Prometheus counters by the telemetry
@@ -266,12 +337,12 @@ class ServiceMetrics:
         # (class membership varies with the trace, not the model).
         out["per_qos"] = {
             qos: {
-                "served": len(lat),
-                "p50_ms": percentile(lat, 50),
-                "p95_ms": percentile(lat, 95),
-                "p99_ms": percentile(lat, 99),
+                "served": self.served_by_qos[qos],
+                "p50_ms": self.qos_latency_percentile(qos, 50),
+                "p95_ms": self.qos_latency_percentile(qos, 95),
+                "p99_ms": self.qos_latency_percentile(qos, 99),
             }
-            for qos, lat in sorted(self.latencies_by_qos.items())
+            for qos in sorted(self.served_by_qos)
         }
         out["per_tenant"] = {
             tenant: {
@@ -288,12 +359,11 @@ class ServiceMetrics:
         # Machine-dependent wall-clock numbers ride in a nested dict so
         # the deterministic fingerprint (top-level numerics only) never
         # sees them.
-        host = self.host_dispatch_s
         out["host"] = {
-            "dispatches": len(host),
-            "total_s": sum(host),
-            "p50_ms": percentile(host, 50) * 1e3,
-            "p95_ms": percentile(host, 95) * 1e3,
+            "dispatches": self.host_dispatches,
+            "total_s": self.host_total_s,
+            "p50_ms": self.host_percentile_ms(50),
+            "p95_ms": self.host_percentile_ms(95),
         }
         return out
 
@@ -324,12 +394,13 @@ class ServiceMetrics:
                     if engine in self.engine_dispatches
                 )
             )
-        if len(self.latencies_by_qos) > 1 or len(self.served_by_tenant) > 1:
+        if len(self.served_by_qos) > 1 or len(self.served_by_tenant) > 1:
             lines.append(
                 "qos:        "
                 + "  ".join(
-                    f"{qos} p99 {percentile(lat, 99):.3f} ms ({len(lat)})"
-                    for qos, lat in sorted(self.latencies_by_qos.items())
+                    f"{qos} p99 {self.qos_latency_percentile(qos, 99):.3f} ms "
+                    f"({self.served_by_qos[qos]})"
+                    for qos in sorted(self.served_by_qos)
                 )
                 + f"  tenants={len(set(self.served_by_tenant) | set(self.rejected_by_tenant))}"
             )
@@ -342,7 +413,7 @@ class ServiceMetrics:
                 f"recovery p50 {s['recovery_p50_ms']:.3f} ms / "
                 f"p95 {s['recovery_p95_ms']:.3f} ms"
             )
-        if self.host_dispatch_s:
+        if self.host_dispatches:
             h = s["host"]
             lines.append(
                 f"host:       p50 {h['p50_ms']:.3f} ms  "
@@ -359,3 +430,9 @@ class ServiceMetrics:
                 f"{registry_stats['graphs_cached']} cached)"
             )
         return "\n".join(lines)
+
+
+def merge_latency_sketches(metrics: Iterable[ServiceMetrics]) -> LatencySketch:
+    """Merge the latency sketches of several metrics objects (one per
+    cluster replica, typically) into a single cluster-wide sketch."""
+    return LatencySketch.merged(m.latency_sketch for m in metrics)

@@ -113,6 +113,9 @@ class BFSService:
         recovery: RecoveryPolicy | None = None,
         tracer: Tracer | None = None,
         track_prefix: str = "",
+        audit=None,
+        slo=None,
+        bounded_metrics: bool = False,
     ) -> None:
         # Explicit None-check: an empty GraphRegistry has len() == 0
         # and would read as falsy.
@@ -123,13 +126,24 @@ class BFSService:
                 seed=seed,
             )
         self.registry = registry
+        #: Decision-audit log shared by admission / scheduler /
+        #: executor (observer-only; ``None`` disables).
+        self.audit = audit
+        #: Optional :class:`~repro.obs.slo.SloEngine` observing every
+        #: terminal outcome.
+        self.slo = slo
         self.admission = AdmissionController(
             AdmissionPolicy(
                 max_queue_depth=max_queue_depth,
                 default_deadline_ms=default_deadline_ms,
-            )
+            ),
+            audit=audit,
         )
-        self.metrics = ServiceMetrics()
+        # bounded_metrics=True swaps exact per-class latency lists for
+        # the mergeable log-bucket sketches (O(buckets) memory); the
+        # default keeps exact percentiles so summaries stay
+        # byte-identical.
+        self.metrics = ServiceMetrics(exact_percentiles=not bounded_metrics)
         #: The declarative plan (kept for reports); its injector below
         #: holds all mutable fault state. A cluster passes one shared
         #: ``fault_injector`` to every replica instead — one RNG stream,
@@ -166,6 +180,8 @@ class BFSService:
             linalg_batch_threshold=linalg_batch_threshold,
             partition=partition,
             track_prefix=track_prefix,
+            audit=audit,
+            slo=slo,
         )
         #: The execution plane (engine routing + fault recovery) the
         #: scheduler dispatches onto — the third concern of the

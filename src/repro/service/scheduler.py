@@ -50,6 +50,7 @@ from repro.errors import (
     ServiceError,
 )
 from repro.faults.recovery import RecoveryPolicy
+from repro.obs.audit import NULL_AUDIT
 from repro.service.admission import AdmissionController
 from repro.service.execution import (
     SERIAL_FALLBACK_MS_PER_MEDGE,
@@ -95,6 +96,8 @@ class CoalescingScheduler:
         partition: str = "1d",
         executor: ExecutionEngine | None = None,
         track_prefix: str = "",
+        audit=None,
+        slo=None,
     ) -> None:
         if workers < 1:
             raise ServiceError("scheduler needs at least one worker")
@@ -102,7 +105,12 @@ class CoalescingScheduler:
             raise ServiceError("window_ms must be >= 0")
         self.registry = registry
         self.window_ms = window_ms
-        self.admission = admission or AdmissionController()
+        #: Decision-audit log (observer-only; NULL_AUDIT = disabled).
+        self.audit = audit if audit is not None else NULL_AUDIT
+        #: Optional :class:`~repro.obs.slo.SloEngine` fed one
+        #: observation per terminal outcome (served or rejected).
+        self.slo = slo
+        self.admission = admission or AdmissionController(audit=self.audit)
         self.metrics = metrics or ServiceMetrics()
         self.workers = [WorkerState(i) for i in range(workers)]
         self.outcomes: list[QueryOutcome] = []
@@ -136,6 +144,7 @@ class CoalescingScheduler:
             fault_injector=fault_injector,
             recovery=recovery,
             tracer=self.tracer,
+            audit=self.audit,
         )
         # The batch cap is engine-aware: ``None`` adopts the executor's
         # cap (64 on the concurrent path, the bitmap engine's cap with
@@ -226,6 +235,7 @@ class CoalescingScheduler:
             )
             self.outcomes.append(outcome)
             self.metrics.record_outcome(outcome)
+            self._observe_outcome(outcome, query.arrival_ms)
             raise
         self._pending.append(query)
         self._dispatch_full_groups(query)
@@ -294,6 +304,7 @@ class CoalescingScheduler:
                 outcome = QueryOutcome(query=q, levels=None, rejected="deadline")
                 self.outcomes.append(outcome)
                 self.metrics.record_outcome(outcome)
+                self._observe_outcome(outcome, start)
             else:
                 live.append(q)
         if not live:
@@ -337,7 +348,8 @@ class CoalescingScheduler:
             sp.advance_to(start + build_ms)
 
             elapsed, sharing, levels_of, engine = self.executor.run(
-                entry, live, sources, batched, graph_key=anchor.graph
+                entry, live, sources, batched, graph_key=anchor.graph,
+                now_ms=start,
             )
             sp.set(engine=engine)
             self.metrics.record_engine(engine)
@@ -370,6 +382,48 @@ class CoalescingScheduler:
                 )
                 self.outcomes.append(outcome)
                 self.metrics.record_outcome(outcome)
+                self._observe_outcome(outcome, finish)
+
+    # ------------------------------------------------------------------
+    def _observe_outcome(self, outcome: QueryOutcome, at_ms: float) -> None:
+        """Feed one terminal outcome to the audit and SLO observers.
+
+        Pure observation — called after the outcome is already recorded
+        in metrics, so enabling either plane never changes an answer.
+        """
+        q = outcome.query
+        if self.audit.enabled:
+            if outcome.served:
+                self.audit.record(
+                    "outcome",
+                    q.qid,
+                    "served",
+                    at_ms=at_ms,
+                    latency_ms=outcome.latency_ms,
+                    engine=outcome.engine,
+                    worker=outcome.worker,
+                    batch_size=outcome.batch_size,
+                    qos=q.qos,
+                    tenant=q.tenant,
+                )
+            else:
+                self.audit.record(
+                    "outcome",
+                    q.qid,
+                    f"rejected:{outcome.rejected}",
+                    at_ms=at_ms,
+                    qos=q.qos,
+                    tenant=q.tenant,
+                )
+        if self.slo is not None and self.slo.enabled:
+            self.slo.observe(
+                at_ms=at_ms,
+                latency_ms=outcome.latency_ms if outcome.served else 0.0,
+                served=outcome.served,
+                qos=q.qos,
+                tenant=q.tenant,
+                qid=q.qid,
+            )
 
     def worker_stats(self) -> list[dict]:
         """Per-worker utilisation snapshot (JSON-able)."""

@@ -31,6 +31,8 @@ from repro.telemetry.tracer import Tracer
 
 __all__ = [
     "chrome_trace",
+    "labelled",
+    "parse_prometheus",
     "render_prometheus",
     "to_jsonl",
     "write_chrome_trace",
@@ -130,29 +132,151 @@ def write_chrome_trace(tracer: Tracer, path: str | Path) -> None:
 # Prometheus text format
 # ----------------------------------------------------------------------
 _NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
+_LABELLED_KEY_RE = re.compile(r"^(?P<base>[^{]+)\{(?P<labels>.*)\}$", re.DOTALL)
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>\S+)\s*$"
+)
 
 
 def _metric_name(key: str, prefix: str) -> str:
     return f"{prefix}_{_NAME_RE.sub('_', key)}"
 
 
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _unescape_label_value(value: str) -> str:
+    out = []
+    i = 0
+    while i < len(value):
+        ch = value[i]
+        if ch == "\\" and i + 1 < len(value):
+            nxt = value[i + 1]
+            if nxt == "n":
+                out.append("\n")
+            elif nxt in ('"', "\\"):
+                out.append(nxt)
+            else:
+                out.append(ch)
+                out.append(nxt)
+            i += 2
+            continue
+        out.append(ch)
+        i += 1
+    return "".join(out)
+
+
+def labelled(name: str, **labels) -> str:
+    """Build a registry key carrying Prometheus labels.
+
+    ``labelled("burn_rate", slo="interactive-p50")`` yields
+    ``burn_rate{slo="interactive-p50"}``; :func:`render_prometheus`
+    splits the label block off before sanitising the metric name, so
+    the labels survive export verbatim (values escaped per the
+    Prometheus text-format rules). Labels are sorted for determinism.
+    """
+    if not labels:
+        return name
+    inner = ",".join(
+        f'{key}="{_escape_label_value(str(value))}"'
+        for key, value in sorted(labels.items())
+    )
+    return f"{name}{{{inner}}}"
+
+
+def _parse_label_block(block: str) -> dict[str, str]:
+    """Parse ``k="v",k2="v2"`` honouring escaped quotes/backslashes."""
+    labels: dict[str, str] = {}
+    i = 0
+    n = len(block)
+    while i < n:
+        eq = block.index("=", i)
+        key = block[i:eq].strip().lstrip(",").strip()
+        if block[eq + 1] != '"':
+            raise ValueError(f"malformed label block: {block!r}")
+        j = eq + 2
+        raw = []
+        while j < n:
+            ch = block[j]
+            if ch == "\\" and j + 1 < n:
+                raw.append(ch)
+                raw.append(block[j + 1])
+                j += 2
+                continue
+            if ch == '"':
+                break
+            raw.append(ch)
+            j += 1
+        else:
+            raise ValueError(f"unterminated label value in {block!r}")
+        labels[key] = _unescape_label_value("".join(raw))
+        i = j + 1
+    return labels
+
+
+def _format_value(value: float) -> str:
+    # %g loses precision past six significant digits (1000001 -> 1e+06);
+    # shortest-round-trip repr keeps the scrape lossless.
+    return str(int(value)) if value.is_integer() else repr(value)
+
+
 def render_prometheus(registry, *, prefix: str = "repro") -> str:
     """A :class:`CounterRegistry` snapshot in Prometheus text format.
 
     Every counter is exposed as an untyped gauge; names are the dotted
-    registry keys with non-alphanumerics folded to ``_``. Duplicate
-    post-sanitisation names keep the last value (registry keys are
-    unique, so this only happens with adversarial key choices).
+    registry keys with non-alphanumerics folded to ``_``. Keys built by
+    :func:`labelled` (``base{k="v"}``) keep their label block: only the
+    base is sanitised and the samples for one metric name share a
+    single ``# HELP``/``# TYPE`` header. Label values are escaped per
+    the text-format rules (``\\``, ``\"``, newline).
     """
     snapshot = registry.snapshot()
-    lines = []
+    groups: dict[str, list[tuple[str | None, str, float]]] = {}
     for key in sorted(snapshot):
-        name = _metric_name(key, prefix)
-        value = snapshot[key]
-        lines.append(f"# HELP {name} repro counter {key}")
+        match = _LABELLED_KEY_RE.match(key)
+        if match:
+            base, label_block = match.group("base"), match.group("labels")
+        else:
+            base, label_block = key, None
+        name = _metric_name(base, prefix)
+        groups.setdefault(name, []).append((label_block, base, float(snapshot[key])))
+    lines = []
+    for name, samples in groups.items():
+        lines.append(f"# HELP {name} repro counter {samples[0][1]}")
         lines.append(f"# TYPE {name} gauge")
-        lines.append(f"{name} {float(value):g}")
+        for label_block, _base, value in samples:
+            if label_block is None:
+                lines.append(f"{name} {_format_value(value)}")
+            else:
+                lines.append(f"{name}{{{label_block}}} {_format_value(value)}")
     return "\n".join(lines) + ("\n" if lines else "")
+
+
+def parse_prometheus(text: str) -> list[tuple[str, dict[str, str], float]]:
+    """Scrape Prometheus text back into ``(name, labels, value)`` tuples.
+
+    The inverse of :func:`render_prometheus` (comment lines are
+    skipped); used by the exporter round-trip tests and by anything
+    that wants to diff two scrapes structurally.
+    """
+    samples: list[tuple[str, dict[str, str], float]] = []
+    # split("\n"), not splitlines(): an escaped label value may carry
+    # exotic unicode line separators (\x85,  ) that splitlines()
+    # would treat as record boundaries mid-sample.
+    for line in text.split("\n"):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if not match:
+            raise ValueError(f"malformed Prometheus sample line: {line!r}")
+        label_block = match.group("labels")
+        labels = _parse_label_block(label_block) if label_block else {}
+        samples.append((match.group("name"), labels, float(match.group("value"))))
+    return samples
 
 
 def write_prometheus(registry, path: str | Path, *, prefix: str = "repro") -> None:

@@ -29,10 +29,18 @@ _STRATEGIES = (SCAN_FREE, SINGLE_SCAN, BOTTOM_UP)
 
 @dataclass(frozen=True)
 class Decision:
-    """A strategy choice plus the rule that produced it (for traces)."""
+    """A strategy choice plus the rule that produced it (for traces).
+
+    ``signals`` carries the classifier inputs behind the choice as a
+    tuple of ``(name, value)`` pairs — the raw material the
+    decision-audit plane (``repro explain``) renders so an operator
+    can see *why* a level switched direction. Purely descriptive: the
+    choice is made from the arguments, never from this field.
+    """
 
     strategy: str
     reason: str
+    signals: tuple = ()
 
 
 @dataclass(frozen=True)
@@ -96,15 +104,27 @@ class AdaptiveClassifier:
         enough_work = (
             frontier_edges is None or frontier_edges >= self.min_bottom_up_edges
         )
+        growth = frontier_size / max(1, prev_frontier_size)
+        signals = (
+            ("ratio", ratio),
+            ("alpha", self.alpha),
+            ("frontier_size", frontier_size),
+            ("growth", growth),
+            ("frontier_edges", frontier_edges),
+            ("prev_strategy", prev_strategy),
+            ("level", level),
+        )
         if ratio > self.alpha and enough_work:
-            return Decision(BOTTOM_UP, f"ratio {ratio:.3g} > alpha {self.alpha}")
+            return Decision(
+                BOTTOM_UP, f"ratio {ratio:.3g} > alpha {self.alpha}", signals
+            )
         if prev_strategy == BOTTOM_UP:
             # Post-peak: reuse the bottom-up queue, skip generation.
             return Decision(
                 SINGLE_SCAN,
                 "after bottom-up: single-scan skips frontier generation",
+                signals,
             )
-        growth = frontier_size / max(1, prev_frontier_size)
         if (
             growth >= self.growth_threshold
             and ratio >= self.min_single_scan_ratio
@@ -112,5 +132,6 @@ class AdaptiveClassifier:
             return Decision(
                 SINGLE_SCAN,
                 f"growth {growth:.1f}x >= {self.growth_threshold} at ratio {ratio:.3g}",
+                signals,
             )
-        return Decision(SCAN_FREE, f"small frontier (ratio {ratio:.3g})")
+        return Decision(SCAN_FREE, f"small frontier (ratio {ratio:.3g})", signals)

@@ -54,7 +54,7 @@ from repro.graph.csr import CSRGraph
 from repro.perf import NULL_PROFILER, HostProfiler
 from repro.telemetry.tracer import NULL_TRACER, Tracer
 from repro.xbfs import bitmap as bm
-from repro.xbfs.classifier import BOTTOM_UP, SINGLE_SCAN, AdaptiveClassifier
+from repro.xbfs.classifier import BOTTOM_UP, SINGLE_SCAN, AdaptiveClassifier, Decision
 from repro.xbfs.common import gather_neighbors, segment_lines_touched
 from repro.xbfs.concurrent import validate_batch_sources
 
@@ -96,6 +96,9 @@ class LinAlgBatchResult:
     depth: int
     #: Product form per level (:data:`PUSH` / :data:`PULL`).
     directions: tuple = ()
+    #: Per-level :class:`Decision` records (direction + the classifier
+    #: reason/signals behind it) — the audit plane's raw material.
+    decisions: tuple = ()
     paid_warmup: bool = False
     #: Levels replayed from their checkpoint after injected faults.
     level_restarts: int = 0
@@ -186,9 +189,14 @@ class LinAlgBatchBFS:
         prev_direction: str | None,
         level: int,
         frontier_edges: int,
-    ) -> str:
+    ) -> Decision:
         if self.direction != "auto":
-            return PUSH if self.direction == "push" else PULL
+            pinned = PUSH if self.direction == "push" else PULL
+            return Decision(
+                pinned,
+                f"direction pinned to {self.direction!r}",
+                (("ratio", ratio), ("level", level)),
+            )
         decision = self.classifier.choose(
             ratio=ratio,
             frontier_size=active,
@@ -201,7 +209,11 @@ class LinAlgBatchBFS:
             level=level,
             frontier_edges=frontier_edges,
         )
-        return PULL if decision.strategy == BOTTOM_UP else PUSH
+        return Decision(
+            PULL if decision.strategy == BOTTOM_UP else PUSH,
+            decision.reason,
+            decision.signals,
+        )
 
     # ------------------------------------------------------------------
     def run(self, sources: np.ndarray) -> LinAlgBatchResult:
@@ -265,6 +277,7 @@ class LinAlgBatchBFS:
         solo_edges = 0
         level_restarts = 0
         directions: list[str] = []
+        decisions: list[Decision] = []
         prev_active = 1
         prev_direction: str | None = None
 
@@ -274,7 +287,7 @@ class LinAlgBatchBFS:
                 break
             bm.counter_add(planes, bm.fresh_mask(full[np.newaxis, :], visited))
             frontier_edges = int(degs[active].sum())
-            direction = self._choose_direction(
+            decision = self._choose_direction(
                 ratio=frontier_edges / total_edges,
                 active=int(active.size),
                 prev_active=prev_active,
@@ -282,6 +295,7 @@ class LinAlgBatchBFS:
                 level=level,
                 frontier_edges=frontier_edges,
             )
+            direction = decision.strategy
             if self.injector is not None:
                 # Level-entry checkpoint: an injected fault rolls the
                 # bitmap planes and counters back and replays the level.
@@ -346,6 +360,7 @@ class LinAlgBatchBFS:
                     else:
                         break
             directions.append(direction)
+            decisions.append(decision)
             prof.count(f"levels/{direction}")
             prev_active = int(active.size)
             prev_direction = direction
@@ -369,6 +384,7 @@ class LinAlgBatchBFS:
             solo_edges=solo_edges,
             depth=level,
             directions=tuple(directions),
+            decisions=tuple(decisions),
             paid_warmup=paid_warmup,
             level_restarts=level_restarts,
         )

@@ -1,0 +1,79 @@
+"""AuditLog: record semantics, chain rendering, JSONL round-trip."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.audit import NULL_AUDIT, STAGES, AuditLog, AuditRecord
+
+
+def _populated() -> AuditLog:
+    log = AuditLog()
+    log.record("routing", [7, 3], "concurrent", at_ms=5.0, batch=2)
+    log.record("admission", 3, "admitted", at_ms=1.0, queue_depth=0)
+    log.record("admission", 7, "admitted", at_ms=1.5, queue_depth=1)
+    log.record("outcome", 3, "served", at_ms=9.0, latency_ms=8.0)
+    return log
+
+
+def test_record_fans_out_over_qids():
+    log = _populated()
+    assert len(log) == 5  # the routing record lands on both qids
+    assert log.queries() == [3, 7]
+
+
+def test_for_query_sorted_by_stage_then_seq():
+    log = _populated()
+    chain = log.for_query(3)
+    assert [r.stage for r in chain] == ["admission", "routing", "outcome"]
+    assert chain[0].decision == "admitted"
+    assert chain[1].detail == {"batch": 2}
+
+
+def test_unknown_stage_rejected():
+    log = AuditLog()
+    with pytest.raises(ValueError):
+        log.record("nonsense", 1, "x")
+    assert set(STAGES) >= {"admission", "placement", "steal", "routing",
+                           "direction", "codec", "outcome"}
+
+
+def test_render_chain():
+    log = _populated()
+    text = log.render_chain(3)
+    assert "query 3" in text
+    assert "[admission]" in text and "served" in text
+    missing = log.render_chain(999)
+    assert "no audit records" in missing
+
+
+def test_counters():
+    c = _populated().counters()
+    assert c["records"] == 5
+    assert c["queries"] == 2
+    assert c["records_admission"] == 2
+    assert c["records_routing"] == 2
+
+
+def test_jsonl_round_trip(tmp_path):
+    log = _populated()
+    path = tmp_path / "audit.jsonl"
+    log.write(path)
+    clone = AuditLog.load(path)
+    assert len(clone) == len(log)
+    assert [r.to_dict() for r in clone.records] == [
+        r.to_dict() for r in log.records
+    ]
+    assert clone.render_chain(7) == log.render_chain(7)
+
+
+def test_record_round_trip():
+    rec = AuditRecord(seq=4, qid=9, stage="codec", decision="bitmap:3",
+                      at_ms=2.5, detail={"level": 1})
+    assert AuditRecord.from_dict(rec.to_dict()) == rec
+
+
+def test_null_audit_is_inert():
+    assert NULL_AUDIT.enabled is False
+    NULL_AUDIT.record("routing", 1, "whatever")  # no-op, no error
+    assert NULL_AUDIT.counters() == {}

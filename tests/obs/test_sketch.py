@@ -1,0 +1,165 @@
+"""LatencySketch: accuracy vs the exact percentile, mergeability,
+order-independence, and the bounded-memory contract.
+
+The sketch is the bounded-memory replacement for the unbounded
+per-class latency lists in :class:`ServiceMetrics`. Its contract:
+
+* every percentile is within one log-bucket (≤ 2% relative error with
+  the default 1% relative accuracy) of the exact percentile over the
+  same stream;
+* merging sketches equals sketching the concatenated stream, in any
+  merge order (integer bucket counts — no float drift);
+* memory is O(buckets), independent of the stream length.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.telemetry.sketch import LatencySketch
+from repro.telemetry.stats import percentile
+
+QS = (0.0, 1.0, 10.0, 50.0, 90.0, 95.0, 99.0, 100.0)
+
+latency = st.floats(
+    min_value=1e-3, max_value=1e5, allow_nan=False, allow_infinity=False
+)
+streams = st.lists(latency, min_size=1, max_size=200)
+
+
+def _rel_err(approx: float, exact: float) -> float:
+    if exact == 0.0:
+        return abs(approx)
+    return abs(approx - exact) / abs(exact)
+
+
+# ----------------------------------------------------------------------
+# accuracy against the exact percentile
+def test_percentiles_within_two_percent_of_exact():
+    # Deterministic heavy-tailed stream spanning five decades.
+    values = [
+        0.1 * (1.7 ** (i % 29)) + 0.013 * i for i in range(5000)
+    ]
+    sk = LatencySketch()
+    sk.record_many(values)
+    for q in QS:
+        exact = percentile(values, q)
+        assert _rel_err(sk.percentile(q), exact) <= 0.02, (
+            f"p{q}: sketch {sk.percentile(q)} vs exact {exact}"
+        )
+
+
+@given(streams)
+@settings(max_examples=60, deadline=None)
+def test_percentiles_accuracy_property(values):
+    sk = LatencySketch()
+    sk.record_many(values)
+    for q in (50.0, 95.0, 99.0):
+        assert _rel_err(sk.percentile(q), percentile(values, q)) <= 0.02
+
+
+def test_exact_stats_are_exact():
+    values = [3.5, 0.25, 11.0, 3.5, 0.0]
+    sk = LatencySketch()
+    sk.record_many(values)
+    assert sk.count == len(values)
+    assert sk.sum == pytest.approx(sum(values))
+    assert sk.min == 0.0
+    assert sk.max == 11.0
+    assert len(sk) == len(values)
+
+
+def test_zero_and_extremes_clamped():
+    sk = LatencySketch()
+    sk.record(0.0)
+    sk.record(5.0)
+    assert sk.percentile(0) == 0.0
+    assert sk.percentile(100) <= 5.0 * 1.01 + 1e-12
+    with pytest.raises(ValueError):
+        sk.record(-1.0)
+    with pytest.raises(ValueError):
+        sk.record(float("nan"))
+    with pytest.raises(ValueError):
+        sk.percentile(101)
+
+
+def test_empty_sketch():
+    sk = LatencySketch()
+    assert sk.count == 0
+    assert sk.percentile(50) == 0.0
+
+
+# ----------------------------------------------------------------------
+# merge semantics (hypothesis property tests — satellite c)
+def _exact_part(d: dict) -> dict:
+    """The order-independent part of a sketch dump: integer bucket
+    counts and min/max. ``sum`` is a float accumulator and is only
+    reproducible up to addition order."""
+    return {k: v for k, v in d.items() if k != "sum"}
+
+
+@given(st.lists(streams, min_size=2, max_size=5))
+@settings(max_examples=60, deadline=None)
+def test_merged_equals_concatenated(parts):
+    merged = LatencySketch.merged([_sketch_of(p) for p in parts])
+    concat = _sketch_of([v for p in parts for v in p])
+    assert _exact_part(merged.to_dict()) == _exact_part(concat.to_dict())
+    assert merged.sum == pytest.approx(concat.sum)
+    # Percentiles read only the (integer) buckets: exactly equal.
+    for q in QS:
+        assert merged.percentile(q) == concat.percentile(q)
+
+
+@given(st.lists(streams, min_size=2, max_size=5), st.randoms(use_true_random=False))
+@settings(max_examples=60, deadline=None)
+def test_merge_is_order_independent(parts, rng):
+    sketches = [_sketch_of(p) for p in parts]
+    shuffled = list(sketches)
+    rng.shuffle(shuffled)
+    a = LatencySketch.merged(sketches)
+    b = LatencySketch.merged(shuffled)
+    assert _exact_part(a.to_dict()) == _exact_part(b.to_dict())
+    for q in QS:
+        assert a.percentile(q) == b.percentile(q)
+
+
+def _sketch_of(values):
+    sk = LatencySketch()
+    sk.record_many(values)
+    return sk
+
+
+def test_merge_rejects_mismatched_accuracy():
+    a = LatencySketch(relative_accuracy=0.01)
+    b = LatencySketch(relative_accuracy=0.02)
+    with pytest.raises(ValueError):
+        a.merge(b)
+    with pytest.raises(TypeError):
+        a.merge([1.0])
+
+
+def test_serialisation_round_trip():
+    sk = _sketch_of([0.5, 7.0, 7.0, 123.4, 0.0])
+    clone = LatencySketch.from_dict(sk.to_dict())
+    assert clone.to_dict() == sk.to_dict()
+    assert clone.percentile(95) == sk.percentile(95)
+
+
+# ----------------------------------------------------------------------
+# bounded memory: O(buckets), independent of stream length
+def test_bucket_count_is_logarithmic_not_linear():
+    sk = LatencySketch()
+    # 200k samples over [0.01 ms, 10 s] — far more samples than the
+    # log-bucket space can hold distinct keys for.
+    for i in range(200_000):
+        sk.record(0.01 * (1.0001 ** (i % 120000)) + (i % 7) * 0.003)
+    # gamma ≈ 1.0202 → ~50 buckets per decade; six decades ≈ 300.
+    span_buckets = math.ceil(
+        math.log(1e6) / math.log((1 + 0.01) / (1 - 0.01))
+    )
+    assert sk.num_buckets <= span_buckets + 2
+    assert sk.count == 200_000

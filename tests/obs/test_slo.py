@@ -1,0 +1,153 @@
+"""SLO engine: spec parsing, burn-rate math, alert edges, surfaces."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.slo import (
+    DEFAULT_BURN_RULES,
+    BurnRule,
+    SloEngine,
+    SloSpec,
+    parse_slo_spec,
+)
+from repro.telemetry.tracer import Tracer
+
+
+def _spec(**kw):
+    base = dict(name="interactive", latency_target_ms=50.0, objective=0.9)
+    base.update(kw)
+    return SloSpec(**base)
+
+
+# ----------------------------------------------------------------------
+def test_spec_validation():
+    with pytest.raises(ValueError):
+        SloSpec(name="", latency_target_ms=50.0)
+    with pytest.raises(ValueError):
+        SloSpec(name="x", latency_target_ms=-1.0)
+    with pytest.raises(ValueError):
+        SloSpec(name="x", latency_target_ms=1.0, objective=1.5)
+    with pytest.raises(ValueError):
+        BurnRule(window_ms=0.0, burn_threshold=1.0)
+    assert _spec().error_budget == pytest.approx(0.1)
+
+
+def test_spec_matching():
+    spec = _spec(qos="interactive", tenant="t0")
+    assert spec.matches("interactive", "t0")
+    assert not spec.matches("batch", "t0")
+    assert not spec.matches("interactive", "t1")
+    wildcard = _spec()
+    assert wildcard.matches("anything", "anyone")
+
+
+def test_parse_slo_spec():
+    spec = parse_slo_spec(
+        "name=fast,target_ms=25,objective=0.95,qos=interactive,"
+        "tenant=t1,fast_window_ms=40,fast_burn=10,slow_window_ms=300,"
+        "slow_burn=4"
+    )
+    assert spec.name == "fast"
+    assert spec.latency_target_ms == 25.0
+    assert spec.objective == 0.95
+    assert spec.qos == "interactive"
+    assert spec.tenant == "t1"
+    assert spec.rules == (BurnRule(40.0, 10.0), BurnRule(300.0, 4.0))
+    assert parse_slo_spec("name=x,target_ms=5").rules == DEFAULT_BURN_RULES
+    with pytest.raises(ValueError):
+        parse_slo_spec("target_ms=5")  # name missing
+    with pytest.raises(ValueError):
+        parse_slo_spec("name=x,target_ms=5,bogus=1")
+
+
+def test_duplicate_names_rejected():
+    with pytest.raises(ValueError):
+        SloEngine([_spec(), _spec()])
+
+
+# ----------------------------------------------------------------------
+def test_burn_rate_counts_bad_fraction_over_window():
+    # objective 0.9 → error budget 0.1; 2 bad of 10 in-window → burn 2.0
+    eng = SloEngine([_spec(rules=(BurnRule(100.0, 100.0),))])
+    for i in range(10):
+        eng.observe(
+            at_ms=float(i),
+            latency_ms=10.0 if i not in (3, 7) else 500.0,
+            served=True,
+            qos="interactive",
+            tenant="t0",
+        )
+    assert eng.burn_rate("interactive", 100.0, now_ms=9.0) == pytest.approx(2.0)
+
+
+def test_rejections_count_as_bad():
+    eng = SloEngine([_spec(rules=(BurnRule(100.0, 100.0),))])
+    eng.observe(at_ms=0.0, latency_ms=0.0, served=False, qos="q", tenant="t")
+    eng.observe(at_ms=1.0, latency_ms=1.0, served=True, qos="q", tenant="t")
+    st = eng.status()[0]
+    assert st["total"] == 2 and st["bad"] == 1
+
+
+def test_window_evicts_old_buckets():
+    eng = SloEngine([_spec(rules=(BurnRule(10.0, 100.0),))])
+    eng.observe(at_ms=0.0, latency_ms=500.0, served=True, qos="q", tenant="t")
+    for i in range(1, 50):
+        eng.observe(
+            at_ms=float(i * 10), latency_ms=1.0, served=True,
+            qos="q", tenant="t",
+        )
+    # The early bad sample fell out of the 10 ms window long ago.
+    assert eng.burn_rate("interactive", 10.0, now_ms=490.0) == 0.0
+
+
+def test_alert_rising_edge_and_resolve_through_tracer():
+    tracer = Tracer()
+    eng = SloEngine(
+        [_spec(objective=0.5, rules=(BurnRule(20.0, 1.5),))], tracer=tracer
+    )
+    # Failures drive burn over 1.5× budget → one alert on the edge.
+    for i in range(8):
+        eng.observe(
+            at_ms=float(i), latency_ms=999.0, served=True,
+            qos="q", tenant="t",
+        )
+    assert eng.alerting("interactive")
+    alerts = [e for e in tracer.events if e.name == "slo.alert"]
+    assert len(alerts) == 1  # latched: no re-fire while alerting
+    # Recovery: good samples push burn back under the threshold.
+    for i in range(8, 120):
+        eng.observe(
+            at_ms=float(i), latency_ms=1.0, served=True, qos="q", tenant="t"
+        )
+    assert not eng.alerting("interactive")
+    resolves = [e for e in tracer.events if e.name == "slo.resolve"]
+    assert len(resolves) == 1
+    st = eng.status()[0]
+    assert st["alerts_fired"] == 1 and not st["alerting"]
+
+
+def test_observe_filters_by_qos_and_tenant():
+    eng = SloEngine([_spec(qos="interactive")])
+    eng.observe(at_ms=0.0, latency_ms=1.0, served=True, qos="batch", tenant="t")
+    assert eng.status()[0]["total"] == 0
+    eng.observe(
+        at_ms=0.0, latency_ms=1.0, served=True, qos="interactive", tenant="t"
+    )
+    assert eng.status()[0]["total"] == 1
+
+
+def test_counters_and_render_surface():
+    eng = SloEngine([_spec()])
+    eng.observe(at_ms=0.0, latency_ms=1.0, served=True, qos="q", tenant="t")
+    counters = eng.counters()
+    assert 'total{slo="interactive"}' in counters
+    assert any(k.startswith("burn_rate{") for k in counters)
+    text = eng.render()
+    assert "interactive" in text and "budget" in text
+
+
+def test_unknown_slo_name():
+    eng = SloEngine([_spec()])
+    with pytest.raises(KeyError):
+        eng.burn_rate("nope", 50.0)

@@ -1,0 +1,135 @@
+"""Prometheus text-format polish: HELP/TYPE headers, label escaping,
+and the scrape round-trip.
+
+The contract: ``parse_prometheus(render_prometheus(reg))`` recovers
+exactly the ``(name, labels, value)`` samples the registry holds, for
+any label value (quotes, backslashes, newlines included), and
+label-free registries keep the plain ``name value`` line shape.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.telemetry import CounterRegistry, render_prometheus
+from repro.telemetry.export import labelled, parse_prometheus
+
+
+def _registry(counters: dict) -> CounterRegistry:
+    reg = CounterRegistry()
+    reg.attach("slo", lambda: dict(counters))
+    return reg
+
+
+# ----------------------------------------------------------------------
+# labelled() key construction
+# ----------------------------------------------------------------------
+def test_labelled_builds_sorted_label_block():
+    assert labelled("total") == "total"
+    assert labelled("total", slo="fast") == 'total{slo="fast"}'
+    # Labels sort for determinism regardless of kwarg order.
+    assert labelled("x", b="2", a="1") == 'x{a="1",b="2"}'
+
+
+def test_labelled_escapes_specials():
+    key = labelled("total", slo='he said "hi"\\\n')
+    assert key == 'total{slo="he said \\"hi\\"\\\\\\n"}'
+
+
+# ----------------------------------------------------------------------
+# Rendering: headers and line shape
+# ----------------------------------------------------------------------
+def test_help_and_type_precede_samples():
+    text = render_prometheus(_registry({"total": 3, "bad": 1}))
+    lines = text.splitlines()
+    # Each metric gets exactly one HELP and one TYPE, in that order,
+    # immediately before its sample line.
+    assert lines == [
+        "# HELP repro_slo_bad repro counter slo.bad",
+        "# TYPE repro_slo_bad gauge",
+        "repro_slo_bad 1",
+        "# HELP repro_slo_total repro counter slo.total",
+        "# TYPE repro_slo_total gauge",
+        "repro_slo_total 3",
+    ]
+    assert text.endswith("\n")
+
+
+def test_labelled_samples_share_one_header():
+    reg = _registry({
+        labelled("total", slo="fast"): 2,
+        labelled("total", slo="slow"): 5,
+    })
+    text = render_prometheus(reg)
+    assert text.count("# HELP repro_slo_total ") == 1
+    assert text.count("# TYPE repro_slo_total gauge") == 1
+    assert 'repro_slo_total{slo="fast"} 2' in text
+    assert 'repro_slo_total{slo="slow"} 5' in text
+
+
+def test_label_free_registry_has_no_label_blocks():
+    text = render_prometheus(_registry({"served": 7, "dropped": 0}))
+    assert "{" not in text and "}" not in text
+
+
+# ----------------------------------------------------------------------
+# Scrape round-trip
+# ----------------------------------------------------------------------
+def test_round_trip_mixed_samples():
+    reg = _registry({
+        "records": 12,
+        labelled("total", slo="interactive", tenant="t0"): 4,
+        labelled("burn_rate", slo="interactive"): 1.5,
+    })
+    samples = parse_prometheus(render_prometheus(reg))
+    assert samples == [
+        ("repro_slo_burn_rate", {"slo": "interactive"}, 1.5),
+        ("repro_slo_records", {}, 12.0),
+        ("repro_slo_total", {"slo": "interactive", "tenant": "t0"}, 4.0),
+    ]
+
+
+def test_round_trip_escaped_label_values():
+    nasty = 'path\\to\\"thing"\nnext'
+    reg = _registry({labelled("total", where=nasty): 1})
+    (name, lbls, value), = parse_prometheus(render_prometheus(reg))
+    assert name == "repro_slo_total"
+    assert lbls == {"where": nasty}
+    assert value == 1.0
+
+
+@given(
+    st.dictionaries(
+        st.text(
+            alphabet=st.characters(
+                whitelist_categories=("Ll",), max_codepoint=0x7A
+            ),
+            min_size=1,
+            max_size=8,
+        ).filter(lambda k: k != "name"),  # collides with labelled()'s arg
+        st.text(max_size=24).filter(lambda s: "\r" not in s),
+        min_size=1,
+        max_size=4,
+    ),
+    st.integers(min_value=0, max_value=10**9),
+)
+def test_round_trip_any_label_values(lbls, value):
+    reg = _registry({labelled("total", **lbls): value})
+    (name, parsed, parsed_value), = parse_prometheus(render_prometheus(reg))
+    assert name == "repro_slo_total"
+    assert parsed == lbls
+    assert parsed_value == float(value)
+
+
+def test_parse_rejects_malformed_lines():
+    with pytest.raises(ValueError):
+        parse_prometheus("not a sample line at all!")
+    with pytest.raises(ValueError):
+        parse_prometheus('metric{key=unquoted} 1')
+
+
+def test_empty_registry_renders_empty():
+    assert render_prometheus(CounterRegistry()) == ""
+    assert parse_prometheus("") == []

@@ -47,6 +47,7 @@ def run_matrix() -> list[dict]:
     summaries.append(run_chaos_fingerprint())
     summaries.append(run_telemetry_fingerprint())
     summaries.append(run_cluster_fingerprint())
+    summaries.append(run_obs_fingerprint())
     return summaries
 
 
@@ -390,6 +391,85 @@ def run_cluster_fingerprint() -> dict:
     summary["served_levels_crc32"] = crc
     summary["symbols"] = len(entries)
     summary["surface_crc32"] = zlib.crc32(surface_blob)
+    return summary
+
+
+def run_obs_fingerprint() -> dict:
+    """Observability-plane fingerprint: the :mod:`repro.obs` public
+    surface (same CRC32 scheme as the perf/faults surfaces) plus one
+    seeded multi-tenant replay through a 2-replica cluster with the
+    whole plane on — decision audit, SLO burn rules, bounded sketch
+    metrics. The audit record counts per stage, the alert tally and
+    the sketch percentiles are pure functions of the model; the served
+    answers are CRC'd so the plane can never silently perturb them."""
+    import inspect
+    import zlib
+
+    import repro.obs as obs
+    from repro.cluster import ClusterRouter, TenantQuota, multi_tenant_trace
+    from repro.faults import levels_fingerprint
+    from repro.obs import AuditLog, SloEngine, SloSpec
+
+    entries = []
+    for name in sorted(obs.__all__):
+        obj = getattr(obs, name)
+        entries.append(name)
+        if inspect.isclass(obj):
+            for attr, member in sorted(vars(obj).items()):
+                if attr.startswith("_") or not callable(member):
+                    continue
+                entries.append(f"{name}.{attr}{inspect.signature(member)}")
+    surface_blob = "\n".join(entries).encode()
+
+    audit = AuditLog()
+    slo = SloEngine([
+        SloSpec(name="interactive", latency_target_ms=30.0, objective=0.9,
+                qos="interactive"),
+        SloSpec(name="batch", latency_target_ms=200.0, objective=0.95,
+                qos="batch"),
+    ])
+    sizes = {"rmat:10": 1024, "rmat:11": 2048}
+    trace = multi_tenant_trace(
+        list(sizes), sizes, num_queries=64, seed=29, tenants=2,
+        interactive_frac=0.6, mean_gap_ms=1.0, burst=6,
+    )
+    router = ClusterRouter(
+        replicas=2,
+        workers=2,
+        window_ms=5.0,
+        seed=0,
+        quotas={"t0": TenantQuota(rate_per_s=400, burst=3)},
+        audit=audit,
+        slo=slo,
+        bounded_metrics=True,
+        # Route through the 2D grid so the per-level direction switches
+        # and the exchange-codec picks land in the audit counts.
+        distributed_threshold_mb=0.05,
+        partition="2d",
+    )
+    report = router.replay(trace)
+
+    crc = 0
+    for o in report.served:
+        crc = zlib.crc32(
+            levels_fingerprint(o.levels).to_bytes(8, "little"), crc
+        )
+    summary: dict = {
+        "name": "obs",
+        "runs": 1,
+        "queries_served": len(report.served),
+        "served_levels_crc32": crc,
+        "alerts_fired": sum(s["alerts_fired"] for s in slo.status()),
+        "symbols": len(entries),
+        "surface_crc32": zlib.crc32(surface_blob),
+    }
+    for stage, count in sorted(audit.counters().items()):
+        summary[f"audit_{stage}"] = count
+    sketch = router.replicas[0].service.metrics.latency_sketch
+    summary["sketch_count"] = sketch.count
+    summary["sketch_buckets"] = sketch.num_buckets
+    for q in (50, 95, 99):
+        summary[f"sketch_p{q}_ms"] = sketch.percentile(q)
     return summary
 
 

@@ -25,6 +25,12 @@
 #                                 # grid differential wall, partition
 #                                 # routing and the 2->64 GCD scaling
 #                                 # bench
+#   tools/run_tests.sh obs        # the SLO engine, decision audit,
+#                                 # bounded-metrics sketch and health
+#                                 # planes: the obs-on/off differential
+#                                 # wall, the explain-chain contract,
+#                                 # the Prometheus scrape round-trip
+#                                 # and the enabled-obs overhead bench
 #   tools/run_tests.sh all        # everything: tier-1 + tier-2 + the
 #                                 # regression gate against the committed
 #                                 # baseline fingerprint
@@ -68,13 +74,17 @@ case "$tier" in
       tests/multigcd/test_grid2d_differential.py tests/service/test_partition_routing.py "$@"
     python -m pytest benchmarks/bench_multigcd_scaling.py -s "$@"
     ;;
+  obs)
+    python -m pytest tests/obs tests/telemetry/test_prometheus_labels.py "$@"
+    python -m pytest benchmarks/bench_obs_overhead.py -s "$@"
+    ;;
   all)
     python -m pytest "$@"
     python -m pytest benchmarks "$@"
     python tools/check_regression.py check tools/baseline_fingerprint.json
     ;;
   *)
-    echo "usage: tools/run_tests.sh [tier1|tier2|telemetry|multigcd-service|cluster|linalg|multigcd-scaling|all] [pytest args...]" >&2
+    echo "usage: tools/run_tests.sh [tier1|tier2|telemetry|multigcd-service|cluster|linalg|multigcd-scaling|obs|all] [pytest args...]" >&2
     exit 2
     ;;
 esac
