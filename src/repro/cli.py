@@ -13,6 +13,11 @@ The subcommands cover the common workflows without writing Python:
 * ``repro generate``     — materialise a graph spec into a ``.csrbin``.
 * ``repro serve``        — replay a JSONL query trace through the
   serving runtime (registry + coalescing scheduler + admission).
+  Trace records with ``"op": "mutate"`` carry an edge-delta
+  (``insert``/``delete`` lists) instead of a source: they act as a
+  barrier that flushes pending queries on that graph, then bumps the
+  registry version so later queries see the mutated graph (small
+  insert-only deltas are served by incremental BFS repair).
 * ``repro service-bench``— synthetic open-loop load through the same
   runtime.
 * ``repro chaos-bench``  — seeded fault-plan sweep; recovered answers
@@ -353,16 +358,22 @@ def _validate_outcomes(service, report) -> None:
 
     import numpy as np
 
-    oracle: dict[tuple[str, int], object] = {}
+    # Keyed by graph *version* too: a pre-mutation answer must check
+    # against the graph as it stood when the query was served, not the
+    # registry's current head.
+    graphs: dict[tuple[str, int], object] = {}
+    oracle: dict[tuple[str, int, int], object] = {}
     for outcome in report.served:
-        key = (outcome.query.graph, outcome.query.source)
+        gkey = (outcome.query.graph, outcome.graph_version)
+        if gkey not in graphs:
+            graphs[gkey] = service.registry.graph_at_version(*gkey)
+        key = (*gkey, outcome.query.source)
         if key not in oracle:
-            entry, _ = service.registry.get(outcome.query.graph)
-            oracle[key] = bfs_levels_reference(entry.graph, outcome.query.source)
+            oracle[key] = bfs_levels_reference(graphs[gkey], outcome.query.source)
         if not np.array_equal(outcome.levels, oracle[key]):
             raise ReproError(
-                f"query {outcome.query.qid} ({key[0]}, source {key[1]}): "
-                f"served levels diverge from the solo oracle"
+                f"query {outcome.query.qid} ({key[0]} v{key[1]}, source "
+                f"{key[2]}): served levels diverge from the solo oracle"
             )
 
 
@@ -904,7 +915,8 @@ def _build_parser() -> argparse.ArgumentParser:
         "serve", help="replay a JSONL query trace through the serving runtime"
     )
     serve.add_argument("--trace", required=True, metavar="PATH",
-                       help="JSONL trace (see repro.service.trace)")
+                       help="JSONL trace (see repro.service.trace; records "
+                       "with op=mutate apply edge deltas between queries)")
     serve.add_argument("--validate", action="store_true",
                        help="check every served level array against the "
                        "serial oracle")

@@ -202,6 +202,10 @@ class ClusterRouter:
         self.now_ms = query.arrival_ms
         self._tick(query.arrival_ms)
 
+        if query.is_mutation:
+            self._broadcast_mutation(query)
+            return
+
         qos = self.qos_classes.get(query.qos)
         if qos is None:
             raise ClusterError(
@@ -360,6 +364,38 @@ class ClusterRouter:
                 except AdmissionError:
                     pass  # recorded by the surviving replica
             sp.end_at(now)
+
+    def _broadcast_mutation(self, query: Query) -> None:
+        """Route one ``op="mutate"`` barrier to every replica.
+
+        Each replica owns its own registry, so the delta lands on all
+        of them: live replicas apply it through their scheduler (the
+        per-replica barrier flushes their pending work on that graph
+        first); dead replicas record it log-only on their registry, so
+        a revived-cold rebuild replays the mutation and converges on
+        the same graph version as the survivors. The router's shared
+        host-side graph cache stays at the base version — registries
+        replay their own delta logs on top of it.
+        """
+        if query.delta is None:
+            raise ClusterError(
+                f"mutation {query.qid} on {query.graph!r} has no delta"
+            )
+        # Validate endpoints once at the front door so a bad delta is
+        # one typed error, not a per-replica divergence.
+        query.delta.validate(self.num_vertices_of(query.graph))
+        self.tracer.event(
+            "cluster.mutate",
+            graph=query.graph,
+            qid=query.qid,
+            inserts=query.delta.num_inserts,
+            deletes=query.delta.num_deletes,
+        )
+        for r in self.replicas:
+            if r.alive:
+                r.scheduler.apply_mutation(query)
+            else:
+                r.registry.mutate(query.graph, query.delta)
 
     def _route(self, query: Query) -> int:
         """Owning replica for ``query``, possibly stolen when hot."""

@@ -25,6 +25,8 @@ __all__ = [
     "QuotaExceededError",
     "ClusterError",
     "GraphTooLargeError",
+    "MutationError",
+    "StaleEntryError",
     "FaultPlanError",
     "DeviceFaultError",
     "RecoveryExhaustedError",
@@ -130,6 +132,20 @@ class ClusterError(ServiceError):
 class GraphTooLargeError(ServiceError, ValueError):
     """A requested graph exceeds the registry's total memory budget, so
     it could never be cached even after evicting everything else."""
+
+
+class MutationError(ServiceError, ValueError):
+    """A graph mutation delta is structurally invalid (malformed edge
+    pair, endpoint out of range, an edge listed as both insert and
+    delete) or targets a spec the registry cannot mutate."""
+
+
+class StaleEntryError(ServiceError, RuntimeError):
+    """A dispatch reached a :class:`RegistryEntry` that was evicted or
+    superseded by a mutation after the caller obtained it. Engines
+    cached on a dead entry may index a graph that no longer exists;
+    the executor refuses to run them rather than risk serving answers
+    for the wrong graph version."""
 
 
 class FaultPlanError(ReproError, ValueError):

@@ -2,6 +2,7 @@
 and the paper's degree-aware neighbour re-arrangement."""
 
 from repro.graph.csr import CSRGraph, coalesce_edge_list
+from repro.graph.delta import GraphDelta, apply_delta, random_delta
 from repro.graph.datasets import (
     DEFAULT_SCALE_FACTOR,
     PAPER_DATASETS,
@@ -50,6 +51,9 @@ from repro.graph.stats import (
 __all__ = [
     "CSRGraph",
     "coalesce_edge_list",
+    "GraphDelta",
+    "apply_delta",
+    "random_delta",
     "DatasetSpec",
     "PAPER_DATASETS",
     "DEFAULT_SCALE_FACTOR",

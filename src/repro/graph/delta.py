@@ -1,0 +1,205 @@
+"""Edge-delta mutations for :class:`~repro.graph.csr.CSRGraph`.
+
+A :class:`GraphDelta` is one batch of edge inserts and deletes with
+*set semantics*: inserting an edge that already exists is a no-op,
+deleting an edge removes every parallel copy, and an edge may not
+appear on both sides of one delta. :func:`apply_delta` materialises the
+mutated graph as a fresh canonical CSR — bit-identical to building the
+mutated edge list from scratch with :meth:`CSRGraph.from_edges` — so
+the graphs the registry serves after a mutation are indistinguishable
+from cold builds of the post-mutation edge set.
+
+Deltas are immutable, hashable, JSON-round-trippable (the ``repro
+mutate`` trace op) and deterministic to generate
+(:func:`random_delta`), which is what the mutation differential tests
+and the repair-vs-recompute bench replay against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import GraphFormatError, MutationError
+from repro.graph.csr import CSRGraph
+
+__all__ = ["GraphDelta", "apply_delta", "random_delta"]
+
+
+def _normalise(edges) -> tuple[tuple[int, int], ...]:
+    """Sorted, deduplicated ``((u, v), ...)`` tuple of int pairs."""
+    out = set()
+    for pair in edges:
+        try:
+            u, v = pair
+        except (TypeError, ValueError) as exc:
+            raise MutationError(f"delta edge {pair!r} is not a (u, v) pair") from exc
+        u, v = int(u), int(v)
+        if u < 0 or v < 0:
+            raise MutationError(f"delta edge ({u}, {v}) has a negative endpoint")
+        out.add((u, v))
+    return tuple(sorted(out))
+
+
+@dataclass(frozen=True)
+class GraphDelta:
+    """One batch of edge mutations (set semantics, canonical order).
+
+    ``inserts`` and ``deletes`` are normalised to sorted, deduplicated
+    tuples on construction, so two deltas describing the same mutation
+    compare (and hash) equal whatever order they were written in.
+    """
+
+    inserts: tuple[tuple[int, int], ...] = ()
+    deletes: tuple[tuple[int, int], ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "inserts", _normalise(self.inserts))
+        object.__setattr__(self, "deletes", _normalise(self.deletes))
+        overlap = set(self.inserts) & set(self.deletes)
+        if overlap:
+            raise MutationError(
+                f"delta inserts and deletes overlap on {sorted(overlap)[:4]}; "
+                f"split the mutation into two ordered deltas instead"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def num_inserts(self) -> int:
+        return len(self.inserts)
+
+    @property
+    def num_deletes(self) -> int:
+        return len(self.deletes)
+
+    @property
+    def num_edges(self) -> int:
+        """Total edge endpoints touched by this delta."""
+        return len(self.inserts) + len(self.deletes)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.inserts and not self.deletes
+
+    @property
+    def insert_only(self) -> bool:
+        """True when the delta never removes an edge — the shape the
+        incremental BFS repair path can consume (levels only ever
+        decrease under inserts)."""
+        return not self.deletes
+
+    # ------------------------------------------------------------------
+    def validate(self, num_vertices: int) -> None:
+        """Raise :class:`MutationError` when any endpoint is out of range."""
+        for u, v in (*self.inserts, *self.deletes):
+            if u >= num_vertices or v >= num_vertices:
+                raise MutationError(
+                    f"delta edge ({u}, {v}) out of range for "
+                    f"{num_vertices} vertices"
+                )
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-able record (the trace-op payload)."""
+        rec: dict = {}
+        if self.inserts:
+            rec["insert"] = [[u, v] for u, v in self.inserts]
+        if self.deletes:
+            rec["delete"] = [[u, v] for u, v in self.deletes]
+        return rec
+
+    @classmethod
+    def from_dict(cls, rec: dict) -> "GraphDelta":
+        return cls(
+            inserts=tuple((int(u), int(v)) for u, v in rec.get("insert", ())),
+            deletes=tuple((int(u), int(v)) for u, v in rec.get("delete", ())),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"GraphDelta(+{self.num_inserts} edges, -{self.num_deletes} edges)"
+
+
+def _edge_keys(src: np.ndarray, dst: np.ndarray, num_vertices: int) -> np.ndarray:
+    return src.astype(np.int64) * int(num_vertices) + dst.astype(np.int64)
+
+
+def _pairs_to_keys(pairs, num_vertices: int) -> np.ndarray:
+    if not pairs:
+        return np.zeros(0, dtype=np.int64)
+    arr = np.asarray(pairs, dtype=np.int64)
+    return arr[:, 0] * int(num_vertices) + arr[:, 1]
+
+
+def apply_delta(graph: CSRGraph, delta: GraphDelta) -> CSRGraph:
+    """Return the mutated graph as a fresh canonical CSR.
+
+    Set semantics: deletes drop every parallel copy of each listed
+    edge, inserts that already exist are skipped, and the result is
+    rebuilt through the same ``(src, dst)`` sort
+    :meth:`CSRGraph.from_edges` applies — so the output is bit-identical
+    to a from-scratch build of the mutated edge list. The input graph
+    is never touched (CSR containers are immutable).
+    """
+    delta.validate(graph.num_vertices)
+    n = graph.num_vertices
+    src, dst = graph.to_edge_arrays()
+    keys = _edge_keys(src, dst, n)
+    if delta.deletes:
+        del_keys = _pairs_to_keys(delta.deletes, n)
+        keep = ~np.isin(keys, del_keys)
+        src, dst, keys = src[keep], dst[keep], keys[keep]
+    if delta.inserts:
+        ins = np.asarray(delta.inserts, dtype=np.int64)
+        ins_keys = _pairs_to_keys(delta.inserts, n)
+        # Set semantics: an insert of an existing edge is a no-op, so
+        # the base graph's parallel edges survive untouched.
+        fresh = ~np.isin(ins_keys, keys)
+        src = np.concatenate([src.astype(np.int64), ins[fresh, 0]])
+        dst = np.concatenate([dst.astype(np.int64), ins[fresh, 1]])
+    return CSRGraph.from_edges(src, dst, n, name=graph.name)
+
+
+def random_delta(
+    graph: CSRGraph,
+    *,
+    num_inserts: int = 0,
+    num_deletes: int = 0,
+    seed: int = 0,
+) -> GraphDelta:
+    """Deterministic random delta against ``graph``.
+
+    Inserts are drawn uniformly from vertex pairs *not* currently in
+    the graph (no self-loops); deletes uniformly from distinct existing
+    edges. Fully determined by ``seed`` — the mutation differential
+    tests and ``bench_mutation`` replay these.
+    """
+    n = graph.num_vertices
+    if n < 2 and num_inserts:
+        raise GraphFormatError("cannot insert edges into a <2-vertex graph")
+    rng = np.random.default_rng(seed)
+    src, dst = graph.to_edge_arrays()
+    existing = set(map(int, _edge_keys(src, dst, n)))
+
+    inserts: list[tuple[int, int]] = []
+    picked: set[int] = set()
+    while len(inserts) < num_inserts:
+        u = int(rng.integers(n))
+        v = int(rng.integers(n))
+        key = u * n + v
+        if u == v or key in existing or key in picked:
+            continue
+        picked.add(key)
+        inserts.append((u, v))
+
+    deletes: list[tuple[int, int]] = []
+    if num_deletes:
+        uniq = np.unique(_edge_keys(src, dst, n))
+        if num_deletes > uniq.size:
+            raise GraphFormatError(
+                f"cannot delete {num_deletes} distinct edges from a graph "
+                f"with {uniq.size}"
+            )
+        chosen = rng.choice(uniq, size=num_deletes, replace=False)
+        deletes = [(int(k) // n, int(k) % n) for k in chosen]
+    return GraphDelta(inserts=tuple(inserts), deletes=tuple(deletes))

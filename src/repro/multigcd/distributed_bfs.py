@@ -240,6 +240,13 @@ class MultiGcdBFS:
             self._reverse = self.graph.reverse()
         return self._reverse
 
+    @property
+    def warm_bytes(self) -> int:
+        """Modelled warm footprint the registry charges for a cached
+        engine: the per-GCD partition copies of the CSR plus the
+        ownership map and per-GCD frontier state."""
+        return self.graph.memory_bytes + 8 * self.graph.num_vertices
+
     # ------------------------------------------------------------------
     def _bottom_up_level(
         self,

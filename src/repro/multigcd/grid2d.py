@@ -179,6 +179,13 @@ class Grid2dBFS:
         self.overlap = overlap
         self._gcds: list[GCD] | None = None
 
+    @property
+    def warm_bytes(self) -> int:
+        """Modelled warm footprint the registry charges for a cached
+        engine: the checkerboard tile copies of the CSR plus per-block
+        frontier state along both grid dimensions."""
+        return self.graph.memory_bytes + 8 * self.graph.num_vertices
+
     # ------------------------------------------------------------------
     def _subcomm_cost(self, peers: int, bytes_per_peer: float) -> float:
         """α-β cost of an allgather/reduce-scatter over ``peers`` ranks."""

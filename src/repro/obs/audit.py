@@ -36,7 +36,29 @@ __all__ = [
 ]
 
 #: Causal ordering of decision stages within one query's lifetime.
+#: ``mutation`` records the registry-version bump a ``repro mutate``
+#: barrier applied; ``repair`` records whether a post-mutation dispatch
+#: repaired the cached level basis or fell back to full recompute (and
+#: why) — ``repro explain`` shows both in the causal chain.
 STAGES = (
+    "admission",
+    "placement",
+    "steal",
+    "mutation",
+    "routing",
+    "repair",
+    "direction",
+    "codec",
+    "outcome",
+)
+_STAGE_ORDER = {stage: i for i, stage in enumerate(STAGES)}
+
+#: Stages zero-filled into :meth:`AuditLog.counters` since the first
+#: obs fingerprint was recorded. Frozen on purpose: re-recording the
+#: baseline must keep prior entries byte-identical, so stages added
+#: later (``mutation``, ``repair``) appear in the counters only when
+#: at least one record actually landed on them.
+_FINGERPRINT_STAGES = (
     "admission",
     "placement",
     "steal",
@@ -45,7 +67,6 @@ STAGES = (
     "codec",
     "outcome",
 )
-_STAGE_ORDER = {stage: i for i, stage in enumerate(STAGES)}
 
 
 @dataclass(frozen=True)
@@ -149,10 +170,12 @@ class AuditLog:
     def counters(self) -> dict:
         """Flat numeric view for :class:`telemetry.CounterRegistry`."""
         out = {"records": len(self._records), "queries": len(self._by_qid)}
+        counts = {stage: 0 for stage in STAGES}
+        for r in self._records:
+            counts[r.stage] = counts.get(r.stage, 0) + 1
         for stage in STAGES:
-            out[f"records_{stage}"] = sum(
-                1 for r in self._records if r.stage == stage
-            )
+            if stage in _FINGERPRINT_STAGES or counts[stage]:
+                out[f"records_{stage}"] = counts[stage]
         return out
 
     # ------------------------------------------------------------------

@@ -34,6 +34,7 @@ from repro.errors import (
     DeviceFaultError,
     RecoveryExhaustedError,
     ServiceError,
+    StaleEntryError,
 )
 from repro.faults.recovery import DEFAULT_RECOVERY, RecoveryPolicy
 from repro.gcd.device import MI250X_GCD
@@ -44,13 +45,24 @@ from repro.service.request import Query
 from repro.telemetry.tracer import NULL_TRACER, Tracer
 from repro.xbfs.concurrent import MAX_CONCURRENT, ConcurrentBFS
 from repro.xbfs.linalg_batch import MAX_LINALG_BATCH, LinAlgBatchBFS
+from repro.xbfs.repair import REPAIR_BASE_MS, repair_levels
 
-__all__ = ["ExecutionEngine", "SERIAL_FALLBACK_MS_PER_MEDGE"]
+__all__ = [
+    "ExecutionEngine",
+    "SERIAL_FALLBACK_MS_PER_MEDGE",
+    "DEFAULT_REPAIR_MAX_FRACTION",
+]
 
 #: Modelled serial-baseline traversal cost charged by the circuit
 #: breaker's fallback path: milliseconds per million traversed edges
 #: (~20 M edges/s of queue-based CPU BFS — slow, but always correct).
 SERIAL_FALLBACK_MS_PER_MEDGE = 50.0
+
+#: Largest cumulative insert batch — as a fraction of the mutated
+#: graph's edge count — the incremental-repair tier accepts. Beyond
+#: it a fresh adaptive traversal is cheaper than scattered relaxation
+#: over most of the graph, so the dispatch recomputes instead.
+DEFAULT_REPAIR_MAX_FRACTION = 0.05
 
 
 class ExecutionEngine:
@@ -75,6 +87,7 @@ class ExecutionEngine:
         recovery: RecoveryPolicy | None = None,
         tracer: Tracer | None = None,
         audit=None,
+        repair_max_fraction: float = DEFAULT_REPAIR_MAX_FRACTION,
     ) -> None:
         if num_gcds < 1:
             raise ServiceError(f"num_gcds must be >= 1, got {num_gcds}")
@@ -124,6 +137,11 @@ class ExecutionEngine:
         self._fault_streak = 0
         #: Dispatches the open circuit breaker still routes serially.
         self._breaker_cooldown_left = 0
+        #: Repair-vs-recompute policy knob (see
+        #: :data:`DEFAULT_REPAIR_MAX_FRACTION`). 0 disables the tier.
+        if repair_max_fraction < 0:
+            raise ServiceError("repair_max_fraction must be >= 0")
+        self.repair_max_fraction = repair_max_fraction
 
     # ------------------------------------------------------------------
     def run(
@@ -135,9 +153,20 @@ class ExecutionEngine:
         *,
         graph_key: str,
         now_ms: float = 0.0,
+        registry=None,
     ):
         """Run the engine for one dispatch, recovering from injected
         faults.
+
+        Raises :class:`~repro.errors.StaleEntryError` when ``entry``
+        was evicted or superseded by a mutation after the caller
+        obtained it — dispatching onto a dead entry's engines could
+        serve answers for a graph version that no longer exists.
+
+        ``registry`` (the entry's owning
+        :class:`~repro.service.registry.GraphRegistry`) enables the
+        incremental-repair tier on mutated graphs; without it every
+        post-mutation dispatch recomputes.
 
         Returns ``(elapsed_ms, sharing_factor, levels_of, engine)``.
         The ladder:
@@ -151,9 +180,18 @@ class ExecutionEngine:
            ``breaker_cooldown`` dispatches to the serial baseline —
            degraded latency, bit-identical answers.
         """
+        if not entry.alive:
+            raise StaleEntryError(
+                f"dispatch onto dead registry entry {entry.key!r} "
+                f"(version {entry.version}): evicted or superseded by a "
+                f"mutation — re-fetch from the registry"
+            )
         inj = self.fault_injector
         if inj is None:
-            return self._run_engine(entry, live, sources, batched, now_ms=now_ms)
+            return self._run_engine(
+                entry, live, sources, batched, now_ms=now_ms,
+                registry=registry,
+            )
 
         recovery = self.recovery
         if self._breaker_cooldown_left > 0:
@@ -185,7 +223,8 @@ class ExecutionEngine:
                 # slow (latency kinds scale the modelled elapsed).
                 fault_scale = inj.visit("service.worker", graph_key)
                 elapsed, sharing, levels_of, engine = self._run_engine(
-                    entry, live, sources, batched, now_ms=now_ms
+                    entry, live, sources, batched, now_ms=now_ms,
+                    registry=registry,
                 )
             except (DeviceFaultError, RecoveryExhaustedError) as exc:
                 attempt += 1
@@ -287,7 +326,114 @@ class ExecutionEngine:
             return False
         return all(q.options.coalescing_key() is not None for q in live)
 
-    def _run_engine(self, entry: RegistryEntry, live, sources, batched, *, now_ms=0.0):
+    def _run_engine(self, entry: RegistryEntry, live, sources, batched, *,
+                    now_ms=0.0, registry=None):
+        repaired = self._maybe_repair(entry, live, sources, registry, now_ms)
+        if repaired is not None:
+            return repaired
+        elapsed, sharing, levels_of, engine = self._route(
+            entry, live, sources, batched, now_ms=now_ms
+        )
+        # Cache the freshly-computed level arrays on the entry: they
+        # are the repair bases a future mutation relaxes from. Only
+        # default-option surfaces qualify (a truncated or pinned run's
+        # levels are not a valid basis).
+        if all(q.options.coalescing_key() is not None for q in live):
+            for src in sources:
+                entry.store_levels(src, levels_of(src))
+        return elapsed, sharing, levels_of, engine
+
+    def _maybe_repair(self, entry: RegistryEntry, live, sources, registry,
+                      now_ms):
+        """Incremental-repair tier: serve a post-mutation dispatch by
+        re-relaxing cached level bases instead of recomputing.
+
+        Eligible only when the graph has been mutated (version > 0),
+        every query carries the default option surface, every source
+        has a cached basis, the deltas since each basis are
+        insert-only, and the cumulative insert batch stays under
+        ``repair_max_fraction`` of the mutated graph's edges. Any
+        declined gate (on a mutated graph) lands one ``repair`` audit
+        record explaining why the dispatch recomputed.
+        """
+        if registry is None or entry.version == 0:
+            return None
+        if self.repair_max_fraction <= 0:
+            return None
+        if not all(q.options.coalescing_key() is not None for q in live):
+            return None
+
+        max_inserts = self.repair_max_fraction * max(1, entry.graph.num_edges)
+        plans: list[tuple[int, "np.ndarray", tuple]] = []
+        declined = None
+        for src in sources:
+            hit = entry.levels_for(src)
+            if hit is None:
+                declined = {"reason": "no_basis", "source": src}
+                break
+            basis_version, basis = hit
+            if basis_version >= entry.version:
+                plans.append((src, basis, ()))
+                continue
+            deltas = registry.deltas_since(entry.key, basis_version)
+            if any(not d.insert_only for d in deltas):
+                declined = {"reason": "deletes", "source": src}
+                break
+            inserts = tuple(e for d in deltas for e in d.inserts)
+            if len(inserts) > max_inserts:
+                declined = {
+                    "reason": "delta_too_large",
+                    "source": src,
+                    "inserts": len(inserts),
+                    "max_inserts": int(max_inserts),
+                }
+                break
+            plans.append((src, basis, inserts))
+        if declined is not None:
+            if self.audit.enabled:
+                self.audit.record(
+                    "repair",
+                    [q.qid for q in live],
+                    "recompute",
+                    at_ms=now_ms,
+                    version=entry.version,
+                    **declined,
+                )
+            return None
+
+        by_source: dict[int, "np.ndarray"] = {}
+        elapsed = 0.0
+        relaxed = 0
+        affected = 0
+        for src, basis, inserts in plans:
+            if inserts:
+                res = repair_levels(entry.graph, basis, inserts)
+                levels = res.levels
+                elapsed += res.elapsed_ms
+                relaxed += res.relaxed_edges
+                affected += res.affected_vertices
+            else:
+                # Basis already exact for this version: a level-cache
+                # hit; charge only the copy-out.
+                levels = np.array(basis, dtype=np.int32, copy=True)
+                elapsed += REPAIR_BASE_MS
+            entry.store_levels(src, levels)  # re-stamp at current version
+            by_source[src] = levels
+        if self.audit.enabled:
+            self.audit.record(
+                "repair",
+                [q.qid for q in live],
+                "repair",
+                at_ms=now_ms,
+                version=entry.version,
+                sources=len(sources),
+                relaxed_edges=relaxed,
+                affected_vertices=affected,
+            )
+        sharing = len(live) / len(sources) if sources else 1.0
+        return elapsed, sharing, lambda s: by_source[s], "repair"
+
+    def _route(self, entry: RegistryEntry, live, sources, batched, *, now_ms=0.0):
         if self.routes_distributed(entry, live):
             # Graph size dominates: a CSR that outgrows one GCD's
             # residency also outgrows the single-GCD bitmap engine.
@@ -449,8 +595,21 @@ class ExecutionEngine:
         return elapsed, 1.0, lambda s: by_source[s], "serial"
 
     # ------------------------------------------------------------------
+    @staticmethod
+    def _slot(entry: RegistryEntry, name: str) -> str:
+        """Engine-cache key threaded with the entry's graph version.
+
+        Mutation already retires the whole entry (a fresh entry starts
+        with empty ``engines``); on top of that the key itself embeds
+        every non-zero version, so a pre-mutation engine can never be
+        found under the current key — impossible by construction, not
+        by convention. Version-0 keys stay bare for compatibility.
+        """
+        return name if entry.version == 0 else f"{name}@v{entry.version}"
+
     def _device_of(self, entry: RegistryEntry):
-        device = entry.engines.get("device")
+        slot = self._slot(entry, "device")
+        device = entry.engines.get(slot)
         if device is None:
             if self.scaled_cache:
                 from repro.experiments.common import scaled_device
@@ -458,11 +617,12 @@ class ExecutionEngine:
                 device = scaled_device(entry.graph)
             else:
                 device = MI250X_GCD
-            entry.engines["device"] = device
+            entry.engines[slot] = device
         return device
 
     def _run_concurrent(self, entry: RegistryEntry, sources: list[int]):
-        engine = entry.engines.get("concurrent")
+        slot = self._slot(entry, "concurrent")
+        engine = entry.engines.get(slot)
         if engine is None:
             engine = ConcurrentBFS(
                 entry.graph,
@@ -471,11 +631,12 @@ class ExecutionEngine:
                 injector=self.fault_injector,
                 recovery=self.recovery,
             )
-            entry.engines["concurrent"] = engine
+            entry.engines[slot] = engine
         return engine.run(np.asarray(sources, dtype=np.int64))
 
     def _run_linalg(self, entry: RegistryEntry, sources: list[int]):
-        engine = entry.engines.get("linalg_batch")
+        slot = self._slot(entry, "linalg_batch")
+        engine = entry.engines.get(slot)
         if engine is None:
             engine = LinAlgBatchBFS(
                 entry.graph,
@@ -484,7 +645,7 @@ class ExecutionEngine:
                 injector=self.fault_injector,
                 recovery=self.recovery,
             )
-            entry.engines["linalg_batch"] = engine
+            entry.engines[slot] = engine
         return engine.run(np.asarray(sources, dtype=np.int64))
 
     def _run_distributed(self, entry: RegistryEntry, sources: list[int]):
@@ -503,7 +664,8 @@ class ExecutionEngine:
             from repro.multigcd.exchange import ExchangeCodec
             from repro.multigcd.grid2d import Grid2dBFS
 
-            engine = entry.engines.get("grid2d")
+            slot = self._slot(entry, "grid2d")
+            engine = entry.engines.get(slot)
             if engine is None or engine.num_gcds != self.num_gcds:
                 engine = Grid2dBFS(
                     entry.graph,
@@ -514,12 +676,13 @@ class ExecutionEngine:
                     codec=ExchangeCodec(),
                     overlap=True,
                 )
-                entry.engines["grid2d"] = engine
+                entry.engines[slot] = engine
             return engine.run_batch(np.asarray(sources, dtype=np.int64))
 
         from repro.multigcd.distributed_bfs import MultiGcdBFS
 
-        engine = entry.engines.get("multigcd")
+        slot = self._slot(entry, "multigcd")
+        engine = entry.engines.get(slot)
         if engine is None or engine.num_gcds != self.num_gcds:
             engine = MultiGcdBFS(
                 entry.graph,
@@ -528,13 +691,14 @@ class ExecutionEngine:
                 tracer=self.tracer,
                 injector=self.fault_injector,
             )
-            entry.engines["multigcd"] = engine
+            entry.engines[slot] = engine
         return engine.run_batch(np.asarray(sources, dtype=np.int64))
 
     def _run_solo(self, entry: RegistryEntry, query: Query):
         from repro.xbfs.driver import XBFS
 
-        engine = entry.engines.get("solo")
+        slot = self._slot(entry, "solo")
+        engine = entry.engines.get(slot)
         if engine is None:
             engine = XBFS(
                 entry.graph,
@@ -543,7 +707,7 @@ class ExecutionEngine:
                 injector=self.fault_injector,
                 recovery=self.recovery,
             )
-            entry.engines["solo"] = engine
+            entry.engines[slot] = engine
         opts = query.options
         return engine.run(
             query.source,

@@ -35,13 +35,14 @@ __all__ = [
 #: multi-GCD pod, plus the circuit breaker's serial fallback).
 ENGINE_NAMES = (
     "solo", "concurrent", "linalg_batch", "multigcd", "grid2d", "serial",
+    "repair",
 )
 
 #: Engines zero-filled into every summary since the first routing
 #: fingerprint was recorded. Frozen on purpose: re-recording the
 #: baseline must keep prior entries byte-identical, so engines added
-#: later (``grid2d``) appear in a summary only when they actually
-#: served a dispatch.
+#: later (``grid2d``, ``repair``) appear in a summary only when they
+#: actually served a dispatch.
 FINGERPRINT_ENGINE_NAMES = (
     "solo", "concurrent", "linalg_batch", "multigcd", "serial",
 )

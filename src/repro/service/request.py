@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.graph.delta import GraphDelta
 from repro.xbfs.concurrent import coalescing_key
 
 __all__ = ["Query", "QueryOptions", "QueryOutcome"]
@@ -52,6 +53,14 @@ class Query:
     spans are tagged with both so load is attributable per tenant.
     A single :class:`~repro.service.runtime.BFSService` treats them
     as opaque labels.
+
+    ``op`` distinguishes request kinds: ``"bfs"`` (the default — a
+    traversal from ``source``) and ``"mutate"`` (apply the attached
+    :class:`~repro.graph.delta.GraphDelta` to ``graph``, bumping its
+    registry version). Mutations bypass admission and the coalescing
+    queue — they are a barrier at their arrival stamp, never produce a
+    :class:`QueryOutcome`, and ``source`` is ignored (conventionally
+    0).
     """
 
     qid: int
@@ -62,6 +71,12 @@ class Query:
     options: QueryOptions = field(default_factory=QueryOptions)
     tenant: str = "default"
     qos: str = "interactive"
+    op: str = "bfs"
+    delta: GraphDelta | None = None
+
+    @property
+    def is_mutation(self) -> bool:
+        return self.op == "mutate"
 
 
 @dataclass
@@ -89,6 +104,9 @@ class QueryOutcome:
     engine: str = "solo"
     #: Edges a solo traversal from this source expands (Graph500 credit).
     traversed_edges: int = 0
+    #: Registry version of the graph this answer was computed against
+    #: (0 until the spec is first mutated).
+    graph_version: int = 0
     #: ``None`` for served queries, else the typed-rejection reason
     #: (``"queue_full"``, ``"deadline"`` or ``"quota"``) — the ``kind``
     #: of the :class:`~repro.errors.AdmissionError` that refused it.

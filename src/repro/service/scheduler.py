@@ -210,7 +210,12 @@ class CoalescingScheduler:
         recording the rejection under the error's ``kind``) when the
         bounded queue is full or the deadline has already elapsed.
         Arrivals must be submitted in non-decreasing time order.
+        ``op="mutate"`` queries route to :meth:`apply_mutation` —
+        they bypass admission and produce no outcome.
         """
+        if query.is_mutation:
+            self.apply_mutation(query)
+            return
         if query.arrival_ms < self.now_ms:
             raise ServiceError(
                 f"query {query.qid} arrives at {query.arrival_ms} ms, "
@@ -239,6 +244,58 @@ class CoalescingScheduler:
             raise
         self._pending.append(query)
         self._dispatch_full_groups(query)
+
+    def apply_mutation(self, query: Query) -> None:
+        """Apply one ``op="mutate"`` query as a barrier at its stamp.
+
+        Every pending query on the same graph is dispatched first (a
+        pre-mutation arrival must traverse the pre-mutation graph),
+        then the delta lands in the registry, bumping the spec's
+        version and retiring the resident entry — so a post-mutation
+        dispatch can only ever see the new version. Mutations bypass
+        admission and the coalescing queue and never produce a
+        :class:`~repro.service.request.QueryOutcome`.
+        """
+        if not query.is_mutation or query.delta is None:
+            raise ServiceError(
+                f"apply_mutation needs an op='mutate' query with a "
+                f"delta, got op={query.op!r}"
+            )
+        if query.arrival_ms < self.now_ms:
+            raise ServiceError(
+                f"mutation {query.qid} arrives at {query.arrival_ms} ms, "
+                f"before the clock ({self.now_ms} ms); submit in order"
+            )
+        self._advance(query.arrival_ms)
+        self.now_ms = query.arrival_ms
+        # Barrier: flush every pending group on the mutated graph.
+        while True:
+            anchor = next(
+                (q for q in self._pending if q.graph == query.graph), None
+            )
+            if anchor is None:
+                break
+            self._dispatch_group(anchor, max(self.now_ms, anchor.arrival_ms))
+        entry = self.registry.mutate(query.graph, query.delta)
+        version = self.registry.graph_version(query.graph)
+        self.tracer.event(
+            "registry.mutate",
+            graph=query.graph,
+            version=version,
+            inserts=query.delta.num_inserts,
+            deletes=query.delta.num_deletes,
+        )
+        if self.audit.enabled:
+            self.audit.record(
+                "mutation",
+                query.qid,
+                f"v{version}",
+                at_ms=query.arrival_ms,
+                graph=query.graph,
+                inserts=query.delta.num_inserts,
+                deletes=query.delta.num_deletes,
+                resident=entry is not None,
+            )
 
     def run_until_idle(self) -> list[QueryOutcome]:
         """Flush every pending query and return all outcomes so far."""
@@ -349,7 +406,7 @@ class CoalescingScheduler:
 
             elapsed, sharing, levels_of, engine = self.executor.run(
                 entry, live, sources, batched, graph_key=anchor.graph,
-                now_ms=start,
+                now_ms=start, registry=self.registry,
             )
             sp.set(engine=engine)
             self.metrics.record_engine(engine)
@@ -379,6 +436,7 @@ class CoalescingScheduler:
                     cache_hit=hit,
                     traversed_edges=int(degrees[levels >= 0].sum()),
                     engine=engine,
+                    graph_version=entry.version,
                 )
                 self.outcomes.append(outcome)
                 self.metrics.record_outcome(outcome)

@@ -5,6 +5,7 @@ Trace format — one JSON object per line, in arrival order::
     {"t_ms": 0.0, "graph": "rmat:10", "source": 5}
     {"t_ms": 0.0, "graph": "rmat:10", "source": 9, "deadline_ms": 50.0}
     {"t_ms": 2.5, "graph": "LJ", "source": 17, "force": "bottom_up"}
+    {"t_ms": 4.0, "graph": "rmat:10", "op": "mutate", "insert": [[3, 9]]}
 
 ``t_ms`` is the virtual arrival stamp, ``graph`` any CLI graph spec,
 ``source`` the BFS root. Optional fields: ``deadline_ms`` (admission
@@ -13,6 +14,12 @@ deadline), ``force`` (pin a strategy — makes the query solo-only),
 (multi-tenant attribution for the cluster front door; defaults
 ``"default"`` / ``"interactive"``). Query ids are assigned from line
 order, so a trace file fully determines a replay.
+
+Mutation records carry ``op: "mutate"`` plus ``insert`` / ``delete``
+lists of ``[u, v]`` edge pairs (at least one edge total); ``source``
+is optional for them and ignored. A mutation is a barrier at its
+arrival stamp: earlier arrivals traverse the pre-mutation graph,
+later ones the mutated graph.
 """
 
 from __future__ import annotations
@@ -23,7 +30,8 @@ from typing import Iterable, Mapping, Sequence
 
 import numpy as np
 
-from repro.errors import ServiceError
+from repro.errors import MutationError, ServiceError
+from repro.graph.delta import GraphDelta
 from repro.service.request import Query, QueryOptions
 
 __all__ = ["load_trace", "save_trace", "synthetic_trace"]
@@ -33,7 +41,20 @@ def save_trace(queries: Iterable[Query], path: str | Path) -> None:
     """Write queries as JSONL (one record per line, arrival order)."""
     lines = []
     for q in queries:
-        rec: dict = {"t_ms": q.arrival_ms, "graph": q.graph, "source": q.source}
+        if q.op == "mutate":
+            if q.delta is None:
+                raise ServiceError(
+                    f"query {q.qid}: op='mutate' without a delta"
+                )
+            rec = {"t_ms": q.arrival_ms, "graph": q.graph, "op": "mutate"}
+            rec.update(q.delta.to_dict())
+            if q.tenant != "default":
+                rec["tenant"] = q.tenant
+            if q.qos != "interactive":
+                rec["qos"] = q.qos
+            lines.append(json.dumps(rec, sort_keys=True))
+            continue
+        rec = {"t_ms": q.arrival_ms, "graph": q.graph, "source": q.source}
         if q.deadline_ms is not None:
             rec["deadline_ms"] = q.deadline_ms
         if q.options.force_strategy is not None:
@@ -66,6 +87,46 @@ def load_trace(path: str | Path) -> list[Query]:
             rec = json.loads(line)
         except json.JSONDecodeError as exc:
             raise ServiceError(f"{path}:{lineno}: bad trace JSON: {exc}") from exc
+        op = str(rec.get("op", "bfs"))
+        if op == "mutate":
+            try:
+                t_ms = float(rec["t_ms"])
+                graph = str(rec["graph"])
+            except (KeyError, TypeError, ValueError) as exc:
+                raise ServiceError(
+                    f"{path}:{lineno}: mutate records need t_ms, graph"
+                ) from exc
+            if t_ms < prev_t:
+                raise ServiceError(
+                    f"{path}:{lineno}: arrivals must be non-decreasing "
+                    f"({t_ms} after {prev_t})"
+                )
+            prev_t = t_ms
+            try:
+                delta = GraphDelta.from_dict(rec)
+            except MutationError as exc:
+                raise ServiceError(
+                    f"{path}:{lineno}: bad mutation delta: {exc}"
+                ) from exc
+            if delta.is_empty:
+                raise ServiceError(
+                    f"{path}:{lineno}: mutate record with no edges"
+                )
+            queries.append(
+                Query(
+                    qid=len(queries),
+                    graph=graph,
+                    source=int(rec.get("source", 0)),
+                    arrival_ms=t_ms,
+                    tenant=str(rec.get("tenant", "default")),
+                    qos=str(rec.get("qos", "interactive")),
+                    op="mutate",
+                    delta=delta,
+                )
+            )
+            continue
+        if op != "bfs":
+            raise ServiceError(f"{path}:{lineno}: unknown trace op {op!r}")
         try:
             t_ms = float(rec["t_ms"])
             graph = str(rec["graph"])

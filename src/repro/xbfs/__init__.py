@@ -26,6 +26,12 @@ from repro.xbfs.linalg_batch import (
 from repro.xbfs.frontier import FrontierQueue, sorted_queue_from_mask
 from repro.xbfs.level import LevelResult
 from repro.xbfs.predictor import LevelPrediction, predict_level_costs, predict_schedule
+from repro.xbfs.repair import (
+    REPAIR_MS_PER_MEDGE,
+    RepairResult,
+    repair_cost_ms,
+    repair_levels,
+)
 from repro.xbfs.status import StatusArray
 from repro.xbfs.tuning import (
     StrategyRuntimePoint,
@@ -56,6 +62,10 @@ __all__ = [
     "LinAlgBatchBFS",
     "LinAlgBatchResult",
     "MAX_LINALG_BATCH",
+    "RepairResult",
+    "repair_levels",
+    "repair_cost_ms",
+    "REPAIR_MS_PER_MEDGE",
     "autotune_classifier",
     "TuneResult",
     "PARAMETER_GRID",

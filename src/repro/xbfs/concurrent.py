@@ -179,6 +179,12 @@ class ConcurrentBFS:
         self.recovery = recovery or DEFAULT_RECOVERY
         self._gcd: GCD | None = None
 
+    @property
+    def warm_bytes(self) -> int:
+        """Modelled warm footprint the registry charges for a cached
+        engine: the 64-bit visited/frontier status words per vertex."""
+        return 16 * self.graph.num_vertices
+
     def run(self, sources: np.ndarray) -> ConcurrentResult:
         """Traverse from up to 64 sources simultaneously."""
         graph = self.graph

@@ -226,6 +226,14 @@ class XBFS:
             self._reverse = rearrange_by_degree(rev) if self._rearranged else rev
         return self._reverse
 
+    @property
+    def warm_bytes(self) -> int:
+        """Modelled warm footprint the registry charges for a cached
+        engine: the (eventual) reverse CSR plus the int32 status array.
+        Frozen at attach time on purpose — a lazily-built reverse graph
+        must not desync the registry's running byte total."""
+        return self.graph.memory_bytes + 4 * self.graph.num_vertices
+
     # ------------------------------------------------------------------
     def run(
         self,

@@ -174,6 +174,13 @@ class LinAlgBatchBFS:
         #: pinned-push run never pays for it).
         self._reverse: CSRGraph | None = None
 
+    @property
+    def warm_bytes(self) -> int:
+        """Modelled warm footprint the registry charges for a cached
+        engine: the (eventual) reverse CSR for the pull product plus a
+        64-bit bitmap word per vertex of scratch."""
+        return self.graph.memory_bytes + 8 * self.graph.num_vertices
+
     # ------------------------------------------------------------------
     def _reverse_graph(self) -> CSRGraph:
         if self._reverse is None:

@@ -4,8 +4,10 @@ import numpy as np
 import pytest
 
 from repro.cluster import ClusterRouter, QosClass, multi_tenant_trace
-from repro.errors import ClusterError
+from repro.errors import ClusterError, MutationError
+from repro.graph.delta import GraphDelta, apply_delta, random_delta
 from repro.graph.generators import rmat
+from repro.graph.stats import bfs_levels_reference
 from repro.service.request import Query
 from repro.telemetry import CounterRegistry, Tracer, write_prometheus
 
@@ -196,3 +198,111 @@ class TestReport:
             return make_router().replay(_trace(n=40, seed=8)).summary("d")
 
         assert run() == run()
+
+
+class TestClusterMutation:
+    """``op="mutate"`` barriers broadcast to every replica — live ones
+    flush-and-apply, dead ones log the delta for their cold rebuild."""
+
+    def _mutate_query(self, delta, *, qid, t_ms, graph="7"):
+        return Query(qid=qid, graph=graph, source=0, arrival_ms=t_ms,
+                     op="mutate", delta=delta)
+
+    def test_broadcast_bumps_every_replica_and_answers_track_versions(self):
+        base = _builder("7")
+        delta = random_delta(base, num_inserts=6, seed=3)
+        mutated = apply_delta(base, delta)
+        router = make_router()
+
+        sources = (0, 5, 40, 100)
+        for i, s in enumerate(sources):
+            router.submit(Query(qid=i, graph="7", source=s, arrival_ms=0.0,
+                                qos="batch"))
+        router.submit(self._mutate_query(delta, qid=50, t_ms=60.0))
+        for i, s in enumerate(sources):
+            router.submit(Query(qid=100 + i, graph="7", source=s,
+                                arrival_ms=61.0, qos="batch"))
+        router.drain()
+
+        for r in router.replicas:
+            assert r.registry.graph_version("7") == 1
+        by_qid = {o.query.qid: o for o in router.outcomes()}
+        # The barrier itself produces no outcome.
+        assert 50 not in by_qid
+        for i, s in enumerate(sources):
+            assert np.array_equal(
+                by_qid[i].levels, bfs_levels_reference(base, s)
+            ), f"pre-mutation source {s} diverged from the base graph"
+            assert np.array_equal(
+                by_qid[100 + i].levels, bfs_levels_reference(mutated, s)
+            ), f"post-mutation source {s} diverged from the mutated graph"
+
+    def test_dead_replica_logs_mutation_and_replays_on_cold_rebuild(self):
+        base = _builder("7")
+        delta = random_delta(base, num_inserts=8, seed=5)
+        mutated = apply_delta(base, delta)
+        router = make_router(replicas=2, steal_threshold=None)
+
+        router.submit(Query(qid=0, graph="7", source=3, arrival_ms=0.0,
+                            qos="batch"))
+        router.drain()
+        owner = router.placement.assignments["7"]
+        victim = router.replicas[owner]
+        router._kill_replica(victim, 10.0, restart_ms=30.0)
+        assert not victim.alive and len(victim.registry) == 0
+
+        # The broadcast reaches the corpse log-only: version bumps with
+        # no entry materialised.
+        router.submit(self._mutate_query(delta, qid=1, t_ms=20.0))
+        assert victim.registry.graph_version("7") == 1
+        assert "7" not in victim.registry
+
+        # The survivor serves the mutated graph meanwhile.
+        router.submit(Query(qid=2, graph="7", source=3, arrival_ms=21.0,
+                            qos="batch"))
+        router.drain()
+        by_qid = {o.query.qid: o for o in router.outcomes()}
+        assert np.array_equal(
+            by_qid[2].levels, bfs_levels_reference(mutated, 3)
+        )
+
+        # An in-order submission past the restart stamp revives the
+        # victim; its cold rebuild replays the delta log and converges
+        # on the survivors' graph version.
+        router.submit(Query(qid=3, graph="8", source=0, arrival_ms=45.0,
+                            qos="batch"))
+        router.drain()
+        assert victim.alive and router.revivals == 1
+        entry, hit = victim.registry.get("7")
+        assert not hit and entry.version == 1
+        assert np.array_equal(entry.graph.col_indices, mutated.col_indices)
+
+    def test_mutation_without_delta_rejected_at_front_door(self):
+        router = make_router()
+        with pytest.raises(ClusterError, match="no delta"):
+            router.submit(Query(qid=0, graph="7", source=0, op="mutate"))
+
+    def test_out_of_range_delta_rejected_before_any_replica_sees_it(self):
+        router = make_router()
+        n = _builder("7").num_vertices
+        bad = GraphDelta(inserts=((0, n + 5),))
+        with pytest.raises(MutationError, match="out of range"):
+            router.submit(self._mutate_query(bad, qid=0, t_ms=0.0))
+        for r in router.replicas:
+            assert r.registry.graph_version("7") == 0
+
+    def test_mutation_charges_no_quota_and_emits_trace_event(self):
+        tracer = Tracer()
+        router = make_router(tracer=tracer)
+        for i in range(6):
+            router.submit(self._mutate_query(
+                random_delta(_builder("7"), num_inserts=1, seed=10 + i),
+                qid=i, t_ms=float(i)))
+        # Six barriers: the quota ledger never saw them, nothing served
+        # or rejected, one front-door trace event each.
+        assert router.quotas.admitted == {}
+        assert router.outcomes() == []
+        assert router.rejected_outcomes == []
+        events = [e for e in tracer.events if e.name == "cluster.mutate"]
+        assert len(events) == 6
+        assert {e.attrs["graph"] for e in events} == {"7"}

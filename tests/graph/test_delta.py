@@ -1,0 +1,131 @@
+"""Unit tests for edge-delta mutations (repro.graph.delta)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError, MutationError
+from repro.graph.csr import CSRGraph
+from repro.graph.delta import GraphDelta, apply_delta, random_delta
+from repro.graph.generators import rmat
+
+
+class TestGraphDelta:
+    def test_normalised_and_hashable(self):
+        a = GraphDelta(inserts=((3, 4), (1, 2), (3, 4)), deletes=((9, 0),))
+        b = GraphDelta(inserts=[(1, 2), (3, 4)], deletes=[[9, 0]])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a.inserts == ((1, 2), (3, 4))
+
+    def test_counts_and_flags(self):
+        d = GraphDelta(inserts=((0, 1),), deletes=((1, 2), (2, 3)))
+        assert d.num_inserts == 1
+        assert d.num_deletes == 2
+        assert d.num_edges == 3
+        assert not d.is_empty
+        assert not d.insert_only
+        assert GraphDelta(inserts=((0, 1),)).insert_only
+        assert GraphDelta().is_empty
+
+    def test_overlap_rejected(self):
+        with pytest.raises(MutationError, match="overlap"):
+            GraphDelta(inserts=((0, 1),), deletes=((0, 1),))
+
+    def test_malformed_pairs_rejected(self):
+        with pytest.raises(MutationError):
+            GraphDelta(inserts=((0, 1, 2),))
+        with pytest.raises(MutationError, match="negative"):
+            GraphDelta(inserts=((-1, 2),))
+
+    def test_validate_range(self):
+        d = GraphDelta(inserts=((0, 9),))
+        d.validate(10)
+        with pytest.raises(MutationError, match="out of range"):
+            d.validate(9)
+
+    def test_dict_round_trip(self):
+        d = GraphDelta(inserts=((1, 2), (3, 4)), deletes=((5, 6),))
+        assert GraphDelta.from_dict(d.to_dict()) == d
+        assert GraphDelta.from_dict({}) == GraphDelta()
+        # Empty sides are omitted from the JSON payload.
+        assert "delete" not in GraphDelta(inserts=((0, 1),)).to_dict()
+
+
+class TestApplyDelta:
+    def test_insert_and_delete(self):
+        g = CSRGraph.from_edges([0, 0, 1], [1, 2, 2], 4)
+        mutated = apply_delta(
+            g, GraphDelta(inserts=((2, 3),), deletes=((0, 2),))
+        )
+        assert mutated.neighbors(0).tolist() == [1]
+        assert mutated.neighbors(2).tolist() == [3]
+        # The input graph is immutable and untouched.
+        assert g.neighbors(0).tolist() == [1, 2]
+
+    def test_canonical_equals_from_scratch(self):
+        g = rmat(8, 4, seed=3)
+        delta = random_delta(g, num_inserts=17, num_deletes=9, seed=5)
+        mutated = apply_delta(g, delta)
+        src, dst = mutated.to_edge_arrays()
+        rebuilt = CSRGraph.from_edges(src, dst, g.num_vertices)
+        assert np.array_equal(mutated.row_offsets, rebuilt.row_offsets)
+        assert np.array_equal(mutated.col_indices, rebuilt.col_indices)
+
+    def test_insert_of_existing_edge_is_noop(self):
+        # Parallel copies in the base survive a redundant insert.
+        g = CSRGraph.from_edges([0, 0], [1, 1], 2)
+        mutated = apply_delta(g, GraphDelta(inserts=((0, 1),)))
+        assert mutated.num_edges == 2
+
+    def test_delete_removes_all_parallel_copies(self):
+        g = CSRGraph.from_edges([0, 0, 0], [1, 1, 2], 3)
+        mutated = apply_delta(g, GraphDelta(deletes=((0, 1),)))
+        assert mutated.neighbors(0).tolist() == [2]
+
+    def test_out_of_range_rejected(self):
+        g = CSRGraph.from_edges([0], [1], 2)
+        with pytest.raises(MutationError):
+            apply_delta(g, GraphDelta(inserts=((0, 5),)))
+
+    def test_chained_deltas_compose(self):
+        g = rmat(8, 4, seed=1)
+        d1 = random_delta(g, num_inserts=8, seed=11)
+        d2 = random_delta(apply_delta(g, d1), num_deletes=4, seed=13)
+        step = apply_delta(apply_delta(g, d1), d2)
+        assert step.num_vertices == g.num_vertices
+        # Replaying the log on a fresh base build converges on the
+        # same CSR — the property registry rebuilds rely on.
+        again = apply_delta(apply_delta(rmat(8, 4, seed=1), d1), d2)
+        assert np.array_equal(step.col_indices, again.col_indices)
+
+
+class TestRandomDelta:
+    def test_deterministic(self):
+        g = rmat(8, 4, seed=2)
+        a = random_delta(g, num_inserts=12, num_deletes=5, seed=42)
+        b = random_delta(g, num_inserts=12, num_deletes=5, seed=42)
+        assert a == b
+        assert a != random_delta(g, num_inserts=12, num_deletes=5, seed=43)
+
+    def test_inserts_are_fresh_non_loops(self):
+        g = rmat(8, 4, seed=2)
+        src, dst = g.to_edge_arrays()
+        existing = set(zip(src.tolist(), dst.tolist()))
+        d = random_delta(g, num_inserts=20, seed=7)
+        assert d.num_inserts == 20
+        for u, v in d.inserts:
+            assert u != v
+            assert (u, v) not in existing
+
+    def test_deletes_are_existing_edges(self):
+        g = rmat(8, 4, seed=2)
+        src, dst = g.to_edge_arrays()
+        existing = set(zip(src.tolist(), dst.tolist()))
+        d = random_delta(g, num_deletes=10, seed=7)
+        assert d.num_deletes == 10
+        assert set(d.deletes) <= existing
+
+    def test_too_many_deletes_rejected(self):
+        g = CSRGraph.from_edges([0], [1], 2)
+        with pytest.raises(GraphFormatError, match="delete"):
+            random_delta(g, num_deletes=5, seed=0)

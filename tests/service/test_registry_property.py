@@ -4,18 +4,25 @@ A seeded random interleaving of cache fills, forced eviction storms
 and over-budget admissions must never break:
 
 * ``bytes_cached`` (the O(1) running total) equals the O(n) recomputed
-  sum after every operation,
-* ``bytes_cached <= memory_budget_bytes`` always holds,
-* hits + misses never drift (rejections are counted apart), and
+  sum after every operation — including warm-engine and level-cache
+  bytes, which charge through the entry back into the running total,
+* ``bytes_cached <= memory_budget_bytes`` always holds (when warm
+  engines are charged the sole surviving entry may exceed it — the
+  shed loop never evicts the entry it is protecting),
+* hits + misses never drift (rejections are counted apart),
 * engines never outlive their entry: once a key is evicted, the old
   entry object — engines attached — is gone for good; a re-admission
-  hands back a fresh entry with an empty engines slot.
+  hands back a fresh entry with an empty engines slot, and
+* versions are monotone under interleaved mutations: a superseded or
+  evicted entry flips ``alive`` and every rebuild replays the full
+  delta log back to the current bit-exact graph.
 """
 
 import numpy as np
 import pytest
 
 from repro.errors import GraphTooLargeError
+from repro.graph.delta import apply_delta, random_delta
 from repro.graph.generators import rmat
 from repro.service.registry import GraphRegistry
 
@@ -93,6 +100,100 @@ def test_evict_everything_zeroes_running_total():
     reg.evict(len(SERVABLE))
     assert len(reg) == 0
     assert reg.bytes_cached == 0 == reg.recompute_bytes_cached()
+
+
+class _WarmEngine:
+    """Sized stand-in for a cached engine (real ones expose
+    ``warm_bytes``; unsized probes charge nothing)."""
+
+    def __init__(self, warm_bytes: int) -> None:
+        self.warm_bytes = warm_bytes
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+def test_mutate_evict_get_storms_hold_invariants(seed):
+    """Interleaved gets, warm-engine attaches, level-cache fills,
+    mutations and eviction storms: the byte ledger, the alive flags and
+    the version counters must all survive any ordering."""
+    rng = np.random.default_rng(seed)
+    budget = int(GRAPHS["8"].memory_bytes + GRAPHS["9"].memory_bytes)
+    reg = GraphRegistry(memory_budget_bytes=budget, builder=_builder)
+
+    current = {spec: GRAPHS[spec] for spec in SERVABLE}  # shadow graphs
+    versions = {spec: 0 for spec in SERVABLE}
+    live: dict[str, object] = {}
+    retired: list[object] = []
+    mutations = 0
+
+    for step in range(250):
+        spec = SERVABLE[int(rng.integers(len(SERVABLE)))]
+        op = rng.random()
+        if op < 0.45:
+            entry, hit = reg.get(spec)
+            assert entry.alive
+            assert entry.version == versions[spec]
+            if not hit:
+                assert all(e is not entry for e in retired)
+                # Rebuilds replay the delta log back to the shadow.
+                assert np.array_equal(
+                    entry.graph.col_indices, current[spec].col_indices
+                )
+            live[spec] = entry
+            if rng.random() < 0.5:
+                entry.engines[f"warm{step}"] = _WarmEngine(
+                    int(rng.integers(1, GRAPHS[spec].memory_bytes))
+                )
+            if rng.random() < 0.3:
+                src = int(rng.integers(entry.graph.num_vertices))
+                entry.store_levels(
+                    src, np.zeros(entry.graph.num_vertices, dtype=np.int32)
+                )
+        elif op < 0.7:
+            delta = random_delta(
+                current[spec],
+                num_inserts=int(rng.integers(1, 6)),
+                num_deletes=int(rng.integers(0, 3)),
+                seed=1000 * seed + step,
+            )
+            old = live.pop(spec, None)
+            fresh = reg.mutate(spec, delta)
+            mutations += 1
+            current[spec] = apply_delta(current[spec], delta)
+            versions[spec] += 1
+            assert reg.graph_version(spec) == versions[spec]
+            if old is not None:
+                assert not old.alive
+                assert old.engines == {}
+                retired.append(old)
+            if fresh is not None:
+                assert fresh.alive and fresh.version == versions[spec]
+                live[spec] = fresh
+        else:
+            reg.evict(int(rng.integers(1, 4)))
+
+        for key in list(live):
+            if key not in reg:
+                entry = live.pop(key)
+                assert not entry.alive
+                retired.append(entry)
+
+        # The O(1) ledger always matches the O(n) ground truth —
+        # engines and level arrays included.
+        assert reg.bytes_cached == reg.recompute_bytes_cached()
+        # Warm-engine growth may leave a single protected entry over
+        # budget; with two or more residents shedding must catch up.
+        assert reg.bytes_cached <= reg.memory_budget_bytes or len(reg) == 1
+
+    assert mutations > 0
+    assert reg.stats()["mutations"] == mutations
+    # Final reconciliation: every resident spec serves its current
+    # version, bit-exact against the shadow model.
+    for spec in SERVABLE:
+        entry, _ = reg.get(spec)
+        assert entry.version == versions[spec]
+        assert np.array_equal(
+            entry.graph.col_indices, current[spec].col_indices
+        )
 
 
 def test_rejections_do_not_depress_hit_rate():

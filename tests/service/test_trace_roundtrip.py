@@ -1,0 +1,142 @@
+"""Property test: JSONL trace save/load is a lossless round trip.
+
+Covers every :class:`~repro.service.request.Query` field the trace
+format carries — both ops (``bfs`` and ``mutate``), the full option
+surface, non-default tenant/qos labels, and deadline edge values
+(zero, sub-microsecond, huge) — plus the typed rejections for
+malformed traces.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ServiceError
+from repro.graph.delta import GraphDelta
+from repro.service.request import Query, QueryOptions
+from repro.service.trace import load_trace, save_trace
+
+SPECS = ("rmat:9", "rmat:10", "LJ", "file:graphs/web.csrbin")
+TENANTS = ("default", "t0", "team-analytics")
+QOS = ("interactive", "batch")
+
+#: Deadline edge values ride alongside ordinary draws: zero, denormal-
+#: small, and far beyond any virtual clock.
+deadlines = st.one_of(
+    st.none(),
+    st.just(0.0),
+    st.just(1e-9),
+    st.just(1e12),
+    st.floats(min_value=0.0, max_value=1e6,
+              allow_nan=False, allow_infinity=False),
+)
+
+edge_pairs = st.tuples(st.integers(0, 63), st.integers(0, 63))
+
+
+@st.composite
+def graph_deltas(draw) -> GraphDelta:
+    inserts = set(draw(st.lists(edge_pairs, max_size=6)))
+    deletes = set(draw(st.lists(edge_pairs, max_size=6))) - inserts
+    if not inserts and not deletes:
+        inserts = {draw(edge_pairs)}
+    return GraphDelta(inserts=tuple(inserts), deletes=tuple(deletes))
+
+
+@st.composite
+def query_options(draw) -> QueryOptions:
+    return QueryOptions(
+        force_strategy=draw(
+            st.sampled_from([None, "top_down", "bottom_up", "bitmap"])
+        ),
+        record_parents=draw(st.booleans()),
+        max_levels=draw(st.one_of(st.none(), st.integers(1, 40))),
+    )
+
+
+@st.composite
+def traces(draw) -> list[Query]:
+    n = draw(st.integers(min_value=0, max_value=12))
+    queries: list[Query] = []
+    t = 0.0
+    for i in range(n):
+        t += draw(st.floats(min_value=0.0, max_value=100.0,
+                            allow_nan=False, allow_infinity=False))
+        graph = draw(st.sampled_from(SPECS))
+        tenant = draw(st.sampled_from(TENANTS))
+        qos = draw(st.sampled_from(QOS))
+        if draw(st.booleans()):
+            queries.append(Query(
+                qid=i, graph=graph, source=draw(st.integers(0, 4095)),
+                arrival_ms=t, deadline_ms=draw(deadlines),
+                options=draw(query_options()), tenant=tenant, qos=qos,
+            ))
+        else:
+            # Mutations carry no source/deadline/options in the trace
+            # format; the loader restores the conventional defaults.
+            queries.append(Query(
+                qid=i, graph=graph, source=0, arrival_ms=t,
+                tenant=tenant, qos=qos, op="mutate",
+                delta=draw(graph_deltas()),
+            ))
+    return queries
+
+
+@given(traces())
+@settings(max_examples=60, deadline=None)
+def test_save_load_round_trip(tmp_path_factory, queries):
+    path = tmp_path_factory.mktemp("trace") / "trace.jsonl"
+    save_trace(queries, path)
+    assert load_trace(path) == queries
+
+
+@given(traces())
+@settings(max_examples=20, deadline=None)
+def test_round_trip_is_idempotent(tmp_path_factory, queries):
+    base = tmp_path_factory.mktemp("trace")
+    first, second = base / "a.jsonl", base / "b.jsonl"
+    save_trace(queries, first)
+    save_trace(load_trace(first), second)
+    assert first.read_text() == second.read_text()
+
+
+class TestMalformedTraces:
+    def test_mutate_query_without_delta_rejected_on_save(self, tmp_path):
+        with pytest.raises(ServiceError, match="without a delta"):
+            save_trace(
+                [Query(qid=0, graph="rmat:9", source=0, op="mutate")],
+                tmp_path / "t.jsonl",
+            )
+
+    def test_empty_mutate_record_rejected_on_load(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"t_ms": 0.0, "graph": "rmat:9", "op": "mutate"}\n')
+        with pytest.raises(ServiceError, match="no edges"):
+            load_trace(path)
+
+    def test_unknown_op_rejected(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text(
+            '{"t_ms": 0.0, "graph": "rmat:9", "source": 1, "op": "drop"}\n'
+        )
+        with pytest.raises(ServiceError, match="unknown trace op"):
+            load_trace(path)
+
+    def test_decreasing_arrivals_rejected_across_ops(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text(
+            '{"t_ms": 5.0, "graph": "rmat:9", "source": 1}\n'
+            '{"t_ms": 1.0, "graph": "rmat:9", "op": "mutate",'
+            ' "insert": [[0, 1]]}\n'
+        )
+        with pytest.raises(ServiceError, match="non-decreasing"):
+            load_trace(path)
+
+    def test_overlapping_delta_rejected_as_service_error(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text(
+            '{"t_ms": 0.0, "graph": "rmat:9", "op": "mutate",'
+            ' "insert": [[0, 1]], "delete": [[0, 1]]}\n'
+        )
+        with pytest.raises(ServiceError, match="bad mutation delta"):
+            load_trace(path)

@@ -134,6 +134,24 @@ class TestServe:
         hit_rate = float(re.search(r"hit rate (\d+\.\d+)%", out).group(1))
         assert hit_rate > 0.0
 
+    def test_serve_validates_across_mutations(self, tmp_path, capsys):
+        """Pre-mutation answers must validate against the graph version
+        they were served at, not the registry's mutated head."""
+        path = tmp_path / "mut.jsonl"
+        path.write_text(
+            '{"t_ms": 0.0, "graph": "rmat:10", "source": 7}\n'
+            '{"t_ms": 1.0, "graph": "rmat:10", "source": 21}\n'
+            '{"t_ms": 30.0, "graph": "rmat:10", "op": "mutate",'
+            ' "insert": [[3, 9], [100, 200]]}\n'
+            '{"t_ms": 31.0, "graph": "rmat:10", "source": 7}\n'
+            '{"t_ms": 32.0, "graph": "rmat:10", "source": 21}\n'
+        )
+        rc = main(["serve", "--trace", str(path), "--validate"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "validated 4 served queries" in out
+        assert "repair=1" in out
+
     def test_serve_writes_summary(self, trace_path, tmp_path, capsys):
         out_path = tmp_path / "svc.json"
         rc = main(["serve", "--trace", str(trace_path), "--out",

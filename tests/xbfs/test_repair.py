@@ -1,0 +1,89 @@
+"""Incremental BFS repair: bit-identity against from-scratch runs."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraversalError
+from repro.graph.csr import CSRGraph
+from repro.graph.delta import GraphDelta, apply_delta, random_delta
+from repro.graph.generators import rmat
+from repro.graph.stats import bfs_levels_reference
+from repro.xbfs.repair import (
+    REPAIR_BASE_MS,
+    RepairResult,
+    repair_cost_ms,
+    repair_levels,
+)
+
+
+class TestRepairLevels:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("num_inserts", [1, 16, 200])
+    def test_bit_identical_to_recompute(self, seed, num_inserts):
+        base = rmat(10, 8, seed=seed)
+        delta = random_delta(base, num_inserts=num_inserts, seed=seed + 7)
+        mutated = apply_delta(base, delta)
+        for source in (0, 17, 63):
+            basis = bfs_levels_reference(base, source)
+            rep = repair_levels(mutated, basis, delta.inserts)
+            fresh = bfs_levels_reference(mutated, source)
+            assert np.array_equal(rep.levels, fresh)
+            assert rep.levels.dtype == np.int32
+
+    def test_levels_only_decrease(self):
+        base = rmat(10, 8, seed=4)
+        delta = random_delta(base, num_inserts=50, seed=9)
+        mutated = apply_delta(base, delta)
+        basis = bfs_levels_reference(base, 0)
+        rep = repair_levels(mutated, basis, delta.inserts)
+        # Wherever both are reachable, the repaired level never rises;
+        # nothing reachable before becomes unreachable under inserts.
+        both = (basis >= 0) & (rep.levels >= 0)
+        assert np.all(rep.levels[both] <= basis[both])
+        assert not np.any((basis >= 0) & (rep.levels < 0))
+
+    def test_empty_delta_is_identity(self):
+        g = rmat(9, 8, seed=1)
+        basis = bfs_levels_reference(g, 3)
+        rep = repair_levels(g, basis, ())
+        assert np.array_equal(rep.levels, basis)
+        assert rep.rounds == 0
+        assert rep.relaxed_edges == 0
+        assert rep.elapsed_ms == pytest.approx(REPAIR_BASE_MS)
+
+    def test_unreachable_region_becomes_reachable(self):
+        # Two components; an inserted bridge pulls the far side in.
+        g = CSRGraph.from_edges([0, 1, 3, 4], [1, 2, 4, 5], 6)
+        basis = bfs_levels_reference(g, 0)
+        assert basis[3] == -1
+        mutated = apply_delta(g, GraphDelta(inserts=((2, 3),)))
+        rep = repair_levels(mutated, basis, ((2, 3),))
+        assert np.array_equal(rep.levels, bfs_levels_reference(mutated, 0))
+        assert rep.levels[5] == 5
+
+    def test_result_accounting(self):
+        base = rmat(10, 8, seed=6)
+        delta = random_delta(base, num_inserts=30, seed=3)
+        mutated = apply_delta(base, delta)
+        basis = bfs_levels_reference(base, 0)
+        rep = repair_levels(mutated, basis, delta.inserts)
+        assert isinstance(rep, RepairResult)
+        changed = int(np.count_nonzero(rep.levels != basis))
+        # Every changed vertex is counted as affected (the converse
+        # need not hold: a seeded head may relax back to its old level).
+        assert rep.affected_vertices >= changed
+        assert rep.relaxed_edges >= delta.num_inserts
+        assert rep.elapsed_ms == pytest.approx(
+            repair_cost_ms(rep.relaxed_edges)
+        )
+
+    def test_shape_mismatch_rejected(self):
+        g = rmat(9, 8, seed=1)
+        with pytest.raises(TraversalError, match="shape"):
+            repair_levels(g, np.zeros(7, dtype=np.int32), ())
+
+    def test_out_of_range_insert_rejected(self):
+        g = rmat(9, 8, seed=1)
+        basis = bfs_levels_reference(g, 0)
+        with pytest.raises(TraversalError, match="out of range"):
+            repair_levels(g, basis, ((0, g.num_vertices),))

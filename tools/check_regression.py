@@ -48,6 +48,7 @@ def run_matrix() -> list[dict]:
     summaries.append(run_telemetry_fingerprint())
     summaries.append(run_cluster_fingerprint())
     summaries.append(run_obs_fingerprint())
+    summaries.append(run_mutation_fingerprint())
     return summaries
 
 
@@ -471,6 +472,92 @@ def run_obs_fingerprint() -> dict:
     for q in (50, 95, 99):
         summary[f"sketch_p{q}_ms"] = sketch.percentile(q)
     return summary
+
+
+def run_mutation_fingerprint() -> dict:
+    """Dynamic-graph fingerprint: a chained seeded mutate/repair replay
+    plus one service trace with interleaved mutation barriers. The
+    repaired level CRCs, the relaxed-edge totals, the registry's
+    version/mutation counters and the executor's repair-vs-recompute
+    decisions are all pure functions of the model, so they drift
+    exactly when the delta algebra, the repair relaxation or the
+    invalidation policy changes — and every answer is CRC'd, so a wrong
+    repaired level can never hide behind stable counts."""
+    import zlib
+
+    import numpy as np
+
+    from repro.faults import levels_fingerprint
+    from repro.graph import GraphDelta, apply_delta, random_delta
+    from repro.obs import AuditLog
+    from repro.service import BFSService, Query
+    from repro.xbfs.driver import XBFS
+    from repro.xbfs.repair import repair_levels
+
+    # Part 1: three chained insert-only deltas repaired in sequence —
+    # each repaired array must be bit-identical to a fresh traversal.
+    graph = rmat(12, 8, seed=2)
+    levels = XBFS(graph).run(0).levels
+    crc = zlib.crc32(levels_fingerprint(levels).to_bytes(8, "little"))
+    relaxed = affected = 0
+    for step in range(3):
+        delta = random_delta(graph, num_inserts=64, seed=100 + step)
+        graph = apply_delta(graph, delta)
+        rep = repair_levels(graph, levels, delta.inserts)
+        assert np.array_equal(rep.levels, XBFS(graph).run(0).levels)
+        levels = rep.levels
+        relaxed += rep.relaxed_edges
+        affected += rep.affected_vertices
+        crc = zlib.crc32(
+            levels_fingerprint(levels).to_bytes(8, "little"), crc
+        )
+
+    # Part 2: the same machinery end to end — queries interleaved with
+    # mutate barriers through the serving runtime, audit plane on.
+    audit = AuditLog()
+    service = BFSService(workers=2, window_ms=5.0, seed=0, audit=audit)
+    spec = "rmat:10"
+    base = service.registry.get(spec)[0].graph
+    rng = np.random.default_rng(47)
+    sources = rng.choice(base.num_vertices, size=12, replace=False)
+    queries: list[Query] = []
+    t = 0.0
+    small = random_delta(base, num_inserts=8, seed=53)
+    big = random_delta(
+        apply_delta(base, small), num_inserts=4, num_deletes=4, seed=59
+    )
+    for phase, delta in ((0, small), (1, big), (2, None)):
+        for s in sources:
+            queries.append(Query(qid=len(queries), graph=spec,
+                                 source=int(s), arrival_ms=t))
+            t += 1.0
+        if delta is not None:
+            queries.append(Query(qid=len(queries), graph=spec, source=0,
+                                 arrival_ms=t, op="mutate", delta=delta))
+            t += 5.0
+    report = service.replay(queries)
+    served_crc = 0
+    for o in report.served:
+        served_crc = zlib.crc32(
+            levels_fingerprint(o.levels).to_bytes(8, "little"), served_crc
+        )
+    counters = audit.counters()
+    stats = service.registry.stats()
+    return {
+        "name": "mutation",
+        "repair_levels_crc32": crc,
+        "repair_relaxed_edges": relaxed,
+        "repair_affected_vertices": affected,
+        "queries_served": len(report.served),
+        "served_levels_crc32": served_crc,
+        "graph_version": service.registry.graph_version(spec),
+        "registry_mutations": stats["mutations"],
+        "dispatches_repair": report.metrics.engine_dispatches.get(
+            "repair", 0
+        ),
+        "audit_records_mutation": counters.get("records_mutation", 0),
+        "audit_records_repair": counters.get("records_repair", 0),
+    }
 
 
 def main() -> int:

@@ -25,6 +25,12 @@
 #                                 # grid differential wall, partition
 #                                 # routing and the 2->64 GCD scaling
 #                                 # bench
+#   tools/run_tests.sh mutation   # the dynamic-graph tier: edge
+#                                 # deltas, versioned registry
+#                                 # mutation, incremental BFS repair,
+#                                 # the repair-vs-recompute
+#                                 # differential wall and the
+#                                 # delta-size crossover bench
 #   tools/run_tests.sh obs        # the SLO engine, decision audit,
 #                                 # bounded-metrics sketch and health
 #                                 # planes: the obs-on/off differential
@@ -74,6 +80,11 @@ case "$tier" in
       tests/multigcd/test_grid2d_differential.py tests/service/test_partition_routing.py "$@"
     python -m pytest benchmarks/bench_multigcd_scaling.py -s "$@"
     ;;
+  mutation)
+    python -m pytest tests/graph/test_delta.py tests/xbfs/test_repair.py \
+      tests/service/test_mutation.py tests/service/test_mutation_differential.py "$@"
+    python -m pytest benchmarks/bench_mutation.py -s "$@"
+    ;;
   obs)
     python -m pytest tests/obs tests/telemetry/test_prometheus_labels.py "$@"
     python -m pytest benchmarks/bench_obs_overhead.py -s "$@"
@@ -84,7 +95,7 @@ case "$tier" in
     python tools/check_regression.py check tools/baseline_fingerprint.json
     ;;
   *)
-    echo "usage: tools/run_tests.sh [tier1|tier2|telemetry|multigcd-service|cluster|linalg|multigcd-scaling|obs|all] [pytest args...]" >&2
+    echo "usage: tools/run_tests.sh [tier1|tier2|telemetry|multigcd-service|cluster|linalg|multigcd-scaling|mutation|obs|all] [pytest args...]" >&2
     exit 2
     ;;
 esac
